@@ -1,0 +1,98 @@
+"""Ablation — stimulus amplitude vs measurement linearity.
+
+Section 4's only amplitude requirement: "the peak amplitude of the input
+phase or frequency deviation does not exceed a value that would cause
+the PLL components to enter a non-linear region of operation".  Where is
+that edge, exactly?
+
+The reproduction's answer is sharper than folklore: for *smooth* FM the
+PFD forgives even transient phase excursions beyond its ±2π range
+(frequency detection recovers within the modulation cycle), and the
+binding limit is **charge-pump slew**: the drive can move the control
+node at most ``(VDD/2)/(R1+R2)C`` volts per second, i.e. the output can
+slew at most ``Ko·VDD/2/((R1+R2)C)`` Hz/s, while tracking the modulation
+demands ``2π·f_mod·N·ΔF`` Hz/s.  The measured transfer function is
+amplitude-independent until that ratio approaches one, then collapses.
+"""
+
+import math
+
+import numpy as np
+
+from repro.core.monitor import SweepPlan, TransferFunctionMonitor
+from repro.presets import paper_bist_config, paper_pll
+from repro.reporting import format_table
+from repro.stimulus import SineFMStimulus
+
+PLAN = SweepPlan((1.0, 4.0, 7.0, 9.0, 13.0))
+DEVIATIONS = (0.5, 1.0, 4.0, 16.0, 32.0, 64.0, 128.0)
+F_CHECK = 9.0  # the near-peak tone used for the stress numbers
+
+
+def slew_available_hz_per_s(pll):
+    """Maximum output-frequency slew the pump + filter can deliver."""
+    lf = pll.loop_filter
+    vdd = pll.pump.vdd
+    return pll.vco.gain_hz_per_v * (vdd / 2.0) / ((lf.r1 + lf.r2) * lf.c)
+
+
+def slew_required_hz_per_s(pll, deviation, f_mod):
+    """Output slew needed to track the modulation peak."""
+    return 2.0 * math.pi * f_mod * pll.n * deviation
+
+
+def run_all():
+    pll = paper_pll()
+    cfg = paper_bist_config()
+    out = {}
+    for dev in DEVIATIONS:
+        monitor = TransferFunctionMonitor(
+            pll, SineFMStimulus(1000.0, dev), cfg
+        )
+        out[dev] = monitor.run(PLAN)
+    return pll, out
+
+
+def test_ablation_deviation(benchmark, report):
+    pll, results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    available = slew_available_hz_per_s(pll)
+    reference_peak = results[1.0].response.peak()[1]
+    rows = []
+    peaks = {}
+    for dev, result in results.items():
+        peak_db = result.response.peak()[1]
+        peaks[dev] = peak_db
+        required = slew_required_hz_per_s(pll, dev, F_CHECK)
+        theta_e = (
+            abs(1.0 / (1.0 + pll.open_loop_transfer(1j * 2 * math.pi * F_CHECK)))
+            * 2.0 * math.pi * dev / F_CHECK
+        )
+        rows.append([
+            f"±{dev:g}",
+            f"{theta_e / (2 * math.pi):.2f}",
+            f"{required / available:.2f}",
+            f"{peak_db:+.2f}",
+            f"{peak_db - reference_peak:+.2f}",
+        ])
+    table = format_table(
+        ["deviation (Hz)", "θe peak @9 Hz (PFD ranges)",
+         "slew required / available", "measured peak (dB)",
+         "vs ±1 Hz reference (dB)"],
+        rows,
+        title=(
+            "Ablation — measurement linearity vs stimulus amplitude "
+            f"(pump slew limit {available/1e3:.1f} kHz/s at the output)"
+        ),
+    )
+    report("ablation_deviation", table)
+
+    # A transfer function is amplitude-independent while the pump can
+    # slew (even with θe transiently beyond the PFD range)...
+    assert abs(peaks[0.5] - peaks[1.0]) < 0.3
+    assert abs(peaks[16.0] - peaks[1.0]) < 0.3
+    assert abs(peaks[32.0] - peaks[1.0]) < 0.5
+    # ...and collapses once tracking demands more slew than exists.
+    assert peaks[128.0] < peaks[1.0] - 2.0
+    ratio_at_collapse = slew_required_hz_per_s(pll, 64.0, F_CHECK) / available
+    assert ratio_at_collapse > 1.0  # the collapse point is the slew edge
+    assert peaks[64.0] < peaks[1.0] - 0.5

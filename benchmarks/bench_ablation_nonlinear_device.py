@@ -1,0 +1,129 @@
+"""Ablation — device non-linearity and the measured-vs-theory gap.
+
+Section 5 attributes the residual discrepancy between the measured and
+theoretical plots "primarily to the non-linear operation of the
+particular charge pump and loop filter configuration".  This ablation
+regenerates that effect with a sharply compressive (tanh) VCO tuning
+law, and the mechanism it uncovers is instructive:
+
+The *stimulus* excursion is tiny (millivolts on the control node), but
+the charge pump's correction pulses are not — each pulse throws the
+control node ``R2/(R1+R2)·(VDD - vc) ≈ ±0.5 V`` through the filter zero
+for its duration.  On a compressive tuning law those feed-through
+excursions run at reduced gain, which *weakens precisely the
+stabilising-zero action*: the loop behaves as if ζ were smaller, and
+the measured response peaks visibly above the linear theory — almost
+independently of stimulus amplitude.  The ideal device tracks theory at
+every amplitude; the corner device carries a systematic gap, exactly
+the Section 5 observation.
+"""
+
+import math
+
+import numpy as np
+
+from dataclasses import replace
+
+from repro.analysis.linear_model import PLLLinearModel
+from repro.core.monitor import SweepPlan, TransferFunctionMonitor
+from repro.pll.vco import VCO
+from repro.presets import (
+    PAPER_F_REF,
+    PAPER_N,
+    PAPER_VCO_GAIN_HZ_PER_V,
+    paper_bist_config,
+    paper_pll,
+)
+from repro.reporting import format_table
+from repro.stimulus import SineFMStimulus
+
+PLAN = SweepPlan((1.0, 4.0, 7.0, 9.0, 13.0, 20.0))
+DEVIATIONS = (1.0, 20.0)
+
+#: Control-voltage knee of the corner device's tanh tuning law, volts.
+#: The small-signal gain is the nominal Ko; gain compresses visibly once
+#: the excursion reaches a substantial fraction of the knee.
+KNEE_V = 0.25
+
+
+def strong_4046():
+    """A worst-case device: sharply compressive (tanh) tuning law.
+
+    ``f(v) = f0 + Ko·knee·tanh((v - v_mid)/knee)`` — same mid-rail gain
+    as the nominal part, ~15 % gain loss at half a knee of excursion.
+    """
+    f0 = PAPER_N * PAPER_F_REF
+    ko = PAPER_VCO_GAIN_HZ_PER_V
+
+    def curve(v: float) -> float:
+        return f0 + ko * KNEE_V * math.tanh((v - 2.5) / KNEE_V)
+
+    vco = VCO(
+        f_center=f0,
+        gain_hz_per_v=ko,
+        v_center=2.5,
+        f_min=f0 - ko * KNEE_V,
+        f_max=f0 + ko * KNEE_V,
+        tuning_curve=curve,
+    )
+    return replace(paper_pll(), vco=vco, name="hct4046-corner")
+
+
+def measure(pll, deviation):
+    monitor = TransferFunctionMonitor(
+        pll, SineFMStimulus(PAPER_F_REF, deviation), paper_bist_config()
+    )
+    return monitor.run(PLAN).response
+
+
+def run_all():
+    ideal = paper_pll()
+    corner = strong_4046()
+    theory = PLLLinearModel(ideal).bode(PLAN.frequencies_hz)
+    out = {}
+    for dev in DEVIATIONS:
+        out[("ideal", dev)] = measure(ideal, dev)
+        out[("4046 corner", dev)] = measure(corner, dev)
+    return theory, out
+
+
+def test_ablation_nonlinear_device(benchmark, report):
+    theory, results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    gaps = {}
+    theory_by_f = dict(zip(theory.frequencies_hz, theory.magnitude_db))
+    for (device, dev), resp in results.items():
+        # Compare on the tones the (possibly degraded) sweep completed.
+        diffs = [
+            abs(m - theory_by_f[f])
+            for f, m in zip(resp.frequencies_hz, resp.magnitude_db)
+            if f in theory_by_f
+        ]
+        gap = float(max(diffs))
+        gaps[(device, dev)] = gap
+        rows.append([
+            device, f"±{dev:g}", f"{resp.peak()[1]:+.2f}",
+            f"{gap:.2f}", len(PLAN.frequencies_hz) - len(resp),
+        ])
+    table = format_table(
+        ["device", "deviation (Hz)", "measured peak (dB)",
+         "max |measured - theory| (dB)", "dead tones"],
+        rows,
+        title="Ablation — device non-linearity vs the linear theory "
+              "(the Section 5 discrepancy, regenerated)",
+    )
+    report("ablation_nonlinear_device", table)
+
+    # The ideal device tracks the linear theory at every amplitude.
+    assert gaps[("ideal", 1.0)] < 1.0
+    assert gaps[("ideal", 20.0)] < 1.0
+    # The compressive device carries a systematic gap (the weakened
+    # zero raises the peak) at both amplitudes — the Section 5
+    # discrepancy, regenerated.
+    for dev in DEVIATIONS:
+        assert gaps[("4046 corner", dev)] > gaps[("ideal", dev)] + 1.0
+    peaks = {
+        (device, dev): resp.peak()[1]
+        for (device, dev), resp in results.items()
+    }
+    assert peaks[("4046 corner", 1.0)] > peaks[("ideal", 1.0)] + 1.0

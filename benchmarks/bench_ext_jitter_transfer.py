@@ -1,0 +1,69 @@
+"""Extension — jitter transfer and tolerance from BIST measurements.
+
+The paper's reference [4] (Veillette & Roberts) frames the same
+closed-loop measurement as a *jitter transfer* test.  This bench closes
+that connection: the (fn, ζ) extracted by the BIST sweep is converted
+into the SerDes-style jitter figures — transfer peaking, jitter
+bandwidth, tolerance mask — and compared against the component-exact
+values, showing the measured two-parameter summary carries the whole
+jitter budget.
+"""
+
+import numpy as np
+
+from repro.analysis import JitterAnalysis
+from repro.analysis.design import design_lag_lead_pll
+from repro.reporting import format_table
+
+
+def test_ext_jitter_transfer(benchmark, report, paper_dut,
+                             figure11_12_sweeps):
+    est = figure11_12_sweeps["sine"].estimated
+    assert est is not None
+
+    # A loop re-built from ONLY the two measured numbers...
+    measured_model = design_lag_lead_pll(
+        paper_dut.f_ref, paper_dut.n, est.fn_hz, est.zeta,
+        name="from-measurement",
+    )
+    exact = JitterAnalysis(paper_dut)
+    inferred = benchmark(JitterAnalysis, measured_model)
+
+    freqs = [1.0, 3.0, 8.7, 15.0, 40.0]
+    rows = []
+    for f in freqs:
+        rows.append([
+            f"{f:g}",
+            f"{float(exact.jitter_transfer_db(f)):+.2f}",
+            f"{float(inferred.jitter_transfer_db(f)):+.2f}",
+            f"{float(exact.jitter_tolerance_ui(f)):.3g}",
+            f"{float(inferred.jitter_tolerance_ui(f)):.3g}",
+        ])
+    table = format_table(
+        ["f (Hz)", "transfer, exact (dB)", "transfer, from BIST (dB)",
+         "tolerance, exact (UI)", "tolerance, from BIST (UI)"],
+        rows,
+        title="Extension — jitter views: component-exact vs rebuilt from "
+              "the two BIST-measured numbers (fn, zeta)",
+    )
+    scalars = (
+        f"\npeaking: exact {exact.jitter_peaking_db():.2f} dB, "
+        f"from BIST {inferred.jitter_peaking_db():.2f} dB"
+        f"\njitter bandwidth: exact {exact.jitter_bandwidth_hz():.2f} Hz, "
+        f"from BIST {inferred.jitter_bandwidth_hz():.2f} Hz"
+    )
+    report("ext_jitter_transfer", table + scalars)
+
+    # The two-parameter summary reproduces the jitter budget closely.
+    assert abs(
+        exact.jitter_peaking_db() - inferred.jitter_peaking_db()
+    ) < 0.75
+    np.testing.assert_allclose(
+        inferred.jitter_bandwidth_hz(), exact.jitter_bandwidth_hz(),
+        rtol=0.15,
+    )
+    for f in freqs:
+        assert abs(
+            float(exact.jitter_transfer_db(f))
+            - float(inferred.jitter_transfer_db(f))
+        ) < 1.5

@@ -1,0 +1,49 @@
+"""Figure 1 — generic second-order closed-loop magnitude/phase with the
+annotated quantities: the 0 dB asymptote, ωp (peak) and ω3dB.
+
+Regenerated for the paper's damping (ζ = 0.426) on a normalised
+frequency axis, and checks the three annotations quantitatively.
+"""
+
+import numpy as np
+
+from repro.analysis.bode import compute_bode, log_frequency_grid
+from repro.analysis.second_order import SecondOrderParameters
+from repro.reporting import ascii_bode, format_table
+
+ZETA = 0.426
+WN = 1.0  # normalised
+
+
+def build_response():
+    params = SecondOrderParameters(wn=WN, zeta=ZETA)
+    f = log_frequency_grid(WN / (2 * np.pi) / 100.0, WN / (2 * np.pi) * 100.0, 161)
+    bode = compute_bode(
+        lambda s: params.response(np.imag(s)), f, label="H(jw) (eq. 4 form)"
+    )
+    return params, bode
+
+
+def test_fig01_second_order_response(benchmark, report):
+    params, bode = benchmark(build_response)
+    annotations = format_table(
+        ["annotation", "value"],
+        [
+            ["0 dB asymptote (w << wp)", f"{bode.magnitude_db[0]:+.4f} dB"],
+            ["wp / wn (peak location)", f"{params.peak_frequency / params.wn:.4f}"],
+            ["peak height", f"{params.peaking_db:.3f} dB"],
+            ["w3dB / wn (one-sided loop bandwidth)",
+             f"{params.w3db / params.wn:.4f}"],
+            ["phase at wp", f"{bode.phase_at(params.peak_frequency_hz):.1f} deg"],
+        ],
+        title=f"Figure 1 annotations at zeta = {ZETA}",
+    )
+    plot = ascii_bode([bode], title="Figure 1 — second-order closed loop")
+    report("fig01_second_order_response", annotations + "\n\n" + plot)
+
+    # Shape checks per Section 2.
+    assert abs(bode.magnitude_db[0]) < 0.01          # 0 dB asymptote
+    assert abs(bode.phase_deg[0]) < 2.0              # ~0 phase in-band
+    assert params.peak_frequency < params.wn          # peak below wn
+    assert params.w3db > params.wn                    # bandwidth beyond wn
+    assert bode.magnitude_db[-1] < -30.0              # roll-off

@@ -1,0 +1,53 @@
+"""Figure 9 / eq. (3) — the loop-filter configuration and its transfer
+function F(s) = (1 + s·τ2) / (1 + s·(τ1 + τ2)).
+
+Regenerates the filter's frequency response from the reconstructed
+component values and checks it against the closed-form eq. (3).
+"""
+
+import numpy as np
+
+from repro.analysis.bode import compute_bode, log_frequency_grid
+from repro.presets import PAPER_C, PAPER_R1, PAPER_R2, paper_pll
+from repro.reporting import ascii_bode, format_table
+
+
+def build(paper_dut):
+    lf = paper_dut.loop_filter
+    f = log_frequency_grid(0.01, 1e4, 121)
+    bode = compute_bode(
+        lambda s: lf.voltage_transfer(s), f, label="F(s) (fig. 9 network)"
+    )
+    return lf, bode
+
+
+def test_fig09_loop_filter(benchmark, report, paper_dut):
+    lf, bode = benchmark(build, paper_dut)
+    tau1 = lf.tau1()
+    tau2 = lf.tau2
+    hf_floor_db = 20 * np.log10(PAPER_R2 / (PAPER_R1 + PAPER_R2))
+    table = format_table(
+        ["quantity", "value"],
+        [
+            ["R1 / R2 / C", f"{PAPER_R1/1e3:g}k / {PAPER_R2/1e3:g}k / "
+                            f"{PAPER_C*1e9:g}n"],
+            ["tau1, tau2", f"{tau1*1e3:.2f} ms, {tau2*1e3:.2f} ms"],
+            ["pole frequency 1/(2π(τ1+τ2))",
+             f"{1/(2*np.pi*(tau1+tau2)):.3f} Hz"],
+            ["zero frequency 1/(2πτ2)", f"{1/(2*np.pi*tau2):.2f} Hz"],
+            ["HF floor R2/(R1+R2)", f"{hf_floor_db:.2f} dB"],
+        ],
+        title="Figure 9 — loop filter (eq. 3)",
+    )
+    plot = ascii_bode([bode], title="Figure 9 — F(jw)")
+    report("fig09_loop_filter", table + "\n\n" + plot)
+
+    # Eq. (3) agreement on the whole grid.
+    s = 1j * 2 * np.pi * bode.frequencies_hz
+    expected = (1 + s * tau2) / (1 + s * (tau1 + tau2))
+    assert np.allclose(
+        bode.magnitude_db, 20 * np.log10(np.abs(expected)), atol=1e-9
+    )
+    # DC gain unity, HF floor at the resistive divider.
+    assert abs(bode.magnitude_db[0]) < 0.01
+    assert abs(bode.magnitude_db[-1] - hf_floor_db) < 0.1

@@ -1,0 +1,49 @@
+"""Figure 10 — theoretical magnitude and phase plots of eq. (4).
+
+Regenerates the theoretical closed-loop Bode plot for the reconstructed
+Table 3 set-up, both as the component-exact model and as the eq. (4)
+second-order idealisation, and verifies the Figure 1/10 landmarks.
+"""
+
+import numpy as np
+
+from repro.analysis.bode import log_frequency_grid
+from repro.analysis.linear_model import PLLLinearModel
+from repro.reporting import ascii_bode, format_table
+
+
+def build(paper_dut):
+    model = PLLLinearModel(paper_dut)
+    f = log_frequency_grid(0.5, 100.0, 121)
+    exact = model.bode(f, label="component-exact")
+    ideal = model.bode_second_order(f, label="eq4 ideal")
+    return model, exact, ideal
+
+
+def test_fig10_theoretical_response(benchmark, report, paper_dut):
+    model, exact, ideal = benchmark(build, paper_dut)
+    params = model.second_order()
+    f_peak, peak_db = exact.peak()
+    table = format_table(
+        ["quantity", "component-exact", "eq. (4) ideal"],
+        [
+            ["peak frequency (Hz)", f"{f_peak:.3f}",
+             f"{params.peak_frequency_hz:.3f}"],
+            ["peak height (dB)", f"{peak_db:.3f}", f"{params.peaking_db:.3f}"],
+            ["f3dB (Hz)", f"{exact.f_3db():.3f}", f"{params.f3db_hz:.3f}"],
+            ["phase at fn (deg)", f"{exact.phase_at(params.fn_hz):.1f}",
+             f"{np.degrees(np.angle(params.response(params.wn))):.1f}"],
+        ],
+        title="Figure 10 — theoretical closed-loop landmarks",
+    )
+    plot = ascii_bode(
+        [exact, ideal], title="Figure 10 — theoretical magnitude and phase"
+    )
+    report("fig10_theoretical_response", table + "\n\n" + plot)
+
+    # Landmarks: peak just below fn~8.7 Hz, ~4 dB; -3 dB near 15 Hz.
+    assert 7.0 < f_peak < 8.5
+    assert 3.0 < peak_db < 4.5
+    assert 14.0 < exact.f_3db() < 16.5
+    # Phase at fn is atan(2ζ)-90 ~ -49 deg for the ideal form.
+    assert -55.0 < exact.phase_at(params.fn_hz) < -40.0

@@ -1,0 +1,87 @@
+"""Figure 11 — *measured* magnitude response via the full BIST.
+
+Regenerates the paper's headline magnitude plot: the complete on-chip
+measurement chain (DCO stimulus → closed loop → peak detect → hold →
+count → eq. 7) swept over modulation frequency for all three stimulus
+classes, against the linear theory.
+
+Shape checks (paper, Section 5): the ten-step FSK plot closely
+corresponds to the pure-sine plot; the two-tone plot deviates; the peak
+sits at the annotated "Fn = 8 Hz" region; measurements match theory
+closely through the loop bandwidth.
+"""
+
+import numpy as np
+
+from repro.analysis.linear_model import PLLLinearModel
+from repro.core.monitor import TransferFunctionMonitor
+from repro.presets import paper_bist_config, paper_stimulus
+from repro.reporting import ascii_series, format_table
+
+
+def run_multitone(paper_dut, paper_plan):
+    """The timed payload: one complete multi-tone BIST sweep."""
+    monitor = TransferFunctionMonitor(
+        paper_dut, paper_stimulus("multitone"), paper_bist_config()
+    )
+    return monitor.run(paper_plan)
+
+
+def test_fig11_measured_magnitude(
+    benchmark, report, paper_dut, paper_plan, figure11_12_sweeps
+):
+    benchmark.pedantic(
+        run_multitone, args=(paper_dut, paper_plan), rounds=1, iterations=1
+    )
+    sweeps = figure11_12_sweeps
+    theory = PLLLinearModel(paper_dut).bode(
+        sweeps["sine"].response.frequencies_hz, label="theory"
+    )
+
+    rows = []
+    for i, f in enumerate(theory.frequencies_hz):
+        rows.append([
+            f"{f:.2f}",
+            f"{theory.magnitude_db[i]:+.2f}",
+            f"{sweeps['sine'].response.magnitude_db[i]:+.2f}",
+            f"{sweeps['multitone'].response.magnitude_db[i]:+.2f}",
+            f"{sweeps['twotone'].response.magnitude_db[i]:+.2f}",
+        ])
+    table = format_table(
+        ["f_mod (Hz)", "theory (dB)", "Pure Sine FM", "Multi Tone FSK",
+         "Two Tone FSK"],
+        rows,
+        title="Figure 11 — measured magnitude response (eq. 7, dB)",
+    )
+    series = [("theory", theory.frequencies_hz, theory.magnitude_db)] + [
+        (sweeps[k].stimulus_label, sweeps[k].response.frequencies_hz,
+         sweeps[k].response.magnitude_db)
+        for k in ("sine", "multitone", "twotone")
+    ]
+    plot = ascii_series(series, title="Figure 11 — |H| (dB) vs f_mod",
+                        y_label="dB")
+    peaks = "\n".join(
+        f"{sweeps[k].stimulus_label}: peak "
+        f"{sweeps[k].response.peak()[1]:+.2f} dB @ "
+        f"{sweeps[k].response.peak()[0]:.2f} Hz"
+        for k in ("sine", "multitone", "twotone")
+    )
+    report("fig11_measured_magnitude", table + "\n\n" + plot + "\n\n" + peaks)
+
+    sine = sweeps["sine"].response
+    multi = sweeps["multitone"].response
+    two = sweeps["twotone"].response
+    fn = PLLLinearModel(paper_dut).second_order().fn_hz
+
+    # (1) Sine FM vs theory through twice fn: within ~1.2 dB.
+    mask = sine.frequencies_hz <= 2 * fn
+    assert np.abs(sine.magnitude_db - theory.magnitude_db)[mask].max() < 1.2
+    # (2) Ten-step FSK closely corresponds to sine.
+    assert np.abs(multi.magnitude_db - sine.magnitude_db).max() < 1.2
+    # (3) Two-tone deviates visibly more.
+    assert (
+        np.abs(two.magnitude_db - sine.magnitude_db).max()
+        > 1.5 * np.abs(multi.magnitude_db - sine.magnitude_db).max()
+    )
+    # (4) Peak in the "Fn = 8 Hz" region.
+    assert 6.0 < sine.peak()[0] < 10.0

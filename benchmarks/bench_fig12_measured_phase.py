@@ -1,0 +1,81 @@
+"""Figure 12 — *measured* phase response via the full BIST.
+
+Regenerates the phase companion of Figure 11 from the same sweeps: the
+eq. (8) phase-counter results (corrected by the designed filter-zero
+phase, see repro.core.evaluation) for all three stimulus classes against
+the linear theory.
+
+Shape checks: near-zero lag in-band, roughly -45..-50 deg at the natural
+frequency (the paper annotates "Phase = -46" at Fn), rolling past -60
+above, and sine/multi-tone agreement.
+"""
+
+import numpy as np
+
+from repro.analysis.linear_model import PLLLinearModel
+from repro.core.evaluation import evaluate_sweep
+from repro.presets import PAPER_C, PAPER_R2
+from repro.reporting import ascii_series, format_table
+
+
+def test_fig12_measured_phase(
+    benchmark, report, paper_dut, figure11_12_sweeps
+):
+    sweeps = figure11_12_sweeps
+    # Timed payload: the eq. 7/8 evaluation of an already-captured sweep.
+    tau2 = PAPER_R2 * PAPER_C
+    benchmark(
+        evaluate_sweep,
+        sweeps["multitone"].measurements,
+        zero_correction_tau=tau2,
+    )
+    theory = PLLLinearModel(paper_dut).bode(
+        sweeps["sine"].response.frequencies_hz, label="theory"
+    )
+
+    rows = []
+    for i, f in enumerate(theory.frequencies_hz):
+        rows.append([
+            f"{f:.2f}",
+            f"{theory.phase_deg[i]:+.1f}",
+            f"{sweeps['sine'].response.phase_deg[i]:+.1f}",
+            f"{sweeps['multitone'].response.phase_deg[i]:+.1f}",
+            f"{sweeps['twotone'].response.phase_deg[i]:+.1f}",
+        ])
+    table = format_table(
+        ["f_mod (Hz)", "theory (deg)", "Pure Sine FM", "Multi Tone FSK",
+         "Two Tone FSK"],
+        rows,
+        title="Figure 12 — measured phase response (eq. 8, deg)",
+    )
+    series = [("theory", theory.frequencies_hz, theory.phase_deg)] + [
+        (sweeps[k].stimulus_label, sweeps[k].response.frequencies_hz,
+         sweeps[k].response.phase_deg)
+        for k in ("sine", "multitone", "twotone")
+    ]
+    plot = ascii_series(series, title="Figure 12 — phase (deg) vs f_mod",
+                        y_label="deg")
+    fn = PLLLinearModel(paper_dut).second_order().fn_hz
+    marks = (
+        f"phase at fn={fn:.2f} Hz: theory "
+        f"{theory.phase_at(fn):+.1f} deg, sine FM "
+        f"{sweeps['sine'].response.phase_at(fn):+.1f} deg, multi-tone "
+        f"{sweeps['multitone'].response.phase_at(fn):+.1f} deg"
+    )
+    report("fig12_measured_phase", table + "\n\n" + plot + "\n\n" + marks)
+
+    sine = sweeps["sine"].response
+    multi = sweeps["multitone"].response
+    # (1) ~0 deg in-band.
+    assert abs(sine.phase_at(1.0)) < 10.0
+    # (2) the paper's "-46 deg at Fn" annotation region.
+    assert -60.0 < sine.phase_at(fn) < -35.0
+    # (3) increasing lag beyond the bandwidth.
+    assert sine.phase_deg[-1] < -60.0
+    # (4) multi-tone tracks sine through 2*fn to within the stepped
+    # stimulus's intrinsic granularity (one tone dwell spans 36 deg of
+    # the modulation cycle, so +/- a third of a dwell of scatter).
+    mask = sine.frequencies_hz <= 2 * fn
+    assert np.abs(multi.phase_deg - sine.phase_deg)[mask].max() < 12.0
+    # (5) sine tracks theory through 2*fn.
+    assert np.abs(sine.phase_deg - theory.phase_deg)[mask].max() < 8.0

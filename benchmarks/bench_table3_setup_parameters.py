@@ -1,0 +1,61 @@
+"""Table 3 — parameters of the test set-up, with derived ωn and ζ.
+
+Regenerates the table from the reconstructed component values and
+checks the derived quantities against the paper's anchors:
+fn ≈ 8 Hz region and ζ = 0.43 (eqs. 5–6).
+"""
+
+import math
+
+from repro.presets import (
+    PAPER_C,
+    PAPER_DCO_MASTER_HZ,
+    PAPER_DEVIATION_HZ,
+    PAPER_F_REF,
+    PAPER_FM_STEPS,
+    PAPER_N,
+    PAPER_R1,
+    PAPER_R2,
+    PAPER_VCO_GAIN_HZ_PER_V,
+    PAPER_VDD,
+)
+from repro.reporting import format_table
+
+
+def build_rows(paper_dut):
+    wn = paper_dut.natural_frequency()
+    return [
+        ["PLL reference nominal frequency", f"{PAPER_F_REF:g} Hz"],
+        ["Maximum deviation of reference", f"±{PAPER_DEVIATION_HZ:g} Hz"],
+        ["Number of discrete FM steps", PAPER_FM_STEPS],
+        ["FM (DCO master) reference frequency", f"{PAPER_DCO_MASTER_HZ/1e6:g} MHz"],
+        ["Ko — VCO gain",
+         f"{paper_dut.ko:.1f} rad/s/V  ({PAPER_VCO_GAIN_HZ_PER_V:g} Hz/V)"],
+        ["Kd — phase detector gain (VDD/4π)",
+         f"{paper_dut.kd:.4f} V/rad @ VDD={PAPER_VDD:g} V"],
+        ["N", PAPER_N],
+        ["R1 (figure 9)", f"{PAPER_R1/1e3:g} kΩ"],
+        ["R2 (figure 9)", f"{PAPER_R2/1e3:g} kΩ"],
+        ["C (figure 9)", f"{PAPER_C*1e9:g} nF"],
+        ["tau1 = R1·C", f"{PAPER_R1*PAPER_C*1e3:.2f} ms"],
+        ["tau2 = R2·C", f"{PAPER_R2*PAPER_C*1e3:.2f} ms"],
+        ["Natural frequency ωn (eq. 5)",
+         f"{wn:.2f} rad/s  ({wn/(2*math.pi):.3f} Hz)"],
+        ["Damping ζ (eq. 6)", f"{paper_dut.damping():.4f}"],
+        ["Damping ζ (exact, finite-gain)",
+         f"{paper_dut.damping(exact=True):.4f}"],
+    ]
+
+
+def test_table3_setup_parameters(benchmark, report, paper_dut):
+    rows = benchmark(build_rows, paper_dut)
+    table = format_table(
+        ["Parameter", "Value"], rows,
+        title="Table 3 — parameters for the test set-up (reconstructed)",
+    )
+    report("table3_setup_parameters", table)
+
+    # Paper anchors.
+    assert paper_dut.damping() == 0.43 or abs(paper_dut.damping() - 0.43) < 0.01
+    assert abs(paper_dut.natural_frequency_hz() - 8.74) < 0.1
+    assert paper_dut.n == 5

@@ -1,0 +1,95 @@
+"""SoC clock-synthesis PLL production screening.
+
+The paper's motivating scenario: a CP-PLL embedded in a large digital
+SoC, often the *only* mixed-signal block, with no analogue test access.
+This example screens a small simulated production lot — healthy devices
+plus units carrying the classic macro defects — using nothing but the
+digital BIST: per-device transfer-function sweep, parameter extraction,
+limit comparison, and a lot-level yield/escape summary.
+
+Run:  python examples/soc_clock_screening.py
+"""
+
+from repro import (
+    MeasurementError,
+    SecondOrderParameters,
+    TestLimits,
+    TransferFunctionMonitor,
+    apply_fault,
+    fault_library,
+    paper_bist_config,
+    paper_pll,
+)
+from repro.core.monitor import SweepPlan
+from repro.reporting import format_table
+from repro.stimulus import SineFMStimulus
+
+# Lean production sweep: enough tones to anchor the peak and the skirt.
+PRODUCTION_PLAN = SweepPlan((1.0, 2.5, 4.0, 5.5, 7.0, 9.0, 12.0, 18.0, 30.0))
+
+
+def build_lot():
+    """Three healthy units (nominal + slight process spread) and one unit
+    per library defect."""
+    lot = [
+        ("unit-01 (nominal)", paper_pll(name="unit-01"), True),
+        ("unit-02 (4046 device model)",
+         paper_pll(nonlinear=True, name="unit-02"), True),
+        ("unit-03 (nominal)", paper_pll(name="unit-03"), True),
+    ]
+    for i, fault in enumerate(fault_library()):
+        dut = apply_fault(paper_pll(name=f"unit-{i + 4:02d}"), fault)
+        lot.append((f"unit-{i + 4:02d} ({fault.label})", dut, False))
+    return lot
+
+
+def screen(dut, limits, config):
+    """One device through the BIST; a failed measurement is a reject."""
+    monitor = TransferFunctionMonitor(dut, SineFMStimulus(1000.0, 1.0), config)
+    try:
+        result, report = monitor.run_and_check(PRODUCTION_PLAN, limits)
+    except MeasurementError as exc:
+        return None, f"REJECT (measurement failed: {exc})"
+    verdict = "SHIP" if report.passed else "REJECT"
+    detail = ", ".join(c.name for c in report.failures)
+    return result, verdict + (f" ({detail})" if detail else "")
+
+
+def main() -> None:
+    golden_pll = paper_pll()
+    golden = SecondOrderParameters(
+        golden_pll.natural_frequency(), golden_pll.damping()
+    )
+    limits = TestLimits.from_golden(golden, rel_tol=0.25, peak_tol_db=1.5)
+    config = paper_bist_config()
+    print(f"golden design point: fn = {golden.fn_hz:.2f} Hz, "
+          f"zeta = {golden.zeta:.3f}, peak = {golden.peaking_db:.2f} dB")
+    print(f"limits: ±25% on fn/zeta/f3dB, ±1.5 dB on peaking\n")
+
+    rows = []
+    correct = 0
+    for label, dut, is_good in build_lot():
+        result, verdict = screen(dut, limits, config)
+        est = result.estimated if result else None
+        rows.append([
+            label,
+            f"{est.fn_hz:.2f}" if est else "—",
+            f"{est.zeta:.3f}" if est else "—",
+            f"{est.peak_db:+.2f}" if est else "—",
+            verdict,
+        ])
+        shipped = verdict.startswith("SHIP")
+        if shipped == is_good:
+            correct += 1
+    print(format_table(
+        ["device", "fn (Hz)", "zeta", "peak (dB)", "verdict"],
+        rows,
+        title="Production screening results",
+    ))
+    total = len(rows)
+    print(f"\ncorrect dispositions: {correct}/{total} "
+          "(healthy shipped, defective rejected)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,155 @@
+"""repro — on-chip closed-loop transfer-function monitoring for CP-PLLs.
+
+A production-quality reproduction of Burbidge, Tijou & Richardson,
+*"Techniques for Automatic On-Chip Closed Loop Transfer Function
+Monitoring For Embedded Charge Pump Phase Locked Loops"* (DATE 2003).
+
+Quick start::
+
+    from repro import (
+        paper_pll, paper_stimulus, paper_sweep, paper_bist_config,
+        TransferFunctionMonitor,
+    )
+
+    monitor = TransferFunctionMonitor(
+        paper_pll(), paper_stimulus("multitone"), paper_bist_config()
+    )
+    result = monitor.run(paper_sweep())
+    print(result.summary())          # fn, zeta, peaking, f3dB
+    print(result.response.peak())    # (f_peak_hz, peak_db)
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.pll` — behavioral CP-PLL substrate and transient simulator
+* :mod:`repro.stimulus` — DCO / FM / FSK reference generation
+* :mod:`repro.core` — the BIST itself (peak detector, counters,
+  sequencer, sweep monitor, limits)
+* :mod:`repro.analysis` — linear theory and parameter extraction
+* :mod:`repro.presets` — the paper's reconstructed test set-up
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    FaultInjectionError,
+    LockError,
+    MeasurementError,
+    ReproError,
+    SequencerError,
+    SimulationError,
+    StimulusError,
+)
+from repro.analysis import (
+    BodeResponse,
+    EstimatedParameters,
+    PLLLinearModel,
+    SecondOrderParameters,
+    estimate_second_order,
+)
+from repro.core import (
+    BISTConfig,
+    FrequencyCounter,
+    LimitReport,
+    LoopHoldControl,
+    MuxState,
+    PeakFrequencyDetector,
+    PhaseCounter,
+    SweepPlan,
+    SweepResult,
+    TestLimits,
+    TestStage,
+    ToneMeasurement,
+    ToneTestSequencer,
+    TransferFunctionMonitor,
+)
+from repro.pll import (
+    ChargePumpPLL,
+    CurrentChargePump,
+    Fault,
+    FaultKind,
+    HCT4046Config,
+    PassiveLagLeadFilter,
+    PhaseFrequencyDetector,
+    PLLTransientSimulator,
+    RailDriverChargePump,
+    SeriesRCFilter,
+    VCO,
+    apply_fault,
+    fault_library,
+    make_hct4046_pll,
+)
+from repro.stimulus import (
+    DCO,
+    MultiToneFSKStimulus,
+    SineFMStimulus,
+    TwoToneFSKStimulus,
+)
+from repro.presets import (
+    paper_bist_config,
+    paper_dco,
+    paper_pll,
+    paper_stimulus,
+    paper_sweep,
+)
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "ConvergenceError",
+    "FaultInjectionError",
+    "LockError",
+    "MeasurementError",
+    "SequencerError",
+    "SimulationError",
+    "StimulusError",
+    # analysis
+    "BodeResponse",
+    "EstimatedParameters",
+    "PLLLinearModel",
+    "SecondOrderParameters",
+    "estimate_second_order",
+    # core BIST
+    "BISTConfig",
+    "FrequencyCounter",
+    "LimitReport",
+    "LoopHoldControl",
+    "MuxState",
+    "PeakFrequencyDetector",
+    "PhaseCounter",
+    "SweepPlan",
+    "SweepResult",
+    "TestLimits",
+    "TestStage",
+    "ToneMeasurement",
+    "ToneTestSequencer",
+    "TransferFunctionMonitor",
+    # PLL substrate
+    "ChargePumpPLL",
+    "CurrentChargePump",
+    "Fault",
+    "FaultKind",
+    "HCT4046Config",
+    "PassiveLagLeadFilter",
+    "PhaseFrequencyDetector",
+    "PLLTransientSimulator",
+    "RailDriverChargePump",
+    "SeriesRCFilter",
+    "VCO",
+    "apply_fault",
+    "fault_library",
+    "make_hct4046_pll",
+    # stimulus
+    "DCO",
+    "MultiToneFSKStimulus",
+    "SineFMStimulus",
+    "TwoToneFSKStimulus",
+    # presets
+    "paper_bist_config",
+    "paper_dco",
+    "paper_pll",
+    "paper_stimulus",
+    "paper_sweep",
+]

@@ -1,0 +1,53 @@
+"""Linear s-domain theory of the CP-PLL closed loop.
+
+Implements Section 2 of the paper: the closed-loop phase transfer
+function (eqs. 1 and 4), the second-order relationships between natural
+frequency, damping, peaking and bandwidth (eqs. 5–6 and the Figure 1
+annotations), Bode-response evaluation, and the inverse problem —
+estimating ωn, ζ and ω3dB from a measured magnitude/phase plot, which is
+what the BIST's post-processing does.
+"""
+
+from repro.analysis.second_order import (
+    SecondOrderParameters,
+    closed_loop_with_zero,
+    closed_loop_standard,
+    damping_from_peaking_db,
+    peaking_db_with_zero,
+)
+from repro.analysis.linear_model import PLLLinearModel
+from repro.analysis.bode import BodeResponse, compute_bode, log_frequency_grid
+from repro.analysis.fitting import EstimatedParameters, estimate_second_order
+from repro.analysis.sensitivity import (
+    ComponentSensitivity,
+    DiagnosisCandidate,
+    component_sensitivities,
+    diagnose_shift,
+)
+from repro.analysis.jitter import JitterAnalysis, JitterTransferPoint
+from repro.analysis.design import design_lag_lead_pll, design_series_rc_pll
+from repro.analysis.openloop import StabilityMargins, loop_stability
+
+__all__ = [
+    "SecondOrderParameters",
+    "closed_loop_with_zero",
+    "closed_loop_standard",
+    "damping_from_peaking_db",
+    "peaking_db_with_zero",
+    "PLLLinearModel",
+    "BodeResponse",
+    "compute_bode",
+    "log_frequency_grid",
+    "EstimatedParameters",
+    "estimate_second_order",
+    "ComponentSensitivity",
+    "DiagnosisCandidate",
+    "component_sensitivities",
+    "diagnose_shift",
+    "JitterAnalysis",
+    "JitterTransferPoint",
+    "design_lag_lead_pll",
+    "design_series_rc_pll",
+    "StabilityMargins",
+    "loop_stability",
+]

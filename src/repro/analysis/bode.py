@@ -1,0 +1,183 @@
+"""Bode-response containers and evaluation.
+
+:class:`BodeResponse` is the common currency between the linear theory
+(Figure 10), the BIST measurement (Figures 11–12) and the parameter
+extraction: frequencies in Hz, magnitude in dB and phase in degrees,
+with the query helpers (peak, 3 dB corner, interpolation) the paper's
+post-processing needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.units import TWO_PI
+
+__all__ = ["BodeResponse", "compute_bode", "log_frequency_grid"]
+
+
+def log_frequency_grid(f_start: float, f_stop: float, points: int) -> np.ndarray:
+    """Logarithmically spaced frequency grid in Hz."""
+    if f_start <= 0.0 or f_stop <= f_start:
+        raise ValueError(
+            f"need 0 < f_start < f_stop, got {f_start!r}, {f_stop!r}"
+        )
+    if points < 2:
+        raise ValueError(f"need at least 2 points, got {points!r}")
+    return np.logspace(np.log10(f_start), np.log10(f_stop), points)
+
+
+@dataclass(frozen=True)
+class BodeResponse:
+    """Sampled magnitude/phase response over frequency.
+
+    Attributes
+    ----------
+    frequencies_hz:
+        Modulation frequencies, ascending, in Hz.
+    magnitude_db:
+        Gain relative to the in-band (0 dB) reference — eq. (7)'s
+        convention.
+    phase_deg:
+        Phase lag of the output relative to the input, in degrees
+        (negative below resonance trending to -180°, as Figure 1).
+    label:
+        Series name for reports ("Pure Sine FM", "Multi Tone FSK", …).
+    """
+
+    frequencies_hz: np.ndarray
+    magnitude_db: np.ndarray
+    phase_deg: np.ndarray
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        f = np.asarray(self.frequencies_hz, dtype=float)
+        m = np.asarray(self.magnitude_db, dtype=float)
+        p = np.asarray(self.phase_deg, dtype=float)
+        if f.ndim != 1 or f.size == 0:
+            raise MeasurementError("frequencies must be a non-empty 1-D array")
+        if m.shape != f.shape or p.shape != f.shape:
+            raise MeasurementError(
+                f"shape mismatch: f{f.shape}, mag{m.shape}, phase{p.shape}"
+            )
+        if np.any(np.diff(f) <= 0.0):
+            raise MeasurementError("frequencies must be strictly increasing")
+        object.__setattr__(self, "frequencies_hz", f)
+        object.__setattr__(self, "magnitude_db", m)
+        object.__setattr__(self, "phase_deg", p)
+
+    def __len__(self) -> int:
+        return int(self.frequencies_hz.size)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def magnitude_at(self, f_hz: float) -> float:
+        """Log-frequency-interpolated magnitude in dB."""
+        return float(
+            np.interp(np.log10(f_hz), np.log10(self.frequencies_hz),
+                      self.magnitude_db)
+        )
+
+    def phase_at(self, f_hz: float) -> float:
+        """Log-frequency-interpolated phase in degrees."""
+        return float(
+            np.interp(np.log10(f_hz), np.log10(self.frequencies_hz),
+                      self.phase_deg)
+        )
+
+    def peak(self) -> Tuple[float, float]:
+        """``(frequency_hz, magnitude_db)`` of the highest sampled point,
+        refined by parabolic interpolation in log-frequency when the peak
+        is interior."""
+        idx = int(np.argmax(self.magnitude_db))
+        f = self.frequencies_hz
+        m = self.magnitude_db
+        if 0 < idx < len(self) - 1:
+            x = np.log10(f[idx - 1: idx + 2])
+            y = m[idx - 1: idx + 2]
+            denom = (x[0] - x[1]) * (x[0] - x[2]) * (x[1] - x[2])
+            if denom != 0.0:
+                a = (
+                    x[2] * (y[1] - y[0]) + x[1] * (y[0] - y[2])
+                    + x[0] * (y[2] - y[1])
+                ) / denom
+                b = (
+                    x[2] ** 2 * (y[0] - y[1]) + x[1] ** 2 * (y[2] - y[0])
+                    + x[0] ** 2 * (y[1] - y[2])
+                ) / denom
+                if a < 0.0:
+                    x_star = -b / (2.0 * a)
+                    if x[0] <= x_star <= x[2]:
+                        c = y[1] - a * x[1] ** 2 - b * x[1]
+                        y_star = a * x_star ** 2 + b * x_star + c
+                        return 10.0 ** x_star, float(y_star)
+        return float(f[idx]), float(m[idx])
+
+    def f_3db(self, reference_db: float = 0.0) -> float:
+        """First frequency past the peak where the magnitude crosses
+        ``reference_db - 3`` dB (the one-sided loop bandwidth of
+        Section 2)."""
+        target = reference_db - 3.0
+        f = self.frequencies_hz
+        m = self.magnitude_db
+        start = int(np.argmax(m))
+        for i in range(start, len(self) - 1):
+            if m[i] >= target >= m[i + 1]:
+                # Linear interpolation in log-f.
+                x0, x1 = np.log10(f[i]), np.log10(f[i + 1])
+                frac = (m[i] - target) / (m[i] - m[i + 1])
+                return float(10.0 ** (x0 + frac * (x1 - x0)))
+        raise MeasurementError(
+            f"response never crosses {target:.2f} dB within the sweep "
+            f"(max f = {f[-1]:.4g} Hz)"
+        )
+
+    def relabel(self, label: str) -> "BodeResponse":
+        """Copy with a new series label."""
+        return BodeResponse(
+            self.frequencies_hz, self.magnitude_db, self.phase_deg, label
+        )
+
+    def normalised(self, reference_db: Optional[float] = None) -> "BodeResponse":
+        """Shift magnitudes so the in-band reference sits at 0 dB.
+
+        ``reference_db`` defaults to the first (lowest-frequency) sample
+        — the paper's convention of referencing everything to a
+        measurement taken well inside the loop bandwidth.
+        """
+        ref = self.magnitude_db[0] if reference_db is None else reference_db
+        return BodeResponse(
+            self.frequencies_hz, self.magnitude_db - ref, self.phase_deg,
+            self.label,
+        )
+
+
+def compute_bode(
+    transfer: Callable[[np.ndarray], np.ndarray],
+    frequencies_hz: Sequence[float],
+    label: str = "",
+    normalise_dc: bool = False,
+) -> BodeResponse:
+    """Evaluate a complex transfer function on a frequency grid.
+
+    ``transfer`` maps an array of complex ``s = jω`` to complex gain.
+    With ``normalise_dc`` the magnitude is referenced to the response at
+    a frequency three decades below the grid start (approximating the
+    0 dB asymptote of Figure 1).
+    """
+    f = np.asarray(frequencies_hz, dtype=float)
+    s = 1j * TWO_PI * f
+    h = np.asarray(transfer(s), dtype=complex)
+    mag_db = 20.0 * np.log10(np.abs(h))
+    phase = np.degrees(np.unwrap(np.angle(h)))
+    if normalise_dc:
+        s_dc = np.array([1j * TWO_PI * f[0] * 1e-3])
+        h_dc = np.asarray(transfer(s_dc), dtype=complex)
+        mag_db = mag_db - 20.0 * np.log10(abs(h_dc[0]))
+        phase = phase - float(np.degrees(np.angle(h_dc[0])))
+    return BodeResponse(f, mag_db, phase, label)

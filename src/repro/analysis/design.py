@@ -1,0 +1,153 @@
+"""Loop design: from target (fn, ζ) to component values.
+
+The forward direction (components → fn, ζ) is eqs. (5)–(6); a designer
+works backwards: given the reference, divider, a capacitor choice and a
+VCO gain, pick R1 and R2 to land on a wanted natural frequency and
+damping.  For the Figure 9 lag-lead loop the inversion is closed-form::
+
+    ωn² = Kd·Ko / (N·(τ1 + τ2))   →   τ1 + τ2 = Kd·Ko / (N·ωn²)
+    ζ  = ωn·τ2 / 2                →   τ2 = 2ζ/ωn,   τ1 = rest
+
+with ``R2 = τ2/C`` and ``R1 = τ1/C``.  The current-mode series-RC loop
+inverts even more directly (``C = Kd·Ko/(N·ωn²)``, ``R = 2ζ/(ωn·C)``).
+
+Both helpers return fully assembled
+:class:`~repro.pll.config.ChargePumpPLL` objects whose derived
+parameters round-trip to the requested targets, and both validate
+physical realisability (τ1 must stay positive, the VCO range must cover
+the lock point).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.pll.charge_pump import CurrentChargePump, RailDriverChargePump
+from repro.pll.config import ChargePumpPLL
+from repro.pll.loop_filter import PassiveLagLeadFilter, SeriesRCFilter
+from repro.pll.vco import VCO
+
+__all__ = ["design_lag_lead_pll", "design_series_rc_pll"]
+
+
+def _check_targets(f_ref: float, n: int, fn_hz: float, zeta: float) -> None:
+    if f_ref <= 0.0:
+        raise ConfigurationError(f"f_ref must be positive, got {f_ref!r}")
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n!r}")
+    if fn_hz <= 0.0:
+        raise ConfigurationError(f"fn_hz must be positive, got {fn_hz!r}")
+    if zeta <= 0.0:
+        raise ConfigurationError(f"zeta must be positive, got {zeta!r}")
+    if fn_hz > f_ref / 10.0:
+        raise ConfigurationError(
+            f"fn {fn_hz!r} Hz is above f_ref/10 ({f_ref / 10.0!r} Hz); the "
+            "once-per-cycle sampling of a CP-PLL is not well modelled by "
+            "the continuous-time equations there"
+        )
+
+
+def design_lag_lead_pll(
+    f_ref: float,
+    n: int,
+    fn_hz: float,
+    zeta: float,
+    c: float = 470e-9,
+    vdd: float = 5.0,
+    vco_gain_hz_per_v: float = 1200.0,
+    name: Optional[str] = None,
+) -> ChargePumpPLL:
+    """A rail-driver + Figure 9 lag-lead loop hitting (fn, ζ) exactly.
+
+    Parameters mirror the free choices a designer makes: the capacitor,
+    supply and VCO gain; R1 and R2 fall out of the eqs. (5)–(6)
+    inversion.
+
+    Raises
+    ------
+    ConfigurationError
+        If the targets are unreachable with this capacitor/gain — most
+        commonly ζ so large that ``τ2 = 2ζ/ωn`` exceeds the whole
+        ``τ1 + τ2`` budget, which needs a smaller C or a larger Ko.
+    """
+    _check_targets(f_ref, n, fn_hz, zeta)
+    if c <= 0.0:
+        raise ConfigurationError(f"c must be positive, got {c!r}")
+    wn = 2.0 * math.pi * fn_hz
+    kd = vdd / (4.0 * math.pi)
+    ko = 2.0 * math.pi * vco_gain_hz_per_v
+    tau_total = kd * ko / (n * wn * wn)
+    tau2 = 2.0 * zeta / wn
+    tau1 = tau_total - tau2
+    if tau1 <= 0.0:
+        raise ConfigurationError(
+            f"targets unreachable: tau2 = {tau2:.4g}s exceeds the total "
+            f"tau budget {tau_total:.4g}s (raise Ko, lower zeta, or lower "
+            "fn)"
+        )
+    r1 = tau1 / c
+    r2 = tau2 / c
+    f_center = n * f_ref
+    swing = vco_gain_hz_per_v * vdd / 2.0
+    f_min = max(f_center - swing, f_center * 0.05)
+    vco = VCO(
+        f_center=f_center,
+        gain_hz_per_v=vco_gain_hz_per_v,
+        v_center=vdd / 2.0,
+        f_min=f_min,
+        f_max=f_center + swing,
+    )
+    return ChargePumpPLL(
+        pump=RailDriverChargePump(vdd=vdd),
+        loop_filter=PassiveLagLeadFilter(r1=r1, r2=r2, c=c),
+        vco=vco,
+        n=n,
+        f_ref=f_ref,
+        name=name or f"designed-laglead-fn{fn_hz:g}-z{zeta:g}",
+    )
+
+
+def design_series_rc_pll(
+    f_ref: float,
+    n: int,
+    fn_hz: float,
+    zeta: float,
+    pump_current: float = 50e-6,
+    vco_gain_hz_per_v: float = 100e3,
+    v_center: float = 1.5,
+    name: Optional[str] = None,
+) -> ChargePumpPLL:
+    """A current-steering + series-RC (type 2) loop hitting (fn, ζ).
+
+    ``C = Kd·Ko/(N·ωn²)`` and ``R = 2ζ/(ωn·C)`` — the textbook
+    charge-pump design equations.
+    """
+    _check_targets(f_ref, n, fn_hz, zeta)
+    if pump_current <= 0.0:
+        raise ConfigurationError(
+            f"pump_current must be positive, got {pump_current!r}"
+        )
+    wn = 2.0 * math.pi * fn_hz
+    kd = pump_current / (2.0 * math.pi)
+    ko = 2.0 * math.pi * vco_gain_hz_per_v
+    c = kd * ko / (n * wn * wn)
+    r = 2.0 * zeta / (wn * c)
+    f_center = n * f_ref
+    swing = min(vco_gain_hz_per_v * v_center, 0.8 * f_center)
+    vco = VCO(
+        f_center=f_center,
+        gain_hz_per_v=vco_gain_hz_per_v,
+        v_center=v_center,
+        f_min=f_center - swing,
+        f_max=f_center + swing,
+    )
+    return ChargePumpPLL(
+        pump=CurrentChargePump(i_up=pump_current),
+        loop_filter=SeriesRCFilter(r=r, c=c),
+        vco=vco,
+        n=n,
+        f_ref=f_ref,
+        name=name or f"designed-seriesrc-fn{fn_hz:g}-z{zeta:g}",
+    )

@@ -1,0 +1,107 @@
+"""Parameter extraction from measured responses.
+
+The point of the paper's test is that ωn, ζ and ω3dB — which "relate
+directly to the time domain response of the PLL and will indicate errors
+in the PLL circuitry" (Section 1) — can be read off the measured
+magnitude/phase plots.  This module is that read-off:
+
+* natural frequency from the magnitude peak location (ωp ≈ ωn for the
+  with-zero loop at moderate ζ — the exact ωp(ζ) relation is applied),
+* damping from the peak height via the inverted peaking relation,
+* bandwidth from the −3 dB crossing,
+* a cross-check of ζ from the phase at the peak.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.bode import BodeResponse
+from repro.analysis.second_order import (
+    SecondOrderParameters,
+    damping_from_peaking_db,
+)
+from repro.errors import ConvergenceError, MeasurementError
+
+__all__ = ["EstimatedParameters", "estimate_second_order"]
+
+
+@dataclass(frozen=True)
+class EstimatedParameters:
+    """Loop parameters recovered from a measured Bode response."""
+
+    fn_hz: float
+    zeta: float
+    f_peak_hz: float
+    peak_db: float
+    f3db_hz: Optional[float]
+    phase_at_peak_deg: Optional[float]
+
+    def as_second_order(self) -> SecondOrderParameters:
+        """The recovered (ωn, ζ) as a model object."""
+        return SecondOrderParameters(wn=2.0 * math.pi * self.fn_hz, zeta=self.zeta)
+
+    def __str__(self) -> str:
+        f3 = f"{self.f3db_hz:.4g}" if self.f3db_hz is not None else "n/a"
+        ph = (
+            f"{self.phase_at_peak_deg:.1f}"
+            if self.phase_at_peak_deg is not None
+            else "n/a"
+        )
+        return (
+            f"EstimatedParameters(fn={self.fn_hz:.4g} Hz, zeta={self.zeta:.3g}, "
+            f"peak={self.peak_db:.3g} dB @ {self.f_peak_hz:.4g} Hz, "
+            f"f3dB={f3} Hz, phase@peak={ph} deg)"
+        )
+
+
+def estimate_second_order(response: BodeResponse) -> EstimatedParameters:
+    """Recover (fn, ζ, f3dB) from a measured closed-loop Bode response.
+
+    The response must be referenced to its in-band level (0 dB
+    asymptote), as produced by the BIST's eq. (7) evaluation or by
+    :meth:`BodeResponse.normalised`.
+
+    Raises
+    ------
+    MeasurementError
+        If the sweep contains no usable peak (e.g. entirely flat because
+        all tones sat inside the bandwidth).
+    """
+    if len(response) < 3:
+        raise MeasurementError(
+            f"need at least 3 sweep points to estimate parameters, "
+            f"got {len(response)}"
+        )
+    f_peak, peak_db = response.peak()
+    if peak_db <= 0.05:
+        raise MeasurementError(
+            f"no peaking found (max {peak_db:.3f} dB); the sweep must "
+            "extend beyond the natural frequency"
+        )
+    try:
+        zeta = damping_from_peaking_db(peak_db)
+    except ConvergenceError as exc:
+        raise MeasurementError(f"peaking-to-damping inversion failed: {exc}") from exc
+
+    # The measured peak sits at ωp(ζ); divide out the exact ratio to get ωn.
+    trial = SecondOrderParameters(wn=2.0 * math.pi * f_peak, zeta=zeta)
+    ratio = trial.peak_frequency / trial.wn  # ωp / ωn at this ζ
+    fn_hz = f_peak / ratio if ratio > 0.0 else f_peak
+
+    try:
+        f3db = response.f_3db()
+    except MeasurementError:
+        f3db = None
+
+    phase_at_peak = response.phase_at(f_peak) if len(response) >= 2 else None
+    return EstimatedParameters(
+        fn_hz=fn_hz,
+        zeta=zeta,
+        f_peak_hz=f_peak,
+        peak_db=peak_db,
+        f3db_hz=f3db,
+        phase_at_peak_deg=phase_at_peak,
+    )

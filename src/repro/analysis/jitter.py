@@ -1,0 +1,175 @@
+"""Jitter views of the closed loop.
+
+The paper's reference [4] (Veillette & Roberts, ITC 1997) measures the
+*jitter transfer function* of CP-PLLs on chip — which is the same
+closed-loop ``H(jω)`` this library measures, read in timing units.  This
+module provides the standard SerDes/CDR quantities derived from the
+loop's transfer functions, so a measured or theoretical ``(ωn, ζ)``
+translates directly into the numbers a timing budget uses:
+
+* **jitter transfer** — how much sinusoidal input (reference) jitter
+  reaches the output: ``|H(jω)|/N``, with its peaking and -3 dB corner;
+* **jitter tolerance** — how much sinusoidal input jitter the loop can
+  track before the phase detector leaves its linear range:
+  ``J_tol(f) = range / |E(jω)|`` where ``E = 1/(1+G)`` is the error
+  transfer (the classic tolerance mask: huge at low frequency, flat at
+  ``range`` above the loop bandwidth);
+* **VCO noise shaping** — VCO-referred phase noise reaches the output
+  through the high-pass ``E(jω)``, so a narrow loop lets more of it
+  through: the tracking/filtering trade-off.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.analysis.bode import BodeResponse
+from repro.errors import ConfigurationError
+from repro.pll.config import ChargePumpPLL
+
+__all__ = ["JitterAnalysis", "JitterTransferPoint"]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class JitterTransferPoint:
+    """Jitter transfer evaluated at one jitter frequency."""
+
+    f_hz: float
+    transfer_db: float
+    tolerance_ui: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.f_hz:g} Hz: transfer {self.transfer_db:+.2f} dB, "
+            f"tolerance {self.tolerance_ui:.3g} UI"
+        )
+
+
+class JitterAnalysis:
+    """Jitter-domain quantities of one CP-PLL.
+
+    Parameters
+    ----------
+    pll:
+        The loop under analysis.
+    pfd_range_ui:
+        Linear range of the phase detector in unit intervals of the
+        *reference*; the tri-state PFD is linear over ±1 cycle, but a
+        design margin of 0.5 UI is customary and is the default.
+    """
+
+    def __init__(self, pll: ChargePumpPLL, pfd_range_ui: float = 0.5) -> None:
+        if pfd_range_ui <= 0.0:
+            raise ConfigurationError(
+                f"pfd_range_ui must be positive, got {pfd_range_ui!r}"
+            )
+        self.pll = pll
+        self.pfd_range_ui = pfd_range_ui
+
+    # ------------------------------------------------------------------
+    # transfer functions in jitter units
+    # ------------------------------------------------------------------
+    def jitter_transfer(self, f_hz: ArrayLike) -> ArrayLike:
+        """|output jitter / input jitter| (unity DC gain) at ``f_hz``."""
+        s = 1j * 2.0 * np.pi * np.asarray(f_hz, dtype=float)
+        return np.abs(self.pll.closed_loop_transfer(s)) / self.pll.n
+
+    def jitter_transfer_db(self, f_hz: ArrayLike) -> ArrayLike:
+        """Jitter transfer in dB."""
+        return 20.0 * np.log10(self.jitter_transfer(f_hz))
+
+    def error_transfer_mag(self, f_hz: ArrayLike) -> ArrayLike:
+        """|E(jω)| = |1/(1+G)| — input-jitter *error* (and VCO-noise
+        shaping) magnitude."""
+        s = 1j * 2.0 * np.pi * np.asarray(f_hz, dtype=float)
+        g = self.pll.open_loop_transfer(s)
+        return np.abs(1.0 / (1.0 + g))
+
+    def jitter_tolerance_ui(self, f_hz: ArrayLike) -> ArrayLike:
+        """Sinusoidal jitter tolerance mask in UI at ``f_hz``.
+
+        Input jitter of amplitude ``J`` UI produces a phase error of
+        ``J·|E|`` UI; the loop stays linear while that is below the PFD
+        range, so the tolerable amplitude is ``range/|E|``.
+        """
+        return self.pfd_range_ui / self.error_transfer_mag(f_hz)
+
+    # ------------------------------------------------------------------
+    # scalar figures of merit
+    # ------------------------------------------------------------------
+    def jitter_peaking_db(self, f_lo: float = None, f_hi: float = None,
+                          points: int = 2001) -> float:
+        """Maximum jitter-transfer gain above 0 dB (the SONET-style
+        peaking spec), searched over a generous grid around ωn."""
+        fn = self._fn_guess()
+        f_lo = f_lo if f_lo is not None else fn / 100.0
+        f_hi = f_hi if f_hi is not None else fn * 100.0
+        f = np.logspace(math.log10(f_lo), math.log10(f_hi), points)
+        return float(np.max(self.jitter_transfer_db(f)))
+
+    def jitter_bandwidth_hz(self, points: int = 4001) -> float:
+        """-3 dB corner of the jitter transfer."""
+        fn = self._fn_guess()
+        f = np.logspace(math.log10(fn / 100.0), math.log10(fn * 1000.0),
+                        points)
+        mags = self.jitter_transfer_db(f)
+        below = np.nonzero(mags <= -3.0)[0]
+        if below.size == 0:
+            raise ConfigurationError(
+                "jitter transfer never crosses -3 dB in the search range"
+            )
+        i = int(below[0])
+        if i == 0:
+            return float(f[0])
+        # Log interpolation across the crossing.
+        x0, x1 = math.log10(f[i - 1]), math.log10(f[i])
+        frac = (mags[i - 1] + 3.0) / (mags[i - 1] - mags[i])
+        return float(10.0 ** (x0 + frac * (x1 - x0)))
+
+    def tolerance_floor_ui(self) -> float:
+        """High-frequency asymptote of the tolerance mask: |E| → 1, so
+        the floor is exactly the PFD range."""
+        return self.pfd_range_ui
+
+    def _fn_guess(self) -> float:
+        try:
+            return self.pll.natural_frequency() / (2.0 * math.pi)
+        except Exception:
+            # Fallback: unity-gain crossing of |G| by bisection on a grid.
+            f = np.logspace(-2, 8, 2001)
+            g = np.abs(self.pll.open_loop_transfer(1j * 2 * np.pi * f))
+            idx = int(np.argmin(np.abs(np.log10(g))))
+            return float(f[idx])
+
+    # ------------------------------------------------------------------
+    # sampled views
+    # ------------------------------------------------------------------
+    def transfer_response(self, f_hz: Sequence[float],
+                          label: str = "jitter transfer") -> BodeResponse:
+        """Jitter transfer as a :class:`BodeResponse` (phase included)."""
+        f = np.asarray(f_hz, dtype=float)
+        s = 1j * 2.0 * np.pi * f
+        h = np.asarray(self.pll.closed_loop_transfer(s)) / self.pll.n
+        return BodeResponse(
+            f,
+            20.0 * np.log10(np.abs(h)),
+            np.degrees(np.unwrap(np.angle(h))),
+            label=label,
+        )
+
+    def points(self, f_hz: Sequence[float]) -> "list[JitterTransferPoint]":
+        """Tabulated transfer + tolerance at the given frequencies."""
+        return [
+            JitterTransferPoint(
+                f_hz=float(f),
+                transfer_db=float(self.jitter_transfer_db(f)),
+                tolerance_ui=float(self.jitter_tolerance_ui(f)),
+            )
+            for f in f_hz
+        ]

@@ -1,0 +1,94 @@
+"""Linear closed-loop model of a concrete PLL (eqs. 1 and 4).
+
+:class:`PLLLinearModel` evaluates the exact component-level transfer
+function — ``H(s) = N·G(s)/(1+G(s))`` with
+``G(s) = Kd·F(s)·Ko/(s·N)`` — for any assembled
+:class:`~repro.pll.config.ChargePumpPLL`, and also exposes the idealised
+second-order form of eq. (4) derived from the filter time constants.
+The Figure 10 bench plots both; the difference between them (and between
+either and the BIST measurement) is part of the paper's story.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.analysis.bode import BodeResponse, compute_bode
+from repro.analysis.second_order import SecondOrderParameters
+from repro.pll.config import ChargePumpPLL
+
+__all__ = ["PLLLinearModel"]
+
+ComplexLike = Union[complex, np.ndarray]
+
+
+class PLLLinearModel:
+    """Small-signal closed-loop model of one PLL.
+
+    The *component* model uses the real filter network (including driver
+    output resistance, capacitor leak faults, etc.), so injected faults
+    show up in theory exactly as they do in simulation.  The
+    *second-order* model is the paper's eq. (4) textbook idealisation.
+    """
+
+    def __init__(self, pll: ChargePumpPLL) -> None:
+        self.pll = pll
+
+    # ------------------------------------------------------------------
+    # transfer functions
+    # ------------------------------------------------------------------
+    def open_loop(self, s: ComplexLike) -> ComplexLike:
+        """Open-loop gain ``G(s)``."""
+        return self.pll.open_loop_transfer(s)
+
+    def closed_loop(self, s: ComplexLike) -> ComplexLike:
+        """Closed-loop phase transfer ``θo/θi`` (DC gain = N)."""
+        return self.pll.closed_loop_transfer(s)
+
+    def closed_loop_normalised(self, s: ComplexLike) -> ComplexLike:
+        """Closed loop referenced to its DC gain — the 0 dB-asymptote
+        view the measurement produces (eq. 7 references in-band)."""
+        return self.closed_loop(s) / self.pll.n
+
+    def error_transfer(self, s: ComplexLike) -> ComplexLike:
+        """Phase-error transfer ``θe/θi = 1/(1+G)`` — the high-pass
+        companion of ``H`` (useful for jitter-style analyses)."""
+        g = self.open_loop(s)
+        return 1.0 / (1.0 + g)
+
+    # ------------------------------------------------------------------
+    # second-order idealisation (eq. 4)
+    # ------------------------------------------------------------------
+    def second_order(self, exact_damping: bool = False) -> SecondOrderParameters:
+        """(ωn, ζ) via eqs. (5)–(6) from the component values."""
+        return SecondOrderParameters(
+            wn=self.pll.natural_frequency(),
+            zeta=self.pll.damping(exact=exact_damping),
+        )
+
+    # ------------------------------------------------------------------
+    # Bode evaluation
+    # ------------------------------------------------------------------
+    def bode(
+        self, frequencies_hz: Sequence[float], label: str = "theory",
+    ) -> BodeResponse:
+        """Component-exact closed-loop Bode response, 0 dB-referenced."""
+        return compute_bode(
+            self.closed_loop_normalised, frequencies_hz, label=label,
+            normalise_dc=True,
+        )
+
+    def bode_second_order(
+        self, frequencies_hz: Sequence[float], label: str = "eq4",
+        exact_damping: bool = False,
+    ) -> BodeResponse:
+        """Eq. (4) idealised Bode response on the same grid."""
+        params = self.second_order(exact_damping)
+        return compute_bode(
+            lambda s: params.response(np.imag(s)), frequencies_hz, label=label,
+        )
+
+    def __repr__(self) -> str:
+        return f"PLLLinearModel(pll={self.pll.name!r})"

@@ -1,0 +1,102 @@
+"""Open-loop stability margins.
+
+The closed-loop peaking the BIST measures and the open-loop phase margin
+designers quote are two views of the same damping; this module provides
+the open-loop view — gain crossover, phase margin, gain margin — from
+the same component-exact ``G(s)`` used everywhere else, so measured
+(fn, ζ) shifts can be reported to a designer in their native units.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.pll.config import ChargePumpPLL
+
+__all__ = ["StabilityMargins", "loop_stability"]
+
+
+@dataclass(frozen=True)
+class StabilityMargins:
+    """Open-loop stability summary."""
+
+    crossover_hz: float          # |G| = 1
+    phase_margin_deg: float      # 180 + angle(G) at crossover
+    gain_margin_db: float        # -|G|dB where angle(G) = -180 (inf if never)
+
+    @property
+    def stable(self) -> bool:
+        """Positive phase margin (the loops built here are minimum
+        phase, so this is the whole stability story)."""
+        return self.phase_margin_deg > 0.0
+
+    def __str__(self) -> str:
+        gm = (
+            f"{self.gain_margin_db:.1f} dB"
+            if math.isfinite(self.gain_margin_db)
+            else "inf"
+        )
+        return (
+            f"StabilityMargins(crossover={self.crossover_hz:.4g} Hz, "
+            f"PM={self.phase_margin_deg:.1f} deg, GM={gm})"
+        )
+
+
+def loop_stability(
+    pll: ChargePumpPLL,
+    f_lo: float = None,
+    f_hi: float = None,
+    points: int = 20001,
+) -> StabilityMargins:
+    """Compute the margins of ``G(jω)`` on a log grid + refinement.
+
+    The default grid spans four decades around the loop's natural
+    frequency (or around ``f_ref/100`` when no second-order
+    parameterisation exists).
+    """
+    if points < 100:
+        raise ConfigurationError(f"points must be >= 100, got {points!r}")
+    try:
+        fn = pll.natural_frequency() / (2.0 * math.pi)
+    except Exception:
+        fn = pll.f_ref / 100.0
+    f_lo = f_lo if f_lo is not None else fn / 100.0
+    f_hi = f_hi if f_hi is not None else fn * 100.0
+    if not (0.0 < f_lo < f_hi):
+        raise ConfigurationError(
+            f"need 0 < f_lo < f_hi, got {f_lo!r}, {f_hi!r}"
+        )
+    f = np.logspace(math.log10(f_lo), math.log10(f_hi), points)
+    g = pll.open_loop_transfer(1j * 2.0 * np.pi * f)
+    mag = np.abs(g)
+    if mag[0] <= 1.0 or mag[-1] >= 1.0:
+        raise ConfigurationError(
+            "gain crossover not bracketed by the search grid; widen "
+            f"[{f_lo!r}, {f_hi!r}]"
+        )
+    # Crossover: first index where |G| falls below 1, log-interpolated.
+    idx = int(np.nonzero(mag < 1.0)[0][0])
+    x0, x1 = math.log10(f[idx - 1]), math.log10(f[idx])
+    m0, m1 = math.log10(mag[idx - 1]), math.log10(mag[idx])
+    frac = m0 / (m0 - m1)
+    f_x = 10.0 ** (x0 + frac * (x1 - x0))
+    g_x = pll.open_loop_transfer(1j * 2.0 * math.pi * f_x)
+    phase_margin = 180.0 + math.degrees(math.atan2(g_x.imag, g_x.real))
+
+    # Gain margin: phase(G) = -180 crossing, if any.
+    phase = np.degrees(np.unwrap(np.angle(g)))
+    below = np.nonzero(phase <= -180.0)[0]
+    if below.size == 0:
+        gain_margin = math.inf
+    else:
+        j = int(below[0])
+        gain_margin = -20.0 * math.log10(float(mag[j]))
+    return StabilityMargins(
+        crossover_hz=float(f_x),
+        phase_margin_deg=float(phase_margin),
+        gain_margin_db=float(gain_margin),
+    )

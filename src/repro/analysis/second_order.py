@@ -1,0 +1,256 @@
+"""Second-order system relationships (Figure 1 and eqs. 4–6).
+
+A high-gain type-2-like CP-PLL with the Figure 9 lag-lead filter has the
+closed-loop phase transfer function (eq. 4, normalised to unity DC
+gain)::
+
+    H(s) = (2 ζ ωn s + ωn²) / (s² + 2 ζ ωn s + ωn²)
+
+— the standard second-order denominator plus the **stabilising zero** at
+``-ωn / (2ζ)``.  The zero matters: it lifts the peak above the no-zero
+value and pushes the 3 dB corner out (Gardner's
+``ω3dB = ωn (1 + 2ζ² + sqrt((1+2ζ²)² + 1))^{1/2}``), and the paper's
+Figure 1 annotations (ωp, ω3dB, 0 dB asymptote) are read off this shape.
+
+This module provides both the with-zero and textbook no-zero responses,
+the analytic peak/bandwidth/peaking relations, and the inverse map from
+measured peaking to damping used by the BIST post-processing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ConvergenceError
+
+__all__ = [
+    "SecondOrderParameters",
+    "closed_loop_with_zero",
+    "closed_loop_standard",
+    "peaking_db_with_zero",
+    "damping_from_peaking_db",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def closed_loop_with_zero(wn: float, zeta: float, w: ArrayLike) -> ArrayLike:
+    """Unity-DC-gain closed loop of eq. (4) at angular frequency ``w``.
+
+    ``H(jw) = (2 ζ ωn jw + ωn²) / ((jw)² + 2 ζ ωn jw + ωn²)``
+    """
+    s = 1j * np.asarray(w, dtype=float)
+    num = 2.0 * zeta * wn * s + wn * wn
+    den = s * s + 2.0 * zeta * wn * s + wn * wn
+    return num / den
+
+
+def closed_loop_standard(wn: float, zeta: float, w: ArrayLike) -> ArrayLike:
+    """Textbook no-zero second-order low-pass at angular frequency ``w``."""
+    s = 1j * np.asarray(w, dtype=float)
+    den = s * s + 2.0 * zeta * wn * s + wn * wn
+    return (wn * wn) / den
+
+
+def peaking_db_with_zero(zeta: float) -> float:
+    """Peak magnitude (dB above DC) of the with-zero closed loop.
+
+    Closed form: with ``x = (ω/ωn)²`` and ``a = (2ζ)²``, the squared
+    magnitude is ``(1 + a x) / ((1-x)² + a x)``; its maximum over
+    ``x >= 0`` is at ``x* = (sqrt(1 + 2/a·?)...)`` — solved here
+    numerically on the analytic expression for robustness across all ζ.
+    """
+    if zeta <= 0.0:
+        raise ConfigurationError(f"zeta must be positive, got {zeta!r}")
+    a = (2.0 * zeta) ** 2
+
+    def mag2(x: float) -> float:
+        return (1.0 + a * x) / ((1.0 - x) ** 2 + a * x)
+
+    # The peak lies below ω = ωn·max(1, 1/(2ζ))·~2; golden-section search
+    # over a generous bracket in x = (ω/ωn)².
+    lo, hi = 0.0, 25.0
+    phi = (math.sqrt(5.0) - 1.0) / 2.0
+    x1 = hi - phi * (hi - lo)
+    x2 = lo + phi * (hi - lo)
+    f1, f2 = mag2(x1), mag2(x2)
+    for _ in range(200):
+        if hi - lo < 1e-14:
+            break
+        if f1 < f2:
+            lo, x1, f1 = x1, x2, f2
+            x2 = lo + phi * (hi - lo)
+            f2 = mag2(x2)
+        else:
+            hi, x2, f2 = x2, x1, f1
+            x1 = hi - phi * (hi - lo)
+            f1 = mag2(x1)
+    peak = mag2(0.5 * (lo + hi))
+    return 10.0 * math.log10(max(peak, 1.0))
+
+
+def damping_from_peaking_db(peak_db: float) -> float:
+    """Invert :func:`peaking_db_with_zero`: damping from measured peaking.
+
+    This is the BIST post-processing step the paper describes in
+    Section 2 ("the relative magnitude of the peak … can be used to
+    determine the damping factor").  Peaking decreases monotonically
+    with ζ, so bisection over ζ ∈ [0.05, 20] suffices.
+
+    Raises
+    ------
+    ConvergenceError
+        If ``peak_db`` is outside the attainable range (non-positive
+        peaking has no finite-ζ solution for this topology: the with-zero
+        loop always peaks).
+    """
+    if peak_db <= 0.0:
+        raise ConvergenceError(
+            f"with-zero closed loop always peaks; {peak_db!r} dB has no solution"
+        )
+    lo, hi = 0.05, 20.0
+    p_lo = peaking_db_with_zero(lo)
+    p_hi = peaking_db_with_zero(hi)
+    if not (p_hi <= peak_db <= p_lo):
+        raise ConvergenceError(
+            f"peaking {peak_db!r} dB outside attainable range "
+            f"[{p_hi:.4f}, {p_lo:.4f}] dB for zeta in [{lo}, {hi}]"
+        )
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if peaking_db_with_zero(mid) > peak_db:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < 1e-12:
+            break
+    return 0.5 * (lo + hi)
+
+
+@dataclass(frozen=True)
+class SecondOrderParameters:
+    """Natural frequency and damping of the closed loop, with the derived
+    Figure 1 quantities as properties.
+
+    Parameters
+    ----------
+    wn:
+        Natural frequency in rad/s (eq. 5).
+    zeta:
+        Damping factor (eq. 6).
+    """
+
+    wn: float
+    zeta: float
+
+    def __post_init__(self) -> None:
+        if self.wn <= 0.0:
+            raise ConfigurationError(f"wn must be positive, got {self.wn!r}")
+        if self.zeta <= 0.0:
+            raise ConfigurationError(f"zeta must be positive, got {self.zeta!r}")
+
+    @property
+    def fn_hz(self) -> float:
+        """Natural frequency in Hz."""
+        return self.wn / (2.0 * math.pi)
+
+    @property
+    def peak_frequency(self) -> float:
+        """ωp — where the with-zero magnitude peaks, in rad/s.
+
+        Found on the analytic squared magnitude (same expression as
+        :func:`peaking_db_with_zero`).
+        """
+        a = (2.0 * self.zeta) ** 2
+
+        def mag2(x: float) -> float:
+            return (1.0 + a * x) / ((1.0 - x) ** 2 + a * x)
+
+        lo, hi = 0.0, 25.0
+        phi = (math.sqrt(5.0) - 1.0) / 2.0
+        x1 = hi - phi * (hi - lo)
+        x2 = lo + phi * (hi - lo)
+        f1, f2 = mag2(x1), mag2(x2)
+        for _ in range(200):
+            if hi - lo < 1e-14:
+                break
+            if f1 < f2:
+                lo, x1, f1 = x1, x2, f2
+                x2 = lo + phi * (hi - lo)
+                f2 = mag2(x2)
+            else:
+                hi, x2, f2 = x2, x1, f1
+                x1 = hi - phi * (hi - lo)
+                f1 = mag2(x1)
+        x_star = 0.5 * (lo + hi)
+        return self.wn * math.sqrt(max(x_star, 0.0))
+
+    @property
+    def peak_frequency_hz(self) -> float:
+        """ωp in Hz."""
+        return self.peak_frequency / (2.0 * math.pi)
+
+    @property
+    def peaking_db(self) -> float:
+        """Peak magnitude above the 0 dB asymptote."""
+        return peaking_db_with_zero(self.zeta)
+
+    @property
+    def w3db(self) -> float:
+        """One-sided loop bandwidth ω3dB (Gardner's closed form), rad/s."""
+        b = 1.0 + 2.0 * self.zeta ** 2
+        return self.wn * math.sqrt(b + math.sqrt(b * b + 1.0))
+
+    @property
+    def f3db_hz(self) -> float:
+        """ω3dB in Hz."""
+        return self.w3db / (2.0 * math.pi)
+
+    def response(self, w: ArrayLike) -> ArrayLike:
+        """With-zero closed-loop response at angular frequency ``w``."""
+        return closed_loop_with_zero(self.wn, self.zeta, w)
+
+    def phase_step_response(self, t: ArrayLike) -> ArrayLike:
+        """Time-domain response of the output phase to a unit input phase
+        step (underdamped case), showing how ωn/ζ set the transient the
+        paper's introduction refers to.
+
+        For ζ < 1::
+
+            θo(t) = 1 - e^{-ζωn t} [cos(ωd t) - (ζ/√(1-ζ²)) sin(ωd t)]
+
+        (with the zero's feed-through included); for ζ >= 1 the
+        overdamped closed form is used.
+        """
+        t = np.asarray(t, dtype=float)
+        wn, z = self.wn, self.zeta
+        if z < 1.0:
+            wd = wn * math.sqrt(1.0 - z * z)
+            env = np.exp(-z * wn * t)
+            # H(s) = (2ζωn s + ωn²)/(s² + 2ζωn s + ωn²);
+            # step response = 1 - e^{-ζωn t}(cos ωd t - (ζ/√(1-ζ²)) sin ωd t)
+            return 1.0 - env * (
+                np.cos(wd * t) - (z / math.sqrt(1.0 - z * z)) * np.sin(wd * t)
+            )
+        if z == 1.0:
+            return 1.0 - np.exp(-wn * t) * (1.0 - wn * t)
+        # Overdamped: real poles at -ωn(ζ ± sqrt(ζ²-1)); partial fractions
+        # of H(s)/s = 1/s + B/(s+p1) + C/(s+p2).
+        root = math.sqrt(z * z - 1.0)
+        p1 = wn * (z - root)
+        p2 = wn * (z + root)
+        b = (2.0 * z * wn * (-p1) + wn * wn) / ((-p1) * (p2 - p1))
+        c = (2.0 * z * wn * (-p2) + wn * wn) / ((-p2) * (p1 - p2))
+        return 1.0 + b * np.exp(-p1 * t) + c * np.exp(-p2 * t)
+
+
+    def __str__(self) -> str:
+        return (
+            f"SecondOrderParameters(fn={self.fn_hz:.4g} Hz, zeta={self.zeta:.4g}, "
+            f"peak={self.peaking_db:.3g} dB @ {self.peak_frequency_hz:.4g} Hz, "
+            f"f3dB={self.f3db_hz:.4g} Hz)"
+        )

@@ -1,0 +1,209 @@
+"""Component sensitivity and single-fault diagnosis.
+
+The paper reads (fn, ζ) off the measured response and flags a device
+whose values drift.  A natural extension — and what a failure-analysis
+engineer asks next — is *which component moved*.  Because each
+component scales the loop parameters along a characteristic direction
+in (log fn, log ζ) space, a measured shift can be matched against the
+single-component hypotheses:
+
+=============  =====================================================
+component      direction (lag-lead loop, τ1 >> τ2)
+=============  =====================================================
+Ko or Kd       fn ∝ √k,  ζ ∝ √k           (slope +1 in log-log)
+C              fn ∝ 1/√k, ζ mixed          (τ1 and τ2 both scale)
+R1             fn ∝ 1/√k, ζ ∝ 1/√k         (slope +1, opposite sign)
+R2             fn ≈ const, ζ ≈ ∝ k          (nearly vertical)
+=============  =====================================================
+
+:func:`component_sensitivities` computes the exact local directions by
+re-deriving (fn, ζ) from scaled component sets;
+:func:`diagnose_shift` fits the best scale factor per component to a
+measured (fn, ζ) and ranks hypotheses by residual.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ConfigurationError, ReproError
+from repro.pll.config import ChargePumpPLL
+from repro.pll.faults import Fault, FaultKind, apply_fault
+
+__all__ = [
+    "ComponentSensitivity",
+    "DiagnosisCandidate",
+    "component_sensitivities",
+    "diagnose_shift",
+]
+
+#: Component-name -> fault kind used to perturb it.
+_COMPONENT_FAULTS: Dict[str, FaultKind] = {
+    "Ko": FaultKind.VCO_GAIN_SHIFT,
+    "R1": FaultKind.R1_SHIFT,
+    "R2": FaultKind.R2_SHIFT,
+    "C": FaultKind.CAP_SHIFT,
+}
+
+
+def _parameters_for_scale(
+    pll: ChargePumpPLL, component: str, scale: float
+) -> "tuple[float, float]":
+    """(fn_hz, zeta) of the loop with one component scaled."""
+    kind = _COMPONENT_FAULTS[component]
+    scaled = apply_fault(pll, Fault(kind, scale))
+    return scaled.natural_frequency() / (2 * math.pi), scaled.damping()
+
+
+@dataclass(frozen=True)
+class ComponentSensitivity:
+    """Local log-log sensitivities of (fn, ζ) to one component."""
+
+    component: str
+    d_log_fn: float   # d ln(fn) / d ln(component)
+    d_log_zeta: float  # d ln(zeta) / d ln(component)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.component}: dln(fn)={self.d_log_fn:+.3f}, "
+            f"dln(zeta)={self.d_log_zeta:+.3f}"
+        )
+
+
+def component_sensitivities(
+    pll: ChargePumpPLL, rel_step: float = 0.01
+) -> List[ComponentSensitivity]:
+    """Central-difference log-log sensitivities for every component.
+
+    Raises
+    ------
+    ConfigurationError
+        If the loop has no second-order parameterisation.
+    """
+    if not (0.0 < rel_step < 0.5):
+        raise ConfigurationError(
+            f"rel_step must be in (0, 0.5), got {rel_step!r}"
+        )
+    out = []
+    for component in _COMPONENT_FAULTS:
+        try:
+            fn_hi, z_hi = _parameters_for_scale(pll, component, 1.0 + rel_step)
+            fn_lo, z_lo = _parameters_for_scale(pll, component, 1.0 - rel_step)
+        except ReproError:
+            continue  # component not present in this topology
+        dlnk = math.log1p(rel_step) - math.log1p(-rel_step)
+        out.append(ComponentSensitivity(
+            component=component,
+            d_log_fn=(math.log(fn_hi) - math.log(fn_lo)) / dlnk,
+            d_log_zeta=(math.log(z_hi) - math.log(z_lo)) / dlnk,
+        ))
+    if not out:
+        raise ConfigurationError(
+            "no component sensitivities derivable for this loop topology"
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class DiagnosisCandidate:
+    """One single-component hypothesis for a measured parameter shift."""
+
+    component: str
+    scale: float       # best-fit component value as a multiple of nominal
+    residual: float    # distance in (log fn, log zeta) space at best fit
+    predicted_fn_hz: float
+    predicted_zeta: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.component} at {self.scale:.2f}x nominal "
+            f"(residual {self.residual:.4f}; predicts fn="
+            f"{self.predicted_fn_hz:.2f} Hz, zeta={self.predicted_zeta:.3f})"
+        )
+
+
+def _residual_at(
+    pll: ChargePumpPLL, component: str, scale: float,
+    target_log_fn: float, target_log_zeta: float,
+) -> "tuple[float, float, float]":
+    fn, zeta = _parameters_for_scale(pll, component, scale)
+    r = math.hypot(
+        math.log(fn) - target_log_fn, math.log(zeta) - target_log_zeta
+    )
+    return r, fn, zeta
+
+
+def diagnose_shift(
+    pll: ChargePumpPLL,
+    measured_fn_hz: float,
+    measured_zeta: float,
+    scale_range: "tuple[float, float]" = (0.05, 20.0),
+) -> List[DiagnosisCandidate]:
+    """Rank single-component explanations for a measured (fn, ζ).
+
+    For every component a golden-section search finds the scale factor
+    whose predicted (fn, ζ) lies nearest the measurement in log space;
+    candidates are returned best-first.  A small residual on the top
+    candidate means the shift is consistent with that single component
+    moving; a large residual everywhere suggests a multi-component or
+    out-of-model defect.
+    """
+    if measured_fn_hz <= 0.0 or measured_zeta <= 0.0:
+        raise ConfigurationError(
+            "measured parameters must be positive, got "
+            f"fn={measured_fn_hz!r}, zeta={measured_zeta!r}"
+        )
+    lo_s, hi_s = scale_range
+    if not (0.0 < lo_s < 1.0 < hi_s):
+        raise ConfigurationError(
+            f"scale_range must bracket 1.0, got {scale_range!r}"
+        )
+    target_fn = math.log(measured_fn_hz)
+    target_zeta = math.log(measured_zeta)
+
+    candidates: List[DiagnosisCandidate] = []
+    phi = (math.sqrt(5.0) - 1.0) / 2.0
+    for component in _COMPONENT_FAULTS:
+        try:
+            _residual_at(pll, component, 1.0, target_fn, target_zeta)
+        except ReproError:
+            continue
+        # Golden-section minimise the residual over log(scale).
+        a, b = math.log(lo_s), math.log(hi_s)
+        x1 = b - phi * (b - a)
+        x2 = a + phi * (b - a)
+        f1 = _residual_at(pll, component, math.exp(x1), target_fn,
+                          target_zeta)[0]
+        f2 = _residual_at(pll, component, math.exp(x2), target_fn,
+                          target_zeta)[0]
+        for _ in range(80):
+            if b - a < 1e-6:
+                break
+            if f1 > f2:
+                a, x1, f1 = x1, x2, f2
+                x2 = a + phi * (b - a)
+                f2 = _residual_at(pll, component, math.exp(x2), target_fn,
+                                  target_zeta)[0]
+            else:
+                b, x2, f2 = x2, x1, f1
+                x1 = b - phi * (b - a)
+                f1 = _residual_at(pll, component, math.exp(x1), target_fn,
+                                  target_zeta)[0]
+        best_scale = math.exp(0.5 * (a + b))
+        residual, fn, zeta = _residual_at(
+            pll, component, best_scale, target_fn, target_zeta
+        )
+        candidates.append(DiagnosisCandidate(
+            component=component,
+            scale=best_scale,
+            residual=residual,
+            predicted_fn_hz=fn,
+            predicted_zeta=zeta,
+        ))
+    if not candidates:
+        raise ConfigurationError(
+            "no diagnosable components for this loop topology"
+        )
+    return sorted(candidates, key=lambda c: c.residual)

@@ -1,0 +1,286 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+theory     print the reconstructed design point and its theoretical Bode plot
+sweep      run the full BIST transfer-function sweep on the paper PLL
+selftest   run the four-step self-test (lock / nominal / droop / sweep)
+screen     push the macro-fault library through the BIST with limits
+diagnose   rank single-component explanations for a measured (fn, zeta)
+plan       DCO / detector / counter feasibility checks for DfT planning
+
+Every command operates on the reconstructed Table 3 device; ``--fault``
+injects a defect from the library first (see ``screen`` for the labels).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import (
+    PLLLinearModel,
+    SecondOrderParameters,
+    diagnose_shift,
+)
+from repro.core import (
+    PLLSelfTest,
+    SweepPlan,
+    TestLimits,
+    TransferFunctionMonitor,
+)
+from repro.errors import MeasurementError, ReproError
+from repro.pll.faults import FAULT_LIBRARY, apply_fault
+from repro.presets import (
+    paper_bist_config,
+    paper_pll,
+    paper_stimulus,
+    paper_sweep,
+)
+from repro.reporting import ascii_bode, format_table
+from repro.stimulus.dco import DCO
+
+__all__ = ["main", "build_parser"]
+
+
+def _device(args) -> "object":
+    pll = paper_pll(nonlinear=getattr(args, "nonlinear", False))
+    fault_label = getattr(args, "fault", None)
+    if fault_label:
+        if fault_label not in FAULT_LIBRARY:
+            known = ", ".join(sorted(FAULT_LIBRARY))
+            raise SystemExit(
+                f"unknown fault {fault_label!r}; known faults: {known}"
+            )
+        pll = apply_fault(pll, FAULT_LIBRARY[fault_label])
+    return pll
+
+
+def _golden_limits(rel_tol: float = 0.25) -> TestLimits:
+    golden_pll = paper_pll()
+    golden = SecondOrderParameters(
+        golden_pll.natural_frequency(), golden_pll.damping()
+    )
+    return TestLimits.from_golden(golden, rel_tol=rel_tol, peak_tol_db=1.5)
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+def cmd_theory(args) -> int:
+    from repro.analysis import loop_stability
+
+    pll = _device(args)
+    model = PLLLinearModel(pll)
+    params = model.second_order()
+    margins = loop_stability(pll)
+    print(format_table(
+        ["parameter", "value"],
+        [
+            ["device", pll.name],
+            ["fn", f"{params.fn_hz:.3f} Hz"],
+            ["zeta (eq. 6)", f"{params.zeta:.4f}"],
+            ["peaking", f"{params.peaking_db:.3f} dB @ "
+                        f"{params.peak_frequency_hz:.3f} Hz"],
+            ["f3dB", f"{params.f3db_hz:.3f} Hz"],
+            ["Kd", f"{pll.kd:.4g}"],
+            ["Ko", f"{pll.ko:.4g} rad/s/V"],
+            ["gain crossover", f"{margins.crossover_hz:.3f} Hz"],
+            ["phase margin", f"{margins.phase_margin_deg:.1f} deg"],
+        ],
+        title="linear design point",
+    ))
+    freqs = paper_sweep(points=args.points).frequencies_hz
+    print()
+    print(ascii_bode([model.bode(freqs)], title="theoretical closed loop"))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    pll = _device(args)
+    stimulus = paper_stimulus(args.stimulus)
+    monitor = TransferFunctionMonitor(pll, stimulus, paper_bist_config())
+    plan = paper_sweep(points=args.points)
+    try:
+        result = monitor.run(plan)
+    except MeasurementError as exc:
+        print(f"sweep failed: {exc}")
+        return 2
+    if args.out:
+        from repro.reporting import device_report
+
+        limits = _golden_limits().check(result.estimated) \
+            if result.estimated is not None else None
+        with open(args.out, "w") as fh:
+            fh.write(device_report(pll, result, limits=limits))
+        print(f"wrote {args.out}")
+    print(result.summary())
+    print()
+    print(format_table(
+        ["f_mod (Hz)", "magnitude (dB)", "phase (deg)"],
+        [
+            [f"{f:.2f}", f"{m:+.2f}", f"{p:+.1f}"]
+            for f, m, p in zip(
+                result.response.frequencies_hz,
+                result.response.magnitude_db,
+                result.response.phase_deg,
+            )
+        ],
+        title=f"measured transfer function [{stimulus.label}]",
+    ))
+    print()
+    print(ascii_bode([result.response], title="measured closed loop"))
+    return 0
+
+
+def cmd_selftest(args) -> int:
+    pll = _device(args)
+    test = PLLSelfTest(
+        pll=pll,
+        stimulus=paper_stimulus(args.stimulus),
+        plan=paper_sweep(points=args.points),
+        limits=_golden_limits(),
+        config=paper_bist_config(),
+    )
+    report = test.run()
+    print(report)
+    return 0 if report.passed else 1
+
+
+def cmd_screen(args) -> int:
+    limits = _golden_limits()
+    config = paper_bist_config()
+    plan = paper_sweep(points=args.points)
+    rows = []
+    duts = [("healthy", paper_pll())]
+    duts += [
+        (label, apply_fault(paper_pll(), fault))
+        for label, fault in sorted(FAULT_LIBRARY.items())
+    ]
+    for label, dut in duts:
+        monitor = TransferFunctionMonitor(
+            dut, paper_stimulus(args.stimulus), config
+        )
+        try:
+            result, verdict = monitor.run_and_check(plan, limits)
+            est = result.estimated
+            rows.append([
+                label,
+                f"{est.fn_hz:.2f}" if est else "—",
+                f"{est.zeta:.3f}" if est else "—",
+                "PASS" if verdict.passed else "FAIL",
+            ])
+        except MeasurementError as exc:
+            rows.append([label, "—", "—", f"FAIL ({exc})"])
+    print(format_table(
+        ["device", "fn (Hz)", "zeta", "verdict"], rows,
+        title="fault-library screening",
+    ))
+    return 0
+
+
+def cmd_diagnose(args) -> int:
+    pll = paper_pll()
+    try:
+        candidates = diagnose_shift(pll, args.fn, args.zeta)
+    except ReproError as exc:
+        print(f"diagnosis failed: {exc}")
+        return 2
+    print(format_table(
+        ["rank", "hypothesis"],
+        [[i + 1, str(c)] for i, c in enumerate(candidates)],
+        title=(
+            f"single-component hypotheses for fn={args.fn:g} Hz, "
+            f"zeta={args.zeta:g}"
+        ),
+    ))
+    return 0
+
+
+def cmd_plan(args) -> int:
+    pll = paper_pll()
+    rows = []
+    for f_master in args.masters:
+        dco = DCO(f_master)
+        res = dco.resolution(pll.f_ref)
+        steps = int(args.deviation / res)
+        rows.append([
+            f"{f_master/1e6:g} MHz", f"{res:.4g} Hz", steps,
+            "OK" if steps >= 10 else "too coarse",
+        ])
+    print(format_table(
+        ["DCO master", "eq.(2) resolution", f"steps in ±{args.deviation:g} Hz",
+         "verdict"],
+        rows,
+        title="stimulus feasibility",
+    ))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="On-chip closed-loop transfer-function BIST for CP-PLLs "
+                    "(DATE 2003 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, stimulus=True):
+        p.add_argument("--points", type=int, default=12,
+                       help="sweep tones (default 12)")
+        p.add_argument("--fault", default=None,
+                       help="inject a library fault by label first")
+        p.add_argument("--nonlinear", action="store_true",
+                       help="use the 74HCT4046A-flavoured device model")
+        if stimulus:
+            p.add_argument("--stimulus", default="multitone",
+                           choices=("sine", "multitone", "twotone"))
+
+    p = sub.add_parser("theory", help="print the linear design point")
+    common(p, stimulus=False)
+    p.set_defaults(handler=cmd_theory)
+
+    p = sub.add_parser("sweep", help="run the BIST sweep")
+    common(p)
+    p.add_argument("--out", default=None,
+                   help="also write a markdown device report to this path")
+    p.set_defaults(handler=cmd_sweep)
+
+    p = sub.add_parser("selftest", help="run the four-step self-test")
+    common(p)
+    p.set_defaults(handler=cmd_selftest)
+
+    p = sub.add_parser("screen", help="screen the fault library")
+    common(p)
+    p.set_defaults(handler=cmd_screen)
+
+    p = sub.add_parser("diagnose",
+                       help="rank component explanations for a shift")
+    p.add_argument("--fn", type=float, required=True,
+                   help="measured natural frequency (Hz)")
+    p.add_argument("--zeta", type=float, required=True,
+                   help="measured damping factor")
+    p.set_defaults(handler=cmd_diagnose)
+
+    p = sub.add_parser("plan", help="DfT feasibility checks")
+    p.add_argument("--deviation", type=float, default=1.0,
+                   help="wanted peak deviation (Hz)")
+    p.add_argument("--masters", type=float, nargs="+",
+                   default=[1e6, 10e6, 100e6],
+                   help="candidate DCO master clocks (Hz)")
+    p.set_defaults(handler=cmd_plan)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

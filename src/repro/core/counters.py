@@ -1,0 +1,223 @@
+"""Digital counters of the Figure 6 test architecture.
+
+Two measurement counters close the loop from edges to numbers:
+
+* :class:`FrequencyCounter` — measures the (held) output frequency.
+  Supports the classic **gated** mode (count input edges in a fixed
+  gate; resolution ``1/T_gate``) and the **reciprocal** mode (time M
+  input periods with the test clock; resolution ``~f²·T_clk/M``), which
+  is what makes the hold-and-count approach precise: once the VCO is
+  frozen the counter can take its time.
+* :class:`PhaseCounter` — counts test-clock pulses between the input
+  modulation peak and the detected output peak; eq. (8) converts the
+  count into degrees of phase lag.
+
+Both quantise honestly: counts are integers of the respective clock, so
+the models exhibit the real ±1-count uncertainty.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError, MeasurementError
+from repro.sim.signals import PulseTrain
+
+__all__ = [
+    "FrequencyCounter",
+    "FrequencyMeasurement",
+    "PhaseCounter",
+    "PhaseCount",
+]
+
+
+@dataclass(frozen=True)
+class FrequencyMeasurement:
+    """Result of one frequency measurement."""
+
+    frequency_hz: float
+    count: int
+    gate_seconds: float
+    mode: str  # "gated" or "reciprocal"
+    resolution_hz: float
+
+    def scaled(self, factor: float) -> "FrequencyMeasurement":
+        """Measurement referred through a known division ratio.
+
+        Counting the divided-by-N feedback node and multiplying by N is
+        how the architecture reads the VCO frequency without a
+        high-speed counter.
+        """
+        return FrequencyMeasurement(
+            frequency_hz=self.frequency_hz * factor,
+            count=self.count,
+            gate_seconds=self.gate_seconds,
+            mode=self.mode,
+            resolution_hz=self.resolution_hz * factor,
+        )
+
+
+class FrequencyCounter:
+    """Edge counter with gated and reciprocal modes.
+
+    Parameters
+    ----------
+    test_clock_hz:
+        Frequency of the BIST test clock used for gate timing and for
+        reciprocal period timing.
+    """
+
+    def __init__(self, test_clock_hz: float) -> None:
+        if test_clock_hz <= 0.0:
+            raise ConfigurationError(
+                f"test_clock_hz must be positive, got {test_clock_hz!r}"
+            )
+        self.test_clock_hz = test_clock_hz
+
+    def _quantise_to_clock(self, t: float) -> float:
+        """Snap an instant to the next test-clock tick (synchroniser)."""
+        ticks = math.ceil(t * self.test_clock_hz - 1e-9)
+        return ticks / self.test_clock_hz
+
+    def measure_gated(
+        self, edges: PulseTrain, start: float, gate_seconds: float
+    ) -> FrequencyMeasurement:
+        """Classic gated count: edges in ``[start, start + gate)``.
+
+        The gate is realised with the test clock, so both its opening
+        and width are quantised to clock ticks.
+        """
+        if gate_seconds <= 0.0:
+            raise ConfigurationError(
+                f"gate_seconds must be positive, got {gate_seconds!r}"
+            )
+        t_open = self._quantise_to_clock(start)
+        gate_ticks = max(1, round(gate_seconds * self.test_clock_hz))
+        gate = gate_ticks / self.test_clock_hz
+        count = edges.count_in_gate(t_open, t_open + gate)
+        return FrequencyMeasurement(
+            frequency_hz=count / gate,
+            count=count,
+            gate_seconds=gate,
+            mode="gated",
+            resolution_hz=1.0 / gate,
+        )
+
+    def measure_reciprocal(
+        self, edges: PulseTrain, start: float, periods: int
+    ) -> FrequencyMeasurement:
+        """Reciprocal count: test-clock ticks across ``periods`` input
+        periods starting at the first edge after ``start``.
+
+        Resolution is one test-clock tick over the whole window —
+        ``f² · T_clk / periods`` in frequency terms — far finer than the
+        gated mode for low-frequency inputs, which is why the held
+        (frozen) output frequency can be measured accurately in a short
+        test time.
+        """
+        if periods < 1:
+            raise ConfigurationError(f"periods must be >= 1, got {periods!r}")
+        t0 = edges.next_after(start)
+        if t0 is None:
+            raise MeasurementError(
+                f"no edges after t={start!r} on {edges.net!r}"
+            )
+        t = t0
+        for _ in range(periods):
+            t_next = edges.next_after(t)
+            if t_next is None:
+                raise MeasurementError(
+                    f"only found {edges.count_in_gate(t0, t)} of {periods} "
+                    f"periods after t={start!r} on {edges.net!r}"
+                )
+            t = t_next
+        ticks = round((t - t0) * self.test_clock_hz)
+        if ticks <= 0:
+            raise MeasurementError(
+                "test clock too slow to resolve one input period"
+            )
+        window = ticks / self.test_clock_hz
+        freq = periods / window
+        return FrequencyMeasurement(
+            frequency_hz=freq,
+            count=ticks,
+            gate_seconds=window,
+            mode="reciprocal",
+            resolution_hz=freq * freq / (periods * self.test_clock_hz),
+        )
+
+
+@dataclass(frozen=True)
+class PhaseCount:
+    """Result of one phase-counter measurement (eq. 8 inputs)."""
+
+    pulses: int
+    test_clock_hz: float
+    t_start: float
+    t_stop: float
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Counted duration as the hardware sees it."""
+        return self.pulses / self.test_clock_hz
+
+    def phase_delay_deg(self, modulation_period: float) -> float:
+        """Eq. (8): ``Δφ = 360 · T · N / Tmod`` in degrees (a lag)."""
+        if modulation_period <= 0.0:
+            raise ConfigurationError(
+                f"modulation_period must be positive, got {modulation_period!r}"
+            )
+        return 360.0 * self.elapsed_seconds / modulation_period
+
+
+class PhaseCounter:
+    """Counts test-clock pulses between a start and a stop event.
+
+    Table 2: started at the peak of the input modulation (stage 1),
+    stopped when the peak detector fires (stage 3).
+    """
+
+    def __init__(self, test_clock_hz: float) -> None:
+        if test_clock_hz <= 0.0:
+            raise ConfigurationError(
+                f"test_clock_hz must be positive, got {test_clock_hz!r}"
+            )
+        self.test_clock_hz = test_clock_hz
+        self._t_start: Optional[float] = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the counter has been started and not yet stopped."""
+        return self._t_start is not None
+
+    def start(self, time: float) -> None:
+        """Open the counter at ``time``."""
+        if self._t_start is not None:
+            raise MeasurementError(
+                f"phase counter already running since t={self._t_start!r}"
+            )
+        self._t_start = time
+
+    def stop(self, time: float) -> PhaseCount:
+        """Close the counter and return the count."""
+        if self._t_start is None:
+            raise MeasurementError("phase counter stopped without being started")
+        if time < self._t_start:
+            raise MeasurementError(
+                f"stop time {time!r} precedes start time {self._t_start!r}"
+            )
+        pulses = int(math.floor((time - self._t_start) * self.test_clock_hz))
+        result = PhaseCount(
+            pulses=pulses,
+            test_clock_hz=self.test_clock_hz,
+            t_start=self._t_start,
+            t_stop=time,
+        )
+        self._t_start = None
+        return result
+
+    def abort(self) -> None:
+        """Discard a running count (sequencer error recovery)."""
+        self._t_start = None

@@ -1,0 +1,144 @@
+"""Equations (7) and (8): from counted quantities to a Bode response.
+
+The measurement philosophy of Section 4: absolute stimulus amplitude
+need not be known.  Every magnitude is *referenced* to a measurement
+taken well inside the loop bandwidth, where the closed-loop gain is
+unity and the phase lag is ~0 (the 0 dB asymptote of Figure 1)::
+
+    A_f = 20 · log10( ΔF_max / ΔF_ref_max )          (eq. 7)
+
+    Δφ  = 360 · T · N / T_mod   degrees (a lag)      (eq. 8)
+
+where ``ΔF_max`` is the held peak output-frequency deviation at the
+tone under test, ``ΔF_ref_max`` the same quantity at the in-band
+reference tone, ``T`` the test-clock period and ``N`` the phase-counter
+value between the input and output modulation peaks.
+
+**The capacitor-node correction.**  The hold mechanism freezes the loop
+by stopping all charge-pump current; with no current, the R2 drop of the
+lag-lead filter vanishes and the held VCO voltage equals the *capacitor*
+voltage.  Likewise the peak detector (which fires at the phase-error
+zero crossing) marks the peak of the capacitor node, whose motion is the
+integral of the pump drive.  The raw measurement therefore samples::
+
+    H_cap(jw) = H(jw) / (1 + jw·τ2)
+
+— the closed loop seen at the capacitor, which lags and peaks lower than
+``H`` itself by exactly the stabilising zero ``(1 + jw·τ2)``.  Since τ2
+is a *designed* quantity (R2·C), the BIST post-processing multiplies the
+zero back in: ``zero_correction_tau`` applies ``+20·log10|1 + jw·τ2|``
+to the magnitude and ``+atan(w·τ2)`` to the phase, recovering the
+eq. (4) transfer function the paper plots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.bode import BodeResponse
+from repro.core.sequencer import ToneMeasurement
+from repro.errors import MeasurementError
+
+__all__ = ["magnitude_db_eq7", "phase_deg_eq8", "evaluate_sweep"]
+
+
+def magnitude_db_eq7(delta_f_max: float, delta_f_ref_max: float) -> float:
+    """Eq. (7): relative gain in dB from two peak frequency deviations.
+
+    Raises
+    ------
+    MeasurementError
+        If either deviation is non-positive (a vanished deviation means
+        the measurement failed, not that the gain is -inf).
+    """
+    if delta_f_ref_max <= 0.0:
+        raise MeasurementError(
+            f"in-band reference deviation must be positive, got "
+            f"{delta_f_ref_max!r} Hz"
+        )
+    if delta_f_max <= 0.0:
+        raise MeasurementError(
+            f"measured peak deviation must be positive, got {delta_f_max!r} Hz"
+        )
+    return 20.0 * math.log10(delta_f_max / delta_f_ref_max)
+
+
+def phase_deg_eq8(
+    pulses: int, test_clock_hz: float, modulation_period: float
+) -> float:
+    """Eq. (8): phase *lag* in degrees from a phase-counter value.
+
+    Returned as a negative number (output lags input), wrapped into
+    ``(-360, 0]``.
+    """
+    if test_clock_hz <= 0.0:
+        raise MeasurementError(
+            f"test clock must be positive, got {test_clock_hz!r}"
+        )
+    if modulation_period <= 0.0:
+        raise MeasurementError(
+            f"modulation period must be positive, got {modulation_period!r}"
+        )
+    lag = 360.0 * (pulses / test_clock_hz) / modulation_period
+    return -math.fmod(lag, 360.0)
+
+
+def evaluate_sweep(
+    measurements: Sequence[ToneMeasurement],
+    reference: Optional[ToneMeasurement] = None,
+    label: str = "measured",
+    zero_correction_tau: Optional[float] = None,
+) -> BodeResponse:
+    """Turn a sweep of tone measurements into a Bode response.
+
+    Parameters
+    ----------
+    measurements:
+        One :class:`~repro.core.sequencer.ToneMeasurement` per tone, in
+        any order (sorted here).
+    reference:
+        The in-band reference measurement whose ``ΔF`` defines 0 dB.
+        Defaults to the lowest-frequency tone of the sweep, per the
+        paper's "first measurement" convention.
+    zero_correction_tau:
+        Loop-filter zero time constant ``τ2 = R2·C`` for the
+        capacitor-node correction (see the module docstring).  ``None``
+        returns the raw (capacitor-referred) response.
+    """
+    if not measurements:
+        raise MeasurementError("cannot evaluate an empty sweep")
+    ordered: List[ToneMeasurement] = sorted(measurements, key=lambda m: m.f_mod)
+    ref = reference if reference is not None else ordered[0]
+    delta_ref = ref.delta_f_hz
+    freqs = np.array([m.f_mod for m in ordered])
+    mags = np.array(
+        [magnitude_db_eq7(m.delta_f_hz, delta_ref) for m in ordered]
+    )
+    phases = np.array(
+        [
+            phase_deg_eq8(
+                m.phase_count.pulses,
+                m.phase_count.test_clock_hz,
+                m.modulation_period,
+            )
+            for m in ordered
+        ]
+    )
+    if zero_correction_tau is not None:
+        if zero_correction_tau < 0.0:
+            raise MeasurementError(
+                f"zero_correction_tau must be >= 0, got {zero_correction_tau!r}"
+            )
+        w = 2.0 * math.pi * freqs
+        wt = w * zero_correction_tau
+        correction_db = 10.0 * np.log10(1.0 + wt * wt)
+        correction_deg = np.degrees(np.arctan(wt))
+        # The reference tone is corrected too, so re-zero at it.
+        w_ref = 2.0 * math.pi * ref.f_mod
+        ref_db = 10.0 * math.log10(1.0 + (w_ref * zero_correction_tau) ** 2)
+        mags = mags + correction_db - ref_db
+        phases = phases + correction_deg
+    return BodeResponse(freqs, mags, phases, label=label)

@@ -1,0 +1,111 @@
+"""Loop hold: break the loop and freeze the VCO frequency.
+
+Section 4, point (3): when the PFD's two inputs carry the *same* signal,
+every compare cycle produces only coincident dead-zone glitches, the
+charge pump never net-drives the filter, the capacitor holds its charge
+and the VCO output frequency stays constant.  The Figure 6 muxes exploit
+this: setting ``A=C, B=D`` routes the (modulated) reference onto both
+PFD inputs, freezing the VCO at whatever frequency it had at the instant
+of the switch — which the sequencer arranges to be the **peak**.
+
+:class:`LoopHoldControl` wraps the mux switch-over plus the subsequent
+held-frequency measurement.  The hold is only as good as the analogue
+leakage allows; :meth:`measure_held_frequency` reports the droop across
+the measurement window so that limitation (and the leaky-capacitor
+fault's effect on it) is observable — see the hold-accuracy ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.counters import FrequencyCounter, FrequencyMeasurement
+from repro.errors import MeasurementError
+from repro.pll.simulator import PLLTransientSimulator
+
+__all__ = ["HeldFrequencyResult", "LoopHoldControl"]
+
+
+@dataclass(frozen=True)
+class HeldFrequencyResult:
+    """Outcome of one hold-and-count measurement."""
+
+    vco_frequency_hz: float
+    measurement: FrequencyMeasurement
+    engage_time: float
+    frequency_at_engage: float
+    frequency_at_release: float
+
+    @property
+    def droop_hz(self) -> float:
+        """How far the VCO drifted during the hold (leakage etc.)."""
+        return self.frequency_at_release - self.frequency_at_engage
+
+
+class LoopHoldControl:
+    """Engage/release the hold mux and measure the frozen frequency."""
+
+    def __init__(self, counter: FrequencyCounter) -> None:
+        self.counter = counter
+
+    def engage(self, sim: PLLTransientSimulator) -> float:
+        """Switch the muxes (A=C, B=D); returns the engage time."""
+        if sim.loop_is_open:
+            raise MeasurementError("hold already engaged")
+        sim.open_loop()
+        return sim.now
+
+    def release(self, sim: PLLTransientSimulator) -> float:
+        """Restore normal loop connectivity; returns the release time."""
+        if not sim.loop_is_open:
+            raise MeasurementError("hold not engaged")
+        sim.close_loop()
+        return sim.now
+
+    def measure_held_frequency(
+        self,
+        sim: PLLTransientSimulator,
+        periods: int = 64,
+        release_after: bool = False,
+    ) -> HeldFrequencyResult:
+        """Count the held output frequency over ``periods`` feedback
+        periods (reciprocal mode) and refer it through the divider.
+
+        The loop must already be held.  The simulation is advanced just
+        far enough to complete the count.
+        """
+        if not sim.loop_is_open:
+            raise MeasurementError(
+                "measure_held_frequency requires the loop to be held"
+            )
+        t_engage = sim.now
+        # Let any in-flight charge-pump pulse finish before sampling the
+        # control node: a sample taken inside a pulse reads the filter
+        # zero's feed-through step, not the held capacitor value.  Two
+        # reference periods guarantee the pump is back to tri-state.
+        sim.run_for(2.0 / sim.pll.f_ref)
+        f_at_engage = sim.output_frequency
+        # Advance until `periods` + 1 divided edges exist after the engage
+        # instant; the loop tolerates frequency droop during the hold
+        # (leaky-capacitor defect) by re-checking rather than trusting a
+        # single rate estimate.
+        f_fb_estimate = max(f_at_engage / sim.pll.n, sim.pll.vco.f_min / sim.pll.n)
+        for _ in range(64):
+            have = sim.fb_edges.count_in_gate(t_engage, sim.now + 1e-12)
+            if have >= periods + 1:
+                break
+            missing = periods + 1 - have
+            sim.run_for((missing + 2) / f_fb_estimate)
+        measurement = self.counter.measure_reciprocal(
+            sim.fb_edges, start=t_engage, periods=periods
+        ).scaled(sim.pll.n)
+        f_at_release = sim.output_frequency
+        if release_after:
+            self.release(sim)
+        return HeldFrequencyResult(
+            vco_frequency_hz=measurement.frequency_hz,
+            measurement=measurement,
+            engage_time=t_engage,
+            frequency_at_engage=f_at_engage,
+            frequency_at_release=f_at_release,
+        )

@@ -1,0 +1,152 @@
+"""On-chip limit comparison.
+
+The paper's abstract promises "subsequent post processing or comparison
+against on chip limits".  :class:`TestLimits` is that comparison: bands
+on the parameters extracted from the measured response (natural
+frequency, damping, peaking, bandwidth) plus the go/no-go verdict.
+Limits are usually derived from the golden design point with a relative
+tolerance (:meth:`TestLimits.from_golden`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.analysis.fitting import EstimatedParameters
+from repro.analysis.second_order import SecondOrderParameters
+from repro.errors import ConfigurationError
+
+__all__ = ["LimitCheck", "LimitReport", "TestLimits"]
+
+
+@dataclass(frozen=True)
+class LimitCheck:
+    """One parameter's verdict."""
+
+    name: str
+    value: float
+    low: float
+    high: float
+
+    @property
+    def passed(self) -> bool:
+        """Whether the value lies inside the band (inclusive)."""
+        return self.low <= self.value <= self.high
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return (
+            f"{self.name}: {self.value:.4g} in [{self.low:.4g}, "
+            f"{self.high:.4g}] -> {status}"
+        )
+
+
+@dataclass(frozen=True)
+class LimitReport:
+    """All checks for one device."""
+
+    checks: Tuple[LimitCheck, ...]
+
+    @property
+    def passed(self) -> bool:
+        """Go/no-go: every individual check must pass."""
+        return all(c.passed for c in self.checks)
+
+    @property
+    def failures(self) -> Tuple[LimitCheck, ...]:
+        """The checks that failed."""
+        return tuple(c for c in self.checks if not c.passed)
+
+    def __str__(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        lines = [f"limit report: {verdict}"]
+        lines.extend(f"  {c}" for c in self.checks)
+        return "\n".join(lines)
+
+
+def _band(name: str, low: float, high: float) -> Tuple[float, float]:
+    if not (low < high):
+        raise ConfigurationError(
+            f"limit band {name!r} must have low < high, got "
+            f"[{low!r}, {high!r}]"
+        )
+    return low, high
+
+
+@dataclass(frozen=True)
+class TestLimits:
+    """Acceptance bands for the extracted loop parameters.
+
+    Any band may be ``None`` to skip that check.
+    """
+
+    __test__ = False  # not a pytest test class despite the name
+
+    fn_hz: Optional[Tuple[float, float]] = None
+    zeta: Optional[Tuple[float, float]] = None
+    peak_db: Optional[Tuple[float, float]] = None
+    f3db_hz: Optional[Tuple[float, float]] = None
+
+    def __post_init__(self) -> None:
+        for name in ("fn_hz", "zeta", "peak_db", "f3db_hz"):
+            band = getattr(self, name)
+            if band is not None:
+                _band(name, *band)
+
+    @classmethod
+    def from_golden(
+        cls,
+        golden: SecondOrderParameters,
+        rel_tol: float = 0.25,
+        peak_tol_db: float = 1.0,
+    ) -> "TestLimits":
+        """Bands centred on the golden design point.
+
+        ``rel_tol`` is the fractional window on fn, ζ and f3dB;
+        ``peak_tol_db`` the absolute window on the peak height.
+        """
+        if not (0.0 < rel_tol < 1.0):
+            raise ConfigurationError(
+                f"rel_tol must be in (0, 1), got {rel_tol!r}"
+            )
+        if peak_tol_db <= 0.0:
+            raise ConfigurationError(
+                f"peak_tol_db must be positive, got {peak_tol_db!r}"
+            )
+        return cls(
+            fn_hz=(golden.fn_hz * (1 - rel_tol), golden.fn_hz * (1 + rel_tol)),
+            zeta=(golden.zeta * (1 - rel_tol), golden.zeta * (1 + rel_tol)),
+            peak_db=(
+                golden.peaking_db - peak_tol_db,
+                golden.peaking_db + peak_tol_db,
+            ),
+            f3db_hz=(
+                golden.f3db_hz * (1 - rel_tol),
+                golden.f3db_hz * (1 + rel_tol),
+            ),
+        )
+
+    def check(self, estimated: EstimatedParameters) -> LimitReport:
+        """Compare an extracted parameter set against the bands.
+
+        A missing measured f3dB (sweep too short) fails that check when
+        a band is configured: an unmeasurable bandwidth is not a pass.
+        """
+        checks: List[LimitCheck] = []
+        if self.fn_hz is not None:
+            checks.append(LimitCheck("fn_hz", estimated.fn_hz, *self.fn_hz))
+        if self.zeta is not None:
+            checks.append(LimitCheck("zeta", estimated.zeta, *self.zeta))
+        if self.peak_db is not None:
+            checks.append(
+                LimitCheck("peak_db", estimated.peak_db, *self.peak_db)
+            )
+        if self.f3db_hz is not None:
+            value = (
+                estimated.f3db_hz
+                if estimated.f3db_hz is not None
+                else float("nan")
+            )
+            checks.append(LimitCheck("f3db_hz", value, *self.f3db_hz))
+        return LimitReport(tuple(checks))

@@ -1,0 +1,234 @@
+"""Sweep orchestration: the full transfer-function measurement.
+
+:class:`TransferFunctionMonitor` is the user-facing entry point of the
+library: given a PLL, a stimulus family and a sweep plan, it runs the
+Table 2 sequence at every modulation frequency (Table 2 stage 5 is the
+loop here), folds the counted results through eqs. (7)–(8) into a
+:class:`~repro.analysis.bode.BodeResponse`, extracts the loop
+parameters, and optionally applies on-chip limits.
+
+A tone where the sequence fails outright (the peak detector starves,
+lock is lost) is recorded as a failed tone rather than aborting the
+sweep — a dead tone is diagnostic information for a structural test.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.bode import BodeResponse, log_frequency_grid
+from repro.analysis.fitting import EstimatedParameters, estimate_second_order
+from repro.core.architecture import BISTConfig
+from repro.core.evaluation import evaluate_sweep
+from repro.core.limits import LimitReport, TestLimits
+from repro.core.sequencer import ToneMeasurement, ToneTestSequencer
+from repro.errors import ConfigurationError, MeasurementError
+from repro.pll.config import ChargePumpPLL
+from repro.stimulus.modulation import ModulatedStimulus
+
+__all__ = ["SweepPlan", "SweepResult", "TransferFunctionMonitor"]
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """Which modulation frequencies to test, and which is the reference.
+
+    The reference tone (eq. 7's ``ΔF_ref_max``) must sit well inside the
+    loop bandwidth; by the paper's convention it is the lowest tone.
+    """
+
+    frequencies_hz: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        freqs = tuple(sorted(float(f) for f in self.frequencies_hz))
+        if len(freqs) < 2:
+            raise ConfigurationError(
+                f"a sweep needs at least 2 tones, got {len(freqs)}"
+            )
+        if freqs[0] <= 0.0:
+            raise ConfigurationError("sweep frequencies must be positive")
+        if len(set(freqs)) != len(freqs):
+            raise ConfigurationError("sweep frequencies must be distinct")
+        object.__setattr__(self, "frequencies_hz", freqs)
+
+    @property
+    def reference_frequency(self) -> float:
+        """The in-band reference tone (lowest frequency)."""
+        return self.frequencies_hz[0]
+
+    @classmethod
+    def around(
+        cls,
+        fn_hz: float,
+        decades_below: float = 1.0,
+        decades_above: float = 0.9,
+        points: int = 13,
+    ) -> "SweepPlan":
+        """Log-spaced sweep bracketing an expected natural frequency."""
+        if fn_hz <= 0.0:
+            raise ConfigurationError(f"fn_hz must be positive, got {fn_hz!r}")
+        grid = log_frequency_grid(
+            fn_hz / 10.0 ** decades_below,
+            fn_hz * 10.0 ** decades_above,
+            points,
+        )
+        return cls(tuple(float(f) for f in grid))
+
+
+@dataclass
+class SweepResult:
+    """Everything produced by one full transfer-function measurement."""
+
+    stimulus_label: str
+    plan: SweepPlan
+    measurements: List[ToneMeasurement]
+    response: BodeResponse
+    estimated: Optional[EstimatedParameters]
+    failed_tones: Dict[float, str] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every planned tone produced a measurement."""
+        return not self.failed_tones
+
+    def summary(self) -> str:
+        """Multi-line digest for logs and reports."""
+        lines = [
+            f"sweep [{self.stimulus_label}]: "
+            f"{len(self.measurements)}/{len(self.plan.frequencies_hz)} tones"
+        ]
+        if self.estimated is not None:
+            lines.append(f"  {self.estimated}")
+        for f_mod, reason in sorted(self.failed_tones.items()):
+            lines.append(f"  tone {f_mod:g} Hz FAILED: {reason}")
+        return "\n".join(lines)
+
+
+class TransferFunctionMonitor:
+    """The complete on-chip closed-loop transfer-function BIST.
+
+    Parameters
+    ----------
+    pll:
+        Device under test.
+    stimulus:
+        Modulated-reference family (one of the
+        :mod:`repro.stimulus.modulation` classes).
+    config:
+        Test-hardware parameters; defaults are sized for the paper's
+        set-up.
+    correct_filter_zero:
+        Apply the capacitor-node correction (see
+        :mod:`repro.core.evaluation`) using the *designed* loop-filter
+        zero time constant, so the reported response is the paper's
+        eq. (4) transfer function.  ``False`` reports the raw
+        capacitor-referred response.
+    """
+
+    def __init__(
+        self,
+        pll: ChargePumpPLL,
+        stimulus: ModulatedStimulus,
+        config: BISTConfig = BISTConfig(),
+        correct_filter_zero: bool = True,
+    ) -> None:
+        self.pll = pll
+        self.stimulus = stimulus
+        self.config = config
+        self.correct_filter_zero = correct_filter_zero
+        self._sequencer = ToneTestSequencer(pll, stimulus, config)
+
+    def _zero_tau(self) -> Optional[float]:
+        if not self.correct_filter_zero:
+            return None
+        lf = self.pll.loop_filter
+        tau = getattr(lf, "tau2", None)
+        if tau is None:
+            tau = getattr(lf, "tau", None)
+        if tau is None:
+            raise ConfigurationError(
+                f"{type(lf).__name__} exposes no zero time constant; "
+                "construct the monitor with correct_filter_zero=False"
+            )
+        return float(tau)
+
+    def measure_tone(self, f_mod: float) -> ToneMeasurement:
+        """Single-tone measurement (Table 2 stages 0–4)."""
+        return self._sequencer.run(f_mod)
+
+    def run(self, plan: SweepPlan) -> SweepResult:
+        """Sweep every planned tone and evaluate eqs. (7)–(8).
+
+        Raises
+        ------
+        MeasurementError
+            Only if the *reference* tone fails — without the in-band
+            reference no magnitude can be computed at all.
+        """
+        measurements: List[ToneMeasurement] = []
+        failed: Dict[float, str] = {}
+        for f_mod in plan.frequencies_hz:
+            try:
+                measurements.append(self._sequencer.run(f_mod))
+            except MeasurementError as exc:
+                if f_mod == plan.reference_frequency:
+                    raise MeasurementError(
+                        f"in-band reference tone {f_mod:g} Hz failed: {exc}"
+                    ) from exc
+                failed[f_mod] = str(exc)
+        # A non-positive peak deviation means the tone produced no usable
+        # measurement (grossly defective or unsettled loop) — that is a
+        # diagnostic outcome, recorded per tone rather than fatal.
+        usable: List[ToneMeasurement] = []
+        for m in measurements:
+            if m.delta_f_hz <= 0.0:
+                if m.f_mod == plan.reference_frequency:
+                    raise MeasurementError(
+                        f"in-band reference tone {m.f_mod:g} Hz measured a "
+                        f"non-positive deviation ({m.delta_f_hz:.3g} Hz)"
+                    )
+                failed[m.f_mod] = (
+                    f"non-positive peak deviation ({m.delta_f_hz:.3g} Hz)"
+                )
+            else:
+                usable.append(m)
+        measurements = usable
+        response = evaluate_sweep(
+            measurements,
+            label=self.stimulus.label,
+            zero_correction_tau=self._zero_tau(),
+        )
+        estimated: Optional[EstimatedParameters]
+        try:
+            estimated = estimate_second_order(response)
+        except MeasurementError:
+            estimated = None
+        return SweepResult(
+            stimulus_label=self.stimulus.label,
+            plan=plan,
+            measurements=measurements,
+            response=response,
+            estimated=estimated,
+            failed_tones=failed,
+        )
+
+    def run_and_check(
+        self, plan: SweepPlan, limits: TestLimits
+    ) -> Tuple[SweepResult, LimitReport]:
+        """Sweep then compare against on-chip limits (go/no-go).
+
+        A sweep from which no parameters could be extracted fails every
+        configured band (NaN values), because "could not measure" is a
+        reject, not a pass.
+        """
+        result = self.run(plan)
+        if result.estimated is None:
+            nan = float("nan")
+            estimated = EstimatedParameters(
+                fn_hz=nan, zeta=nan, f_peak_hz=nan, peak_db=nan,
+                f3db_hz=None, phase_at_peak_deg=None,
+            )
+            return result, limits.check(estimated)
+        return result, limits.check(result.estimated)

@@ -1,0 +1,245 @@
+"""Complete PLL self-test: the abstract's "full BIST applications".
+
+The transfer-function sweep is the paper's centrepiece, but a usable
+self-test wraps it with the cheap structural checks a test engineer
+runs first.  :class:`PLLSelfTest` executes, in order:
+
+1. **Lock check** — does the loop lock to the nominal reference at all,
+   and how fast (bounded by the theoretical settling envelope)?
+2. **Nominal frequency** — reciprocal-count the locked output and
+   compare with ``N · f_ref``.
+3. **Hold droop screen** — engage the hold on the locked loop and watch
+   the frequency for droop: a direct leak/leakage detector (and a
+   precondition for trusting the sweep's held measurements).
+4. **Transfer-function sweep** — the full Table-2 measurement with
+   parameter extraction and on-chip limits.
+
+Each step yields a :class:`SelfTestStep` record; the test short-circuits
+when a prerequisite fails (no point sweeping a loop that cannot lock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.architecture import BISTConfig
+from repro.core.counters import FrequencyCounter
+from repro.core.hold import LoopHoldControl
+from repro.core.limits import LimitReport, TestLimits
+from repro.core.monitor import SweepPlan, SweepResult, TransferFunctionMonitor
+from repro.errors import LockError, MeasurementError, ReproError
+from repro.pll.config import ChargePumpPLL
+from repro.pll.simulator import PLLTransientSimulator
+from repro.stimulus.modulation import ModulatedStimulus
+from repro.stimulus.waveforms import ConstantFrequencySource
+
+__all__ = ["SelfTestStep", "SelfTestReport", "PLLSelfTest"]
+
+
+@dataclass(frozen=True)
+class SelfTestStep:
+    """One executed self-test step."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        flag = "PASS" if self.passed else "FAIL"
+        return f"[{flag}] {self.name}: {self.detail}"
+
+
+@dataclass
+class SelfTestReport:
+    """Ordered step results plus the sweep artefacts when reached."""
+
+    steps: List[SelfTestStep] = field(default_factory=list)
+    sweep: Optional[SweepResult] = None
+    limit_report: Optional[LimitReport] = None
+
+    @property
+    def passed(self) -> bool:
+        """Overall verdict: every executed step passed."""
+        return bool(self.steps) and all(s.passed for s in self.steps)
+
+    def __str__(self) -> str:
+        lines = [str(s) for s in self.steps]
+        lines.append(f"overall: {'PASS' if self.passed else 'FAIL'}")
+        return "\n".join(lines)
+
+
+class PLLSelfTest:
+    """Run the four-step self-test on one device.
+
+    Parameters
+    ----------
+    pll:
+        Device under test.
+    stimulus:
+        Modulated stimulus family for the sweep step.
+    plan:
+        Modulation-frequency sweep plan.
+    limits:
+        Acceptance bands for the extracted parameters.
+    config:
+        Test-hardware parameters.
+    frequency_tolerance:
+        Allowed relative error of the locked nominal frequency.
+    droop_tolerance_hz:
+        Allowed hold droop over the screen window.
+    lock_tolerance_cycles:
+        Coincidence window of the lock indicator, as a fraction of a
+        reference cycle.  The default (2 %) matches a realistic digital
+        lock detector; loops with a *static* phase offset inside the
+        window (mild leakage) pass here and get caught by the droop
+        screen instead, which is the step that names the defect.
+    """
+
+    def __init__(
+        self,
+        pll: ChargePumpPLL,
+        stimulus: ModulatedStimulus,
+        plan: SweepPlan,
+        limits: TestLimits,
+        config: BISTConfig = BISTConfig(),
+        frequency_tolerance: float = 1e-3,
+        droop_tolerance_hz: float = 0.5,
+        lock_tolerance_cycles: float = 0.02,
+    ) -> None:
+        self.pll = pll
+        self.stimulus = stimulus
+        self.plan = plan
+        self.limits = limits
+        self.config = config
+        self.frequency_tolerance = frequency_tolerance
+        self.droop_tolerance_hz = droop_tolerance_hz
+        self.lock_tolerance_cycles = lock_tolerance_cycles
+
+    # ------------------------------------------------------------------
+    def run(self) -> SelfTestReport:
+        """Execute all steps, short-circuiting on prerequisite failure."""
+        report = SelfTestReport()
+        sim = self._step_lock(report)
+        if sim is None or not report.steps[-1].passed:
+            return report
+        self._step_nominal_frequency(report, sim)
+        if not report.steps[-1].passed:
+            return report
+        self._step_hold_droop(report, sim)
+        if not report.steps[-1].passed:
+            return report
+        self._step_sweep(report)
+        return report
+
+    # ------------------------------------------------------------------
+    def _settling_budget(self) -> float:
+        """Generous lock-time budget from the linear settling envelope."""
+        try:
+            sigma = self.pll.damping() * self.pll.natural_frequency()
+            return max(20.0 / sigma, 200.0 / self.pll.f_ref)
+        except ReproError:
+            return 5000.0 / self.pll.f_ref
+
+    def _step_lock(self, report: SelfTestReport
+                   ) -> Optional[PLLTransientSimulator]:
+        budget = self._settling_budget()
+        # Start deliberately off the lock point so acquisition is tested.
+        try:
+            v_locked = self.pll.locked_control_voltage()
+        except ReproError as exc:
+            report.steps.append(SelfTestStep(
+                "lock", False, f"no reachable operating point: {exc}"
+            ))
+            return None
+        offset = 0.05 * (self.pll.vco.f_max - self.pll.vco.f_min) \
+            / self.pll.vco.gain_hz_per_v
+        sim = PLLTransientSimulator(
+            self.pll,
+            ConstantFrequencySource(self.pll.f_ref),
+            initial_control_voltage=v_locked + offset,
+        )
+        try:
+            t_lock = sim.run_until_locked(
+                tolerance_cycles=self.lock_tolerance_cycles, timeout=budget
+            )
+        except LockError as exc:
+            report.steps.append(SelfTestStep("lock", False, str(exc)))
+            return None
+        report.steps.append(SelfTestStep(
+            "lock", True,
+            f"acquired in {t_lock * 1e3:.1f} ms (budget {budget * 1e3:.0f} ms)",
+        ))
+        return sim
+
+    def _step_nominal_frequency(
+        self, report: SelfTestReport, sim: PLLTransientSimulator
+    ) -> None:
+        counter = FrequencyCounter(self.config.test_clock_hz)
+        t0 = sim.now
+        f_fb = self.pll.f_out_nominal / self.pll.n
+        periods = self.config.frequency_count_periods
+        sim.run_for((periods + 2) / f_fb)
+        try:
+            measured = counter.measure_reciprocal(
+                sim.fb_edges, start=t0, periods=periods
+            ).scaled(self.pll.n).frequency_hz
+        except MeasurementError as exc:
+            report.steps.append(SelfTestStep("nominal frequency", False,
+                                             str(exc)))
+            return
+        err = measured / self.pll.f_out_nominal - 1.0
+        report.steps.append(SelfTestStep(
+            "nominal frequency",
+            abs(err) <= self.frequency_tolerance,
+            f"{measured:.3f} Hz vs {self.pll.f_out_nominal:.3f} Hz "
+            f"({err * 1e6:+.1f} ppm)",
+        ))
+
+    def _step_hold_droop(
+        self, report: SelfTestReport, sim: PLLTransientSimulator
+    ) -> None:
+        hold = LoopHoldControl(FrequencyCounter(self.config.test_clock_hz))
+        hold.engage(sim)
+        try:
+            result = hold.measure_held_frequency(
+                sim, periods=4 * self.config.frequency_count_periods,
+                release_after=True,
+            )
+        except MeasurementError as exc:
+            report.steps.append(SelfTestStep("hold droop", False, str(exc)))
+            return
+        report.steps.append(SelfTestStep(
+            "hold droop",
+            abs(result.droop_hz) <= self.droop_tolerance_hz,
+            f"droop {result.droop_hz:+.4f} Hz over the screen window "
+            f"(limit ±{self.droop_tolerance_hz:g} Hz)",
+        ))
+
+    def _step_sweep(self, report: SelfTestReport) -> None:
+        monitor = TransferFunctionMonitor(self.pll, self.stimulus, self.config)
+        try:
+            sweep, verdict = monitor.run_and_check(self.plan, self.limits)
+        except MeasurementError as exc:
+            report.steps.append(SelfTestStep("transfer function", False,
+                                             str(exc)))
+            return
+        report.sweep = sweep
+        report.limit_report = verdict
+        est = sweep.estimated
+        detail = (
+            f"fn={est.fn_hz:.2f} Hz, zeta={est.zeta:.3f}, "
+            f"peak={est.peak_db:+.2f} dB"
+            if est is not None
+            else "no parameters extractable"
+        )
+        if sweep.failed_tones:
+            detail += f"; {len(sweep.failed_tones)} dead tone(s)"
+        failures = (
+            "" if verdict.passed
+            else " — out of limits: "
+            + ", ".join(c.name for c in verdict.failures)
+        )
+        report.steps.append(SelfTestStep(
+            "transfer function", verdict.passed, detail + failures
+        ))

@@ -1,0 +1,209 @@
+"""The Table 2 test sequence, one modulation tone at a time.
+
+:class:`ToneTestSequencer` drives a fresh closed-loop simulation through
+the paper's five stages for a single modulation frequency ``FN``:
+
+===== =====================================================================
+stage action (Table 2)
+===== =====================================================================
+0     Ref set: modulation applied at FN, loop closed and settling from lock
+1     Set phase counter: started at the peak of the input modulation
+2     Monitor peak: the Figure 7 detector watches for the output-frequency
+      maximum
+3     Peak occurred: the MFREQ pulse *itself* switches the hold mux
+      (A=C, A=D) and stops the phase counter — within the same PFD cycle,
+      exactly as hard-wired logic would
+4     Measure: the reciprocal frequency counter reads the held (frozen)
+      output frequency; both counters' results are stored
+===== =====================================================================
+
+Stage 5 of the table — "increase FN and repeat" — is the sweep loop of
+:class:`~repro.core.monitor.TransferFunctionMonitor`.
+
+Every stage transition is logged with its time, so tests can assert the
+sequence matches the paper's table ordering.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.core.architecture import BISTConfig
+from repro.core.counters import FrequencyCounter, PhaseCount, PhaseCounter
+from repro.core.hold import HeldFrequencyResult, LoopHoldControl
+from repro.core.peak_detector import PeakEvent, PeakFrequencyDetector
+from repro.errors import MeasurementError
+from repro.pll.config import ChargePumpPLL
+from repro.pll.simulator import PLLTransientSimulator
+from repro.stimulus.modulation import ModulatedStimulus
+
+__all__ = ["TestStage", "ToneMeasurement", "ToneTestSequencer"]
+
+
+class TestStage(enum.Enum):
+    """Stages of Table 2 (plus a terminal DONE marker)."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    REF_SET = 0
+    SET_PHASE_COUNTER = 1
+    MONITOR_PEAK = 2
+    PEAK_OCCURRED = 3
+    MEASURE = 4
+    DONE = 5
+
+
+@dataclass
+class ToneMeasurement:
+    """Everything the BIST stores for one modulation frequency."""
+
+    f_mod: float
+    modulation_period: float
+    held: HeldFrequencyResult
+    phase_count: PhaseCount
+    f_out_nominal: float
+    arm_time: float
+    peak_event: PeakEvent
+    stage_log: List[Tuple[TestStage, float]] = field(default_factory=list)
+
+    @property
+    def delta_f_hz(self) -> float:
+        """Measured peak output-frequency deviation ``ΔF`` (eq. 7's input)."""
+        return self.held.vco_frequency_hz - self.f_out_nominal
+
+    @property
+    def phase_delay_deg(self) -> float:
+        """Eq. (8) phase lag between input and output modulation peaks."""
+        return self.phase_count.phase_delay_deg(self.modulation_period)
+
+    def __str__(self) -> str:
+        return (
+            f"ToneMeasurement(f_mod={self.f_mod:.4g} Hz, "
+            f"dF={self.delta_f_hz:+.4g} Hz, "
+            f"phase={-self.phase_delay_deg:.1f} deg)"
+        )
+
+
+class ToneTestSequencer:
+    """Run Table 2 stages 0–4 for one tone.
+
+    Parameters
+    ----------
+    pll:
+        Device under test.
+    stimulus:
+        Modulated-reference family (sine FM / FSK).
+    config:
+        On-chip test-hardware parameters.
+    """
+
+    def __init__(
+        self,
+        pll: ChargePumpPLL,
+        stimulus: ModulatedStimulus,
+        config: BISTConfig = BISTConfig(),
+    ) -> None:
+        config.validate_against_pfd(pll.pfd_reset_delay)
+        self.pll = pll
+        self.stimulus = stimulus
+        self.config = config
+
+    def run(self, f_mod: float, max_wait_cycles: float = 3.0) -> ToneMeasurement:
+        """Execute the sequence for modulation frequency ``f_mod`` (Hz).
+
+        ``max_wait_cycles`` bounds how long stage 2 waits for the peak
+        detector (in modulation periods) before declaring a failure —
+        which *is* a legitimate test outcome for some injected faults.
+        """
+        cfg = self.config
+        t_mod = 1.0 / f_mod
+        stage_log: List[Tuple[TestStage, float]] = []
+
+        # ---- stage 0: apply modulation with the loop locked -----------
+        source = self.stimulus.make_source(f_mod, start_time=0.0)
+        sim = PLLTransientSimulator(self.pll, source)
+        detector = PeakFrequencyDetector(
+            inverter_delay=cfg.detector_inverter_delay,
+            and_gate_delay=cfg.detector_and_delay,
+        )
+        phase_counter = PhaseCounter(cfg.test_clock_hz)
+        hold = LoopHoldControl(FrequencyCounter(cfg.test_clock_hz))
+        sim.add_cycle_observer(detector.on_cycle)
+        stage_log.append((TestStage.REF_SET, sim.now))
+        settle_end = cfg.settle_cycles / f_mod
+        sim.run_until(settle_end)
+
+        # ---- stage 1: start the phase counter at the input peak -------
+        t_arm = self.stimulus.modulation_peak_time(
+            f_mod, start_time=0.0, index=cfg.settle_cycles
+        )
+        sim.run_until(t_arm)
+        phase_counter.start(t_arm)
+        stage_log.append((TestStage.SET_PHASE_COUNTER, t_arm))
+
+        # ---- stages 2-3: monitor for the peak; MFREQ triggers hold ----
+        stage_log.append((TestStage.MONITOR_PEAK, t_arm))
+        captured: List[PeakEvent] = []
+        phase_result: List[PhaseCount] = []
+
+        def on_peak(event: PeakEvent) -> None:
+            if captured or not event.is_maximum or event.time <= t_arm:
+                return
+            captured.append(event)
+            phase_result.append(phase_counter.stop(event.time))
+            hold.engage(sim)  # the mux flips within the same PFD cycle
+
+        detector.on_event = on_peak
+        deadline = t_arm + max_wait_cycles * t_mod
+        while not captured and sim.now < deadline:
+            sim.run_until(min(sim.now + 0.25 * t_mod, deadline))
+        if not captured:
+            phase_counter.abort()
+            raise MeasurementError(
+                f"peak detector produced no MFREQ within "
+                f"{max_wait_cycles:g} modulation cycles at f_mod={f_mod:g} Hz"
+            )
+        event = captured[0]
+        stage_log.append((TestStage.PEAK_OCCURRED, event.time))
+
+        # ---- stage 4: count the held output frequency ------------------
+        stage_log.append((TestStage.MEASURE, sim.now))
+        held = hold.measure_held_frequency(
+            sim, periods=cfg.frequency_count_periods, release_after=True
+        )
+        stage_log.append((TestStage.DONE, sim.now))
+
+        return ToneMeasurement(
+            f_mod=f_mod,
+            modulation_period=t_mod,
+            held=held,
+            phase_count=phase_result[0],
+            f_out_nominal=self.pll.f_out_nominal,
+            arm_time=t_arm,
+            peak_event=event,
+            stage_log=stage_log,
+        )
+
+    def measure_nominal_frequency(self, gate_cycles: int = 128) -> float:
+        """Stage-0 companion: count the unmodulated output frequency.
+
+        Runs the loop closed with a constant reference and reciprocal-
+        counts the divided output, giving the ``f_out`` baseline that
+        ``ΔF`` measurements subtract (the paper references deviations to
+        the locked nominal frequency).
+        """
+        from repro.stimulus.waveforms import ConstantFrequencySource
+
+        source = ConstantFrequencySource(self.stimulus.f_nominal)
+        sim = PLLTransientSimulator(self.pll, source)
+        counter = FrequencyCounter(self.config.test_clock_hz)
+        settle = 64.0 / self.stimulus.f_nominal
+        sim.run_until(settle)
+        t0 = sim.now
+        f_fb = self.pll.f_out_nominal / self.pll.n
+        sim.run_for((gate_cycles + 2) / f_fb)
+        return counter.measure_reciprocal(
+            sim.fb_edges, start=t0, periods=gate_cycles
+        ).scaled(self.pll.n).frequency_hz

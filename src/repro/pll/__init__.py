@@ -1,0 +1,62 @@
+"""Behavioral charge-pump PLL substrate.
+
+Implements every block of Figure 2 of the paper — phase-frequency
+detector, charge pump (current-steering and 4046-style rail-driver
+variants), loop filter (the passive lag-lead of Figure 9 and the classic
+series-RC charge-pump filter), VCO and dividers — plus the assembled
+closed-loop transient simulator, a 74HCT4046A-flavoured device model and
+a macro-level fault injector.
+"""
+
+from repro.pll.pfd import PFDCycle, PFDState, PhaseFrequencyDetector
+from repro.pll.charge_pump import (
+    Drive,
+    DriveKind,
+    ChargePump,
+    CurrentChargePump,
+    RailDriverChargePump,
+)
+from repro.pll.loop_filter import (
+    LoopFilter,
+    PassiveLagLeadFilter,
+    SeriesRCFilter,
+)
+from repro.pll.vco import VCO
+from repro.pll.dividers import EdgeDivider, RingCounterDivider
+from repro.pll.config import ChargePumpPLL
+from repro.pll.simulator import PLLTransientSimulator, TransientResult
+from repro.pll.hct4046 import HCT4046Config, make_hct4046_pll
+from repro.pll.faults import (
+    Fault,
+    FaultKind,
+    apply_fault,
+    FAULT_LIBRARY,
+    fault_library,
+)
+
+__all__ = [
+    "PFDCycle",
+    "PFDState",
+    "PhaseFrequencyDetector",
+    "Drive",
+    "DriveKind",
+    "ChargePump",
+    "CurrentChargePump",
+    "RailDriverChargePump",
+    "LoopFilter",
+    "PassiveLagLeadFilter",
+    "SeriesRCFilter",
+    "VCO",
+    "EdgeDivider",
+    "RingCounterDivider",
+    "ChargePumpPLL",
+    "PLLTransientSimulator",
+    "TransientResult",
+    "HCT4046Config",
+    "make_hct4046_pll",
+    "Fault",
+    "FaultKind",
+    "apply_fault",
+    "FAULT_LIBRARY",
+    "fault_library",
+]

@@ -1,0 +1,208 @@
+"""Assembled charge-pump PLL description.
+
+:class:`ChargePumpPLL` bundles the component descriptors of Figure 2 of
+the paper — charge pump, loop filter, VCO, dividers — together with the
+nominal reference frequency, and derives the linear small-signal
+quantities the paper's analysis needs (loop gain, natural frequency,
+damping; equations (1) and (4)–(6)).
+
+The PFD itself is stateful and is instantiated per simulation run by
+:class:`~repro.pll.simulator.PLLTransientSimulator`; only its reset
+delay lives here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.pll.charge_pump import ChargePump, CurrentChargePump, DriveKind
+from repro.pll.loop_filter import LoopFilter
+from repro.pll.vco import VCO
+
+__all__ = ["ChargePumpPLL"]
+
+ComplexLike = Union[complex, np.ndarray]
+
+
+@dataclass
+class ChargePumpPLL:
+    """A complete CP-PLL: components plus nominal operating point.
+
+    Parameters
+    ----------
+    pump:
+        Charge pump (current-steering or rail-driver).
+    loop_filter:
+        Loop filter descriptor.
+    vco:
+        Voltage-controlled oscillator.
+    n:
+        Feedback division ratio (``N`` in eqs. 4–5).
+    f_ref:
+        Nominal reference frequency in Hz, *after* any reference
+        divider — i.e. the frequency presented at the PFD.
+    pfd_reset_delay:
+        Reset propagation delay of the PFD in seconds (dead-zone glitch
+        width of Figure 5).
+    name:
+        Label used in reports.
+    """
+
+    pump: ChargePump
+    loop_filter: LoopFilter
+    vco: VCO
+    n: int
+    f_ref: float
+    pfd_reset_delay: float = 5e-9
+    name: str = "cp-pll"
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigurationError(f"divider n must be >= 1, got {self.n!r}")
+        if self.f_ref <= 0.0:
+            raise ConfigurationError(
+                f"f_ref must be positive, got {self.f_ref!r}"
+            )
+        if self.pfd_reset_delay <= 0.0:
+            raise ConfigurationError(
+                f"pfd_reset_delay must be positive, got {self.pfd_reset_delay!r}"
+            )
+        f_out = self.n * self.f_ref
+        if not (self.vco.f_min <= f_out <= self.vco.f_max):
+            raise ConfigurationError(
+                f"nominal output frequency {f_out!r} Hz is outside the VCO "
+                f"range [{self.vco.f_min!r}, {self.vco.f_max!r}]"
+            )
+
+    # ------------------------------------------------------------------
+    # operating point
+    # ------------------------------------------------------------------
+    @property
+    def f_out_nominal(self) -> float:
+        """Nominal VCO output frequency ``N * f_ref`` in Hz."""
+        return self.n * self.f_ref
+
+    def locked_control_voltage(self) -> float:
+        """Control voltage at which the VCO runs at exactly ``N * f_ref``."""
+        return self.vco.voltage_for_frequency(self.f_out_nominal)
+
+    # ------------------------------------------------------------------
+    # small-signal quantities (linear model; see analysis.linear_model)
+    # ------------------------------------------------------------------
+    @property
+    def kd(self) -> float:
+        """Phase-detector(+pump) gain: V/rad for rail drivers, A/rad for
+        current pumps."""
+        return self.pump.gain_v_per_rad
+
+    @property
+    def ko(self) -> float:
+        """VCO gain in rad/s per volt."""
+        return self.vco.gain_rad_per_sv
+
+    @property
+    def drive_kind(self) -> DriveKind:
+        """Whether the pump drives the filter with a voltage or a current."""
+        if isinstance(self.pump, CurrentChargePump):
+            return DriveKind.CURRENT
+        return DriveKind.VOLTAGE
+
+    @property
+    def drive_source_resistance(self) -> float:
+        """Average driver output resistance seen by a voltage-driven filter."""
+        r_up = getattr(self.pump, "r_up", 0.0)
+        r_dn = getattr(self.pump, "r_dn", 0.0)
+        return 0.5 * (r_up + r_dn)
+
+    def filter_response(self, s: ComplexLike) -> ComplexLike:
+        """``F(s)`` (or ``Z(s)`` for current pumps) including driver Rout."""
+        return self.loop_filter.frequency_response(
+            s, self.drive_kind, self.drive_source_resistance
+        )
+
+    def loop_gain_constant(self) -> float:
+        """``K = Kd * Ko`` — the product in eq. (5), in rad/s (voltage
+        pumps) or rad·A-units folded with Z(s) (current pumps)."""
+        return self.kd * self.ko
+
+    def open_loop_transfer(self, s: ComplexLike) -> ComplexLike:
+        """Open-loop gain ``G(s) = Kd * F(s) * Ko / (s * N)``."""
+        s_arr = np.asarray(s, dtype=complex) if np.ndim(s) else complex(s)
+        return self.kd * self.filter_response(s_arr) * self.ko / (s_arr * self.n)
+
+    def closed_loop_transfer(self, s: ComplexLike) -> ComplexLike:
+        """Closed-loop phase transfer ``H(s) = θo(s)/θi(s)`` (eq. 1 with
+        the divider: ``H = N·G/(1+G)``).
+
+        The paper's eq. (4) is this expression specialised to the
+        Figure 9 filter.
+        """
+        g = self.open_loop_transfer(s)
+        return self.n * g / (1.0 + g)
+
+    # ------------------------------------------------------------------
+    # second-order parameters (eqs. 5 and 6)
+    # ------------------------------------------------------------------
+    def _lag_lead_taus(self) -> "tuple[float, float]":
+        lf = self.loop_filter
+        tau1 = getattr(lf, "tau1", None)
+        if callable(tau1):
+            return lf.tau1(self.drive_source_resistance), lf.tau2
+        raise ConfigurationError(
+            "second-order eqs. (5)/(6) apply to the passive lag-lead "
+            f"filter; got {type(lf).__name__}"
+        )
+
+    def _is_series_rc(self) -> bool:
+        # Avoid a hard import cycle: duck-type on the series-RC interface.
+        lf = self.loop_filter
+        return hasattr(lf, "tau") and hasattr(lf, "r") and not hasattr(lf, "r1")
+
+    def natural_frequency(self) -> float:
+        """Natural frequency in rad/s.
+
+        Passive lag-lead (the paper's loop): eq. (5),
+        ``ωn = sqrt(K / (N (τ1 + τ2)))``.
+
+        Current-mode series-RC (the classic charge-pump loop):
+        ``ωn = sqrt(Kd·Ko / (N·C))`` — the type-2 textbook result.
+        """
+        if self._is_series_rc():
+            return math.sqrt(
+                self.loop_gain_constant() / (self.n * self.loop_filter.c)
+            )
+        tau1, tau2 = self._lag_lead_taus()
+        return math.sqrt(self.loop_gain_constant() / (self.n * (tau1 + tau2)))
+
+    def damping(self, exact: bool = False) -> float:
+        """Damping factor ζ.
+
+        Lag-lead: ``exact=False`` (default) is the paper's eq. (6),
+        ``ζ = ωn τ2 / 2``; ``exact=True`` adds the finite-loop-gain term
+        from Gardner, ``ζ = (ωn/2)(τ2 + N/K)``, which matters for
+        low-gain loops.  Series-RC type-2 loops use ``ζ = ωn·R·C/2``
+        (the ``exact`` flag has no extra term to add there).
+        """
+        if self._is_series_rc():
+            return 0.5 * self.natural_frequency() * self.loop_filter.tau
+        __, tau2 = self._lag_lead_taus()
+        wn = self.natural_frequency()
+        if exact:
+            return 0.5 * wn * (tau2 + self.n / self.loop_gain_constant())
+        return 0.5 * wn * tau2
+
+    def natural_frequency_hz(self) -> float:
+        """Natural frequency in Hz (the paper reports ``Fn ≈ 8 Hz``)."""
+        return self.natural_frequency() / (2.0 * math.pi)
+
+    def __repr__(self) -> str:
+        return (
+            f"ChargePumpPLL(name={self.name!r}, n={self.n!r}, "
+            f"f_ref={self.f_ref!r}, pump={self.pump!r}, "
+            f"filter={self.loop_filter!r}, vco={self.vco!r})"
+        )

@@ -1,0 +1,344 @@
+"""Loop filters with exact piecewise-analytic behaviour.
+
+Two filters cover both charge-pump styles:
+
+* :class:`PassiveLagLeadFilter` — the paper's Figure 9 network: the
+  drive reaches the VCO control node through R1; from that node R2 in
+  series with C goes to ground.  Its voltage transfer function is
+  equation (3) of the paper::
+
+      F(s) = (1 + s*tau2) / (1 + s*(tau1 + tau2)),
+      tau1 = (Rs + R1) * C,   tau2 = R2 * C,
+
+  where ``Rs`` is the driver's output resistance.
+* :class:`SeriesRCFilter` — the classic current-mode charge-pump filter
+  (R in series with C to ground), with transimpedance
+  ``Z(s) = R + 1/(sC)``.
+
+Filters here are **stateless descriptors**: the single state variable —
+the capacitor voltage — is owned by the simulator and passed in.  For a
+given state and :class:`~repro.pll.charge_pump.Drive`, each filter
+returns closed-form :mod:`~repro.sim.segments` for both the state and
+the output node, which is what makes edge-to-edge simulation exact.
+
+An optional ``leak_resistance`` across the capacitor models the leaky-
+capacitor defect that undermines the paper's hold-and-count step.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.pll.charge_pump import Drive, DriveKind
+from repro.sim.segments import (
+    AnalogSegment,
+    ConstantSegment,
+    ExponentialSegment,
+    RampSegment,
+)
+
+__all__ = ["LoopFilter", "PassiveLagLeadFilter", "SeriesRCFilter"]
+
+ComplexLike = Union[complex, np.ndarray]
+
+
+class LoopFilter:
+    """Interface shared by all loop filters.
+
+    The simulator calls :meth:`state_segment` and :meth:`output_segment`
+    each time the charge-pump drive changes, then evaluates/advances the
+    returned segments.
+    """
+
+    def state_segment(self, vc: float, drive: Drive) -> AnalogSegment:
+        """Capacitor-voltage evolution from state ``vc`` under ``drive``."""
+        raise NotImplementedError
+
+    def output_segment(self, vc: float, drive: Drive) -> AnalogSegment:
+        """VCO-control-node evolution from state ``vc`` under ``drive``."""
+        raise NotImplementedError
+
+    def state_for_output(self, vout: float) -> float:
+        """Capacitor voltage that yields ``vout`` in the tri-stated condition.
+
+        Used to initialise the loop at its locked operating point.
+        """
+        raise NotImplementedError
+
+    def frequency_response(self, s: ComplexLike, drive_kind: DriveKind,
+                           source_resistance: float = 0.0) -> ComplexLike:
+        """``F(s)`` (voltage drive) or ``Z(s)`` (current drive) at ``s``."""
+        if drive_kind is DriveKind.VOLTAGE:
+            return self.voltage_transfer(s, source_resistance)
+        if drive_kind is DriveKind.CURRENT:
+            return self.transimpedance(s)
+        raise ConfigurationError("HIGH_Z has no transfer function")
+
+    def voltage_transfer(self, s: ComplexLike, source_resistance: float = 0.0
+                         ) -> ComplexLike:
+        """Vout/Vdrive for a rail driver with the given output resistance."""
+        raise NotImplementedError
+
+    def transimpedance(self, s: ComplexLike) -> ComplexLike:
+        """Vout/Idrive for a current-steering pump."""
+        raise NotImplementedError
+
+
+def _check_positive(name: str, value: float) -> None:
+    if value <= 0.0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+
+
+class PassiveLagLeadFilter(LoopFilter):
+    """The Figure 9 network: drive --R1--> vout --R2--C--> gnd.
+
+    Parameters
+    ----------
+    r1, r2:
+        Series and zero-setting resistances in ohms.
+    c:
+        Capacitance in farads.
+    leak_resistance:
+        Parasitic resistance across the capacitor in ohms;
+        ``math.inf`` (default) is the healthy part.
+    """
+
+    def __init__(self, r1: float, r2: float, c: float,
+                 leak_resistance: float = math.inf) -> None:
+        _check_positive("r1", r1)
+        _check_positive("c", c)
+        if r2 < 0.0:
+            raise ConfigurationError(f"r2 must be >= 0, got {r2!r}")
+        if leak_resistance <= 0.0:
+            raise ConfigurationError(
+                f"leak_resistance must be positive, got {leak_resistance!r}"
+            )
+        self.r1 = r1
+        self.r2 = r2
+        self.c = c
+        self.leak_resistance = leak_resistance
+
+    # -- time constants of eq. (3) / Table 3 ---------------------------
+    def tau1(self, source_resistance: float = 0.0) -> float:
+        """``(Rs + R1) * C`` — the pole-side time constant of eq. (3)."""
+        return (source_resistance + self.r1) * self.c
+
+    @property
+    def tau2(self) -> float:
+        """``R2 * C`` — the stabilising-zero time constant of eq. (3)."""
+        return self.r2 * self.c
+
+    @property
+    def has_leak(self) -> bool:
+        """Whether a finite leak resistance is configured."""
+        return math.isfinite(self.leak_resistance)
+
+    # -- segment laws ---------------------------------------------------
+    def _series_resistance(self, drive: Drive) -> float:
+        return drive.source_resistance + self.r1 + self.r2
+
+    def state_segment(self, vc: float, drive: Drive) -> AnalogSegment:
+        if drive.kind is DriveKind.VOLTAGE:
+            r_total = self._series_resistance(drive)
+            if self.has_leak:
+                r_l = self.leak_resistance
+                tau = self.c * r_total * r_l / (r_total + r_l)
+                asymptote = drive.value * r_l / (r_total + r_l)
+            else:
+                tau = self.c * r_total
+                asymptote = drive.value
+            return ExponentialSegment(initial=vc, asymptote=asymptote, tau=tau)
+        if drive.kind is DriveKind.CURRENT:
+            if self.has_leak:
+                return ExponentialSegment(
+                    initial=vc,
+                    asymptote=drive.value * self.leak_resistance,
+                    tau=self.leak_resistance * self.c,
+                )
+            return RampSegment(initial=vc, slope=drive.value / self.c)
+        # HIGH_Z: capacitor holds, or bleeds through the leak.
+        if self.has_leak:
+            return ExponentialSegment(
+                initial=vc, asymptote=0.0, tau=self.leak_resistance * self.c
+            )
+        return ConstantSegment(initial=vc)
+
+    def output_segment(self, vc: float, drive: Drive) -> AnalogSegment:
+        state = self.state_segment(vc, drive)
+        if drive.kind is DriveKind.VOLTAGE:
+            # vout = (1 - r2/R) * vc + (r2/R) * vdrive : same tau, scaled.
+            r_total = self._series_resistance(drive)
+            k = self.r2 / r_total
+            assert isinstance(state, ExponentialSegment)
+            return ExponentialSegment(
+                initial=(1.0 - k) * state.initial + k * drive.value,
+                asymptote=(1.0 - k) * state.asymptote + k * drive.value,
+                tau=state.tau,
+            )
+        if drive.kind is DriveKind.CURRENT:
+            # The injected current adds a constant r2 drop on top of vc.
+            offset = drive.value * self.r2
+            if isinstance(state, RampSegment):
+                return RampSegment(initial=state.initial + offset, slope=state.slope)
+            assert isinstance(state, ExponentialSegment)
+            return ExponentialSegment(
+                initial=state.initial + offset,
+                asymptote=state.asymptote + offset,
+                tau=state.tau,
+            )
+        # HIGH_Z: no series current, so vout tracks vc exactly.
+        return state
+
+    def state_for_output(self, vout: float) -> float:
+        return vout
+
+    # -- frequency domain ------------------------------------------------
+    def voltage_transfer(self, s: ComplexLike, source_resistance: float = 0.0
+                         ) -> ComplexLike:
+        s = np.asarray(s, dtype=complex) if np.ndim(s) else complex(s)
+        ra = source_resistance + self.r1
+        if self.has_leak:
+            zc = self.leak_resistance / (1.0 + s * self.leak_resistance * self.c)
+        else:
+            zc = 1.0 / (s * self.c)
+        z_branch = self.r2 + zc
+        return z_branch / (ra + z_branch)
+
+    def transimpedance(self, s: ComplexLike) -> ComplexLike:
+        """Vout/I for current injected at the control node (leakage path)."""
+        s = np.asarray(s, dtype=complex) if np.ndim(s) else complex(s)
+        if self.has_leak:
+            zc = self.leak_resistance / (1.0 + s * self.leak_resistance * self.c)
+        else:
+            zc = 1.0 / (s * self.c)
+        return self.r2 + zc
+
+    def __repr__(self) -> str:
+        leak = (
+            f", leak_resistance={self.leak_resistance!r}" if self.has_leak else ""
+        )
+        return (
+            f"PassiveLagLeadFilter(r1={self.r1!r}, r2={self.r2!r}, "
+            f"c={self.c!r}{leak})"
+        )
+
+
+class SeriesRCFilter(LoopFilter):
+    """Current-mode charge-pump filter: drive --> vout --R--C--> gnd.
+
+    Parameters
+    ----------
+    r:
+        Zero-setting resistance in ohms.
+    c:
+        Capacitance in farads.
+    leak_resistance:
+        Parasitic resistance across the capacitor; ``math.inf`` default.
+    """
+
+    def __init__(self, r: float, c: float,
+                 leak_resistance: float = math.inf) -> None:
+        if r < 0.0:
+            raise ConfigurationError(f"r must be >= 0, got {r!r}")
+        _check_positive("c", c)
+        if leak_resistance <= 0.0:
+            raise ConfigurationError(
+                f"leak_resistance must be positive, got {leak_resistance!r}"
+            )
+        self.r = r
+        self.c = c
+        self.leak_resistance = leak_resistance
+
+    @property
+    def tau(self) -> float:
+        """``R * C`` — the stabilising-zero time constant."""
+        return self.r * self.c
+
+    @property
+    def has_leak(self) -> bool:
+        """Whether a finite leak resistance is configured."""
+        return math.isfinite(self.leak_resistance)
+
+    def state_segment(self, vc: float, drive: Drive) -> AnalogSegment:
+        if drive.kind is DriveKind.CURRENT:
+            if self.has_leak:
+                return ExponentialSegment(
+                    initial=vc,
+                    asymptote=drive.value * self.leak_resistance,
+                    tau=self.leak_resistance * self.c,
+                )
+            return RampSegment(initial=vc, slope=drive.value / self.c)
+        if drive.kind is DriveKind.VOLTAGE:
+            r_total = drive.source_resistance + self.r
+            if r_total <= 0.0:
+                raise ConfigurationError(
+                    "voltage drive into a series-RC filter needs non-zero "
+                    "total resistance"
+                )
+            if self.has_leak:
+                r_l = self.leak_resistance
+                tau = self.c * r_total * r_l / (r_total + r_l)
+                asymptote = drive.value * r_l / (r_total + r_l)
+            else:
+                tau = self.c * r_total
+                asymptote = drive.value
+            return ExponentialSegment(initial=vc, asymptote=asymptote, tau=tau)
+        if self.has_leak:
+            return ExponentialSegment(
+                initial=vc, asymptote=0.0, tau=self.leak_resistance * self.c
+            )
+        return ConstantSegment(initial=vc)
+
+    def output_segment(self, vc: float, drive: Drive) -> AnalogSegment:
+        state = self.state_segment(vc, drive)
+        if drive.kind is DriveKind.CURRENT:
+            offset = drive.value * self.r
+            if isinstance(state, RampSegment):
+                return RampSegment(initial=state.initial + offset, slope=state.slope)
+            assert isinstance(state, ExponentialSegment)
+            return ExponentialSegment(
+                initial=state.initial + offset,
+                asymptote=state.asymptote + offset,
+                tau=state.tau,
+            )
+        if drive.kind is DriveKind.VOLTAGE:
+            r_total = drive.source_resistance + self.r
+            k = self.r / r_total
+            assert isinstance(state, ExponentialSegment)
+            return ExponentialSegment(
+                initial=(1.0 - k) * state.initial + k * drive.value,
+                asymptote=(1.0 - k) * state.asymptote + k * drive.value,
+                tau=state.tau,
+            )
+        return state
+
+    def state_for_output(self, vout: float) -> float:
+        return vout
+
+    def voltage_transfer(self, s: ComplexLike, source_resistance: float = 0.0
+                         ) -> ComplexLike:
+        s = np.asarray(s, dtype=complex) if np.ndim(s) else complex(s)
+        if self.has_leak:
+            zc = self.leak_resistance / (1.0 + s * self.leak_resistance * self.c)
+        else:
+            zc = 1.0 / (s * self.c)
+        z_branch = self.r + zc
+        return z_branch / (source_resistance + z_branch)
+
+    def transimpedance(self, s: ComplexLike) -> ComplexLike:
+        s = np.asarray(s, dtype=complex) if np.ndim(s) else complex(s)
+        if self.has_leak:
+            zc = self.leak_resistance / (1.0 + s * self.leak_resistance * self.c)
+        else:
+            zc = 1.0 / (s * self.c)
+        return self.r + zc
+
+    def __repr__(self) -> str:
+        leak = (
+            f", leak_resistance={self.leak_resistance!r}" if self.has_leak else ""
+        )
+        return f"SeriesRCFilter(r={self.r!r}, c={self.c!r}{leak})"

@@ -1,0 +1,12 @@
+"""Plain-text reporting: tables and terminal Bode plots.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output consistent and readable
+in a terminal (no plotting dependencies).
+"""
+
+from repro.reporting.tables import format_table
+from repro.reporting.ascii_plot import ascii_bode, ascii_series
+from repro.reporting.device_report import device_report
+
+__all__ = ["format_table", "ascii_bode", "ascii_series", "device_report"]

@@ -1,0 +1,92 @@
+"""Terminal line plots for Bode responses.
+
+Good enough to eyeball the Figure 10–12 shapes straight from the
+benchmark output: log-frequency x-axis, one character per sample, one
+letter per series.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ascii_series", "ascii_bode"]
+
+
+def ascii_series(
+    series: Sequence[Tuple[str, np.ndarray, np.ndarray]],
+    width: int = 72,
+    height: int = 18,
+    x_log: bool = True,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Plot ``(label, x, y)`` series on one character grid.
+
+    Each series is drawn with the first letter of its label; collisions
+    show the later series.  Axis extremes are annotated.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    xs = np.concatenate([np.asarray(x, dtype=float) for __, x, _y in series])
+    ys = np.concatenate([np.asarray(y, dtype=float) for __, _x, y in series])
+    if x_log:
+        if np.any(xs <= 0.0):
+            raise ValueError("log x-axis requires positive x values")
+        xs = np.log10(xs)
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for label, x, y in series:
+        mark = (label or "*")[0]
+        x_arr = np.asarray(x, dtype=float)
+        if x_log:
+            x_arr = np.log10(x_arr)
+        y_arr = np.asarray(y, dtype=float)
+        for xv, yv in zip(x_arr, y_arr):
+            col = int(round((xv - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((y_hi - yv) / (y_hi - y_lo) * (height - 1)))
+            grid[row][col] = mark
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:10.3g} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{y_lo:10.3g} +" + "".join(grid[-1]))
+    x_lo_label = 10.0 ** x_lo if x_log else x_lo
+    x_hi_label = 10.0 ** x_hi if x_log else x_hi
+    footer = f"{x_lo_label:.3g}"
+    pad = width - len(footer) - len(f"{x_hi_label:.3g}")
+    lines.append(" " * 12 + footer + " " * max(pad, 1) + f"{x_hi_label:.3g}")
+    legend = "   ".join(f"{(label or '*')[0]} = {label}" for label, __, _y in series)
+    lines.append(f"{y_label}   [{legend}]" if y_label else f"[{legend}]")
+    return "\n".join(lines)
+
+
+def ascii_bode(
+    responses: Sequence["object"],
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Magnitude and phase panels for a set of
+    :class:`~repro.analysis.bode.BodeResponse` objects."""
+    mag = ascii_series(
+        [(r.label, r.frequencies_hz, r.magnitude_db) for r in responses],
+        width=width, height=height, title=f"{title} — magnitude (dB)",
+        y_label="dB",
+    )
+    phase = ascii_series(
+        [(r.label, r.frequencies_hz, r.phase_deg) for r in responses],
+        width=width, height=height, title=f"{title} — phase (deg)",
+        y_label="deg",
+    )
+    return mag + "\n\n" + phase

@@ -1,0 +1,128 @@
+"""Self-contained per-device test report (markdown).
+
+Production test flows archive one artefact per device; this renders
+everything a failure-analysis engineer needs from one BIST run — set-up,
+per-tone table, extracted parameters, limit verdicts and (for failures)
+the diagnosis ranking — as plain markdown.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.sensitivity import DiagnosisCandidate
+from repro.core.limits import LimitReport
+from repro.core.monitor import SweepResult
+from repro.pll.config import ChargePumpPLL
+
+__all__ = ["device_report"]
+
+
+def _section(title: str, body: str) -> str:
+    return f"## {title}\n\n{body}\n"
+
+
+def _md_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.6g}"
+        return str(cell)
+
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for __ in headers) + " |",
+    ]
+    lines += [
+        "| " + " | ".join(fmt(c) for c in row) + " |" for row in rows
+    ]
+    return "\n".join(lines)
+
+
+def device_report(
+    pll: ChargePumpPLL,
+    sweep: SweepResult,
+    limits: Optional[LimitReport] = None,
+    diagnosis: Optional[Sequence[DiagnosisCandidate]] = None,
+) -> str:
+    """Render one device's BIST outcome as a markdown document.
+
+    Parameters
+    ----------
+    pll:
+        The device under test (identification/configuration header).
+    sweep:
+        The completed transfer-function sweep.
+    limits:
+        Optional limit-comparison outcome (adds the verdict section).
+    diagnosis:
+        Optional ranked single-component hypotheses (usually only
+        attached for failing devices).
+    """
+    parts = [f"# BIST report — {pll.name}\n"]
+
+    parts.append(_section("Device", _md_table(
+        ["parameter", "value"],
+        [
+            ["reference frequency", f"{pll.f_ref:g} Hz"],
+            ["feedback divider N", pll.n],
+            ["nominal output", f"{pll.f_out_nominal:g} Hz"],
+            ["pump", repr(pll.pump)],
+            ["loop filter", repr(pll.loop_filter)],
+        ],
+    )))
+
+    resp = sweep.response
+    tone_rows = [
+        [f"{f:.3g}", f"{m:+.2f}", f"{p:+.1f}"]
+        for f, m, p in zip(
+            resp.frequencies_hz, resp.magnitude_db, resp.phase_deg
+        )
+    ]
+    for f_mod, reason in sorted(sweep.failed_tones.items()):
+        tone_rows.append([f"{f_mod:.3g}", "—", f"FAILED: {reason}"])
+    parts.append(_section(
+        f"Measured transfer function [{sweep.stimulus_label}]",
+        _md_table(["f_mod (Hz)", "magnitude (dB)", "phase (deg)"],
+                  tone_rows),
+    ))
+
+    if sweep.estimated is not None:
+        est = sweep.estimated
+        parts.append(_section("Extracted parameters", _md_table(
+            ["parameter", "value"],
+            [
+                ["natural frequency", f"{est.fn_hz:.3f} Hz"],
+                ["damping", f"{est.zeta:.4f}"],
+                ["peaking", f"{est.peak_db:+.2f} dB @ {est.f_peak_hz:.3f} Hz"],
+                ["f3dB", f"{est.f3db_hz:.3f} Hz" if est.f3db_hz else
+                 "beyond sweep"],
+            ],
+        )))
+    else:
+        parts.append(_section("Extracted parameters",
+                              "_not extractable from this sweep_"))
+
+    if limits is not None:
+        verdict = "**PASS**" if limits.passed else "**FAIL**"
+        rows = [
+            [c.name, f"{c.value:.4g}", f"[{c.low:.4g}, {c.high:.4g}]",
+             "pass" if c.passed else "FAIL"]
+            for c in limits.checks
+        ]
+        parts.append(_section(
+            f"Limit comparison — {verdict}",
+            _md_table(["check", "measured", "band", "result"], rows),
+        ))
+
+    if diagnosis:
+        rows = [
+            [i + 1, c.component, f"{c.scale:.2f}x", f"{c.residual:.4f}"]
+            for i, c in enumerate(diagnosis)
+        ]
+        parts.append(_section(
+            "Diagnosis (single-component hypotheses, best first)",
+            _md_table(["rank", "component", "best-fit scale", "residual"],
+                      rows),
+        ))
+
+    return "\n".join(parts)

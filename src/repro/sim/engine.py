@@ -1,0 +1,135 @@
+"""A small deterministic discrete-event scheduler.
+
+The BIST digital logic (frequency counter gating, sequencer timeouts,
+latch clocking with propagation delays) is most naturally expressed as
+callbacks on a time-ordered queue.  The scheduler is deliberately
+minimal: a binary heap of :class:`~repro.sim.events.Event` with stable
+FIFO tie-breaking, a monotonic clock, and run-until predicates.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+__all__ = ["EventScheduler"]
+
+
+class EventScheduler:
+    """Time-ordered event queue with a monotonically advancing clock.
+
+    Events scheduled for the same instant fire in the order they were
+    scheduled, which makes zero-delay combinational chains behave
+    causally and keeps runs bit-for-bit reproducible.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._queue: list[Event] = []
+        self._fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)
+
+    @property
+    def fired(self) -> int:
+        """Total number of events executed so far."""
+        return self._fired
+
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[[float], Any],
+        label: str = "",
+    ) -> Event:
+        """Queue ``callback`` to fire at absolute ``time``.
+
+        Scheduling in the past is an error: the clock never runs
+        backwards.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event {label!r} at t={time!r} before now={self._now!r}"
+            )
+        event = Event(time=time, callback=callback, label=label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[[float], Any],
+        label: str = "",
+    ) -> Event:
+        """Queue ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0.0:
+            raise SimulationError(f"delay must be non-negative, got {delay!r}")
+        return self.schedule(self._now + delay, callback, label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event.
+
+        Implemented by voiding the callback; the dead entry is discarded
+        when it reaches the head of the heap.
+        """
+        event.callback = None
+
+    def step(self) -> Optional[Event]:
+        """Fire the single earliest pending event; return it, or ``None``.
+
+        Cancelled events are skipped silently but still advance the
+        clock to their timestamp (time is observable, work is not).
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            self._now = event.time
+            if event.callback is None:
+                continue
+            event.fire()
+            self._fired += 1
+            return event
+        return None
+
+    def run_until(self, end_time: float) -> int:
+        """Fire all events with ``time <= end_time``; return how many fired.
+
+        The clock finishes at exactly ``end_time`` even if the queue
+        drains early.
+        """
+        if end_time < self._now:
+            raise SimulationError(
+                f"end_time {end_time!r} precedes current time {self._now!r}"
+            )
+        count = 0
+        while self._queue and self._queue[0].time <= end_time:
+            if self.step() is not None:
+                count += 1
+        self._now = end_time
+        return count
+
+    def run(self, max_events: int = 10_000_000) -> int:
+        """Drain the queue entirely; return how many events fired.
+
+        ``max_events`` is a runaway guard for accidentally self-
+        rescheduling callbacks.
+        """
+        count = 0
+        while self._queue:
+            if count >= max_events:
+                raise SimulationError(
+                    f"event budget of {max_events} exhausted; "
+                    "likely a self-rescheduling callback loop"
+                )
+            if self.step() is not None:
+                count += 1
+        return count

@@ -1,0 +1,147 @@
+"""Analogue trace recording and analysis.
+
+The paper's Figure 8 shows the loop-filter node voltage, the PFD UP/DOWN
+pulses and the peak-detector output on one time axis.  :class:`Trace`
+records sampled analogue values; its analysis helpers (peak finding,
+interpolation, extrema between markers) are used both by the figure
+benches and by tests that verify the peak detector fires at the true
+frequency extremum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+__all__ = ["Trace", "TracePeak"]
+
+
+@dataclass(frozen=True)
+class TracePeak:
+    """A local extremum found on a trace."""
+
+    time: float
+    value: float
+    is_maximum: bool
+
+
+class Trace:
+    """Append-only record of ``(time, value)`` samples of an analogue node."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __repr__(self) -> str:
+        return f"Trace(name={self.name!r}, samples={len(self)})"
+
+    def append(self, time: float, value: float) -> None:
+        """Record one sample; times must be non-decreasing."""
+        if self._times and time < self._times[-1]:
+            raise MeasurementError(
+                f"trace {self.name!r}: sample at t={time!r} precedes "
+                f"t={self._times[-1]!r}"
+            )
+        if self._times and time == self._times[-1]:
+            # Re-sampling the same instant just refreshes the value.
+            self._values[-1] = value
+            return
+        self._times.append(time)
+        self._values.append(value)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample times as an array."""
+        return np.array(self._times)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Sample values as an array."""
+        return np.array(self._values)
+
+    def value_at(self, time: float) -> float:
+        """Linearly interpolated value at ``time`` (clamped at the ends)."""
+        if not self._times:
+            raise MeasurementError(f"trace {self.name!r} is empty")
+        return float(np.interp(time, self._times, self._values))
+
+    def window(self, start: float, stop: float) -> "Trace":
+        """A new trace restricted to samples with ``start <= t <= stop``."""
+        out = Trace(self.name)
+        for t, v in zip(self._times, self._values):
+            if start <= t <= stop:
+                out.append(t, v)
+        return out
+
+    def extremum(
+        self, start: Optional[float] = None, stop: Optional[float] = None,
+        maximum: bool = True,
+    ) -> TracePeak:
+        """Global extremum of the trace (optionally within a window)."""
+        t = self.times
+        v = self.values
+        if t.size == 0:
+            raise MeasurementError(f"trace {self.name!r} is empty")
+        mask = np.ones(t.size, dtype=bool)
+        if start is not None:
+            mask &= t >= start
+        if stop is not None:
+            mask &= t <= stop
+        if not mask.any():
+            raise MeasurementError(
+                f"trace {self.name!r} has no samples in [{start!r}, {stop!r}]"
+            )
+        idx_local = np.argmax(v[mask]) if maximum else np.argmin(v[mask])
+        idx = np.flatnonzero(mask)[idx_local]
+        return TracePeak(float(t[idx]), float(v[idx]), maximum)
+
+    def local_peaks(self, maximum: bool = True) -> List[TracePeak]:
+        """All strict local extrema (sign change of the discrete slope)."""
+        t = self.times
+        v = self.values
+        peaks: List[TracePeak] = []
+        if t.size < 3:
+            return peaks
+        dv = np.diff(v)
+        for i in range(1, dv.size):
+            if maximum and dv[i - 1] > 0.0 and dv[i] < 0.0:
+                peaks.append(TracePeak(float(t[i]), float(v[i]), True))
+            if not maximum and dv[i - 1] < 0.0 and dv[i] > 0.0:
+                peaks.append(TracePeak(float(t[i]), float(v[i]), False))
+        return peaks
+
+    def peak_to_peak(
+        self, start: Optional[float] = None, stop: Optional[float] = None
+    ) -> float:
+        """Peak-to-peak excursion within the optional window."""
+        hi = self.extremum(start, stop, maximum=True).value
+        lo = self.extremum(start, stop, maximum=False).value
+        return hi - lo
+
+    def mean(self, start: Optional[float] = None, stop: Optional[float] = None) -> float:
+        """Time-weighted (trapezoidal) mean over the optional window."""
+        sub = self
+        if start is not None or stop is not None:
+            sub = self.window(
+                start if start is not None else self._times[0],
+                stop if stop is not None else self._times[-1],
+            )
+        t = sub.times
+        v = sub.values
+        if t.size == 0:
+            raise MeasurementError(f"trace {self.name!r} has no samples in window")
+        if t.size == 1 or t[-1] == t[0]:
+            return float(v[0])
+        return float(np.trapezoid(v, t) / (t[-1] - t[0]))
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(times, values)`` arrays."""
+        return self.times, self.values

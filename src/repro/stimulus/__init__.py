@@ -1,0 +1,62 @@
+"""Input-signal generation (Section 3 of the paper).
+
+The PLL transfer-function test needs a reference whose *phase or
+frequency* is modulated sinusoidally.  On chip, the paper generates a
+discrete approximation with a DCO — a ring counter dividing a fast
+master clock, multiplexed between a set of divider taps (Figure 4).
+
+* :mod:`repro.stimulus.waveforms` — edge-time sources: constant
+  frequency, exact sinusoidal FM/PM (the bench-equipment ideal),
+  piecewise-constant frequency (ideal FSK).
+* :mod:`repro.stimulus.dco` — the ring-counter DCO: eq. (2) resolution,
+  Table 1 feasibility, tone quantisation, and a programmed edge source
+  that really hops divider moduli at output edges.
+* :mod:`repro.stimulus.modulation` — the three stimulus classes compared
+  in Figures 11–12: pure sine FM, two-tone FSK and multi-tone FSK.
+"""
+
+from repro.stimulus.waveforms import (
+    ConstantFrequencySource,
+    PiecewiseConstantFrequencySource,
+    SinusoidalFMSource,
+    SinusoidalPMSource,
+)
+from repro.stimulus.dco import DCO, DCOProgrammedSource, ResolutionCase
+from repro.stimulus.modulation import (
+    ModulatedStimulus,
+    SineFMStimulus,
+    MultiToneFSKStimulus,
+    TwoToneFSKStimulus,
+)
+from repro.stimulus.delay_line import (
+    DelayLinePMSource,
+    DelayLinePMStimulus,
+    DelayLockedLoop,
+    TappedDelayLine,
+)
+from repro.stimulus.spectrum import (
+    HarmonicContent,
+    staircase_harmonics,
+    worst_even_harmonic,
+)
+
+__all__ = [
+    "ConstantFrequencySource",
+    "PiecewiseConstantFrequencySource",
+    "SinusoidalFMSource",
+    "SinusoidalPMSource",
+    "DCO",
+    "DCOProgrammedSource",
+    "ResolutionCase",
+    "ModulatedStimulus",
+    "SineFMStimulus",
+    "MultiToneFSKStimulus",
+    "TwoToneFSKStimulus",
+    "DelayLinePMSource",
+    "DelayLinePMStimulus",
+    "DelayLockedLoop",
+    "TappedDelayLine",
+    "HarmonicContent",
+    "staircase_harmonics",
+    "worst_even_harmonic",
+]

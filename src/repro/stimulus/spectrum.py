@@ -1,0 +1,111 @@
+"""Harmonic content of stepped FM stimuli.
+
+Section 3 argues stepped FM suffices "due to the filtering function of
+the PLL" — true for the harmonics the loop filters out, but the FSK
+step-count ablation shows an important exception: *even* harmonics from
+odd step counts can land on the loop resonance.  This module quantifies
+a stimulus's spectral purity so that argument can be made with numbers:
+:func:`staircase_harmonics` Fourier-analyses one modulation cycle of the
+frequency staircase and reports each harmonic's amplitude relative to
+the fundamental.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import StimulusError
+
+__all__ = ["HarmonicContent", "staircase_harmonics", "worst_even_harmonic"]
+
+
+@dataclass(frozen=True)
+class HarmonicContent:
+    """Fourier summary of one modulation cycle of a stimulus."""
+
+    fundamental_amplitude: float        # Hz of frequency deviation
+    relative_harmonics: Tuple[float, ...]  # |c_k|/|c_1| for k = 2, 3, ...
+
+    def harmonic(self, k: int) -> float:
+        """Relative amplitude of harmonic ``k`` (k >= 2)."""
+        if k < 2 or k > len(self.relative_harmonics) + 1:
+            raise StimulusError(
+                f"harmonic index {k!r} out of range "
+                f"[2, {len(self.relative_harmonics) + 1}]"
+            )
+        return self.relative_harmonics[k - 2]
+
+    @property
+    def total_harmonic_distortion(self) -> float:
+        """RSS of the relative harmonics (THD)."""
+        return math.sqrt(sum(h * h for h in self.relative_harmonics))
+
+
+def staircase_harmonics(
+    schedule: Sequence[Tuple[float, float]],
+    f_nominal: float,
+    n_harmonics: int = 8,
+    samples: int = 4096,
+) -> HarmonicContent:
+    """Harmonics of a piecewise-constant frequency-deviation waveform.
+
+    Parameters
+    ----------
+    schedule:
+        One modulation cycle as ``(frequency, dwell)`` pairs — exactly
+        what :meth:`~repro.stimulus.modulation.MultiToneFSKStimulus.schedule`
+        produces.
+    f_nominal:
+        Carrier frequency; the analysed waveform is the deviation from
+        it.
+    n_harmonics:
+        How many harmonics above the fundamental to report.
+    samples:
+        Uniform samples of the cycle for the DFT.
+    """
+    if not schedule:
+        raise StimulusError("schedule must not be empty")
+    if n_harmonics < 1:
+        raise StimulusError(f"n_harmonics must be >= 1, got {n_harmonics!r}")
+    total = sum(d for __, d in schedule)
+    if total <= 0.0:
+        raise StimulusError("schedule dwells must sum to a positive cycle")
+    # Sample the staircase over one cycle.
+    t = (np.arange(samples) + 0.5) / samples * total
+    values = np.empty(samples)
+    edges = np.cumsum([0.0] + [d for __, d in schedule])
+    freqs = [f for f, __ in schedule]
+    idx = np.searchsorted(edges, t, side="right") - 1
+    idx = np.clip(idx, 0, len(freqs) - 1)
+    values = np.array([freqs[i] for i in idx]) - f_nominal
+
+    spectrum = np.fft.rfft(values) / samples
+    # One-sided amplitudes: |c_k|*2 for k >= 1.
+    amps = 2.0 * np.abs(spectrum)
+    fundamental = float(amps[1])
+    if fundamental <= 0.0:
+        raise StimulusError("schedule has no fundamental component")
+    top = min(n_harmonics + 1, len(amps) - 1)
+    rel = tuple(float(amps[k] / fundamental) for k in range(2, top + 1))
+    return HarmonicContent(
+        fundamental_amplitude=fundamental,
+        relative_harmonics=rel,
+    )
+
+
+def worst_even_harmonic(content: HarmonicContent) -> Tuple[int, float]:
+    """The largest even harmonic: ``(k, relative amplitude)``.
+
+    Even harmonics are the dangerous ones for this measurement: a tone
+    at ``f_mod ≈ fn/2`` puts its 2nd harmonic on the loop resonance
+    where the response peaks, corrupting the captured maximum.
+    """
+    best_k, best_a = 2, 0.0
+    for k in range(2, len(content.relative_harmonics) + 2):
+        if k % 2 == 0 and content.harmonic(k) > best_a:
+            best_k, best_a = k, content.harmonic(k)
+    return best_k, best_a

@@ -1,0 +1,111 @@
+"""Unit helpers shared across the library.
+
+The paper mixes Hz, rad/s, dB and degrees freely (its Table 3 quotes the
+VCO gain in both Mrad/s/V and Hz/V).  Centralising the conversions keeps
+every module honest about which unit it is holding.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "TWO_PI",
+    "hz_to_rad",
+    "rad_to_hz",
+    "db",
+    "db_power",
+    "undb",
+    "deg",
+    "rad",
+    "wrap_phase_deg",
+    "wrap_phase_rad",
+    "period",
+    "frequency",
+]
+
+TWO_PI = 2.0 * math.pi
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def hz_to_rad(f_hz: ArrayLike) -> ArrayLike:
+    """Convert a frequency in hertz to angular frequency in rad/s."""
+    return TWO_PI * np.asarray(f_hz) if isinstance(f_hz, np.ndarray) else TWO_PI * f_hz
+
+
+def rad_to_hz(w_rad: ArrayLike) -> ArrayLike:
+    """Convert an angular frequency in rad/s to hertz."""
+    if isinstance(w_rad, np.ndarray):
+        return np.asarray(w_rad) / TWO_PI
+    return w_rad / TWO_PI
+
+
+def db(ratio: ArrayLike) -> ArrayLike:
+    """Amplitude ratio -> decibels (20*log10).
+
+    This is the convention of equation (7) of the paper, where the ratio
+    of peak frequency deviations is treated as an amplitude gain.
+    """
+    return 20.0 * np.log10(ratio)
+
+
+def db_power(ratio: ArrayLike) -> ArrayLike:
+    """Power ratio -> decibels (10*log10)."""
+    return 10.0 * np.log10(ratio)
+
+
+def undb(value_db: ArrayLike) -> ArrayLike:
+    """Decibels (amplitude convention) -> linear ratio."""
+    return np.power(10.0, np.asarray(value_db) / 20.0) if isinstance(
+        value_db, np.ndarray
+    ) else 10.0 ** (value_db / 20.0)
+
+
+def deg(angle_rad: ArrayLike) -> ArrayLike:
+    """Radians -> degrees."""
+    return np.degrees(angle_rad)
+
+
+def rad(angle_deg: ArrayLike) -> ArrayLike:
+    """Degrees -> radians."""
+    return np.radians(angle_deg)
+
+
+def wrap_phase_deg(angle_deg: ArrayLike) -> ArrayLike:
+    """Wrap a phase in degrees into the interval (-180, 180]."""
+    wrapped = -(np.mod(-np.asarray(angle_deg, dtype=float) + 180.0, 360.0) - 180.0)
+    if np.ndim(angle_deg) == 0:
+        return float(wrapped)
+    return wrapped
+
+
+def wrap_phase_rad(angle_rad: ArrayLike) -> ArrayLike:
+    """Wrap a phase in radians into the interval (-pi, pi]."""
+    wrapped = -(np.mod(-np.asarray(angle_rad, dtype=float) + math.pi, TWO_PI) - math.pi)
+    if np.ndim(angle_rad) == 0:
+        return float(wrapped)
+    return wrapped
+
+
+def period(f_hz: float) -> float:
+    """Period in seconds of a frequency in hertz.
+
+    Raises
+    ------
+    ValueError
+        If the frequency is not strictly positive.
+    """
+    if f_hz <= 0.0:
+        raise ValueError(f"frequency must be positive, got {f_hz!r}")
+    return 1.0 / f_hz
+
+
+def frequency(t_s: float) -> float:
+    """Frequency in hertz of a period in seconds."""
+    if t_s <= 0.0:
+        raise ValueError(f"period must be positive, got {t_s!r}")
+    return 1.0 / t_s

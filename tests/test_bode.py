@@ -1,0 +1,131 @@
+"""Bode response container and evaluation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.bode import BodeResponse, compute_bode, log_frequency_grid
+from repro.analysis.second_order import closed_loop_with_zero
+from repro.errors import MeasurementError
+
+WN = 2 * math.pi * 8.743
+ZETA = 0.426
+
+
+def reference_response(points=200):
+    f = log_frequency_grid(0.5, 100.0, points)
+    h = closed_loop_with_zero(WN, ZETA, 2 * math.pi * f)
+    return BodeResponse(
+        f, 20 * np.log10(np.abs(h)), np.degrees(np.unwrap(np.angle(h))), "ref"
+    )
+
+
+class TestGrid:
+    def test_log_spacing(self):
+        g = log_frequency_grid(1.0, 100.0, 3)
+        assert np.allclose(g, [1.0, 10.0, 100.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            log_frequency_grid(0.0, 10.0, 5)
+        with pytest.raises(ValueError):
+            log_frequency_grid(10.0, 1.0, 5)
+        with pytest.raises(ValueError):
+            log_frequency_grid(1.0, 10.0, 1)
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(MeasurementError):
+            BodeResponse(np.array([1.0, 2.0]), np.array([0.0]), np.array([0.0, 0.0]))
+
+    def test_non_monotonic_frequencies(self):
+        with pytest.raises(MeasurementError):
+            BodeResponse(
+                np.array([2.0, 1.0]), np.zeros(2), np.zeros(2)
+            )
+
+    def test_empty(self):
+        with pytest.raises(MeasurementError):
+            BodeResponse(np.array([]), np.array([]), np.array([]))
+
+    def test_len(self):
+        assert len(reference_response(50)) == 50
+
+
+class TestQueries:
+    def test_magnitude_at_interpolates(self):
+        r = reference_response()
+        # At very low frequency the gain is ~0 dB.
+        assert r.magnitude_at(0.6) == pytest.approx(0.0, abs=0.1)
+
+    def test_phase_at(self):
+        r = reference_response()
+        assert r.phase_at(0.6) == pytest.approx(0.0, abs=2.0)
+
+    def test_peak_location_and_height(self):
+        r = reference_response()
+        f_peak, peak_db = r.peak()
+        # Analytic: peak at wp < wn, height ~4.06 dB for zeta=0.426.
+        assert f_peak == pytest.approx(7.72, rel=0.02)
+        assert peak_db == pytest.approx(4.06, abs=0.05)
+
+    def test_peak_parabolic_refinement_beats_grid(self):
+        coarse = reference_response(points=15)
+        f_peak, __ = coarse.peak()
+        assert f_peak == pytest.approx(7.72, rel=0.1)
+
+    def test_f3db(self):
+        r = reference_response()
+        # Gardner: f3db ~ 15.3 Hz for this design point.
+        assert r.f_3db() == pytest.approx(15.28, rel=0.02)
+
+    def test_f3db_unreachable(self):
+        f = np.array([1.0, 2.0, 3.0])
+        r = BodeResponse(f, np.zeros(3), np.zeros(3))
+        with pytest.raises(MeasurementError):
+            r.f_3db()
+
+    def test_normalised(self):
+        f = np.array([1.0, 2.0, 4.0])
+        r = BodeResponse(f, np.array([2.0, 5.0, 1.0]), np.zeros(3))
+        n = r.normalised()
+        assert n.magnitude_db[0] == 0.0
+        assert n.magnitude_db[1] == pytest.approx(3.0)
+
+    def test_normalised_explicit_reference(self):
+        f = np.array([1.0, 2.0])
+        r = BodeResponse(f, np.array([2.0, 5.0]), np.zeros(2))
+        assert r.normalised(reference_db=5.0).magnitude_db[1] == 0.0
+
+    def test_relabel(self):
+        assert reference_response().relabel("x").label == "x"
+
+
+class TestComputeBode:
+    def test_from_transfer_callable(self):
+        f = log_frequency_grid(0.5, 100.0, 100)
+        r = compute_bode(
+            lambda s: closed_loop_with_zero(WN, ZETA, np.imag(s)), f, "t"
+        )
+        assert r.magnitude_at(0.5) == pytest.approx(0.0, abs=0.1)
+        assert r.peak()[1] == pytest.approx(4.06, abs=0.1)
+
+    def test_normalise_dc_shifts_reference(self):
+        f = log_frequency_grid(1.0, 10.0, 10)
+        gain = 7.0
+        r = compute_bode(
+            lambda s: gain * closed_loop_with_zero(WN, ZETA, np.imag(s)),
+            f, normalise_dc=True,
+        )
+        assert r.magnitude_at(1.0) == pytest.approx(0.0, abs=0.2)
+
+    def test_phase_unwrapped(self):
+        f = log_frequency_grid(0.5, 500.0, 300)
+        r = compute_bode(
+            lambda s: closed_loop_with_zero(WN, ZETA, np.imag(s)), f
+        )
+        # With-zero loop tends to -90 deg, never wrapping to +170.
+        assert r.phase_deg.min() > -120.0
+        assert np.all(np.diff(r.phase_deg) < 1.0)

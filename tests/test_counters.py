@@ -1,0 +1,153 @@
+"""Frequency and phase counters with honest quantisation."""
+
+import pytest
+
+from repro.core.counters import FrequencyCounter, PhaseCounter
+from repro.errors import ConfigurationError, MeasurementError
+from repro.sim.signals import PulseTrain
+
+
+def train_at(freq, n, start=0.0):
+    t = PulseTrain("x")
+    for k in range(n):
+        t.record(start + (k + 1) / freq)
+    return t
+
+
+class TestFrequencyCounterGated:
+    def test_exact_frequency(self):
+        fc = FrequencyCounter(test_clock_hz=10e6)
+        edges = train_at(1000.0, 3000)
+        m = fc.measure_gated(edges, start=0.5, gate_seconds=1.0)
+        assert m.mode == "gated"
+        assert m.frequency_hz == pytest.approx(1000.0, abs=m.resolution_hz)
+
+    def test_resolution_is_reciprocal_gate(self):
+        fc = FrequencyCounter(test_clock_hz=10e6)
+        edges = train_at(1000.0, 1000)
+        m = fc.measure_gated(edges, start=0.0, gate_seconds=0.25)
+        assert m.resolution_hz == pytest.approx(4.0)
+
+    def test_count_is_integer_quantised(self):
+        fc = FrequencyCounter(test_clock_hz=10e6)
+        edges = train_at(1000.5, 2000)
+        m = fc.measure_gated(edges, start=0.1, gate_seconds=1.0)
+        assert isinstance(m.count, int)
+        assert abs(m.frequency_hz - 1000.5) <= 1.0
+
+    def test_gate_quantised_to_test_clock(self):
+        fc = FrequencyCounter(test_clock_hz=1000.0)
+        edges = train_at(100.0, 200)
+        m = fc.measure_gated(edges, start=0.0, gate_seconds=0.1004)
+        assert m.gate_seconds == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyCounter(0.0)
+        fc = FrequencyCounter(1e6)
+        with pytest.raises(ConfigurationError):
+            fc.measure_gated(train_at(100.0, 10), 0.0, 0.0)
+
+
+class TestFrequencyCounterReciprocal:
+    def test_precision_beats_gated(self):
+        fc = FrequencyCounter(test_clock_hz=10e6)
+        f_true = 1000.37
+        edges = train_at(f_true, 200)
+        m = fc.measure_reciprocal(edges, start=0.0, periods=64)
+        assert m.mode == "reciprocal"
+        assert m.frequency_hz == pytest.approx(f_true, abs=0.01)
+        assert m.resolution_hz < 0.01
+
+    def test_scaled_through_divider(self):
+        fc = FrequencyCounter(test_clock_hz=10e6)
+        edges = train_at(1000.0, 100)
+        m = fc.measure_reciprocal(edges, start=0.0, periods=32).scaled(5.0)
+        assert m.frequency_hz == pytest.approx(5000.0, abs=0.05)
+        assert m.resolution_hz == pytest.approx(
+            5.0 * (1000.0 ** 2) / (32 * 10e6), rel=0.01
+        )
+
+    def test_runs_out_of_edges(self):
+        fc = FrequencyCounter(test_clock_hz=10e6)
+        edges = train_at(1000.0, 10)
+        with pytest.raises(MeasurementError):
+            fc.measure_reciprocal(edges, start=0.0, periods=64)
+
+    def test_no_edges_after_start(self):
+        fc = FrequencyCounter(test_clock_hz=10e6)
+        edges = train_at(1000.0, 10)
+        with pytest.raises(MeasurementError):
+            fc.measure_reciprocal(edges, start=1.0, periods=2)
+
+    def test_slow_clock_cannot_resolve(self):
+        fc = FrequencyCounter(test_clock_hz=10.0)
+        edges = train_at(1e6, 10)
+        with pytest.raises(MeasurementError):
+            fc.measure_reciprocal(edges, start=0.0, periods=1)
+
+    def test_periods_validated(self):
+        fc = FrequencyCounter(test_clock_hz=10e6)
+        with pytest.raises(ConfigurationError):
+            fc.measure_reciprocal(train_at(1000.0, 10), 0.0, periods=0)
+
+
+class TestPhaseCounter:
+    def test_basic_count(self):
+        pc = PhaseCounter(test_clock_hz=1e6)
+        pc.start(1.0)
+        count = pc.stop(1.0125)
+        # +/-1 count: floating-point interval vs integer clock edges.
+        assert count.pulses in (12499, 12500)
+        assert count.elapsed_seconds == pytest.approx(0.0125, abs=2e-6)
+
+    def test_eq8_phase_delay(self):
+        """Eq. (8): 360 * T * N / Tmod."""
+        pc = PhaseCounter(test_clock_hz=1e6)
+        pc.start(0.0)
+        count = pc.stop(0.0125)  # 1/8 of a 0.1 s modulation period
+        assert count.phase_delay_deg(0.1) == pytest.approx(45.0, abs=0.01)
+
+    def test_quantisation_floors(self):
+        pc = PhaseCounter(test_clock_hz=10.0)
+        pc.start(0.0)
+        count = pc.stop(0.19)
+        assert count.pulses == 1  # 1.9 ticks floors to 1
+
+    def test_double_start_rejected(self):
+        pc = PhaseCounter(1e6)
+        pc.start(0.0)
+        with pytest.raises(MeasurementError):
+            pc.start(1.0)
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(MeasurementError):
+            PhaseCounter(1e6).stop(1.0)
+
+    def test_stop_before_start_rejected(self):
+        pc = PhaseCounter(1e6)
+        pc.start(1.0)
+        with pytest.raises(MeasurementError):
+            pc.stop(0.5)
+
+    def test_abort_allows_restart(self):
+        pc = PhaseCounter(1e6)
+        pc.start(0.0)
+        pc.abort()
+        assert not pc.running
+        pc.start(1.0)
+        assert pc.running
+
+    def test_restart_after_stop(self):
+        pc = PhaseCounter(1e6)
+        pc.start(0.0)
+        pc.stop(1.0)
+        pc.start(2.0)
+        assert pc.stop(3.0).pulses == 1_000_000
+
+    def test_bad_modulation_period(self):
+        pc = PhaseCounter(1e6)
+        pc.start(0.0)
+        count = pc.stop(0.5)
+        with pytest.raises(ConfigurationError):
+            count.phase_delay_deg(0.0)

@@ -1,0 +1,143 @@
+"""DCO: eq. (2) resolution, Table 1 feasibility, programmed edges."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StimulusError
+from repro.sim.signals import edges_to_frequency
+from repro.stimulus.dco import DCO, DCOProgrammedSource, ResolutionCase
+
+
+class TestResolutionCase:
+    """Table 1 of the paper."""
+
+    def test_first_row_feasible(self):
+        case = ResolutionCase(
+            f_in_nominal=1e3, f_master=10e6, f_max_deviation=10.0
+        )
+        # Eq. (2): 1k^2/(10M + 1k) ~ 0.1 Hz.
+        assert case.resolution == pytest.approx(0.0999, rel=1e-3)
+        assert case.usable_steps >= 100
+        assert case.feasible
+
+    def test_second_row_infeasible(self):
+        case = ResolutionCase(
+            f_in_nominal=1e6, f_master=100e6, f_max_deviation=10e3
+        )
+        # ~9.9 kHz resolution vs a 10 kHz deviation: ~1 step, no FM.
+        assert case.resolution == pytest.approx(9900.0, rel=1e-2)
+        assert not case.feasible
+
+    def test_raising_master_clock_restores_feasibility(self):
+        case = ResolutionCase(
+            f_in_nominal=1e6, f_master=10e9, f_max_deviation=10e3
+        )
+        assert case.feasible
+
+
+class TestDCO:
+    def test_validation(self):
+        with pytest.raises(StimulusError):
+            DCO(f_master=0.0)
+        with pytest.raises(StimulusError):
+            DCO(f_master=1e6, max_modulus=1)
+
+    def test_eq2_resolution(self):
+        dco = DCO(10e6)
+        fin = 1000.0
+        assert dco.resolution(fin) == pytest.approx(
+            fin ** 2 / (10e6 + fin)
+        )
+
+    def test_resolution_matches_adjacent_moduli(self):
+        """Eq. (2) equals the spacing between adjacent divider tones."""
+        dco = DCO(10e6)
+        fin = 1000.0
+        m = dco.modulus_for(fin)
+        spacing = dco.f_master / (m - 1) - dco.f_master / m
+        assert dco.resolution(fin) == pytest.approx(spacing, rel=1e-3)
+
+    def test_quantise_rounds_to_grid(self):
+        dco = DCO(10e6)
+        f = dco.quantise(1000.03)
+        assert f == pytest.approx(10e6 / 10000)
+
+    def test_quantisation_error_bounded_by_half_resolution(self):
+        dco = DCO(10e6)
+        for target in np.linspace(990.0, 1010.0, 53):
+            err = dco.quantisation_error(float(target))
+            assert err <= 0.5 * dco.resolution(float(target)) * 1.01
+
+    def test_modulus_capacity_enforced(self):
+        dco = DCO(10e6, max_modulus=1000)
+        with pytest.raises(StimulusError):
+            dco.modulus_for(100.0)  # needs modulus 100000
+
+    def test_modulus_minimum_enforced(self):
+        dco = DCO(10e6)
+        with pytest.raises(StimulusError):
+            dco.modulus_for(9e6)
+
+    def test_tone_set_distinct_tones(self):
+        dco = DCO(10e6)
+        tones = dco.tone_set(1000.0, deviation=1.0, steps=10)
+        assert len(tones) == 10
+        assert max(tones) - min(tones) > 1.5  # spans ~2 Hz
+
+    def test_tone_set_infeasible_raises(self):
+        dco = DCO(f_master=100e6)
+        with pytest.raises(StimulusError):
+            dco.tone_set(1e6, deviation=1000.0, steps=10)
+
+    def test_tone_set_validation(self):
+        dco = DCO(10e6)
+        with pytest.raises(StimulusError):
+            dco.tone_set(1000.0, deviation=1.0, steps=1)
+        with pytest.raises(StimulusError):
+            dco.tone_set(1000.0, deviation=0.0, steps=10)
+
+
+class TestProgrammedSource:
+    def test_validation(self):
+        dco = DCO(10e6)
+        with pytest.raises(StimulusError):
+            DCOProgrammedSource(dco, [])
+        with pytest.raises(StimulusError):
+            DCOProgrammedSource(dco, [(1, 0.1)])
+        with pytest.raises(StimulusError):
+            DCOProgrammedSource(dco, [(100, 0.0)])
+
+    def test_edges_on_master_ticks(self):
+        dco = DCO(1e6)
+        src = DCOProgrammedSource(dco, [(1000, 0.01), (1100, 0.01)])
+        for _ in range(40):
+            t = src.next_edge()
+            ticks = t * 1e6
+            assert ticks == pytest.approx(round(ticks), abs=1e-6)
+
+    def test_fsk_frequencies_realised(self):
+        dco = DCO(1e6)
+        src = DCOProgrammedSource(dco, [(1000, 0.02), (1250, 0.02)])
+        edges = [src.next_edge() for _ in range(200)]
+        __, freqs = edges_to_frequency(edges)
+        realised = sorted(set(np.round(freqs, 3)))
+        assert 1000.0 in realised  # 1 MHz / 1000
+        assert 800.0 in realised   # 1 MHz / 1250
+
+    def test_dwell_proportion(self):
+        dco = DCO(1e6)
+        src = DCOProgrammedSource(dco, [(1000, 0.03), (2000, 0.01)])
+        edges = [src.next_edge() for _ in range(400)]
+        __, freqs = edges_to_frequency(edges)
+        frac_fast = np.mean(np.asarray(freqs) > 750.0)
+        # Fast tone (1 kHz) dwells 3x longer AND produces edges at 2x the
+        # rate of the slow tone (500 Hz): edge share = 30/(30+5) ~ 0.857.
+        assert frac_fast == pytest.approx(0.857, abs=0.05)
+
+    def test_frequency_at_schedule_lookup(self):
+        dco = DCO(1e6)
+        src = DCOProgrammedSource(dco, [(1000, 0.5), (2000, 0.5)],
+                                  start_time=1.0)
+        assert src.frequency_at(1.2) == pytest.approx(1000.0)
+        assert src.frequency_at(1.7) == pytest.approx(500.0)
+        assert src.frequency_at(0.0) == pytest.approx(1000.0)

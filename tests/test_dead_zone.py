@@ -1,0 +1,73 @@
+"""End-to-end behaviour of the charge-pump dead-zone defect.
+
+A pump turn-on delay swallows PFD pulses narrower than itself — in lock
+the correction pulses *are* that narrow, so the loop drifts unchecked
+inside the dead band and wanders (the classic dead-zone limit cycle).
+These tests verify the causal model produces that canonical behaviour
+and that the BIST measurement sees it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.pll.faults import Fault, FaultKind, apply_fault
+from repro.pll.simulator import PLLTransientSimulator
+from repro.presets import paper_pll
+from repro.stimulus.waveforms import ConstantFrequencySource
+
+
+def wander_band_seconds(pll, duration=2.0):
+    """Peak-to-peak steady-state edge skew between ref and fb."""
+    sim = PLLTransientSimulator(pll, ConstantFrequencySource(1000.0))
+    sim.run_until(duration)
+    ref = sim.ref_edges.as_array()
+    fb = sim.fb_edges.as_array()
+    n = min(len(ref), len(fb))
+    skew = (fb[:n] - ref[:n])[n // 2:]
+    return float(skew.max() - skew.min())
+
+
+class TestDeadZoneBehaviour:
+    def test_healthy_loop_has_no_wander(self):
+        assert wander_band_seconds(paper_pll()) < 1e-9
+
+    def test_dead_zone_creates_wander(self):
+        faulty = apply_fault(
+            paper_pll(), Fault(FaultKind.CP_DEAD_ZONE, 50e-6)
+        )
+        band = wander_band_seconds(faulty)
+        # The loop wanders on the order of the dead band.
+        assert band > 10e-6
+
+    def test_wander_exceeds_dead_band(self):
+        """The limit cycle coasts *through* the band and overshoots:
+        its amplitude is at least the dead band itself (and in this
+        loop is dominated by the coasting overshoot, so it does not
+        shrink proportionally for small bands)."""
+        for dz in (20e-6, 50e-6):
+            faulty = apply_fault(
+                paper_pll(), Fault(FaultKind.CP_DEAD_ZONE, dz)
+            )
+            assert wander_band_seconds(faulty) > dz
+
+    def test_pulses_wider_than_dead_band_still_act(self):
+        """The defect is a delay, not a disconnect: large errors are
+        corrected (acquisition still works)."""
+        faulty = apply_fault(
+            paper_pll(), Fault(FaultKind.CP_DEAD_ZONE, 50e-6)
+        )
+        sim = PLLTransientSimulator(
+            faulty, ConstantFrequencySource(1000.0),
+            initial_control_voltage=2.7,  # ~240 Hz off
+        )
+        sim.run_until(1.0)
+        assert sim.output_frequency_smoothed == pytest.approx(
+            5000.0, abs=pll_dead_band_hz(faulty)
+        )
+
+
+def pll_dead_band_hz(pll) -> float:
+    """Frequency slack the dead zone permits: the loop stops correcting
+    once per-cycle skew < turn_on_delay, so the frequency can sit
+    anywhere the skew drift rate allows (bounded here generously)."""
+    return 60.0

@@ -1,0 +1,256 @@
+"""Tapped delay line, DLL calibration and PM stimulus."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import StimulusError
+from repro.sim.signals import edges_to_frequency
+from repro.stimulus.delay_line import (
+    DelayLinePMSource,
+    DelayLockedLoop,
+    TappedDelayLine,
+)
+
+F_REF = 1000.0
+N_TAPS = 64
+
+
+def locked_line(n_taps=N_TAPS, f_ref=F_REF, mismatch=None):
+    line = TappedDelayLine(
+        n_taps, unit_delay=1.3 / (f_ref * n_taps), mismatch=mismatch
+    )
+    DelayLockedLoop(line, f_ref).lock()
+    return line
+
+
+class TestTappedDelayLine:
+    def test_validation(self):
+        with pytest.raises(StimulusError):
+            TappedDelayLine(1, 1e-6)
+        with pytest.raises(StimulusError):
+            TappedDelayLine(4, 0.0)
+        with pytest.raises(StimulusError):
+            TappedDelayLine(4, 1e-6, mismatch=[0.0, 0.0])
+        with pytest.raises(StimulusError):
+            TappedDelayLine(2, 1e-6, mismatch=[-1.0, 0.0])
+
+    def test_uniform_tap_delays(self):
+        line = TappedDelayLine(8, 1e-6)
+        assert line.tap_delay(0) == 0.0
+        assert line.tap_delay(4) == pytest.approx(4e-6)
+        assert line.total_delay == pytest.approx(8e-6)
+
+    def test_tap_bounds(self):
+        line = TappedDelayLine(8, 1e-6)
+        with pytest.raises(StimulusError):
+            line.tap_delay(9)
+        with pytest.raises(StimulusError):
+            line.tap_delay(-1)
+
+    def test_mismatch_accumulates(self):
+        line = TappedDelayLine(4, 1e-6, mismatch=[0.1, -0.1, 0.0, 0.2])
+        assert line.tap_delay(2) == pytest.approx(2e-6)
+        assert line.total_delay == pytest.approx(4.2e-6)
+
+    def test_retune(self):
+        line = TappedDelayLine(4, 1e-6)
+        line.retune(2e-6)
+        assert line.total_delay == pytest.approx(8e-6)
+        with pytest.raises(StimulusError):
+            line.retune(0.0)
+
+
+class TestDelayLockedLoop:
+    def test_locks_from_fast_and_slow(self):
+        for initial_scale in (0.5, 1.7):
+            line = TappedDelayLine(
+                N_TAPS, initial_scale / (F_REF * N_TAPS)
+            )
+            dll = DelayLockedLoop(line, F_REF)
+            dll.lock()
+            assert line.total_delay == pytest.approx(1.0 / F_REF, abs=1e-11)
+
+    def test_lock_counts_updates(self):
+        line = TappedDelayLine(N_TAPS, 2.0 / (F_REF * N_TAPS))
+        dll = DelayLockedLoop(line, F_REF)
+        n = dll.lock()
+        assert n == dll.updates > 0
+
+    def test_error_decreases_monotonically(self):
+        line = TappedDelayLine(N_TAPS, 1.5 / (F_REF * N_TAPS))
+        dll = DelayLockedLoop(line, F_REF, loop_gain=0.3)
+        errors = [abs(dll.delay_error)]
+        for _ in range(20):
+            dll.update()
+            errors.append(abs(dll.delay_error))
+        assert all(b <= a for a, b in zip(errors, errors[1:]))
+
+    def test_lock_preserves_relative_mismatch(self):
+        """The DLL scales all elements; tap ratios (mismatch shape) stay."""
+        mismatch = [0.05 * math.sin(i) for i in range(N_TAPS)]
+        line = TappedDelayLine(N_TAPS, 1.4 / (F_REF * N_TAPS), mismatch)
+        ratio_before = line.tap_delay(10) / line.total_delay
+        DelayLockedLoop(line, F_REF).lock()
+        ratio_after = line.tap_delay(10) / line.total_delay
+        assert ratio_after == pytest.approx(ratio_before, rel=1e-12)
+
+    def test_timeout_raises(self):
+        line = TappedDelayLine(N_TAPS, 5.0 / (F_REF * N_TAPS))
+        dll = DelayLockedLoop(line, F_REF, loop_gain=0.001)
+        with pytest.raises(StimulusError):
+            dll.lock(tolerance=1e-15, max_updates=3)
+
+    def test_validation(self):
+        line = TappedDelayLine(4, 1e-6)
+        with pytest.raises(StimulusError):
+            DelayLockedLoop(line, 0.0)
+        with pytest.raises(StimulusError):
+            DelayLockedLoop(line, 1e3, loop_gain=0.0)
+
+
+class TestDelayLinePMSource:
+    def test_requires_locked_line(self):
+        line = TappedDelayLine(N_TAPS, 2.0 / (F_REF * N_TAPS))  # unlocked
+        with pytest.raises(StimulusError):
+            DelayLinePMSource(line, F_REF, 0.1, 8.0)
+
+    def test_validation(self):
+        line = locked_line()
+        with pytest.raises(StimulusError):
+            DelayLinePMSource(line, F_REF, 0.6, 8.0)  # >= half cycle
+        with pytest.raises(StimulusError):
+            DelayLinePMSource(line, F_REF, 0.1, 0.0)
+
+    def test_zero_modulation_gives_grid(self):
+        src = DelayLinePMSource(locked_line(), F_REF, 0.0, 8.0)
+        edges = [src.next_edge() for _ in range(10)]
+        expected = [(k + 1) / F_REF for k in range(10)]
+        assert edges == pytest.approx(expected, abs=1e-12)
+
+    def test_edges_strictly_increasing(self):
+        src = DelayLinePMSource(locked_line(), F_REF, 0.2, 8.0)
+        edges = [src.next_edge() for _ in range(800)]
+        assert all(b > a for a, b in zip(edges, edges[1:]))
+
+    def test_phase_quantisation_bounded(self):
+        """Realised phase deviates from the ideal sine by at most half a
+        tap (plus nothing else, for a mismatch-free locked line)."""
+        n_taps = 128
+        src = DelayLinePMSource(locked_line(n_taps=n_taps), F_REF, 0.1, 5.0)
+        max_err = 0.0
+        for k in range(1, 400):
+            t_edge = src.next_edge()
+            t_grid = k / F_REF
+            realised = (t_edge - t_grid) * F_REF  # cycles of delay
+            wanted = src.wanted_phase_cycles(t_grid) % 1.0
+            wanted = wanted if wanted < 0.5 else wanted - 1.0
+            realised = realised if realised < 0.5 else realised - 1.0
+            max_err = max(max_err, abs(realised - wanted))
+        assert max_err <= 0.5 / n_taps + 1e-9
+
+    def test_fm_pm_equivalence_in_frequency(self):
+        """The stepped PM produces the predicted peak frequency deviation."""
+        p, fm = 0.15, 8.0
+        src = DelayLinePMSource(locked_line(n_taps=256), F_REF, p, fm)
+        edges = [src.next_edge() for _ in range(1000)]
+        __, freqs = edges_to_frequency(edges)
+        dev = src.equivalent_fm_deviation
+        assert freqs.max() == pytest.approx(F_REF + dev, abs=0.15 * dev)
+        assert freqs.min() == pytest.approx(F_REF - dev, abs=0.15 * dev)
+
+    def test_equivalent_fm_deviation_formula(self):
+        src = DelayLinePMSource(locked_line(), F_REF, 0.1, 8.0)
+        assert src.equivalent_fm_deviation == pytest.approx(
+            2 * math.pi * 0.1 * 8.0
+        )
+
+    def test_mismatched_line_distorts_phase(self):
+        mismatch = [0.3 if i < N_TAPS // 2 else -0.3 for i in range(N_TAPS)]
+        clean = DelayLinePMSource(locked_line(), F_REF, 0.2, 5.0)
+        skewed = DelayLinePMSource(
+            locked_line(mismatch=mismatch), F_REF, 0.2, 5.0
+        )
+        clean_edges = np.array([clean.next_edge() for _ in range(200)])
+        skewed_edges = np.array([skewed.next_edge() for _ in range(200)])
+        assert np.abs(clean_edges - skewed_edges).max() > 1e-5
+
+
+class TestDelayLinePMStimulus:
+    def test_constant_deviation_scaling(self):
+        from repro.stimulus.delay_line import DelayLinePMStimulus
+
+        stim = DelayLinePMStimulus(F_REF, 1.0, n_taps=256)
+        # Peak phase scales as 1/f_mod to hold the deviation constant.
+        p2 = stim.peak_phase_cycles(2.0)
+        p8 = stim.peak_phase_cycles(8.0)
+        assert p2 == pytest.approx(4.0 * p8)
+        src = stim.make_source(8.0)
+        assert src.equivalent_fm_deviation == pytest.approx(1.0)
+
+    def test_too_low_tone_rejected(self):
+        from repro.stimulus.delay_line import DelayLinePMStimulus
+
+        stim = DelayLinePMStimulus(F_REF, 1.0, n_taps=256)
+        with pytest.raises(StimulusError):
+            stim.peak_phase_cycles(0.1)  # needs >= half a cycle of phase
+
+    def test_modulation_peak_at_half_period(self):
+        from repro.stimulus.delay_line import DelayLinePMStimulus
+
+        stim = DelayLinePMStimulus(F_REF, 1.0)
+        assert stim.modulation_peak_time(8.0) == pytest.approx(0.0625)
+        assert stim.modulation_peak_time(8.0, index=2) == pytest.approx(
+            2.5 / 8.0
+        )
+
+    def test_input_frequency_actually_peaks_there(self):
+        """The stepped PM's *smoothed* frequency peaks at half-periods.
+
+        Per-period frequency estimates of tap-stepped PM are impulsive
+        (each single-tap hop is a ~1 Hz blip for one period), so the
+        check smooths over ~a tenth of the modulation period first —
+        which is also what the PLL's low-pass filtering does.
+        """
+        from repro.stimulus.delay_line import DelayLinePMStimulus
+
+        stim = DelayLinePMStimulus(F_REF, 1.0, n_taps=1024)
+        f_mod = 5.0
+        src = stim.make_source(f_mod)
+        edges = [src.next_edge() for _ in range(1200)]
+        mids, freqs = edges_to_frequency(edges)
+        kernel = np.ones(21) / 21.0
+        smooth = np.convolve(freqs, kernel, mode="same")
+        t_peak_expected = stim.modulation_peak_time(f_mod, index=3)
+        window = (mids > t_peak_expected - 0.4 / f_mod) & (
+            mids < t_peak_expected + 0.4 / f_mod
+        )
+        t_peak_measured = mids[window][np.argmax(smooth[window])]
+        assert abs(t_peak_measured - t_peak_expected) < 0.1 / f_mod
+
+    def test_label_mentions_taps(self):
+        from repro.stimulus.delay_line import DelayLinePMStimulus
+
+        assert "128 taps" in DelayLinePMStimulus(F_REF, 1.0, 128).label
+
+    def test_full_tone_measurement_matches_fm(self, fast_bist_config):
+        """End to end: the PM-driven BIST tone agrees with the FM one
+        (Section 2's PM/FM interchangeability)."""
+        from repro.core import ToneTestSequencer
+        from repro.presets import paper_pll
+        from repro.stimulus import SineFMStimulus
+        from repro.stimulus.delay_line import DelayLinePMStimulus
+
+        pll = paper_pll()
+        pm = ToneTestSequencer(
+            pll, DelayLinePMStimulus(F_REF, 1.0, n_taps=1024),
+            fast_bist_config,
+        ).run(8.0)
+        fm = ToneTestSequencer(
+            pll, SineFMStimulus(F_REF, 1.0), fast_bist_config
+        ).run(8.0)
+        assert pm.delta_f_hz == pytest.approx(fm.delta_f_hz, rel=0.05)
+        assert pm.phase_delay_deg == pytest.approx(
+            fm.phase_delay_deg, abs=8.0
+        )

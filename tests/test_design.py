@@ -1,0 +1,94 @@
+"""Loop-design helpers: (fn, zeta) targets to component values."""
+
+import math
+
+import pytest
+
+from repro.analysis.design import design_lag_lead_pll, design_series_rc_pll
+from repro.errors import ConfigurationError
+from repro.pll.simulator import PLLTransientSimulator
+from repro.stimulus.waveforms import ConstantFrequencySource
+
+
+class TestLagLeadDesign:
+    @pytest.mark.parametrize("fn,zeta", [
+        (5.0, 0.3), (8.74, 0.426), (15.0, 0.7), (20.0, 1.0),
+    ])
+    def test_roundtrip_exact(self, fn, zeta):
+        pll = design_lag_lead_pll(1000.0, 5, fn, zeta)
+        assert pll.natural_frequency_hz() == pytest.approx(fn, rel=1e-9)
+        assert pll.damping() == pytest.approx(zeta, rel=1e-9)
+
+    def test_recovers_paper_design_point(self):
+        """Designing for the paper's (fn, ζ) lands near its components."""
+        pll = design_lag_lead_pll(1000.0, 5, 8.743, 0.4261, c=470e-9)
+        assert pll.loop_filter.r1 == pytest.approx(390e3, rel=0.01)
+        assert pll.loop_filter.r2 == pytest.approx(33e3, rel=0.01)
+
+    def test_designed_loop_actually_locks(self):
+        pll = design_lag_lead_pll(1000.0, 5, 12.0, 0.6)
+        sim = PLLTransientSimulator(pll, ConstantFrequencySource(1000.0))
+        sim.run_until(0.3)
+        assert sim.output_frequency_smoothed == pytest.approx(
+            5000.0, rel=1e-6
+        )
+
+    def test_unreachable_damping_rejected(self):
+        # Huge zeta at low gain: tau2 alone exceeds the tau budget.
+        with pytest.raises(ConfigurationError):
+            design_lag_lead_pll(1000.0, 5, 8.0, 20.0)
+
+    def test_fn_too_close_to_fref_rejected(self):
+        with pytest.raises(ConfigurationError):
+            design_lag_lead_pll(1000.0, 5, 200.0, 0.4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            design_lag_lead_pll(0.0, 5, 8.0, 0.4)
+        with pytest.raises(ConfigurationError):
+            design_lag_lead_pll(1000.0, 0, 8.0, 0.4)
+        with pytest.raises(ConfigurationError):
+            design_lag_lead_pll(1000.0, 5, -1.0, 0.4)
+        with pytest.raises(ConfigurationError):
+            design_lag_lead_pll(1000.0, 5, 8.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            design_lag_lead_pll(1000.0, 5, 8.0, 0.4, c=0.0)
+
+    def test_custom_name(self):
+        assert design_lag_lead_pll(1e3, 5, 8.0, 0.4, name="x").name == "x"
+
+
+class TestSeriesRCDesign:
+    @pytest.mark.parametrize("fn,zeta", [
+        (200.0, 0.35), (563.0, 0.354), (2000.0, 0.9),
+    ])
+    def test_roundtrip_exact(self, fn, zeta):
+        pll = design_series_rc_pll(200e3, 4, fn, zeta)
+        assert pll.natural_frequency_hz() == pytest.approx(fn, rel=1e-9)
+        assert pll.damping() == pytest.approx(zeta, rel=1e-9)
+
+    def test_designed_loop_locks(self):
+        pll = design_series_rc_pll(200e3, 4, 500.0, 0.5)
+        sim = PLLTransientSimulator(pll, ConstantFrequencySource(200e3))
+        sim.run_until(0.02)
+        assert sim.output_frequency_smoothed == pytest.approx(
+            800e3, rel=1e-6
+        )
+
+    def test_pump_current_validated(self):
+        with pytest.raises(ConfigurationError):
+            design_series_rc_pll(200e3, 4, 500.0, 0.5, pump_current=0.0)
+
+    def test_components_scale_with_current(self):
+        small = design_series_rc_pll(200e3, 4, 500.0, 0.5,
+                                     pump_current=10e-6)
+        large = design_series_rc_pll(200e3, 4, 500.0, 0.5,
+                                     pump_current=100e-6)
+        # Same dynamics from 10x the current needs 10x the capacitance
+        # and a tenth of the resistance.
+        assert large.loop_filter.c == pytest.approx(
+            10.0 * small.loop_filter.c
+        )
+        assert large.loop_filter.r == pytest.approx(
+            small.loop_filter.r / 10.0
+        )

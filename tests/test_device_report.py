@@ -1,0 +1,63 @@
+"""Markdown device report rendering."""
+
+import pytest
+
+from repro.analysis import diagnose_shift
+from repro.analysis.second_order import SecondOrderParameters
+from repro.core.limits import TestLimits
+from repro.presets import paper_pll
+from repro.reporting import device_report
+
+
+@pytest.fixture(scope="module")
+def limits_report(sine_sweep_result):
+    pll = paper_pll()
+    golden = SecondOrderParameters(pll.natural_frequency(), pll.damping())
+    limits = TestLimits.from_golden(golden, rel_tol=0.3, peak_tol_db=1.5)
+    return limits.check(sine_sweep_result.estimated)
+
+
+class TestDeviceReport:
+    def test_basic_sections(self, sine_sweep_result):
+        text = device_report(paper_pll(), sine_sweep_result)
+        assert text.startswith("# BIST report — paper-linear")
+        assert "## Device" in text
+        assert "## Measured transfer function" in text
+        assert "## Extracted parameters" in text
+        assert "natural frequency" in text
+
+    def test_tone_rows_present(self, sine_sweep_result):
+        text = device_report(paper_pll(), sine_sweep_result)
+        # Every planned tone appears.
+        for f in sine_sweep_result.response.frequencies_hz:
+            assert f"{f:.3g}" in text
+
+    def test_limits_section(self, sine_sweep_result, limits_report):
+        text = device_report(
+            paper_pll(), sine_sweep_result, limits=limits_report
+        )
+        assert "## Limit comparison — **PASS**" in text
+        assert "fn_hz" in text
+
+    def test_diagnosis_section(self, sine_sweep_result):
+        est = sine_sweep_result.estimated
+        candidates = diagnose_shift(paper_pll(), est.fn_hz, est.zeta)
+        text = device_report(
+            paper_pll(), sine_sweep_result, diagnosis=candidates
+        )
+        assert "## Diagnosis" in text
+        assert "best-fit scale" in text
+
+    def test_valid_markdown_tables(self, sine_sweep_result):
+        text = device_report(paper_pll(), sine_sweep_result)
+        for line in text.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+    def test_failed_tones_listed(self, sine_sweep_result):
+        import copy
+
+        broken = copy.copy(sine_sweep_result)
+        broken.failed_tones = {99.0: "synthetic failure"}
+        text = device_report(paper_pll(), broken)
+        assert "FAILED: synthetic failure" in text

@@ -1,0 +1,109 @@
+"""Dividers: edge counter and the reprogrammable ring counter."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pll.dividers import EdgeDivider, RingCounterDivider
+
+
+class TestEdgeDivider:
+    def test_modulus_validation(self):
+        with pytest.raises(ConfigurationError):
+            EdgeDivider(1)
+        with pytest.raises(ConfigurationError):
+            EdgeDivider(5, phase=5)
+        with pytest.raises(ConfigurationError):
+            EdgeDivider(5, phase=-1)
+
+    def test_divide_by_five_rate(self):
+        div = EdgeDivider(5)
+        edges = []
+        for k in range(50):
+            e = div.on_input_edge(k * 1.0)
+            if e is not None and e.is_rising:
+                edges.append(e.time)
+        assert len(edges) == 10
+        assert edges[0] == 0.0
+        assert edges[1] == 5.0
+
+    def test_phase_offsets_first_edge(self):
+        div = EdgeDivider(4, phase=1)
+        rising = []
+        for k in range(12):
+            e = div.on_input_edge(float(k))
+            if e is not None and e.is_rising:
+                rising.append(e.time)
+        # phase=1 -> counter reaches 0 after 3 more edges.
+        assert rising[0] == 3.0
+
+    def test_roughly_square_output(self):
+        div = EdgeDivider(4)
+        for k in range(40):
+            div.on_input_edge(float(k))
+        widths = div.output.pulse_widths()
+        # Rising at 0, falling at input edge 2: width 2 of a 4-cycle.
+        assert all(w == pytest.approx(2.0) for w in widths)
+
+    def test_divide_by_two(self):
+        div = EdgeDivider(2)
+        rising = []
+        for k in range(10):
+            e = div.on_input_edge(float(k))
+            if e is not None and e.is_rising:
+                rising.append(e.time)
+        assert rising == [0.0, 2.0, 4.0, 6.0, 8.0]
+
+    def test_reset_rephases(self):
+        div = EdgeDivider(5)
+        for k in range(3):
+            div.on_input_edge(float(k))
+        div.reset(0)
+        assert div.count == 0
+        with pytest.raises(ConfigurationError):
+            div.reset(7)
+
+
+class TestRingCounterDivider:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RingCounterDivider(f_master=0.0, modulus=10)
+        with pytest.raises(ConfigurationError):
+            RingCounterDivider(f_master=1e6, modulus=1)
+
+    def test_output_frequency(self):
+        ring = RingCounterDivider(f_master=10e6, modulus=10000)
+        assert ring.output_frequency == pytest.approx(1000.0)
+
+    def test_edges_land_on_master_ticks(self):
+        ring = RingCounterDivider(f_master=10e6, modulus=10000)
+        for _ in range(5):
+            t = ring.next_edge()
+            ticks = t * 10e6
+            assert ticks == pytest.approx(round(ticks), abs=1e-6)
+
+    def test_constant_modulus_period(self):
+        ring = RingCounterDivider(f_master=10e6, modulus=9999)
+        t1 = ring.next_edge()
+        t2 = ring.next_edge()
+        assert t2 - t1 == pytest.approx(9999 / 10e6)
+
+    def test_reprogram_takes_effect_next_period(self):
+        ring = RingCounterDivider(f_master=1e6, modulus=100)
+        t1 = ring.next_edge()          # period of 100 ticks
+        ring.program(200)
+        t2 = ring.next_edge()          # first period at the new modulus
+        assert t2 - t1 == pytest.approx(200e-6)
+
+    def test_program_validation(self):
+        ring = RingCounterDivider(f_master=1e6, modulus=100)
+        with pytest.raises(ConfigurationError):
+            ring.program(1)
+
+    def test_peek_does_not_advance(self):
+        ring = RingCounterDivider(f_master=1e6, modulus=100)
+        peeked = ring.peek_next_edge()
+        assert ring.next_edge() == pytest.approx(peeked)
+
+    def test_start_time_offset(self):
+        ring = RingCounterDivider(f_master=1e6, modulus=100, start_time=1.0)
+        assert ring.next_edge() == pytest.approx(1.0 + 100e-6)

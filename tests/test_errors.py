@@ -1,0 +1,34 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError)
+
+    def test_configuration_is_value_error(self):
+        assert issubclass(errors.ConfigurationError, ValueError)
+
+    def test_stimulus_is_value_error(self):
+        assert issubclass(errors.StimulusError, ValueError)
+
+    def test_simulation_is_runtime_error(self):
+        assert issubclass(errors.SimulationError, RuntimeError)
+
+    def test_convergence_is_simulation_error(self):
+        assert issubclass(errors.ConvergenceError, errors.SimulationError)
+
+    def test_lock_is_simulation_error(self):
+        assert issubclass(errors.LockError, errors.SimulationError)
+
+    def test_catchable_as_library_failure(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.MeasurementError("x")
+
+    def test_fault_injection_error(self):
+        assert issubclass(errors.FaultInjectionError, ValueError)

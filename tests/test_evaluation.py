@@ -1,0 +1,100 @@
+"""Equations (7) and (8) plus the capacitor-node correction."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import (
+    evaluate_sweep,
+    magnitude_db_eq7,
+    phase_deg_eq8,
+)
+from repro.errors import MeasurementError
+
+
+class TestEq7:
+    def test_unity_ratio_is_zero_db(self):
+        assert magnitude_db_eq7(5.0, 5.0) == pytest.approx(0.0)
+
+    def test_double_is_six_db(self):
+        assert magnitude_db_eq7(10.0, 5.0) == pytest.approx(6.0206, abs=1e-3)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(MeasurementError):
+            magnitude_db_eq7(0.0, 5.0)
+        with pytest.raises(MeasurementError):
+            magnitude_db_eq7(5.0, 0.0)
+        with pytest.raises(MeasurementError):
+            magnitude_db_eq7(-1.0, 5.0)
+
+
+class TestEq8:
+    def test_quarter_period_is_90_degrees(self):
+        # 2500 pulses of a 1 MHz clock = 2.5 ms = 1/4 of a 10 ms period.
+        assert phase_deg_eq8(2500, 1e6, 0.01) == pytest.approx(-90.0)
+
+    def test_lag_is_negative(self):
+        assert phase_deg_eq8(100, 1e6, 0.01) < 0.0
+
+    def test_wraps_into_one_turn(self):
+        # 1.25 periods of lag reads as -90 (mod 360).
+        assert phase_deg_eq8(12500, 1e6, 0.01) == pytest.approx(-90.0)
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            phase_deg_eq8(1, 0.0, 0.01)
+        with pytest.raises(MeasurementError):
+            phase_deg_eq8(1, 1e6, 0.0)
+
+
+class TestEvaluateSweep:
+    def test_empty_rejected(self):
+        with pytest.raises(MeasurementError):
+            evaluate_sweep([])
+
+    def test_sweep_references_lowest_tone(self, sine_sweep_result):
+        raw = evaluate_sweep(sine_sweep_result.measurements)
+        assert raw.magnitude_db[0] == pytest.approx(0.0)
+        assert raw.frequencies_hz[0] == min(raw.frequencies_hz)
+
+    def test_sorting(self, sine_sweep_result):
+        shuffled = list(reversed(sine_sweep_result.measurements))
+        r = evaluate_sweep(shuffled)
+        assert np.all(np.diff(r.frequencies_hz) > 0)
+
+    def test_zero_correction_raises_magnitude_above_raw(
+        self, sine_sweep_result
+    ):
+        ms = sine_sweep_result.measurements
+        tau2 = 33e3 * 470e-9
+        raw = evaluate_sweep(ms)
+        corrected = evaluate_sweep(ms, zero_correction_tau=tau2)
+        # Correction grows with frequency; above the first tone it adds.
+        assert np.all(
+            corrected.magnitude_db[1:] >= raw.magnitude_db[1:] - 1e-9
+        )
+        # And phases move toward zero (less lag).
+        assert np.all(corrected.phase_deg >= raw.phase_deg)
+
+    def test_zero_correction_rezeroes_reference(self, sine_sweep_result):
+        ms = sine_sweep_result.measurements
+        corrected = evaluate_sweep(ms, zero_correction_tau=33e3 * 470e-9)
+        assert corrected.magnitude_db[0] == pytest.approx(0.0)
+
+    def test_negative_tau_rejected(self, sine_sweep_result):
+        with pytest.raises(MeasurementError):
+            evaluate_sweep(
+                sine_sweep_result.measurements, zero_correction_tau=-1.0
+            )
+
+    def test_explicit_reference_measurement(self, sine_sweep_result):
+        ms = sine_sweep_result.measurements
+        r = evaluate_sweep(ms, reference=ms[2])
+        ref_f = sorted(m.f_mod for m in ms)[2]
+        idx = int(np.argmin(np.abs(r.frequencies_hz - ref_f)))
+        assert r.magnitude_db[idx] == pytest.approx(0.0, abs=1e-12)
+
+    def test_label_propagates(self, sine_sweep_result):
+        r = evaluate_sweep(sine_sweep_result.measurements, label="abc")
+        assert r.label == "abc"

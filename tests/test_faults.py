@@ -1,0 +1,140 @@
+"""Fault injection: catalogue, immutability, parameter shifts."""
+
+import math
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.pll.charge_pump import CurrentChargePump
+from repro.pll.faults import (
+    FAULT_LIBRARY,
+    Fault,
+    FaultKind,
+    apply_fault,
+    fault_library,
+)
+from repro.pll.loop_filter import SeriesRCFilter
+from repro.presets import paper_pll
+from dataclasses import replace
+
+
+@pytest.fixture
+def pll():
+    return paper_pll()
+
+
+class TestMechanics:
+    def test_input_not_mutated(self, pll):
+        r2_before = pll.loop_filter.r2
+        apply_fault(pll, Fault(FaultKind.R2_SHIFT, 0.1))
+        assert pll.loop_filter.r2 == r2_before
+
+    def test_name_carries_label(self, pll):
+        faulty = apply_fault(pll, Fault(FaultKind.R2_SHIFT, 0.1, "weak zero"))
+        assert "weak zero" in faulty.name
+
+    def test_auto_label(self):
+        f = Fault(FaultKind.CAP_SHIFT, 2.0)
+        assert f.label == "cap_shift=2"
+
+    def test_library_has_variety(self):
+        lib = fault_library()
+        kinds = {f.kind for f in lib}
+        assert len(lib) >= 5
+        assert FaultKind.LEAKY_CAPACITOR in kinds
+        assert FaultKind.VCO_GAIN_SHIFT in kinds
+        assert set(FAULT_LIBRARY) == {f.label for f in lib}
+
+
+class TestFilterFaults:
+    def test_leaky_capacitor(self, pll):
+        faulty = apply_fault(pll, Fault(FaultKind.LEAKY_CAPACITOR, 50e3))
+        assert faulty.loop_filter.leak_resistance == 50e3
+        with pytest.raises(FaultInjectionError):
+            apply_fault(pll, Fault(FaultKind.LEAKY_CAPACITOR, -1.0))
+
+    def test_r2_shift_changes_damping(self, pll):
+        faulty = apply_fault(pll, Fault(FaultKind.R2_SHIFT, 0.1))
+        assert faulty.damping() < 0.5 * pll.damping()
+
+    def test_r1_shift_changes_wn(self, pll):
+        faulty = apply_fault(pll, Fault(FaultKind.R1_SHIFT, 3.0))
+        assert faulty.natural_frequency() < pll.natural_frequency()
+
+    def test_cap_shift_changes_both(self, pll):
+        faulty = apply_fault(pll, Fault(FaultKind.CAP_SHIFT, 3.0))
+        assert faulty.natural_frequency() < pll.natural_frequency()
+        assert faulty.damping() != pytest.approx(pll.damping(), rel=1e-3)
+
+    def test_series_rc_faults(self, pll):
+        pll_rc = replace(
+            pll,
+            pump=CurrentChargePump(i_up=1e-4),
+            loop_filter=SeriesRCFilter(r=10e3, c=1e-6),
+        )
+        faulty = apply_fault(pll_rc, Fault(FaultKind.R2_SHIFT, 2.0))
+        assert faulty.loop_filter.r == pytest.approx(20e3)
+        with pytest.raises(FaultInjectionError):
+            apply_fault(pll_rc, Fault(FaultKind.R1_SHIFT, 2.0))
+
+
+class TestPumpFaults:
+    def test_dead_zone(self, pll):
+        faulty = apply_fault(pll, Fault(FaultKind.CP_DEAD_ZONE, 100e-9))
+        assert faulty.pump.turn_on_delay == 100e-9
+        with pytest.raises(FaultInjectionError):
+            apply_fault(pll, Fault(FaultKind.CP_DEAD_ZONE, -1e-9))
+
+    def test_leakage(self, pll):
+        faulty = apply_fault(pll, Fault(FaultKind.PUMP_LEAKAGE, 1e-9))
+        assert faulty.pump.leakage_current == 1e-9
+
+    def test_asymmetry_rail_driver(self):
+        # Needs finite on-resistances: use the 4046-flavoured device.
+        non = paper_pll(nonlinear=True)
+        faulty = apply_fault(non, Fault(FaultKind.CP_ASYMMETRY, 0.5))
+        assert faulty.pump.r_up == pytest.approx(non.pump.r_up / 1.5)
+        assert faulty.pump.r_dn == non.pump.r_dn
+
+    def test_asymmetry_needs_finite_resistance(self, pll):
+        # An ideal 0-ohm driver has no strength parameter to mismatch;
+        # silently returning an unchanged pump would be a fake fault.
+        with pytest.raises(FaultInjectionError):
+            apply_fault(pll, Fault(FaultKind.CP_ASYMMETRY, 0.5))
+
+    def test_asymmetry_current_pump(self, pll):
+        pll_cp = replace(
+            pll,
+            pump=CurrentChargePump(i_up=1e-4),
+            loop_filter=SeriesRCFilter(r=10e3, c=1e-6),
+        )
+        faulty = apply_fault(pll_cp, Fault(FaultKind.CP_ASYMMETRY, 0.2))
+        assert faulty.pump.i_up == pytest.approx(1.2e-4)
+        assert faulty.pump.i_dn == pytest.approx(1.0e-4)
+
+    def test_asymmetry_cannot_invert(self, pll):
+        with pytest.raises(FaultInjectionError):
+            apply_fault(pll, Fault(FaultKind.CP_ASYMMETRY, -1.5))
+
+
+class TestVCOFaults:
+    def test_gain_shift_linear(self, pll):
+        faulty = apply_fault(pll, Fault(FaultKind.VCO_GAIN_SHIFT, 0.5))
+        assert faulty.vco.gain_hz_per_v == pytest.approx(600.0)
+        # Halving Ko lowers wn by sqrt(2).
+        assert faulty.natural_frequency() == pytest.approx(
+            pll.natural_frequency() / math.sqrt(2.0), rel=1e-6
+        )
+
+    def test_gain_shift_nonlinear_curve(self):
+        non = paper_pll(nonlinear=True)
+        faulty = apply_fault(non, Fault(FaultKind.VCO_GAIN_SHIFT, 0.5))
+        f0 = non.vco.f_center
+        v = 3.0
+        nominal_dev = non.vco.tuning_curve(v) - f0
+        faulty_dev = faulty.vco.tuning_curve(v) - f0
+        assert faulty_dev == pytest.approx(0.5 * nominal_dev)
+
+    def test_gain_shift_must_be_positive(self, pll):
+        with pytest.raises(FaultInjectionError):
+            apply_fault(pll, Fault(FaultKind.VCO_GAIN_SHIFT, 0.0))

@@ -1,0 +1,90 @@
+"""Parameter extraction from measured Bode responses."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.bode import BodeResponse, log_frequency_grid
+from repro.analysis.fitting import estimate_second_order
+from repro.analysis.second_order import (
+    SecondOrderParameters,
+    closed_loop_with_zero,
+)
+from repro.errors import MeasurementError
+
+
+def synthetic_response(fn_hz, zeta, f_lo=0.5, f_hi=80.0, points=120,
+                       noise_db=0.0, seed=0):
+    wn = 2 * math.pi * fn_hz
+    f = log_frequency_grid(f_lo, f_hi, points)
+    h = closed_loop_with_zero(wn, zeta, 2 * math.pi * f)
+    mag = 20 * np.log10(np.abs(h))
+    phase = np.degrees(np.unwrap(np.angle(h)))
+    if noise_db:
+        rng = np.random.default_rng(seed)
+        mag = mag + rng.normal(0.0, noise_db, mag.shape)
+    return BodeResponse(f, mag, phase, "synthetic")
+
+
+class TestCleanRecovery:
+    @pytest.mark.parametrize("fn", [3.0, 8.743, 25.0])
+    @pytest.mark.parametrize("zeta", [0.3, 0.426, 0.8])
+    def test_fn_and_zeta_recovered(self, fn, zeta):
+        est = estimate_second_order(synthetic_response(fn, zeta, points=300))
+        assert est.fn_hz == pytest.approx(fn, rel=0.02)
+        assert est.zeta == pytest.approx(zeta, rel=0.05)
+
+    def test_f3db_recovered(self):
+        p = SecondOrderParameters(2 * math.pi * 8.743, 0.426)
+        est = estimate_second_order(synthetic_response(8.743, 0.426))
+        assert est.f3db_hz == pytest.approx(p.f3db_hz, rel=0.02)
+
+    def test_phase_at_peak_reported(self):
+        est = estimate_second_order(synthetic_response(8.743, 0.426))
+        assert est.phase_at_peak_deg is not None
+        assert -60.0 < est.phase_at_peak_deg < -10.0
+
+    def test_as_second_order_roundtrip(self):
+        est = estimate_second_order(synthetic_response(8.743, 0.426))
+        p = est.as_second_order()
+        assert p.fn_hz == pytest.approx(est.fn_hz)
+
+    def test_str_contains_values(self):
+        s = str(estimate_second_order(synthetic_response(8.743, 0.426)))
+        assert "fn=" in s and "zeta=" in s
+
+
+class TestRobustness:
+    def test_tolerates_mild_noise(self):
+        est = estimate_second_order(
+            synthetic_response(8.743, 0.426, points=200, noise_db=0.05)
+        )
+        assert est.fn_hz == pytest.approx(8.743, rel=0.05)
+        assert est.zeta == pytest.approx(0.426, rel=0.15)
+
+    def test_sparse_grid_still_works(self):
+        est = estimate_second_order(synthetic_response(8.743, 0.426, points=12))
+        assert est.fn_hz == pytest.approx(8.743, rel=0.1)
+
+    def test_missing_f3db_is_none(self):
+        est = estimate_second_order(
+            synthetic_response(8.743, 0.426, f_hi=10.0, points=60)
+        )
+        assert est.f3db_hz is None
+
+
+class TestFailures:
+    def test_too_few_points(self):
+        r = synthetic_response(8.743, 0.426, points=120)
+        short = BodeResponse(
+            r.frequencies_hz[:2], r.magnitude_db[:2], r.phase_deg[:2]
+        )
+        with pytest.raises(MeasurementError):
+            estimate_second_order(short)
+
+    def test_flat_sweep_rejected(self):
+        # All tones in-band: no peak to anchor the estimate.
+        r = synthetic_response(100.0, 0.426, f_lo=0.5, f_hi=5.0, points=30)
+        with pytest.raises(MeasurementError):
+            estimate_second_order(r)

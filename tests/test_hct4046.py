@@ -1,0 +1,91 @@
+"""74HCT4046A-flavoured device model."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pll.hct4046 import HCT4046Config, make_hct4046_pll
+from repro.pll.charge_pump import RailDriverChargePump
+from repro.presets import paper_pll
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = HCT4046Config()
+        assert cfg.v_center == 2.5
+
+    def test_curvature_bounds(self):
+        with pytest.raises(ConfigurationError):
+            HCT4046Config(curvature=1.0 / 3.0)
+        with pytest.raises(ConfigurationError):
+            HCT4046Config(curvature=-0.1)
+
+    def test_vdd_positive(self):
+        with pytest.raises(ConfigurationError):
+            HCT4046Config(vdd=0.0)
+
+    def test_pc2_gain(self):
+        cfg = HCT4046Config(vdd=5.0)
+        assert cfg.pc2_gain_v_per_rad == pytest.approx(5.0 / (4 * math.pi))
+
+
+class TestTuningCurve:
+    def test_center_exact(self):
+        cfg = HCT4046Config()
+        assert cfg.tuning_curve(2.5) == pytest.approx(cfg.f_center)
+
+    def test_small_signal_gain_at_center(self):
+        cfg = HCT4046Config()
+        h = 1e-6
+        slope = (cfg.tuning_curve(2.5 + h) - cfg.tuning_curve(2.5 - h)) / (2 * h)
+        assert slope == pytest.approx(cfg.gain_hz_per_v, rel=1e-6)
+
+    def test_compression_at_rails(self):
+        cfg = HCT4046Config(curvature=0.2)
+        linear_extent = cfg.gain_hz_per_v * 2.5
+        actual_extent = cfg.tuning_curve(5.0) - cfg.f_center
+        assert actual_extent < linear_extent
+        assert actual_extent == pytest.approx(linear_extent * 0.8)
+
+    def test_monotone_over_rails(self):
+        cfg = HCT4046Config(curvature=0.3)
+        vs = [i * 0.05 for i in range(101)]
+        fs = [cfg.tuning_curve(v) for v in vs]
+        assert all(b > a for a, b in zip(fs, fs[1:]))
+
+    def test_zero_curvature_makes_linear_vco(self):
+        cfg = HCT4046Config(curvature=0.0)
+        vco = cfg.make_vco()
+        assert vco.tuning_curve is None
+
+    def test_nonzero_curvature_installs_curve(self):
+        vco = HCT4046Config(curvature=0.15).make_vco()
+        assert vco.tuning_curve is not None
+
+
+class TestAssembly:
+    def test_make_pump(self):
+        pump = HCT4046Config().make_pump()
+        assert isinstance(pump, RailDriverChargePump)
+        assert pump.r_up == 120.0 and pump.r_dn == 90.0
+
+    def test_make_pll(self):
+        cfg = HCT4046Config()
+        pll = make_hct4046_pll(cfg, r1=390e3, r2=33e3, c=470e-9, n=5,
+                               f_ref=1000.0)
+        assert pll.f_out_nominal == 5000.0
+        assert pll.pfd_reset_delay == cfg.pfd_reset_delay
+
+    def test_nonlinear_paper_pll_close_to_linear(self):
+        lin = paper_pll()
+        non = paper_pll(nonlinear=True)
+        # Same design point, slightly different small-signal numbers
+        # because of driver resistance in tau1.
+        assert non.natural_frequency_hz() == pytest.approx(
+            lin.natural_frequency_hz(), rel=0.01
+        )
+
+    def test_nonlinear_locked_voltage_at_midrail(self):
+        non = paper_pll(nonlinear=True)
+        assert non.locked_control_voltage() == pytest.approx(2.5, abs=1e-6)

@@ -1,0 +1,108 @@
+"""Hold-and-count: the loop-break measurement mechanism."""
+
+import pytest
+
+from repro.core.counters import FrequencyCounter
+from repro.core.hold import LoopHoldControl
+from repro.errors import MeasurementError
+from repro.pll.faults import Fault, FaultKind, apply_fault
+from repro.pll.simulator import PLLTransientSimulator
+from repro.presets import paper_pll
+from repro.stimulus.waveforms import (
+    ConstantFrequencySource,
+    SinusoidalFMSource,
+)
+
+
+@pytest.fixture
+def hold():
+    return LoopHoldControl(FrequencyCounter(test_clock_hz=10e6))
+
+
+def locked_sim(pll=None, source=None):
+    pll = pll or paper_pll()
+    source = source or ConstantFrequencySource(1000.0)
+    sim = PLLTransientSimulator(pll, source)
+    sim.run_until(0.1)
+    return sim
+
+
+class TestEngageRelease:
+    def test_engage_opens_loop(self, hold):
+        sim = locked_sim()
+        t = hold.engage(sim)
+        assert sim.loop_is_open
+        assert t == sim.now
+
+    def test_double_engage_rejected(self, hold):
+        sim = locked_sim()
+        hold.engage(sim)
+        with pytest.raises(MeasurementError):
+            hold.engage(sim)
+
+    def test_release_requires_engaged(self, hold):
+        sim = locked_sim()
+        with pytest.raises(MeasurementError):
+            hold.release(sim)
+
+    def test_measure_requires_engaged(self, hold):
+        sim = locked_sim()
+        with pytest.raises(MeasurementError):
+            hold.measure_held_frequency(sim)
+
+
+class TestHeldMeasurement:
+    def test_measures_nominal_frequency(self, hold):
+        sim = locked_sim()
+        hold.engage(sim)
+        result = hold.measure_held_frequency(sim, periods=64)
+        assert result.vco_frequency_hz == pytest.approx(5000.0, abs=0.05)
+        assert result.droop_hz == pytest.approx(0.0, abs=1e-6)
+
+    def test_captures_modulated_instant(self, hold):
+        """Holding mid-modulation freezes the frequency at that instant."""
+        src = SinusoidalFMSource(1000.0, deviation=1.0, f_mod=1.0)
+        sim = PLLTransientSimulator(paper_pll(), src)
+        sim.run_until(2.25)  # input peak of cycle 3
+        f_now = sim.output_frequency
+        hold.engage(sim)
+        result = hold.measure_held_frequency(sim, periods=64)
+        assert result.vco_frequency_hz == pytest.approx(f_now, abs=0.1)
+
+    def test_release_after(self, hold):
+        sim = locked_sim()
+        hold.engage(sim)
+        hold.measure_held_frequency(sim, periods=16, release_after=True)
+        assert not sim.loop_is_open
+
+    def test_resolution_scales_with_periods(self, hold):
+        sim = locked_sim()
+        hold.engage(sim)
+        short = hold.measure_held_frequency(sim, periods=8)
+        long = hold.measure_held_frequency(sim, periods=128)
+        assert long.measurement.resolution_hz < short.measurement.resolution_hz
+
+
+class TestHoldDefects:
+    def test_leaky_capacitor_causes_droop(self, hold):
+        """The leaky-cap defect defeats the hold: the counter sees the
+        frequency walking away during the measurement.
+
+        (A closed leaky loop reaches a ripple steady state rather than
+        edge-aligned lock, so this settles by time, not by lock check.)
+        """
+        leaky = apply_fault(
+            paper_pll(), Fault(FaultKind.LEAKY_CAPACITOR, 5e6)
+        )
+        sim = PLLTransientSimulator(leaky, ConstantFrequencySource(1000.0))
+        sim.run_for(1.0)
+        hold.engage(sim)
+        result = hold.measure_held_frequency(sim, periods=256)
+        assert abs(result.droop_hz) > 10.0
+
+    def test_healthy_hold_has_no_droop(self, hold):
+        sim = locked_sim(source=ConstantFrequencySource(1000.0))
+        sim.run_for(0.5)
+        hold.engage(sim)
+        result = hold.measure_held_frequency(sim, periods=256)
+        assert abs(result.droop_hz) < 1e-6

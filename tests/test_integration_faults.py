@@ -1,0 +1,82 @@
+"""Integration: the test's purpose — faulty loops fail the limits.
+
+The paper motivates transfer-function monitoring as a structural test:
+parameters extracted from the measured response "will indicate errors in
+the PLL circuitry".  These tests inject macro faults and confirm the
+go/no-go verdict flips.
+"""
+
+import pytest
+
+from repro.analysis.second_order import SecondOrderParameters
+from repro.core.limits import TestLimits
+from repro.core.monitor import SweepPlan, TransferFunctionMonitor
+from repro.pll.faults import Fault, FaultKind, apply_fault
+from repro.presets import paper_pll
+from repro.stimulus import SineFMStimulus
+
+
+@pytest.fixture(scope="module")
+def limits():
+    pll = paper_pll()
+    golden = SecondOrderParameters(pll.natural_frequency(), pll.damping())
+    return TestLimits.from_golden(golden, rel_tol=0.25, peak_tol_db=1.5)
+
+
+@pytest.fixture(scope="module")
+def plan():
+    # A lean sweep: enough tones to anchor peak + skirt.
+    return SweepPlan((1.0, 2.5, 5.0, 7.0, 9.0, 12.0, 18.0, 30.0, 55.0))
+
+
+def run_check(pll, plan, limits, fast_bist_config):
+    monitor = TransferFunctionMonitor(
+        pll, SineFMStimulus(1000.0, 1.0), fast_bist_config
+    )
+    return monitor.run_and_check(plan, limits)
+
+
+class TestGoNoGo:
+    def test_healthy_device_passes(self, plan, limits, fast_bist_config):
+        __, report = run_check(paper_pll(), plan, limits, fast_bist_config)
+        assert report.passed, str(report)
+
+    def test_vco_gain_half_fails_on_fn(self, plan, limits, fast_bist_config):
+        faulty = apply_fault(
+            paper_pll(), Fault(FaultKind.VCO_GAIN_SHIFT, 0.5)
+        )
+        __, report = run_check(faulty, plan, limits, fast_bist_config)
+        assert not report.passed
+        assert any(c.name == "fn_hz" for c in report.failures)
+
+    def test_r2_collapse_fails_on_peaking(self, plan, limits,
+                                          fast_bist_config):
+        faulty = apply_fault(paper_pll(), Fault(FaultKind.R2_SHIFT, 0.1))
+        __, report = run_check(faulty, plan, limits, fast_bist_config)
+        assert not report.passed
+        failed = {c.name for c in report.failures}
+        assert "peak_db" in failed or "zeta" in failed
+
+    def test_cap_tripled_fails(self, plan, limits, fast_bist_config):
+        faulty = apply_fault(paper_pll(), Fault(FaultKind.CAP_SHIFT, 3.0))
+        __, report = run_check(faulty, plan, limits, fast_bist_config)
+        assert not report.passed
+
+    def test_fault_shifts_match_theory_direction(
+        self, plan, fast_bist_config
+    ):
+        """Halving Ko must *lower* the measured fn by ~sqrt(2)."""
+        healthy_mon = TransferFunctionMonitor(
+            paper_pll(), SineFMStimulus(1000.0, 1.0), fast_bist_config
+        )
+        faulty = apply_fault(
+            paper_pll(), Fault(FaultKind.VCO_GAIN_SHIFT, 0.5)
+        )
+        faulty_mon = TransferFunctionMonitor(
+            faulty, SineFMStimulus(1000.0, 1.0), fast_bist_config
+        )
+        est_h = healthy_mon.run(plan).estimated
+        est_f = faulty_mon.run(plan).estimated
+        assert est_f is not None and est_h is not None
+        ratio = est_f.fn_hz / est_h.fn_hz
+        assert ratio == pytest.approx(1.0 / 2.0 ** 0.5, rel=0.15)

@@ -1,0 +1,137 @@
+"""Jitter-domain analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.jitter import JitterAnalysis
+from repro.errors import ConfigurationError
+from repro.pll import (
+    ChargePumpPLL,
+    CurrentChargePump,
+    SeriesRCFilter,
+    VCO,
+)
+from repro.presets import paper_pll
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return JitterAnalysis(paper_pll())
+
+
+@pytest.fixture(scope="module")
+def cdr_analysis():
+    pll = ChargePumpPLL(
+        pump=CurrentChargePump(i_up=50e-6),
+        loop_filter=SeriesRCFilter(r=2e3, c=100e-9),
+        vco=VCO(800e3, 100e3, 1.5, f_min=400e3, f_max=1200e3),
+        n=4,
+        f_ref=200e3,
+    )
+    return JitterAnalysis(pll)
+
+
+class TestJitterTransfer:
+    def test_unity_at_dc(self, analysis):
+        assert analysis.jitter_transfer(1e-3) == pytest.approx(1.0, rel=1e-3)
+
+    def test_low_pass(self, analysis):
+        assert analysis.jitter_transfer(1000.0) < 0.01
+
+    def test_peaking_positive_and_matches_second_order(self, analysis):
+        peak = analysis.jitter_peaking_db()
+        # With-zero loop at zeta~0.43 peaks ~3-4 dB (component-exact is
+        # slightly below the eq. 4 value).
+        assert 2.5 < peak < 4.5
+
+    def test_bandwidth_near_gardner(self, analysis):
+        pll = paper_pll()
+        from repro.analysis.second_order import SecondOrderParameters
+
+        golden = SecondOrderParameters(
+            pll.natural_frequency(), pll.damping()
+        )
+        assert analysis.jitter_bandwidth_hz() == pytest.approx(
+            golden.f3db_hz, rel=0.05
+        )
+
+    def test_transfer_response_container(self, analysis):
+        r = analysis.transfer_response([1.0, 10.0, 100.0])
+        assert len(r) == 3
+        assert r.magnitude_db[0] == pytest.approx(0.0, abs=0.2)
+
+    def test_array_evaluation(self, analysis):
+        f = np.array([1.0, 10.0, 100.0])
+        out = analysis.jitter_transfer_db(f)
+        assert out.shape == (3,)
+
+
+class TestErrorTransferAndTolerance:
+    def test_transfer_plus_error_identity(self, analysis):
+        """|H/N + E| = 1 exactly (complementary functions)."""
+        f = np.logspace(-1, 3, 40)
+        s = 1j * 2 * np.pi * f
+        pll = analysis.pll
+        total = pll.closed_loop_transfer(s) / pll.n + 1.0 / (
+            1.0 + pll.open_loop_transfer(s)
+        )
+        assert np.allclose(total, 1.0, atol=1e-9)
+
+    def test_tolerance_slope_type1(self, analysis):
+        """The paper's passive-filter loop is type 1 (one integrator:
+        the VCO), so |E| ∝ f in-band and tolerance falls 20 dB/decade."""
+        t1 = analysis.jitter_tolerance_ui(0.01)
+        t2 = analysis.jitter_tolerance_ui(0.1)
+        assert t1 == pytest.approx(10.0 * t2, rel=0.15)
+
+    def test_tolerance_slope_type2(self, cdr_analysis):
+        """The current-pump series-RC loop is type 2 (two integrators),
+        so tolerance falls ~40 dB/decade well inside the band."""
+        t1 = cdr_analysis.jitter_tolerance_ui(1.0)
+        t2 = cdr_analysis.jitter_tolerance_ui(10.0)
+        assert t1 == pytest.approx(100.0 * t2, rel=0.2)
+
+    def test_tolerance_floor(self, analysis):
+        assert analysis.jitter_tolerance_ui(1e5) == pytest.approx(
+            analysis.tolerance_floor_ui(), rel=0.05
+        )
+
+    def test_tolerance_monotone_decreasing_to_floor(self, analysis):
+        f = np.logspace(-1, 4, 60)
+        tol = analysis.jitter_tolerance_ui(f)
+        # Allow the small dip below the floor near resonance (|E|>1).
+        assert tol[0] > tol[-1]
+        assert tol.min() > 0.3 * analysis.tolerance_floor_ui()
+
+    def test_custom_pfd_range(self):
+        a1 = JitterAnalysis(paper_pll(), pfd_range_ui=0.5)
+        a2 = JitterAnalysis(paper_pll(), pfd_range_ui=1.0)
+        assert a2.jitter_tolerance_ui(100.0) == pytest.approx(
+            2.0 * a1.jitter_tolerance_ui(100.0)
+        )
+
+    def test_range_validated(self):
+        with pytest.raises(ConfigurationError):
+            JitterAnalysis(paper_pll(), pfd_range_ui=0.0)
+
+
+class TestCurrentModeLoop:
+    def test_works_without_lag_lead(self, cdr_analysis):
+        assert cdr_analysis.jitter_transfer(1.0) == pytest.approx(
+            1.0, rel=1e-3
+        )
+        assert cdr_analysis.jitter_peaking_db() > 0.0
+
+    def test_bandwidth_scales_with_design(self, cdr_analysis, analysis):
+        # The CDR loop is ~100x wider than the paper loop.
+        assert (
+            cdr_analysis.jitter_bandwidth_hz()
+            > 20.0 * analysis.jitter_bandwidth_hz()
+        )
+
+    def test_points_table(self, cdr_analysis):
+        pts = cdr_analysis.points([10.0, 100.0, 1000.0])
+        assert len(pts) == 3
+        assert all("UI" in str(p) for p in pts)

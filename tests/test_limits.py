@@ -1,0 +1,98 @@
+"""On-chip limit comparison (go/no-go)."""
+
+import math
+
+import pytest
+
+from repro.analysis.fitting import EstimatedParameters
+from repro.analysis.second_order import SecondOrderParameters
+from repro.core.limits import LimitCheck, LimitReport, TestLimits
+from repro.errors import ConfigurationError
+
+
+def estimate(fn=8.7, zeta=0.43, peak=4.0, f3db=15.3):
+    return EstimatedParameters(
+        fn_hz=fn, zeta=zeta, f_peak_hz=fn * 0.88, peak_db=peak,
+        f3db_hz=f3db, phase_at_peak_deg=-45.0,
+    )
+
+
+GOLDEN = SecondOrderParameters(wn=2 * math.pi * 8.743, zeta=0.426)
+
+
+class TestLimitCheck:
+    def test_pass_inside(self):
+        assert LimitCheck("x", 5.0, 4.0, 6.0).passed
+
+    def test_fail_outside(self):
+        assert not LimitCheck("x", 7.0, 4.0, 6.0).passed
+
+    def test_inclusive_bounds(self):
+        assert LimitCheck("x", 4.0, 4.0, 6.0).passed
+        assert LimitCheck("x", 6.0, 4.0, 6.0).passed
+
+    def test_nan_fails(self):
+        assert not LimitCheck("x", float("nan"), 4.0, 6.0).passed
+
+    def test_str(self):
+        assert "PASS" in str(LimitCheck("x", 5.0, 4.0, 6.0))
+        assert "FAIL" in str(LimitCheck("x", 9.0, 4.0, 6.0))
+
+
+class TestTestLimits:
+    def test_band_validation(self):
+        with pytest.raises(ConfigurationError):
+            TestLimits(fn_hz=(10.0, 5.0))
+
+    def test_from_golden_bands(self):
+        limits = TestLimits.from_golden(GOLDEN, rel_tol=0.25)
+        lo, hi = limits.fn_hz
+        assert lo == pytest.approx(GOLDEN.fn_hz * 0.75)
+        assert hi == pytest.approx(GOLDEN.fn_hz * 1.25)
+        assert limits.peak_db is not None
+
+    def test_from_golden_validation(self):
+        with pytest.raises(ConfigurationError):
+            TestLimits.from_golden(GOLDEN, rel_tol=1.5)
+        with pytest.raises(ConfigurationError):
+            TestLimits.from_golden(GOLDEN, peak_tol_db=0.0)
+
+    def test_healthy_device_passes(self):
+        limits = TestLimits.from_golden(GOLDEN, rel_tol=0.25)
+        report = limits.check(estimate())
+        assert report.passed
+        assert report.failures == ()
+
+    def test_shifted_fn_fails(self):
+        limits = TestLimits.from_golden(GOLDEN, rel_tol=0.1)
+        report = limits.check(estimate(fn=6.0))
+        assert not report.passed
+        assert any(c.name == "fn_hz" for c in report.failures)
+
+    def test_collapsed_zeta_fails(self):
+        limits = TestLimits.from_golden(GOLDEN, rel_tol=0.25)
+        report = limits.check(estimate(zeta=0.1, peak=10.0))
+        failed = {c.name for c in report.failures}
+        assert "zeta" in failed
+        assert "peak_db" in failed
+
+    def test_missing_f3db_fails_when_band_set(self):
+        limits = TestLimits.from_golden(GOLDEN)
+        report = limits.check(estimate(f3db=None))
+        assert any(c.name == "f3db_hz" and not c.passed for c in report.checks)
+
+    def test_none_bands_skip_checks(self):
+        limits = TestLimits(fn_hz=(5.0, 12.0))
+        report = limits.check(estimate())
+        assert len(report.checks) == 1
+
+    def test_report_str(self):
+        limits = TestLimits.from_golden(GOLDEN)
+        text = str(limits.check(estimate()))
+        assert "limit report" in text
+        assert "fn_hz" in text
+
+
+class TestLimitReport:
+    def test_empty_report_passes(self):
+        assert LimitReport(()).passed

@@ -1,0 +1,94 @@
+"""Component-level linear model vs the eq. (4) idealisation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.bode import log_frequency_grid
+from repro.analysis.linear_model import PLLLinearModel
+from repro.pll.faults import Fault, FaultKind, apply_fault
+from repro.presets import paper_pll
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PLLLinearModel(paper_pll())
+
+
+class TestTransferFunctions:
+    def test_closed_loop_dc_gain_n(self, model):
+        h = model.closed_loop(1j * 1e-4)
+        assert abs(h) == pytest.approx(model.pll.n, rel=1e-3)
+
+    def test_normalised_dc_unity(self, model):
+        h = model.closed_loop_normalised(1j * 1e-4)
+        assert abs(h) == pytest.approx(1.0, rel=1e-3)
+
+    def test_error_plus_closed_is_identity(self, model):
+        """1/(1+G) + G/(1+G) = 1 at every frequency."""
+        w = np.logspace(-1, 3, 50)
+        s = 1j * w
+        total = model.error_transfer(s) + model.closed_loop(s) / model.pll.n
+        assert np.allclose(total, 1.0, atol=1e-9)
+
+    def test_error_transfer_high_pass(self, model):
+        lo = abs(model.error_transfer(1j * 0.1))
+        hi = abs(model.error_transfer(1j * 1e4))
+        assert lo < 0.01
+        assert hi == pytest.approx(1.0, rel=1e-3)
+
+
+class TestSecondOrderAgreement:
+    def test_component_model_matches_eq4_at_design_point(self, model):
+        """The exact component H and the eq. (4) idealisation agree to
+        within ~1 dB at this loop gain (the finite-K terms eq. 4 drops
+        are worth ~0.8 dB at the peak), and their peaks land at nearly
+        the same frequency."""
+        f = log_frequency_grid(1.0, 60.0, 80)
+        exact = model.bode(f)
+        ideal = model.bode_second_order(f)
+        assert np.allclose(exact.magnitude_db, ideal.magnitude_db, atol=1.0)
+        assert exact.peak()[0] == pytest.approx(ideal.peak()[0], rel=0.15)
+
+    def test_second_order_parameters(self, model):
+        p = model.second_order()
+        assert p.fn_hz == pytest.approx(8.74, abs=0.05)
+        assert p.zeta == pytest.approx(0.426, abs=0.005)
+
+    def test_exact_damping_option(self, model):
+        assert model.second_order(exact_damping=True).zeta > model.second_order().zeta
+
+
+class TestFaultVisibilityInTheory:
+    """Injected faults shift the *component-exact* theory response, which
+    is how limits get their sensitivity."""
+
+    def test_leak_flattens_low_end(self):
+        healthy = PLLLinearModel(paper_pll())
+        leaky = PLLLinearModel(
+            apply_fault(paper_pll(), Fault(FaultKind.LEAKY_CAPACITOR, 20e3))
+        )
+        f = log_frequency_grid(1.0, 60.0, 30)
+        h_mag = healthy.bode(f).magnitude_db
+        l_mag = leaky.bode(f).magnitude_db
+        assert not np.allclose(h_mag, l_mag, atol=0.3)
+
+    def test_vco_gain_shift_moves_peak(self):
+        healthy = PLLLinearModel(paper_pll())
+        shifted = PLLLinearModel(
+            apply_fault(paper_pll(), Fault(FaultKind.VCO_GAIN_SHIFT, 0.5))
+        )
+        f = log_frequency_grid(1.0, 60.0, 200)
+        f_h = healthy.bode(f).peak()[0]
+        f_s = shifted.bode(f).peak()[0]
+        assert f_s < f_h
+        assert f_s == pytest.approx(f_h / math.sqrt(2.0), rel=0.05)
+
+    def test_r2_collapse_raises_peak(self):
+        healthy = PLLLinearModel(paper_pll())
+        weak = PLLLinearModel(
+            apply_fault(paper_pll(), Fault(FaultKind.R2_SHIFT, 0.1))
+        )
+        f = log_frequency_grid(1.0, 60.0, 200)
+        assert weak.bode(f).peak()[1] > healthy.bode(f).peak()[1] + 3.0

@@ -1,0 +1,214 @@
+"""Loop filters: segment laws, transfer functions, leak faults."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pll.charge_pump import Drive, DriveKind
+from repro.pll.loop_filter import PassiveLagLeadFilter, SeriesRCFilter
+from repro.sim.segments import ConstantSegment, ExponentialSegment, RampSegment
+
+HIZ = Drive(DriveKind.HIGH_Z)
+
+
+@pytest.fixture
+def lag_lead():
+    return PassiveLagLeadFilter(r1=390e3, r2=33e3, c=470e-9)
+
+
+@pytest.fixture
+def series_rc():
+    return SeriesRCFilter(r=10e3, c=100e-9)
+
+
+class TestLagLeadConfiguration:
+    def test_time_constants(self, lag_lead):
+        assert lag_lead.tau1() == pytest.approx(390e3 * 470e-9)
+        assert lag_lead.tau2 == pytest.approx(33e3 * 470e-9)
+
+    def test_tau1_includes_source_resistance(self, lag_lead):
+        assert lag_lead.tau1(10e3) == pytest.approx(400e3 * 470e-9)
+
+    def test_rejects_bad_components(self):
+        with pytest.raises(ConfigurationError):
+            PassiveLagLeadFilter(r1=0.0, r2=1.0, c=1e-9)
+        with pytest.raises(ConfigurationError):
+            PassiveLagLeadFilter(r1=1.0, r2=-1.0, c=1e-9)
+        with pytest.raises(ConfigurationError):
+            PassiveLagLeadFilter(r1=1.0, r2=1.0, c=0.0)
+        with pytest.raises(ConfigurationError):
+            PassiveLagLeadFilter(r1=1.0, r2=1.0, c=1e-9, leak_resistance=0.0)
+
+
+class TestLagLeadSegments:
+    def test_high_z_holds(self, lag_lead):
+        seg = lag_lead.state_segment(2.0, HIZ)
+        assert isinstance(seg, ConstantSegment)
+        assert lag_lead.output_segment(2.0, HIZ).value(1.0) == 2.0
+
+    def test_voltage_drive_relaxes_to_rail(self, lag_lead):
+        drive = Drive(DriveKind.VOLTAGE, 5.0)
+        seg = lag_lead.state_segment(2.0, drive)
+        assert isinstance(seg, ExponentialSegment)
+        assert seg.asymptote == pytest.approx(5.0)
+        assert seg.tau == pytest.approx((390e3 + 33e3) * 470e-9)
+
+    def test_voltage_drive_output_jump(self, lag_lead):
+        # At drive turn-on the output jumps by the R2 divider share.
+        vd = 5.0
+        vc = 2.0
+        drive = Drive(DriveKind.VOLTAGE, vd)
+        out = lag_lead.output_segment(vc, drive)
+        k = 33e3 / (390e3 + 33e3)
+        assert out.value(0.0) == pytest.approx((1 - k) * vc + k * vd)
+        assert out.value(1e9 if False else 100.0) == pytest.approx(vd, rel=1e-3)
+
+    def test_source_resistance_slows_relaxation(self, lag_lead):
+        fast = lag_lead.state_segment(0.0, Drive(DriveKind.VOLTAGE, 5.0, 0.0))
+        slow = lag_lead.state_segment(0.0, Drive(DriveKind.VOLTAGE, 5.0, 100e3))
+        assert slow.tau > fast.tau
+
+    def test_current_drive_ramps(self, lag_lead):
+        drive = Drive(DriveKind.CURRENT, 1e-6)
+        seg = lag_lead.state_segment(1.0, drive)
+        assert isinstance(seg, RampSegment)
+        assert seg.slope == pytest.approx(1e-6 / 470e-9)
+
+    def test_current_drive_output_offset(self, lag_lead):
+        drive = Drive(DriveKind.CURRENT, 1e-6)
+        out = lag_lead.output_segment(1.0, drive)
+        assert out.value(0.0) == pytest.approx(1.0 + 1e-6 * 33e3)
+
+    def test_state_for_output_identity(self, lag_lead):
+        assert lag_lead.state_for_output(1.23) == 1.23
+
+    def test_charge_balance_symmetry(self, lag_lead):
+        """Equal up/down drive times return the capacitor to start.
+
+        Exact only to first order in dt/tau: the residual is the
+        O((dt/tau)^2) curvature term, so the tolerance reflects that.
+        """
+        vc = 2.5
+        up = Drive(DriveKind.VOLTAGE, 5.0)
+        dn = Drive(DriveKind.VOLTAGE, 0.0)
+        dt = 1e-5  # much shorter than tau: linear regime
+        vc1 = lag_lead.state_segment(vc, up).value(dt)
+        vc2 = lag_lead.state_segment(vc1, dn).value(dt)
+        tau = lag_lead.state_segment(vc, up).tau
+        assert vc2 == pytest.approx(vc, abs=10.0 * vc * (dt / tau) ** 2)
+
+
+class TestLagLeadLeak:
+    def test_leak_discharges_when_held(self):
+        lf = PassiveLagLeadFilter(r1=1e3, r2=1e2, c=1e-6, leak_resistance=1e6)
+        seg = lf.state_segment(2.0, HIZ)
+        assert isinstance(seg, ExponentialSegment)
+        assert seg.asymptote == 0.0
+        assert seg.tau == pytest.approx(1.0)
+
+    def test_leak_reduces_dc_level(self):
+        lf = PassiveLagLeadFilter(r1=1e3, r2=0.0, c=1e-6, leak_resistance=1e3)
+        seg = lf.state_segment(0.0, Drive(DriveKind.VOLTAGE, 4.0))
+        # Divider: 4 V * 1k/(1k+1k) = 2 V.
+        assert seg.asymptote == pytest.approx(2.0)
+
+    def test_has_leak_flag(self, lag_lead):
+        assert not lag_lead.has_leak
+        assert PassiveLagLeadFilter(1.0, 1.0, 1e-9, 1e6).has_leak
+
+
+class TestLagLeadFrequencyResponse:
+    def test_matches_eq3(self, lag_lead):
+        """F(s) = (1 + s tau2) / (1 + s (tau1 + tau2)) for the ideal part."""
+        w = np.logspace(-1, 4, 50)
+        s = 1j * w
+        expected = (1 + s * lag_lead.tau2) / (
+            1 + s * (lag_lead.tau1() + lag_lead.tau2)
+        )
+        actual = lag_lead.voltage_transfer(s)
+        assert np.allclose(actual, expected, rtol=1e-9)
+
+    def test_dc_gain_unity(self, lag_lead):
+        assert abs(lag_lead.voltage_transfer(1e-9j)) == pytest.approx(1.0, rel=1e-6)
+
+    def test_hf_gain_is_divider_ratio(self, lag_lead):
+        hf = lag_lead.voltage_transfer(1j * 1e9)
+        assert abs(hf) == pytest.approx(33e3 / 423e3, rel=1e-3)
+
+    def test_leak_lowers_dc_gain(self):
+        # The leak sits across C only, so the DC divider is
+        # (r2 + r_leak) / (r1 + r2 + r_leak).
+        lf = PassiveLagLeadFilter(r1=1e3, r2=1e2, c=1e-6, leak_resistance=1e3)
+        dc = abs(lf.voltage_transfer(1e-12j))
+        assert dc == pytest.approx((1e2 + 1e3) / (1e3 + 1e2 + 1e3), rel=1e-3)
+
+    def test_scalar_and_array_agree(self, lag_lead):
+        s = 1j * 100.0
+        scalar = lag_lead.voltage_transfer(s)
+        array = lag_lead.voltage_transfer(np.array([s]))[0]
+        assert scalar == pytest.approx(array)
+
+
+class TestSeriesRC:
+    def test_current_drive_ramps(self, series_rc):
+        seg = series_rc.state_segment(0.0, Drive(DriveKind.CURRENT, 1e-6))
+        assert isinstance(seg, RampSegment)
+        assert seg.slope == pytest.approx(10.0)
+
+    def test_current_output_offset(self, series_rc):
+        out = series_rc.output_segment(1.0, Drive(DriveKind.CURRENT, 1e-6))
+        assert out.value(0.0) == pytest.approx(1.0 + 1e-2)
+
+    def test_high_z_holds(self, series_rc):
+        assert isinstance(series_rc.state_segment(1.0, HIZ), ConstantSegment)
+
+    def test_transimpedance(self, series_rc):
+        w = 1e4
+        z = series_rc.transimpedance(1j * w)
+        expected = 10e3 + 1.0 / (1j * w * 100e-9)
+        assert z == pytest.approx(expected)
+
+    def test_voltage_drive_exponential(self, series_rc):
+        seg = series_rc.state_segment(0.0, Drive(DriveKind.VOLTAGE, 5.0, 1e3))
+        assert isinstance(seg, ExponentialSegment)
+        assert seg.tau == pytest.approx((1e3 + 10e3) * 100e-9)
+
+    def test_voltage_drive_needs_resistance(self):
+        lf = SeriesRCFilter(r=0.0, c=1e-9)
+        with pytest.raises(ConfigurationError):
+            lf.state_segment(0.0, Drive(DriveKind.VOLTAGE, 5.0, 0.0))
+
+    def test_leak_bleeds_held_cap(self):
+        lf = SeriesRCFilter(r=1e3, c=1e-6, leak_resistance=1e6)
+        seg = lf.state_segment(3.0, HIZ)
+        assert isinstance(seg, ExponentialSegment)
+        assert seg.value(10.0) < 3.0
+
+    def test_rejects_bad_components(self):
+        with pytest.raises(ConfigurationError):
+            SeriesRCFilter(r=-1.0, c=1e-9)
+        with pytest.raises(ConfigurationError):
+            SeriesRCFilter(r=1.0, c=0.0)
+
+
+class TestConsistencyBetweenStateAndOutput:
+    """Output and state must agree in the long-time limit."""
+
+    def test_lag_lead_voltage_settles_together(self, lag_lead):
+        drive = Drive(DriveKind.VOLTAGE, 3.3)
+        t = 50.0
+        vc = lag_lead.state_segment(0.0, drive).value(t)
+        vo = lag_lead.output_segment(0.0, drive).value(t)
+        assert vc == pytest.approx(3.3, rel=1e-6)
+        assert vo == pytest.approx(3.3, rel=1e-6)
+
+    def test_output_continuity_within_segment(self, lag_lead):
+        """vout segment evaluated from an advanced vc matches."""
+        drive = Drive(DriveKind.VOLTAGE, 5.0)
+        dt = 0.01
+        vc1 = lag_lead.state_segment(1.0, drive).value(dt)
+        vo_direct = lag_lead.output_segment(1.0, drive).value(dt)
+        vo_restart = lag_lead.output_segment(vc1, drive).value(0.0)
+        assert vo_direct == pytest.approx(vo_restart, rel=1e-12)

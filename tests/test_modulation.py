@@ -1,0 +1,136 @@
+"""The three stimulus classes of Figures 11-12."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import StimulusError
+from repro.sim.signals import edges_to_frequency
+from repro.stimulus.dco import DCO, DCOProgrammedSource
+from repro.stimulus.modulation import (
+    MultiToneFSKStimulus,
+    SineFMStimulus,
+    TwoToneFSKStimulus,
+)
+from repro.stimulus.waveforms import (
+    PiecewiseConstantFrequencySource,
+    SinusoidalFMSource,
+)
+
+
+class TestValidation:
+    def test_deviation_bounds(self):
+        with pytest.raises(StimulusError):
+            SineFMStimulus(1000.0, 0.0)
+        with pytest.raises(StimulusError):
+            SineFMStimulus(1000.0, 1000.0)
+        with pytest.raises(StimulusError):
+            SineFMStimulus(0.0, 1.0)
+
+    def test_steps_minimum(self):
+        with pytest.raises(StimulusError):
+            MultiToneFSKStimulus(1000.0, 1.0, steps=1)
+
+    def test_hardware_edges_need_dco(self):
+        with pytest.raises(StimulusError):
+            MultiToneFSKStimulus(1000.0, 1.0, steps=10, hardware_edges=True)
+
+    def test_infeasible_dco_caught_at_construction(self):
+        with pytest.raises(StimulusError):
+            MultiToneFSKStimulus(1e6, 1000.0, steps=10, dco=DCO(100e6))
+
+
+class TestSineFM:
+    def test_source_type(self):
+        stim = SineFMStimulus(1000.0, 1.0)
+        assert isinstance(stim.make_source(8.0), SinusoidalFMSource)
+        assert stim.label == "Pure Sine FM"
+
+    def test_peak_time_quarter_period(self):
+        stim = SineFMStimulus(1000.0, 1.0)
+        assert stim.modulation_peak_time(8.0) == pytest.approx(0.03125)
+        assert stim.modulation_peak_time(8.0, index=3) == pytest.approx(
+            (0.25 + 3) / 8.0
+        )
+
+    def test_ideal_frequency(self):
+        stim = SineFMStimulus(1000.0, 2.0)
+        t_peak = stim.modulation_peak_time(4.0)
+        assert stim.ideal_frequency(4.0, t_peak) == pytest.approx(1002.0)
+
+
+class TestMultiTone:
+    def test_labels(self):
+        assert "10 steps" in MultiToneFSKStimulus(1e3, 1.0, steps=10).label
+        assert TwoToneFSKStimulus(1e3, 1.0).label == "Two Tone FSK"
+
+    def test_ideal_tone_frequencies_sample_sine(self):
+        stim = MultiToneFSKStimulus(1000.0, 1.0, steps=4)
+        tones = stim.tone_frequencies()
+        expected = [
+            1000.0 + math.sin(2 * math.pi * (i + 0.5) / 4) for i in range(4)
+        ]
+        assert tones == pytest.approx(expected)
+
+    def test_dco_tones_snap_to_grid(self):
+        dco = DCO(10e6)
+        stim = MultiToneFSKStimulus(1000.0, 1.0, steps=10, dco=dco)
+        for tone in stim.tone_frequencies():
+            m = round(10e6 / tone)
+            assert tone == pytest.approx(10e6 / m)
+
+    def test_schedule_dwell(self):
+        stim = MultiToneFSKStimulus(1000.0, 1.0, steps=10)
+        sched = stim.schedule(f_mod=8.0)
+        assert len(sched) == 10
+        for __, dwell in sched:
+            assert dwell == pytest.approx(1.0 / 80.0)
+
+    def test_schedule_rejects_bad_fmod(self):
+        with pytest.raises(StimulusError):
+            MultiToneFSKStimulus(1000.0, 1.0).schedule(0.0)
+
+    def test_ideal_source_type(self):
+        stim = MultiToneFSKStimulus(1000.0, 1.0, steps=10)
+        assert isinstance(
+            stim.make_source(8.0), PiecewiseConstantFrequencySource
+        )
+
+    def test_hardware_source_type(self):
+        stim = MultiToneFSKStimulus(
+            1000.0, 1.0, steps=10, dco=DCO(10e6), hardware_edges=True
+        )
+        assert isinstance(stim.make_source(8.0), DCOProgrammedSource)
+
+    def test_mean_frequency_unchanged(self):
+        stim = MultiToneFSKStimulus(1000.0, 1.0, steps=10)
+        src = stim.make_source(10.0)
+        edges = [src.next_edge() for _ in range(1000)]
+        assert edges[-1] == pytest.approx(1.0, rel=1e-3)
+
+    def test_fsk_approximates_sine_envelope(self):
+        """Ten-step FSK frequency trajectory stays within half a step of
+        the ideal sine it samples (the Section 3 filtering argument)."""
+        stim = MultiToneFSKStimulus(1000.0, 1.0, steps=10)
+        src = stim.make_source(5.0)
+        edges = [src.next_edge() for _ in range(2000)]
+        mids, freqs = edges_to_frequency(edges)
+        ideal = np.array([stim.ideal_frequency(5.0, t) for t in mids])
+        assert np.abs(freqs - ideal).max() < 0.4  # < half the tone spacing
+
+
+class TestTwoTone:
+    def test_two_tones_at_extremes(self):
+        stim = TwoToneFSKStimulus(1000.0, 1.0)
+        tones = stim.tone_frequencies()
+        assert sorted(tones) == pytest.approx([999.0, 1001.0])
+
+    def test_hardware_two_tone(self):
+        stim = TwoToneFSKStimulus(1000.0, 1.0, dco=DCO(10e6),
+                                  hardware_edges=True)
+        src = stim.make_source(8.0)
+        edges = [src.next_edge() for _ in range(500)]
+        __, freqs = edges_to_frequency(edges)
+        assert freqs.max() == pytest.approx(1001.0, abs=0.2)
+        assert freqs.min() == pytest.approx(999.0, abs=0.2)

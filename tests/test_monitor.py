@@ -1,0 +1,93 @@
+"""The sweep orchestrator: plans, results, limit hooks."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.second_order import SecondOrderParameters
+from repro.core.limits import TestLimits
+from repro.core.monitor import SweepPlan, TransferFunctionMonitor
+from repro.errors import ConfigurationError
+from repro.presets import paper_pll, paper_sweep
+from repro.stimulus import SineFMStimulus
+
+
+class TestSweepPlan:
+    def test_sorted_and_deduplicated_validation(self):
+        plan = SweepPlan((8.0, 1.0, 4.0))
+        assert plan.frequencies_hz == (1.0, 4.0, 8.0)
+        with pytest.raises(ConfigurationError):
+            SweepPlan((1.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            SweepPlan((1.0,))
+        with pytest.raises(ConfigurationError):
+            SweepPlan((0.0, 1.0))
+
+    def test_reference_is_lowest(self):
+        assert SweepPlan((8.0, 1.0)).reference_frequency == 1.0
+
+    def test_around_brackets_fn(self):
+        plan = SweepPlan.around(8.7, points=9)
+        assert plan.frequencies_hz[0] < 8.7 < plan.frequencies_hz[-1]
+        assert len(plan.frequencies_hz) == 9
+
+    def test_around_validation(self):
+        with pytest.raises(ConfigurationError):
+            SweepPlan.around(0.0)
+
+    def test_paper_sweep_spans_band(self):
+        plan = paper_sweep()
+        assert plan.frequencies_hz[0] == pytest.approx(1.0)
+        assert plan.frequencies_hz[-1] > 60.0
+
+
+class TestSweepResult:
+    def test_complete_and_summary(self, sine_sweep_result):
+        assert sine_sweep_result.complete
+        text = sine_sweep_result.summary()
+        assert "Pure Sine FM" in text
+        assert "12/12" in text
+
+    def test_estimated_parameters_close_to_design(self, sine_sweep_result):
+        est = sine_sweep_result.estimated
+        assert est is not None
+        assert est.fn_hz == pytest.approx(8.74, rel=0.1)
+        assert est.zeta == pytest.approx(0.426, rel=0.25)
+
+    def test_response_referenced_to_unity(self, sine_sweep_result):
+        assert sine_sweep_result.response.magnitude_db[0] == pytest.approx(0.0)
+
+    def test_peak_near_natural_frequency(self, sine_sweep_result):
+        f_peak, peak_db = sine_sweep_result.response.peak()
+        assert f_peak == pytest.approx(7.7, rel=0.15)
+        assert peak_db == pytest.approx(4.06, abs=1.0)
+
+
+class TestMonitorBehaviour:
+    def test_measure_single_tone(self, fast_bist_config):
+        mon = TransferFunctionMonitor(
+            paper_pll(), SineFMStimulus(1000.0, 1.0), fast_bist_config
+        )
+        m = mon.measure_tone(8.0)
+        assert m.f_mod == 8.0
+
+    def test_zero_correction_can_be_disabled(self, fast_bist_config):
+        pll = paper_pll()
+        plan = SweepPlan((2.0, 8.0, 16.0))
+        on = TransferFunctionMonitor(
+            pll, SineFMStimulus(1000.0, 1.0), fast_bist_config
+        ).run(plan)
+        off = TransferFunctionMonitor(
+            pll, SineFMStimulus(1000.0, 1.0), fast_bist_config,
+            correct_filter_zero=False,
+        ).run(plan)
+        # The raw response lags more at every tone.
+        assert np.all(off.response.phase_deg < on.response.phase_deg)
+
+    def test_run_and_check_pass(self, sine_sweep_result, bist_config):
+        pll = paper_pll()
+        golden = SecondOrderParameters(
+            wn=pll.natural_frequency(), zeta=pll.damping()
+        )
+        limits = TestLimits.from_golden(golden, rel_tol=0.3, peak_tol_db=1.5)
+        report = limits.check(sine_sweep_result.estimated)
+        assert report.passed

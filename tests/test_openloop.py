@@ -1,0 +1,64 @@
+"""Open-loop stability margins."""
+
+import math
+
+import pytest
+
+from repro.analysis.openloop import loop_stability
+from repro.errors import ConfigurationError
+from repro.pll.faults import Fault, FaultKind, apply_fault
+from repro.presets import paper_pll
+
+
+@pytest.fixture(scope="module")
+def margins():
+    return loop_stability(paper_pll())
+
+
+class TestMargins:
+    def test_stable(self, margins):
+        assert margins.stable
+        assert margins.phase_margin_deg > 30.0
+
+    def test_crossover_near_wn_times_2zeta(self, margins):
+        """High-gain with-zero loop: |G|=1 near ωn·sqrt(...) — within a
+        factor ~2 of fn for moderate ζ."""
+        fn = paper_pll().natural_frequency_hz()
+        assert 0.5 * fn < margins.crossover_hz < 2.5 * fn
+
+    def test_phase_margin_tracks_damping(self):
+        """More damping (bigger R2/zero) = more phase margin."""
+        from repro.analysis.design import design_lag_lead_pll
+
+        pm = {
+            zeta: loop_stability(
+                design_lag_lead_pll(1000.0, 5, 8.74, zeta)
+            ).phase_margin_deg
+            for zeta in (0.3, 0.6, 1.0)
+        }
+        assert pm[0.3] < pm[0.6] < pm[1.0]
+
+    def test_gain_margin_infinite_for_two_pole_loop(self, margins):
+        """The lag-lead + integrator never reaches -180 deg (two poles,
+        one zero), so the gain margin is infinite."""
+        assert math.isinf(margins.gain_margin_db)
+
+    def test_str(self, margins):
+        assert "PM=" in str(margins)
+
+    def test_fault_shifts_margins(self):
+        healthy = loop_stability(paper_pll())
+        weak_zero = loop_stability(
+            apply_fault(paper_pll(), Fault(FaultKind.R2_SHIFT, 0.1))
+        )
+        assert weak_zero.phase_margin_deg < 0.5 * healthy.phase_margin_deg
+
+    def test_grid_validation(self):
+        with pytest.raises(ConfigurationError):
+            loop_stability(paper_pll(), points=10)
+        with pytest.raises(ConfigurationError):
+            loop_stability(paper_pll(), f_lo=10.0, f_hi=1.0)
+
+    def test_unbracketed_crossover_rejected(self):
+        with pytest.raises(ConfigurationError):
+            loop_stability(paper_pll(), f_lo=1000.0, f_hi=2000.0)

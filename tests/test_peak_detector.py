@@ -1,0 +1,140 @@
+"""The Figure 7 peak frequency detector."""
+
+import math
+
+import pytest
+
+from repro.core.peak_detector import PeakEvent, PeakFrequencyDetector
+from repro.errors import ConfigurationError
+from repro.pll.pfd import PFDCycle
+
+
+def cycle(t, skew, reset_delay=20e-9):
+    """A PFD cycle at time t with given edge skew (positive = ref leads)."""
+    if skew >= 0.0:
+        up, dn = t, t + skew
+    else:
+        up, dn = t - skew, t
+    return PFDCycle(up_rise=up, dn_rise=dn,
+                    reset_time=max(up, dn) + reset_delay)
+
+
+class TestConfiguration:
+    def test_delays_validated(self):
+        with pytest.raises(ConfigurationError):
+            PeakFrequencyDetector(inverter_delay=0.0)
+        with pytest.raises(ConfigurationError):
+            PeakFrequencyDetector(and_gate_delay=-1e-9)
+
+
+class TestSampling:
+    def test_ref_leading_samples_one(self):
+        det = PeakFrequencyDetector(inverter_delay=60e-9, and_gate_delay=5e-9)
+        assert det.sample(cycle(1.0, +1e-4)) is True
+
+    def test_ref_lagging_samples_zero(self):
+        det = PeakFrequencyDetector(inverter_delay=60e-9, and_gate_delay=5e-9)
+        assert det.sample(cycle(1.0, -1e-4)) is False
+
+    def test_glitch_immunity(self):
+        """The dead-zone glitch on DOWN must not read as 'lagging':
+        the inverter out-delays the glitch (the paper's design rule)."""
+        det = PeakFrequencyDetector(inverter_delay=60e-9, and_gate_delay=5e-9)
+        # Ref leading by just more than the glitch width.
+        assert det.sample(cycle(1.0, +50e-9)) is True
+
+    def test_undersized_inverter_samples_the_glitch(self):
+        """If the inverter does not out-delay the AND gate + glitch, the
+        latch samples the dead-zone glitch itself and reads a *leading*
+        reference as lagging — the failure mode Section 4 warns about."""
+        bad = PeakFrequencyDetector(inverter_delay=1e-9, and_gate_delay=5e-9)
+        # Ref leading: DOWN carries only the glitch, but the look-back
+        # time lands inside it.
+        assert bad.sample(cycle(1.0, +1e-4)) is False  # wrong answer
+        good = PeakFrequencyDetector(inverter_delay=60e-9, and_gate_delay=5e-9)
+        assert good.sample(cycle(1.0, +1e-4)) is True
+
+    def test_coincident_reads_leading(self):
+        det = PeakFrequencyDetector(inverter_delay=60e-9, and_gate_delay=5e-9)
+        assert det.sample(cycle(1.0, 0.0)) is True
+
+
+class TestEventGeneration:
+    def test_max_event_on_lead_to_lag(self):
+        det = PeakFrequencyDetector()
+        det.on_cycle(cycle(1.0, +1e-4))
+        ev = det.on_cycle(cycle(2.0, -1e-4))
+        assert ev is not None
+        assert ev.is_maximum
+        assert ev.kind == "max"
+        assert ev.time == pytest.approx(2.0 + 1e-4 + det.and_gate_delay)
+
+    def test_min_event_on_lag_to_lead(self):
+        det = PeakFrequencyDetector()
+        det.on_cycle(cycle(1.0, -1e-4))
+        ev = det.on_cycle(cycle(2.0, +1e-4))
+        assert ev is not None
+        assert not ev.is_maximum
+
+    def test_no_event_without_transition(self):
+        det = PeakFrequencyDetector()
+        assert det.on_cycle(cycle(1.0, +1e-4)) is None
+        assert det.on_cycle(cycle(2.0, +2e-4)) is None
+
+    def test_first_cycle_never_fires(self):
+        det = PeakFrequencyDetector()
+        assert det.on_cycle(cycle(1.0, -1e-4)) is None
+
+    def test_alternating_sequence(self):
+        det = PeakFrequencyDetector()
+        skews = [+1, +2, +1, -1, -2, -1, +1, +2]
+        for k, s in enumerate(skews):
+            det.on_cycle(cycle(float(k + 1), s * 1e-4))
+        assert len(det.maxima()) == 1
+        assert len(det.minima()) == 1
+        assert det.cycles_seen == len(skews)
+
+    def test_callback_fires_synchronously(self):
+        seen = []
+        det = PeakFrequencyDetector(on_event=seen.append)
+        det.on_cycle(cycle(1.0, +1e-4))
+        det.on_cycle(cycle(2.0, -1e-4))
+        assert len(seen) == 1
+        assert isinstance(seen[0], PeakEvent)
+
+    def test_first_maximum_after(self):
+        det = PeakFrequencyDetector()
+        for k, s in enumerate([+1, -1, +1, -1]):
+            det.on_cycle(cycle(float(k + 1), s * 1e-4))
+        ev = det.first_maximum_after(1.5)
+        assert ev is not None and ev.time > 1.5
+        assert det.first_maximum_after(100.0) is None
+
+    def test_reset_clears_everything(self):
+        det = PeakFrequencyDetector()
+        det.on_cycle(cycle(1.0, +1e-4))
+        det.on_cycle(cycle(2.0, -1e-4))
+        det.reset()
+        assert det.q is None
+        assert det.events == []
+        assert det.cycles_seen == 0
+
+
+class TestSinusoidalErrorPattern:
+    def test_one_max_one_min_per_modulation_cycle(self):
+        """A sinusoidal phase error produces exactly one MFREQ and one
+        min event per cycle, at the error zero crossings."""
+        det = PeakFrequencyDetector()
+        f_ref, f_mod, n_cycles = 1000.0, 5.0, 3
+        for k in range(int(n_cycles * f_ref / f_mod)):
+            t = (k + 1) / f_ref
+            skew = 1e-4 * math.sin(2 * math.pi * f_mod * t)
+            if skew == 0.0:
+                skew = 1e-12
+            det.on_cycle(cycle(t, skew))
+        assert len(det.maxima()) == n_cycles
+        assert len(det.minima()) == n_cycles
+        # Maxima at the + -> - crossings: t ~ k/f_mod + 1/(2 f_mod).
+        for i, ev in enumerate(det.maxima()):
+            expected = (i + 0.5) / f_mod
+            assert ev.time == pytest.approx(expected, abs=2.0 / f_ref)

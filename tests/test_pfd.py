@@ -1,0 +1,197 @@
+"""Phase-frequency detector behaviour (Figure 5 of the paper)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.pll.pfd import PFDCycle, PFDState, PhaseFrequencyDetector
+
+
+def run_cycle(pfd, t_ref, t_fb):
+    """Drive one compare cycle and fire the reset; return the cycle."""
+    if t_ref <= t_fb:
+        pfd.on_ref_edge(t_ref)
+        pfd.on_fb_edge(t_fb)
+    else:
+        pfd.on_fb_edge(t_fb)
+        pfd.on_ref_edge(t_ref)
+    return pfd.on_reset(pfd.pending_reset_time)
+
+
+class TestConfiguration:
+    def test_reset_delay_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            PhaseFrequencyDetector(reset_delay=0.0)
+        with pytest.raises(ConfigurationError):
+            PhaseFrequencyDetector(reset_delay=-1e-9)
+
+    def test_gain_formula(self):
+        assert PhaseFrequencyDetector.gain_v_per_rad(5.0) == pytest.approx(
+            5.0 / (4.0 * math.pi)
+        )
+
+    def test_gain_rejects_bad_vdd(self):
+        with pytest.raises(ConfigurationError):
+            PhaseFrequencyDetector.gain_v_per_rad(0.0)
+
+
+class TestStateMachine:
+    def test_initial_state_idle(self):
+        pfd = PhaseFrequencyDetector()
+        assert pfd.state.idle
+
+    def test_ref_edge_sets_up(self):
+        pfd = PhaseFrequencyDetector()
+        state = pfd.on_ref_edge(1.0)
+        assert state.up and not state.dn
+        assert pfd.pending_reset_time is None
+
+    def test_fb_edge_sets_dn(self):
+        pfd = PhaseFrequencyDetector()
+        state = pfd.on_fb_edge(1.0)
+        assert state.dn and not state.up
+
+    def test_both_schedules_reset(self):
+        pfd = PhaseFrequencyDetector(reset_delay=1e-8)
+        pfd.on_ref_edge(1.0)
+        pfd.on_fb_edge(1.5)
+        assert pfd.state.both
+        assert pfd.pending_reset_time == pytest.approx(1.5 + 1e-8)
+
+    def test_reset_clears_both(self):
+        pfd = PhaseFrequencyDetector(reset_delay=1e-8)
+        cycle = run_cycle(pfd, 1.0, 1.5)
+        assert pfd.state.idle
+        assert isinstance(cycle, PFDCycle)
+
+    def test_repeat_edge_ignored(self):
+        # A second rising edge with the flip-flop already set does nothing
+        # (the D input is tied high).
+        pfd = PhaseFrequencyDetector()
+        pfd.on_ref_edge(1.0)
+        state = pfd.on_ref_edge(2.0)
+        assert state.up and not state.dn
+        # The ignored edge must not corrupt the recorded waveform.
+        assert len(pfd.up_stream) == 1
+
+    def test_reset_without_pending_raises(self):
+        pfd = PhaseFrequencyDetector()
+        with pytest.raises(SimulationError):
+            pfd.on_reset(1.0)
+
+    def test_reset_at_wrong_time_raises(self):
+        pfd = PhaseFrequencyDetector(reset_delay=1e-8)
+        pfd.on_ref_edge(1.0)
+        pfd.on_fb_edge(1.0)
+        with pytest.raises(SimulationError):
+            pfd.on_reset(2.0)
+
+    def test_edge_after_due_reset_raises(self):
+        pfd = PhaseFrequencyDetector(reset_delay=1e-8)
+        pfd.on_ref_edge(1.0)
+        pfd.on_fb_edge(1.0)
+        with pytest.raises(SimulationError):
+            pfd.on_ref_edge(2.0)
+
+    def test_time_must_be_monotonic(self):
+        pfd = PhaseFrequencyDetector()
+        pfd.on_ref_edge(2.0)
+        with pytest.raises(SimulationError):
+            pfd.on_fb_edge(1.0)
+
+    def test_reset_state_records_forced_fall(self):
+        pfd = PhaseFrequencyDetector()
+        pfd.on_ref_edge(1.0)
+        pfd.reset_state(2.0)
+        assert pfd.state.idle
+        # The forced clear is a real falling edge on the UP output.
+        up_w, __ = pfd.recorded_pulses()
+        assert up_w == [pytest.approx(1.0)]
+
+    def test_reset_state_high_without_time_raises(self):
+        pfd = PhaseFrequencyDetector()
+        pfd.on_ref_edge(1.0)
+        with pytest.raises(SimulationError):
+            pfd.reset_state()
+
+    def test_reset_state_idle_needs_no_time(self):
+        pfd = PhaseFrequencyDetector()
+        pfd.reset_state()
+        assert pfd.state.idle
+
+
+class TestCycleRecord:
+    def test_ref_leading(self):
+        pfd = PhaseFrequencyDetector(reset_delay=1e-8)
+        cycle = run_cycle(pfd, 1.0, 1.0001)
+        assert cycle.ref_leading
+        assert cycle.phase_error_seconds == pytest.approx(1e-4)
+        assert cycle.up_width == pytest.approx(1e-4 + 1e-8)
+        assert cycle.dn_width == pytest.approx(1e-8)
+
+    def test_fb_leading(self):
+        pfd = PhaseFrequencyDetector(reset_delay=1e-8)
+        cycle = run_cycle(pfd, 1.0002, 1.0)
+        assert not cycle.ref_leading
+        assert cycle.phase_error_seconds == pytest.approx(-2e-4)
+
+    def test_coincident(self):
+        pfd = PhaseFrequencyDetector(reset_delay=1e-8)
+        cycle = run_cycle(pfd, 1.0, 1.0)
+        assert cycle.coincident
+        assert cycle.up_width == pytest.approx(1e-8)
+        assert cycle.dn_width == pytest.approx(1e-8)
+
+
+class TestWaveforms:
+    """The Figure 5 waveform facts."""
+
+    def test_dead_zone_glitches_in_lock(self):
+        # Coincident edges -> both outputs emit glitches of exactly the
+        # reset delay, every cycle.
+        delay = 2e-8
+        pfd = PhaseFrequencyDetector(reset_delay=delay)
+        for k in range(5):
+            run_cycle(pfd, 1.0 + k, 1.0 + k)
+        up_w, dn_w = pfd.recorded_pulses()
+        assert len(up_w) == 5 and len(dn_w) == 5
+        assert all(w == pytest.approx(delay) for w in up_w)
+        assert all(w == pytest.approx(delay) for w in dn_w)
+
+    def test_lead_makes_wide_up_pulse(self):
+        delay = 1e-8
+        skew = 3e-4
+        pfd = PhaseFrequencyDetector(reset_delay=delay)
+        run_cycle(pfd, 1.0, 1.0 + skew)
+        up_w, dn_w = pfd.recorded_pulses()
+        assert up_w[0] == pytest.approx(skew + delay)
+        assert dn_w[0] == pytest.approx(delay)
+
+    def test_lag_makes_wide_dn_pulse(self):
+        delay = 1e-8
+        skew = 3e-4
+        pfd = PhaseFrequencyDetector(reset_delay=delay)
+        run_cycle(pfd, 1.0 + skew, 1.0)
+        up_w, dn_w = pfd.recorded_pulses()
+        assert dn_w[0] == pytest.approx(skew + delay)
+        assert up_w[0] == pytest.approx(delay)
+
+    def test_recording_disabled(self):
+        pfd = PhaseFrequencyDetector(record=False)
+        run_cycle(pfd, 1.0, 1.0)
+        with pytest.raises(SimulationError):
+            pfd.recorded_pulses()
+
+    def test_identical_signal_on_both_inputs_nets_zero(self):
+        """PFD property (3): same signal on both inputs -> only glitches.
+
+        This is the basis of the hold mechanism (Section 4).
+        """
+        delay = 1e-8
+        pfd = PhaseFrequencyDetector(reset_delay=delay)
+        for k in range(20):
+            run_cycle(pfd, float(k + 1), float(k + 1))
+        up_w, dn_w = pfd.recorded_pulses()
+        # Net drive time = sum(up) - sum(dn) = 0: frequency held.
+        assert sum(up_w) - sum(dn_w) == pytest.approx(0.0, abs=1e-15)

@@ -1,0 +1,91 @@
+"""The reconstructed Table 3 design point."""
+
+import pytest
+
+from repro.presets import (
+    PAPER_DCO_MASTER_HZ,
+    PAPER_DEVIATION_HZ,
+    PAPER_F_REF,
+    PAPER_FM_STEPS,
+    PAPER_N,
+    paper_bist_config,
+    paper_dco,
+    paper_pll,
+    paper_second_order_summary,
+    paper_stimulus,
+    paper_sweep,
+)
+from repro.stimulus import (
+    MultiToneFSKStimulus,
+    SineFMStimulus,
+    TwoToneFSKStimulus,
+)
+
+
+class TestPaperPLL:
+    def test_anchors(self):
+        """Every legible Table 3 anchor must hold."""
+        pll = paper_pll()
+        assert pll.n == 5
+        assert pll.f_ref == 1000.0
+        assert pll.natural_frequency_hz() == pytest.approx(8.74, abs=0.1)
+        assert pll.damping() == pytest.approx(0.43, abs=0.01)
+
+    def test_linear_and_nonlinear_variants_differ(self):
+        lin = paper_pll()
+        non = paper_pll(nonlinear=True)
+        assert lin.vco.tuning_curve is None
+        assert non.vco.tuning_curve is not None
+        assert non.pump.r_up > 0.0
+
+    def test_custom_name(self):
+        assert paper_pll(name="dut7").name == "dut7"
+
+
+class TestPaperStimuli:
+    def test_kinds(self):
+        assert isinstance(paper_stimulus("sine"), SineFMStimulus)
+        assert isinstance(paper_stimulus("twotone"), TwoToneFSKStimulus)
+        assert isinstance(paper_stimulus("multitone"), MultiToneFSKStimulus)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            paper_stimulus("square")
+
+    def test_multitone_uses_ten_steps_and_dco(self):
+        stim = paper_stimulus("multitone")
+        assert stim.steps == PAPER_FM_STEPS == 10
+        assert stim.dco is not None
+        assert stim.dco.f_master == PAPER_DCO_MASTER_HZ
+
+    def test_deviation_within_linear_range(self):
+        """|E(jwn)| * 2*pi*dF/fn must stay well inside the PFD range."""
+        import math
+
+        pll = paper_pll()
+        fn = pll.natural_frequency_hz()
+        theta_e = 2 * math.pi * PAPER_DEVIATION_HZ / fn * 1.2  # |E| <~ 1.2
+        assert theta_e < math.pi
+
+    def test_dco_resolution_gives_ten_usable_steps(self):
+        dco = paper_dco()
+        res = dco.resolution(PAPER_F_REF)
+        assert PAPER_DEVIATION_HZ / res == pytest.approx(10.0, rel=0.01)
+
+
+class TestPaperSweepAndConfig:
+    def test_sweep_covers_decade_around_fn(self):
+        plan = paper_sweep(points=10)
+        assert len(plan.frequencies_hz) == 10
+        fn = paper_pll().natural_frequency_hz()
+        assert plan.frequencies_hz[0] < fn / 4
+        assert plan.frequencies_hz[-1] > 4 * fn
+
+    def test_config_compatible_with_paper_pfd(self):
+        cfg = paper_bist_config()
+        cfg.validate_against_pfd(paper_pll().pfd_reset_delay)
+
+    def test_summary_text(self):
+        text = paper_second_order_summary()
+        assert "fn=8.7" in text
+        assert "zeta" in text

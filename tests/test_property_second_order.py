@@ -1,0 +1,104 @@
+"""Property-based tests: second-order relations and counters."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.second_order import (
+    SecondOrderParameters,
+    closed_loop_with_zero,
+    damping_from_peaking_db,
+    peaking_db_with_zero,
+)
+from repro.core.counters import FrequencyCounter, PhaseCounter
+from repro.sim.signals import PulseTrain
+
+zetas = st.floats(min_value=0.08, max_value=10.0)
+wns = st.floats(min_value=0.1, max_value=1e6)
+
+
+class TestSecondOrderProperties:
+    @given(zeta=zetas)
+    def test_peaking_positive(self, zeta):
+        assert peaking_db_with_zero(zeta) > 0.0
+
+    @given(zeta=zetas)
+    @settings(max_examples=50, deadline=None)
+    def test_peaking_inversion_roundtrip(self, zeta):
+        peak = peaking_db_with_zero(zeta)
+        recovered = damping_from_peaking_db(peak)
+        assert math.isclose(recovered, zeta, rel_tol=1e-4)
+
+    @given(wn=wns, zeta=zetas)
+    def test_w3db_above_peak_frequency(self, wn, zeta):
+        p = SecondOrderParameters(wn, zeta)
+        assert p.w3db > p.peak_frequency
+
+    @given(wn=wns, zeta=zetas)
+    def test_w3db_is_exact_half_power(self, wn, zeta):
+        p = SecondOrderParameters(wn, zeta)
+        assert abs(abs(p.response(p.w3db)) - 1 / math.sqrt(2)) < 1e-9
+
+    @given(wn=wns, zeta=zetas)
+    @settings(max_examples=50, deadline=None)
+    def test_magnitude_monotone_beyond_3db(self, wn, zeta):
+        """Past the 3 dB corner the with-zero magnitude keeps falling."""
+        p = SecondOrderParameters(wn, zeta)
+        w = np.linspace(p.w3db, 50 * p.w3db, 200)
+        mags = np.abs(closed_loop_with_zero(wn, zeta, w))
+        assert np.all(np.diff(mags) < 1e-12)
+
+    @given(wn=wns, zeta=zetas)
+    def test_scaling_invariance(self, wn, zeta):
+        """Peaking depends only on zeta, never on wn."""
+        p1 = SecondOrderParameters(wn, zeta)
+        p2 = SecondOrderParameters(wn * 7.3, zeta)
+        assert math.isclose(p1.peaking_db, p2.peaking_db, rel_tol=1e-9)
+        assert math.isclose(
+            p1.w3db / p1.wn, p2.w3db / p2.wn, rel_tol=1e-9
+        )
+
+
+class TestCounterProperties:
+    @given(
+        f_true=st.floats(min_value=100.0, max_value=5000.0),
+        periods=st.integers(min_value=4, max_value=64),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_reciprocal_error_within_reported_resolution(
+        self, f_true, periods
+    ):
+        fc = FrequencyCounter(test_clock_hz=10e6)
+        edges = PulseTrain("x")
+        for k in range(periods + 4):
+            edges.record((k + 1) / f_true)
+        m = fc.measure_reciprocal(edges, start=0.0, periods=periods)
+        assert abs(m.frequency_hz - f_true) <= m.resolution_hz + 1e-9
+
+    @given(
+        f_true=st.floats(min_value=100.0, max_value=5000.0),
+        gate=st.floats(min_value=0.05, max_value=0.5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_gated_error_within_one_count(self, f_true, gate):
+        fc = FrequencyCounter(test_clock_hz=10e6)
+        edges = PulseTrain("x")
+        n = int(f_true * (gate + 1.0)) + 4
+        for k in range(n):
+            edges.record((k + 1) / f_true)
+        m = fc.measure_gated(edges, start=0.2, gate_seconds=gate)
+        assert abs(m.frequency_hz - f_true) <= m.resolution_hz + 1e-9
+
+    @given(
+        t0=st.floats(min_value=0.0, max_value=10.0),
+        dt=st.floats(min_value=0.0, max_value=1.0),
+        clock=st.floats(min_value=1e3, max_value=1e8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_phase_counter_within_one_tick(self, t0, dt, clock):
+        pc = PhaseCounter(test_clock_hz=clock)
+        pc.start(t0)
+        count = pc.stop(t0 + dt)
+        assert abs(count.elapsed_seconds - dt) <= 1.0 / clock + 1e-12

@@ -1,0 +1,110 @@
+"""Property-based tests: segment algebra invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pll.charge_pump import Drive, DriveKind
+from repro.pll.loop_filter import PassiveLagLeadFilter
+from repro.sim.segments import (
+    ConstantSegment,
+    ExponentialSegment,
+    RampSegment,
+    crossing_time,
+)
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+small_pos = st.floats(min_value=1e-9, max_value=1e3)
+dt_values = st.floats(min_value=0.0, max_value=1e2)
+
+
+class TestExponentialInvariants:
+    @given(initial=finite, asymptote=finite, tau=small_pos, dt=dt_values)
+    def test_value_bounded_by_endpoints(self, initial, asymptote, tau, dt):
+        seg = ExponentialSegment(initial=initial, asymptote=asymptote, tau=tau)
+        v = seg.value(dt)
+        lo, hi = min(initial, asymptote), max(initial, asymptote)
+        assert lo - 1e-6 <= v <= hi + 1e-6
+
+    @given(initial=finite, asymptote=finite, tau=small_pos,
+           dt1=dt_values, dt2=dt_values)
+    def test_semigroup_property(self, initial, asymptote, tau, dt1, dt2):
+        """Evolving dt1 then dt2 equals evolving dt1+dt2 directly."""
+        seg = ExponentialSegment(initial=initial, asymptote=asymptote, tau=tau)
+        mid = seg.value(dt1)
+        seg2 = ExponentialSegment(initial=mid, asymptote=asymptote, tau=tau)
+        direct = seg.value(dt1 + dt2)
+        stepped = seg2.value(dt2)
+        scale = max(1.0, abs(initial), abs(asymptote))
+        assert abs(direct - stepped) <= 1e-9 * scale
+
+    @given(initial=finite, asymptote=finite, tau=small_pos,
+           dt1=dt_values, dt2=dt_values)
+    def test_integral_additive(self, initial, asymptote, tau, dt1, dt2):
+        seg = ExponentialSegment(initial=initial, asymptote=asymptote, tau=tau)
+        mid = seg.value(dt1)
+        seg2 = ExponentialSegment(initial=mid, asymptote=asymptote, tau=tau)
+        direct = seg.integral(dt1 + dt2)
+        split = seg.integral(dt1) + seg2.integral(dt2)
+        scale = max(1.0, abs(initial), abs(asymptote)) * max(1.0, dt1 + dt2)
+        assert abs(direct - split) <= 1e-8 * scale
+
+    @given(initial=finite, asymptote=finite, tau=small_pos, dt=dt_values)
+    def test_crossing_consistency(self, initial, asymptote, tau, dt):
+        """If the segment reports a crossing, its value there matches."""
+        seg = ExponentialSegment(initial=initial, asymptote=asymptote, tau=tau)
+        target = seg.value(dt) if dt > 0 else initial
+        t = crossing_time(seg, target)
+        if t is not None:
+            scale = max(1.0, abs(initial), abs(asymptote))
+            assert abs(seg.value(t) - target) <= 1e-6 * scale
+
+
+class TestRampInvariants:
+    @given(initial=finite, slope=finite, dt1=dt_values, dt2=dt_values)
+    def test_integral_additive(self, initial, slope, dt1, dt2):
+        seg = RampSegment(initial=initial, slope=slope)
+        mid = seg.value(dt1)
+        seg2 = RampSegment(initial=mid, slope=slope)
+        direct = seg.integral(dt1 + dt2)
+        split = seg.integral(dt1) + seg2.integral(dt2)
+        scale = max(1.0, abs(initial) + abs(slope) * (dt1 + dt2))
+        scale *= max(1.0, dt1 + dt2)
+        assert abs(direct - split) <= 1e-7 * scale
+
+    @given(initial=finite, slope=finite, threshold=finite)
+    def test_crossing_exact(self, initial, slope, threshold):
+        seg = RampSegment(initial=initial, slope=slope)
+        t = crossing_time(seg, threshold)
+        if t is not None:
+            scale = max(1.0, abs(threshold))
+            assert abs(seg.value(t) - threshold) <= 1e-6 * scale
+
+
+class TestFilterInvariants:
+    @given(
+        vc=st.floats(min_value=0.0, max_value=5.0),
+        vd=st.sampled_from([0.0, 5.0]),
+        dt=st.floats(min_value=1e-9, max_value=10.0),
+    )
+    def test_capacitor_moves_towards_drive(self, vc, vd, dt):
+        lf = PassiveLagLeadFilter(r1=390e3, r2=33e3, c=470e-9)
+        drive = Drive(DriveKind.VOLTAGE, vd)
+        v_next = lf.state_segment(vc, drive).value(dt)
+        if vd > vc:
+            assert vc - 1e-12 <= v_next <= vd + 1e-12
+        else:
+            assert vd - 1e-12 <= v_next <= vc + 1e-12
+
+    @given(
+        vc=st.floats(min_value=0.0, max_value=5.0),
+        dt=st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_high_z_never_moves(self, vc, dt):
+        lf = PassiveLagLeadFilter(r1=390e3, r2=33e3, c=470e-9)
+        drive = Drive(DriveKind.HIGH_Z)
+        assert lf.state_segment(vc, drive).value(dt) == vc
+        assert lf.output_segment(vc, drive).value(dt) == vc

@@ -1,0 +1,103 @@
+"""Property-based tests: stimulus edge streams."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stimulus.waveforms import (
+    ConstantFrequencySource,
+    PiecewiseConstantFrequencySource,
+    SinusoidalFMSource,
+    SinusoidalPMSource,
+)
+
+
+class TestEdgeMonotonicity:
+    @given(
+        f0=st.floats(min_value=10.0, max_value=1e5),
+        dev_frac=st.floats(min_value=0.0, max_value=0.9),
+        fm_frac=st.floats(min_value=1e-3, max_value=0.2),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sine_fm_edges_strictly_increasing(self, f0, dev_frac, fm_frac):
+        src = SinusoidalFMSource(f0, deviation=dev_frac * f0,
+                                 f_mod=fm_frac * f0)
+        edges = [src.next_edge() for _ in range(100)]
+        assert all(b > a for a, b in zip(edges, edges[1:]))
+
+    @given(
+        f0=st.floats(min_value=10.0, max_value=1e5),
+        idx_frac=st.floats(min_value=0.0, max_value=0.9),
+        fm_frac=st.floats(min_value=1e-3, max_value=0.2),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pm_edges_strictly_increasing(self, f0, idx_frac, fm_frac):
+        fm = fm_frac * f0
+        peak_phase = idx_frac * f0 / fm
+        src = SinusoidalPMSource(f0, peak_phase_rad=peak_phase, f_mod=fm)
+        edges = [src.next_edge() for _ in range(100)]
+        assert all(b > a for a, b in zip(edges, edges[1:]))
+
+
+class TestPhaseEdgeConsistency:
+    @given(
+        f0=st.floats(min_value=100.0, max_value=1e4),
+        dev_frac=st.floats(min_value=0.0, max_value=0.5),
+        fm_frac=st.floats(min_value=1e-2, max_value=0.1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_phase_is_integer_at_edges(self, f0, dev_frac, fm_frac):
+        """Each emitted edge lands exactly where the accumulated phase is
+        a whole number of cycles."""
+        src = SinusoidalFMSource(f0, dev_frac * f0, fm_frac * f0)
+        for k in range(1, 30):
+            t = src.next_edge()
+            phase = src.phase_at(t)
+            assert abs(phase - k) < 1e-6
+
+    @given(
+        schedule=st.lists(
+            st.tuples(
+                st.floats(min_value=100.0, max_value=2000.0),
+                st.floats(min_value=1e-3, max_value=0.05),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_piecewise_phase_is_integer_at_edges(self, schedule):
+        src = PiecewiseConstantFrequencySource(schedule)
+        for k in range(1, 40):
+            t = src.next_edge()
+            assert abs(src.phase_at(t) - k) < 1e-6
+
+    @given(f=st.floats(min_value=1.0, max_value=1e6),
+           n=st.integers(min_value=1, max_value=50))
+    def test_constant_source_exact_arithmetic(self, f, n):
+        src = ConstantFrequencySource(f)
+        t = None
+        for _ in range(n):
+            t = src.next_edge()
+        assert t == n / f
+
+
+class TestMeanFrequency:
+    @given(
+        f0=st.floats(min_value=500.0, max_value=2000.0),
+        dev=st.floats(min_value=0.1, max_value=100.0),
+        cycles=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_fm_preserves_mean_rate_over_whole_cycles(self, f0, dev, cycles):
+        """Whole modulation cycles leave the average frequency at f0."""
+        fm = 50.0
+        src = SinusoidalFMSource(f0, dev, fm)
+        n_edges = int(round(f0 / fm)) * cycles
+        t_last = None
+        for _ in range(n_edges):
+            t_last = src.next_edge()
+        expected = n_edges / f0
+        # The edge nearest a whole-cycle boundary is within one period.
+        assert abs(t_last - expected) < 1.5 / f0

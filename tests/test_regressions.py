@@ -1,0 +1,135 @@
+"""Regression tests for defects found (and fixed) during development.
+
+Each test pins a concrete failure mode so it cannot silently return:
+
+1. the 4046 cubic tuning law used to bend back *outside* the rails,
+   breaking the monotone-bisection lock-point solve (the loop "locked"
+   at -7.5 V);
+2. ``voltage_for_frequency`` used to trust its bisection blindly;
+3. ``open_loop()`` mid-pulse used to strand the pump ON for a full
+   reference period (the terminating feedback edge no longer reached
+   the PFD);
+4. the exact-lock boundary: the feedback phase crossing lands within
+   solver tolerance of the reference edge every single cycle;
+5. instantaneous frequency reads taken exactly on reference edges catch
+   the feed-through step of the just-started pulse.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pll.hct4046 import HCT4046Config, make_hct4046_pll
+from repro.pll.simulator import PLLTransientSimulator
+from repro.pll.vco import VCO
+from repro.presets import paper_pll
+from repro.stimulus.waveforms import ConstantFrequencySource
+
+
+class TestTuningCurveDomainClamp:
+    """Regression 1: the cubic law must be monotone for ALL voltages."""
+
+    def test_curve_monotone_beyond_rails(self):
+        cfg = HCT4046Config(curvature=0.3)
+        vs = [-10.0 + 0.25 * i for i in range(101)]  # -10 .. +15 V
+        fs = [cfg.tuning_curve(v) for v in vs]
+        assert all(b >= a for a, b in zip(fs, fs[1:]))
+
+    def test_locked_voltage_sane_at_high_curvature(self):
+        cfg = HCT4046Config(f_center=5000.0, gain_hz_per_v=1200.0,
+                            curvature=0.3)
+        pll = make_hct4046_pll(cfg, r1=390e3, r2=33e3, c=470e-9, n=5,
+                               f_ref=1000.0)
+        v = pll.locked_control_voltage()
+        assert 0.0 <= v <= 5.0
+        assert v == pytest.approx(2.5, abs=1e-6)
+
+    def test_high_curvature_loop_locks(self):
+        cfg = HCT4046Config(f_center=5000.0, gain_hz_per_v=1200.0,
+                            curvature=0.3)
+        pll = make_hct4046_pll(cfg, r1=390e3, r2=33e3, c=470e-9, n=5,
+                               f_ref=1000.0)
+        sim = PLLTransientSimulator(pll, ConstantFrequencySource(1000.0))
+        sim.run_until(0.5)
+        assert sim.output_frequency_smoothed == pytest.approx(
+            5000.0, rel=1e-6
+        )
+        # The capacitor stays physical.
+        assert 0.0 <= sim.cap_trace.values.min()
+        assert sim.cap_trace.values.max() <= 5.0
+
+
+class TestInverseVerification:
+    """Regression 2: a silently mis-converged inverse must raise."""
+
+    def test_non_monotone_curve_detected(self):
+        bad = lambda v: 5000.0 - 500.0 * (v - 2.5) ** 3 + 800.0 * (v - 2.5)
+        vco = VCO(5000.0, 800.0, 2.5, f_min=1000.0, f_max=9000.0,
+                  tuning_curve=bad)
+        with pytest.raises(ConfigurationError):
+            vco.voltage_for_frequency(8000.0)
+
+
+class TestOpenLoopMidPulse:
+    """Regression 3: engaging the hold mid-pulse must not strand drive."""
+
+    @pytest.mark.parametrize("offset_in_period", [0.0, 0.3, 0.7])
+    def test_hold_freezes_from_any_phase(self, offset_in_period):
+        pll = paper_pll()
+        sim = PLLTransientSimulator(
+            pll, ConstantFrequencySource(1000.0),
+            # Slightly detuned so real-width pulses exist.
+            initial_control_voltage=2.52,
+        )
+        sim.run_until(0.010 + offset_in_period * 1e-3)
+        f_hold = sim.output_frequency_smoothed
+        sim.open_loop()
+        sim.run_for(0.5)
+        assert sim.output_frequency_smoothed == pytest.approx(
+            f_hold, abs=1e-6
+        )
+
+
+class TestExactLockBoundary:
+    """Regression 4: bit-exact lock must not corrupt divider bookkeeping."""
+
+    def test_long_locked_run(self):
+        sim = PLLTransientSimulator(
+            paper_pll(), ConstantFrequencySource(1000.0)
+        )
+        sim.run_until(3.0)  # 3000 coincident-edge cycles
+        assert len(sim.ref_edges) == 3000
+        # The feedback edge coincident with the very last instant may
+        # still be pending when the run stops exactly there.
+        assert len(sim.fb_edges) in (2999, 3000)
+        # And every processed pair is exactly coincident.
+        import numpy as np
+
+        n = len(sim.fb_edges)
+        skew = np.abs(
+            sim.ref_edges.as_array()[:n] - sim.fb_edges.as_array()
+        )
+        assert skew.max() < 1e-12
+
+
+class TestFeedthroughSampling:
+    """Regression 5: the two frequency views must differ only by the
+    in-flight pulse feed-through."""
+
+    def test_smoothed_view_is_pulse_free(self):
+        pll = paper_pll()
+        sim = PLLTransientSimulator(
+            pll, ConstantFrequencySource(1000.0),
+            initial_control_voltage=2.52,
+        )
+        # Land exactly on a reference edge (the failure alignment).
+        sim.run_until(0.020)
+        assert sim.output_frequency_smoothed == pytest.approx(
+            pll.vco.frequency_of_voltage(sim.cap_trace.values[-1])
+        )
+        # The instantaneous view may legitimately differ (pulse active),
+        # but never by more than the full feed-through step.
+        k = pll.loop_filter.r2 / (pll.loop_filter.r1 + pll.loop_filter.r2)
+        max_step_hz = pll.vco.gain_hz_per_v * k * pll.pump.vdd
+        assert abs(
+            sim.output_frequency - sim.output_frequency_smoothed
+        ) <= max_step_hz

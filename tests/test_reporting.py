@@ -1,0 +1,84 @@
+"""ASCII tables and terminal Bode plots."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bode import BodeResponse
+from repro.reporting import ascii_bode, ascii_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(
+            ["a", "b"], [[1, 2.5], ["x", 3.0]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a")
+        assert set(lines[2]) <= {"-", " "}
+        assert "2.5" in lines[3]
+
+    def test_column_width_adapts(self):
+        text = format_table(["h"], [["longvalue"]])
+        header, rule, row = text.splitlines()
+        assert len(rule) >= len("longvalue")
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[1 / 3]])
+        assert "0.333333" in text
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_no_title(self):
+        text = format_table(["a"], [[1]])
+        assert text.splitlines()[0] == "a"
+
+
+class TestAsciiSeries:
+    def test_renders_marks_and_legend(self):
+        x = np.array([1.0, 10.0, 100.0])
+        y = np.array([0.0, 5.0, -5.0])
+        out = ascii_series([("mag", x, y)], width=40, height=8, title="t")
+        assert "t" in out
+        assert "m = mag" in out
+        assert out.count("m") >= 3
+
+    def test_two_series_distinct_marks(self):
+        x = np.array([1.0, 10.0])
+        out = ascii_series(
+            [("aaa", x, np.array([1.0, 2.0])), ("bbb", x, np.array([3.0, 4.0]))]
+        )
+        assert "a = aaa" in out and "b = bbb" in out
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_series([("s", np.array([0.0, 1.0]), np.array([1.0, 2.0]))])
+
+    def test_linear_axis_allows_zero(self):
+        out = ascii_series(
+            [("s", np.array([0.0, 1.0]), np.array([1.0, 2.0]))], x_log=False
+        )
+        assert "s = s" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_series([])
+
+    def test_flat_series_does_not_crash(self):
+        out = ascii_series(
+            [("s", np.array([1.0, 2.0]), np.array([3.0, 3.0]))]
+        )
+        assert "s" in out
+
+
+class TestAsciiBode:
+    def test_two_panels(self):
+        f = np.array([1.0, 5.0, 20.0])
+        r = BodeResponse(f, np.array([0.0, 4.0, -8.0]),
+                         np.array([-5.0, -45.0, -100.0]), "meas")
+        out = ascii_bode([r], title="fig")
+        assert "magnitude" in out
+        assert "phase" in out
+        assert out.count("m = meas") == 2

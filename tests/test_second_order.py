@@ -1,0 +1,159 @@
+"""Second-order theory: peaking, bandwidth, step responses."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.second_order import (
+    SecondOrderParameters,
+    closed_loop_standard,
+    closed_loop_with_zero,
+    damping_from_peaking_db,
+    peaking_db_with_zero,
+)
+from repro.errors import ConfigurationError, ConvergenceError
+
+WN = 2 * math.pi * 8.743
+ZETA = 0.426
+
+
+class TestResponses:
+    def test_with_zero_dc_unity(self):
+        h = closed_loop_with_zero(WN, ZETA, 1e-6)
+        assert abs(h) == pytest.approx(1.0, rel=1e-9)
+
+    def test_standard_dc_unity(self):
+        h = closed_loop_standard(WN, ZETA, 1e-6)
+        assert abs(h) == pytest.approx(1.0, rel=1e-9)
+
+    def test_with_zero_rolls_off_20db_per_decade(self):
+        # One zero against two poles leaves -20 dB/dec asymptotically.
+        h1 = abs(closed_loop_with_zero(WN, ZETA, 1e4))
+        h2 = abs(closed_loop_with_zero(WN, ZETA, 1e5))
+        assert h1 / h2 == pytest.approx(10.0, rel=0.01)
+
+    def test_standard_rolls_off_40db_per_decade(self):
+        h1 = abs(closed_loop_standard(WN, ZETA, 1e4))
+        h2 = abs(closed_loop_standard(WN, ZETA, 1e5))
+        assert h1 / h2 == pytest.approx(100.0, rel=0.01)
+
+    def test_zero_raises_peak(self):
+        w = np.logspace(0, 3, 2000)
+        peak_zero = np.abs(closed_loop_with_zero(WN, ZETA, w)).max()
+        peak_std = np.abs(closed_loop_standard(WN, ZETA, w)).max()
+        assert peak_zero > peak_std
+
+    def test_array_evaluation(self):
+        w = np.array([1.0, 10.0, 100.0])
+        h = closed_loop_with_zero(WN, ZETA, w)
+        assert h.shape == (3,)
+
+
+class TestPeaking:
+    def test_peaking_matches_grid_search(self):
+        w = np.logspace(-1, 4, 200000)
+        grid = 20 * np.log10(np.abs(closed_loop_with_zero(WN, ZETA, w))).max()
+        assert peaking_db_with_zero(ZETA) == pytest.approx(grid, abs=1e-4)
+
+    def test_peaking_decreases_with_damping(self):
+        peaks = [peaking_db_with_zero(z) for z in (0.2, 0.5, 1.0, 2.0, 5.0)]
+        assert all(a > b for a, b in zip(peaks, peaks[1:]))
+
+    def test_heavy_damping_still_peaks(self):
+        # Unlike the no-zero system, the with-zero loop peaks for all zeta.
+        assert peaking_db_with_zero(2.0) > 0.0
+
+    def test_rejects_nonpositive_zeta(self):
+        with pytest.raises(ConfigurationError):
+            peaking_db_with_zero(0.0)
+
+
+class TestDampingInversion:
+    def test_roundtrip(self):
+        for zeta in (0.2, 0.426, 0.7, 1.0, 3.0):
+            peak = peaking_db_with_zero(zeta)
+            assert damping_from_peaking_db(peak) == pytest.approx(zeta, rel=1e-6)
+
+    def test_rejects_nonpositive_peaking(self):
+        with pytest.raises(ConvergenceError):
+            damping_from_peaking_db(0.0)
+
+    def test_rejects_unattainable_peaking(self):
+        with pytest.raises(ConvergenceError):
+            damping_from_peaking_db(60.0)
+
+
+class TestParameters:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SecondOrderParameters(wn=0.0, zeta=0.5)
+        with pytest.raises(ConfigurationError):
+            SecondOrderParameters(wn=1.0, zeta=0.0)
+
+    def test_fn_hz(self):
+        p = SecondOrderParameters(wn=2 * math.pi * 10.0, zeta=0.5)
+        assert p.fn_hz == pytest.approx(10.0)
+
+    def test_peak_frequency_matches_grid(self):
+        p = SecondOrderParameters(WN, ZETA)
+        w = np.logspace(0, 4, 300000)
+        mags = np.abs(closed_loop_with_zero(WN, ZETA, w))
+        w_peak = w[int(np.argmax(mags))]
+        assert p.peak_frequency == pytest.approx(w_peak, rel=1e-3)
+
+    def test_peak_frequency_below_wn(self):
+        # For the with-zero loop the peak sits below the natural frequency.
+        p = SecondOrderParameters(WN, ZETA)
+        assert p.peak_frequency < p.wn
+
+    def test_w3db_gardner_formula(self):
+        p = SecondOrderParameters(WN, ZETA)
+        b = 1 + 2 * ZETA ** 2
+        assert p.w3db == pytest.approx(WN * math.sqrt(b + math.sqrt(b * b + 1)))
+
+    def test_w3db_is_actual_crossing(self):
+        p = SecondOrderParameters(WN, ZETA)
+        assert abs(p.response(p.w3db)) == pytest.approx(
+            1.0 / math.sqrt(2.0), rel=1e-9
+        )
+
+    def test_str(self):
+        assert "fn=" in str(SecondOrderParameters(WN, ZETA))
+
+
+class TestStepResponse:
+    @pytest.mark.parametrize("zeta", [0.3, 0.426, 1.0, 2.0])
+    def test_starts_at_zero_settles_at_one(self, zeta):
+        p = SecondOrderParameters(WN, zeta)
+        t = np.linspace(0.0, 50.0 / WN * 2 * math.pi, 2000)
+        y = p.phase_step_response(t)
+        assert y[0] == pytest.approx(0.0, abs=1e-9)
+        assert y[-1] == pytest.approx(1.0, abs=1e-3)
+
+    def test_underdamped_overshoots(self):
+        p = SecondOrderParameters(WN, 0.426)
+        t = np.linspace(0.0, 1.0, 5000)
+        assert p.phase_step_response(t).max() > 1.05
+
+    def test_overdamped_zero_feedthrough_overshoot(self):
+        # The zero makes even heavy damping overshoot slightly.
+        p = SecondOrderParameters(WN, 2.0)
+        t = np.linspace(0.0, 2.0, 5000)
+        y = p.phase_step_response(t)
+        assert y.max() > 1.0
+
+    def test_settling_rate_scales_with_sigma(self):
+        fast = SecondOrderParameters(10 * WN, 0.426)
+        slow = SecondOrderParameters(WN, 0.426)
+        t = 0.05
+        err_fast = abs(1.0 - float(fast.phase_step_response(np.array([t]))[0]))
+        err_slow = abs(1.0 - float(slow.phase_step_response(np.array([t]))[0]))
+        assert err_fast < err_slow
+
+    def test_matches_frequency_domain_via_final_value(self):
+        # DC gain 1 <-> step settles to 1 for all branches.
+        for zeta in (0.9999, 1.0, 1.0001):
+            p = SecondOrderParameters(WN, zeta)
+            y_end = float(p.phase_step_response(np.array([100.0 / WN]))[0])
+            assert y_end == pytest.approx(1.0, abs=1e-4)

@@ -1,0 +1,107 @@
+"""The four-step self-test."""
+
+import pytest
+
+from repro.analysis.second_order import SecondOrderParameters
+from repro.core.limits import TestLimits
+from repro.core.monitor import SweepPlan
+from repro.core.selftest import PLLSelfTest, SelfTestReport, SelfTestStep
+from repro.pll.faults import Fault, FaultKind, apply_fault
+from repro.presets import paper_pll
+from repro.stimulus import SineFMStimulus
+
+PLAN = SweepPlan((1.0, 3.0, 5.5, 7.5, 9.5, 14.0, 25.0))
+
+
+@pytest.fixture(scope="module")
+def limits():
+    pll = paper_pll()
+    golden = SecondOrderParameters(pll.natural_frequency(), pll.damping())
+    return TestLimits.from_golden(golden, rel_tol=0.25, peak_tol_db=1.5)
+
+
+def make_selftest(pll, limits, config):
+    return PLLSelfTest(
+        pll=pll,
+        stimulus=SineFMStimulus(1000.0, 1.0),
+        plan=PLAN,
+        limits=limits,
+        config=config,
+    )
+
+
+class TestHealthyDevice:
+    @pytest.fixture(scope="class")
+    def report(self, limits, fast_bist_config):
+        return make_selftest(paper_pll(), limits, fast_bist_config).run()
+
+    def test_overall_pass(self, report):
+        assert report.passed, str(report)
+
+    def test_all_four_steps_executed(self, report):
+        names = [s.name for s in report.steps]
+        assert names == [
+            "lock", "nominal frequency", "hold droop", "transfer function"
+        ]
+
+    def test_sweep_artifacts_attached(self, report):
+        assert report.sweep is not None
+        assert report.limit_report is not None
+        assert report.limit_report.passed
+
+    def test_report_renders(self, report):
+        text = str(report)
+        assert "[PASS] lock" in text
+        assert "overall: PASS" in text
+
+
+class TestDefectiveDevices:
+    def test_leaky_cap_fails_droop_screen(self, limits, fast_bist_config):
+        # Mild leak: static phase offset stays inside the 2% lock
+        # window, so the defect only shows up when the hold lets the
+        # capacitor walk.
+        leaky = apply_fault(
+            paper_pll(), Fault(FaultKind.LEAKY_CAPACITOR, 50e6)
+        )
+        report = make_selftest(leaky, limits, fast_bist_config).run()
+        assert not report.passed
+        by_name = {s.name: s for s in report.steps}
+        assert "hold droop" in by_name
+        assert not by_name["hold droop"].passed
+        # Short-circuit: the expensive sweep never ran.
+        assert "transfer function" not in by_name
+
+    def test_parametric_fault_reaches_sweep_and_fails(
+        self, limits, fast_bist_config
+    ):
+        faulty = apply_fault(
+            paper_pll(), Fault(FaultKind.VCO_GAIN_SHIFT, 0.5)
+        )
+        report = make_selftest(faulty, limits, fast_bist_config).run()
+        assert not report.passed
+        by_name = {s.name: s for s in report.steps}
+        # Lock, frequency and droop are all fine — only the transfer
+        # function exposes a parametric Ko shift.
+        assert by_name["lock"].passed
+        assert by_name["nominal frequency"].passed
+        assert by_name["hold droop"].passed
+        assert not by_name["transfer function"].passed
+
+    def test_severe_leak_fails_lock(self, limits, fast_bist_config):
+        dead = apply_fault(
+            paper_pll(), Fault(FaultKind.LEAKY_CAPACITOR, 100e3)
+        )
+        report = make_selftest(dead, limits, fast_bist_config).run()
+        assert not report.passed
+        assert report.steps[0].name == "lock"
+        assert not report.steps[0].passed
+        assert len(report.steps) == 1  # short-circuited immediately
+
+
+class TestReportSemantics:
+    def test_empty_report_fails(self):
+        assert not SelfTestReport().passed
+
+    def test_step_str(self):
+        s = SelfTestStep("lock", True, "ok")
+        assert str(s) == "[PASS] lock: ok"

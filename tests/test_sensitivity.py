@@ -1,0 +1,118 @@
+"""Component sensitivities and single-fault diagnosis."""
+
+import math
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    component_sensitivities,
+    diagnose_shift,
+)
+from repro.errors import ConfigurationError
+from repro.pll.faults import Fault, FaultKind, apply_fault
+from repro.presets import paper_pll
+
+
+@pytest.fixture(scope="module")
+def pll():
+    return paper_pll()
+
+
+@pytest.fixture(scope="module")
+def sensitivities(pll):
+    return {s.component: s for s in component_sensitivities(pll)}
+
+
+class TestSensitivities:
+    def test_all_four_components_covered(self, sensitivities):
+        assert set(sensitivities) == {"Ko", "R1", "R2", "C"}
+
+    def test_ko_square_root_law(self, sensitivities):
+        """fn ∝ √Ko and (through ωn) ζ ∝ √Ko: log-log slope 1/2."""
+        s = sensitivities["Ko"]
+        assert s.d_log_fn == pytest.approx(0.5, abs=0.01)
+        assert s.d_log_zeta == pytest.approx(0.5, abs=0.01)
+
+    def test_r1_inverse_square_root(self, sensitivities):
+        """τ1 dominates τ1+τ2, so fn ∝ ~1/√R1."""
+        s = sensitivities["R1"]
+        assert -0.5 <= s.d_log_fn < -0.4
+        assert s.d_log_zeta < 0.0
+
+    def test_r2_moves_zeta_not_fn(self, sensitivities):
+        s = sensitivities["R2"]
+        assert abs(s.d_log_fn) < 0.1
+        assert s.d_log_zeta > 0.8
+
+    def test_c_lowers_fn(self, sensitivities):
+        assert sensitivities["C"].d_log_fn == pytest.approx(-0.5, abs=0.01)
+
+    def test_rel_step_validated(self, pll):
+        with pytest.raises(ConfigurationError):
+            component_sensitivities(pll, rel_step=0.0)
+        with pytest.raises(ConfigurationError):
+            component_sensitivities(pll, rel_step=0.7)
+
+    def test_str(self, sensitivities):
+        assert "dln(fn)" in str(sensitivities["Ko"])
+
+
+class TestDiagnosis:
+    @pytest.mark.parametrize(
+        "kind,magnitude,expected_component,expected_scale",
+        [
+            (FaultKind.R2_SHIFT, 0.3, "R2", 0.3),
+            (FaultKind.CAP_SHIFT, 2.0, "C", 2.0),
+            (FaultKind.VCO_GAIN_SHIFT, 1.8, "Ko", 1.8),
+        ],
+    )
+    def test_injected_fault_recovered(
+        self, pll, kind, magnitude, expected_component, expected_scale
+    ):
+        """Inject a known single-component fault, diagnose from the
+        resulting *theoretical* (fn, zeta): the right component must rank
+        first with the right scale (allowing degenerate ties)."""
+        faulty = apply_fault(pll, Fault(kind, magnitude))
+        fn = faulty.natural_frequency() / (2 * math.pi)
+        zeta = faulty.damping()
+        candidates = diagnose_shift(pll, fn, zeta)
+        best = candidates[0]
+        # Accept a tie within numerical residuals.
+        tied = [
+            c for c in candidates
+            if c.residual <= best.residual + 1e-4
+        ]
+        assert any(c.component == expected_component for c in tied)
+        match = next(
+            c for c in tied if c.component == expected_component
+        )
+        assert match.scale == pytest.approx(expected_scale, rel=0.05)
+        assert match.residual < 1e-2
+
+    def test_ko_r1_degeneracy_is_real(self, pll):
+        """Ko↓ and R1↑ move (fn, ζ) along nearly the same direction —
+        the diagnosis reports both as near-equal hypotheses, which is
+        the physically honest answer."""
+        faulty = apply_fault(pll, Fault(FaultKind.VCO_GAIN_SHIFT, 0.5))
+        fn = faulty.natural_frequency() / (2 * math.pi)
+        zeta = faulty.damping()
+        candidates = diagnose_shift(pll, fn, zeta)
+        top_two = {candidates[0].component, candidates[1].component}
+        assert top_two == {"Ko", "R1"}
+        assert candidates[1].residual < 0.05
+
+    def test_healthy_device_diagnoses_nominal(self, pll):
+        fn = pll.natural_frequency() / (2 * math.pi)
+        zeta = pll.damping()
+        candidates = diagnose_shift(pll, fn, zeta)
+        assert candidates[0].scale == pytest.approx(1.0, abs=0.05)
+
+    def test_validation(self, pll):
+        with pytest.raises(ConfigurationError):
+            diagnose_shift(pll, -1.0, 0.4)
+        with pytest.raises(ConfigurationError):
+            diagnose_shift(pll, 8.0, 0.4, scale_range=(2.0, 3.0))
+
+    def test_candidate_str(self, pll):
+        c = diagnose_shift(pll, 8.0, 0.4)[0]
+        assert "x nominal" in str(c)

@@ -1,0 +1,97 @@
+"""The Table 2 test sequencer (stage ordering, timing, failure modes)."""
+
+import pytest
+
+from repro.core.architecture import BISTConfig
+from repro.core.sequencer import TestStage, ToneTestSequencer
+from repro.errors import ConfigurationError, MeasurementError
+from repro.presets import paper_pll
+from repro.stimulus import SineFMStimulus, TwoToneFSKStimulus
+
+
+class TestStageOrdering:
+    def test_stage_log_matches_table2(self, tone_measurement_8hz):
+        stages = [s for s, __ in tone_measurement_8hz.stage_log]
+        assert stages == [
+            TestStage.REF_SET,
+            TestStage.SET_PHASE_COUNTER,
+            TestStage.MONITOR_PEAK,
+            TestStage.PEAK_OCCURRED,
+            TestStage.MEASURE,
+            TestStage.DONE,
+        ]
+
+    def test_stage_times_monotonic(self, tone_measurement_8hz):
+        times = [t for __, t in tone_measurement_8hz.stage_log]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_phase_counter_starts_at_input_peak(self, tone_measurement_8hz):
+        m = tone_measurement_8hz
+        # Stage 1 time = (settle + 1/4) modulation periods.
+        assert m.arm_time == pytest.approx((2 + 0.25) / 8.0)
+        assert m.phase_count.t_start == m.arm_time
+
+    def test_peak_within_one_modulation_cycle(self, tone_measurement_8hz):
+        m = tone_measurement_8hz
+        assert m.arm_time < m.peak_event.time <= m.arm_time + 1.0 / m.f_mod
+
+
+class TestMeasurementContent:
+    def test_delta_f_positive_at_peak(self, tone_measurement_8hz):
+        # Peak output deviation at 8 Hz (near fn): well above the in-band
+        # 5 Hz and positive.
+        assert 4.0 < tone_measurement_8hz.delta_f_hz < 8.0
+
+    def test_phase_delay_sensible(self, tone_measurement_8hz):
+        # Raw (capacitor-referred) lag near fn ~ 80 deg.
+        assert 40.0 < tone_measurement_8hz.phase_delay_deg < 140.0
+
+    def test_held_frequency_above_nominal(self, tone_measurement_8hz):
+        m = tone_measurement_8hz
+        assert m.held.vco_frequency_hz > m.f_out_nominal
+
+    def test_str(self, tone_measurement_8hz):
+        assert "f_mod=8" in str(tone_measurement_8hz)
+
+
+class TestSequencerBehaviour:
+    def test_config_checked_against_pfd(self):
+        pll = paper_pll()
+        bad = BISTConfig(detector_inverter_delay=21e-9,
+                         detector_and_delay=5e-9)
+        with pytest.raises(ConfigurationError):
+            ToneTestSequencer(pll, SineFMStimulus(1000.0, 1.0), bad)
+
+    def test_no_peak_raises_measurement_error(self, fast_bist_config):
+        """An unmodulated stimulus never produces a lead/lag reversal, so
+        stage 2 must time out as a MeasurementError."""
+        pll = paper_pll()
+        stim = SineFMStimulus(1000.0, 1e-9)  # deviation far below resolution
+        seq = ToneTestSequencer(pll, stim, fast_bist_config)
+        with pytest.raises(MeasurementError):
+            seq.run(8.0, max_wait_cycles=1.0)
+
+    def test_two_tone_measurable(self, fast_bist_config):
+        pll = paper_pll()
+        seq = ToneTestSequencer(
+            pll, TwoToneFSKStimulus(1000.0, 1.0), fast_bist_config
+        )
+        m = seq.run(8.0)
+        assert m.delta_f_hz > 0.0
+
+    def test_nominal_frequency_measurement(self, fast_bist_config):
+        pll = paper_pll()
+        seq = ToneTestSequencer(
+            pll, SineFMStimulus(1000.0, 1.0), fast_bist_config
+        )
+        f = seq.measure_nominal_frequency(gate_cycles=64)
+        assert f == pytest.approx(5000.0, abs=0.05)
+
+    def test_low_tone_tracks_input(self, fast_bist_config):
+        """Well in-band, the held peak deviation = N x input deviation."""
+        pll = paper_pll()
+        seq = ToneTestSequencer(
+            pll, SineFMStimulus(1000.0, 1.0), fast_bist_config
+        )
+        m = seq.run(1.0)
+        assert m.delta_f_hz == pytest.approx(5.0, rel=0.05)

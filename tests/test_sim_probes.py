@@ -1,0 +1,107 @@
+"""Analogue trace recording and analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.sim.probes import Trace
+
+
+def sine_trace(f=1.0, n=1000, t_end=2.0, amp=1.0, offset=0.0):
+    tr = Trace("sine")
+    for i in range(n + 1):
+        t = t_end * i / n
+        tr.append(t, offset + amp * math.sin(2 * math.pi * f * t))
+    return tr
+
+
+class TestRecording:
+    def test_append_and_len(self):
+        tr = Trace("x")
+        tr.append(0.0, 1.0)
+        tr.append(1.0, 2.0)
+        assert len(tr) == 2
+
+    def test_time_ordering_enforced(self):
+        tr = Trace("x")
+        tr.append(1.0, 0.0)
+        with pytest.raises(MeasurementError):
+            tr.append(0.5, 0.0)
+
+    def test_same_time_refreshes_value(self):
+        tr = Trace("x")
+        tr.append(1.0, 0.0)
+        tr.append(1.0, 5.0)
+        assert len(tr) == 1
+        assert tr.values[-1] == 5.0
+
+    def test_as_arrays(self):
+        tr = Trace("x")
+        tr.append(0.0, 1.0)
+        t, v = tr.as_arrays()
+        assert t[0] == 0.0 and v[0] == 1.0
+
+
+class TestQueries:
+    def test_value_at_interpolates(self):
+        tr = Trace("x")
+        tr.append(0.0, 0.0)
+        tr.append(1.0, 2.0)
+        assert tr.value_at(0.5) == pytest.approx(1.0)
+
+    def test_value_at_empty_raises(self):
+        with pytest.raises(MeasurementError):
+            Trace("x").value_at(0.0)
+
+    def test_window(self):
+        tr = sine_trace()
+        sub = tr.window(0.5, 1.0)
+        assert sub.times.min() >= 0.5
+        assert sub.times.max() <= 1.0
+
+    def test_extremum_max(self):
+        tr = sine_trace()
+        peak = tr.extremum(maximum=True)
+        assert peak.value == pytest.approx(1.0, abs=1e-4)
+        assert peak.time == pytest.approx(0.25, abs=1e-2)
+
+    def test_extremum_min_in_window(self):
+        tr = sine_trace()
+        trough = tr.extremum(start=0.5, stop=1.0, maximum=False)
+        assert trough.value == pytest.approx(-1.0, abs=1e-4)
+        assert trough.time == pytest.approx(0.75, abs=1e-2)
+
+    def test_extremum_empty_window_raises(self):
+        tr = sine_trace()
+        with pytest.raises(MeasurementError):
+            tr.extremum(start=10.0, stop=11.0)
+
+    def test_local_peaks_count(self):
+        tr = sine_trace(f=1.0, t_end=3.0, n=3000)
+        maxima = tr.local_peaks(maximum=True)
+        minima = tr.local_peaks(maximum=False)
+        assert len(maxima) == 3
+        assert len(minima) == 3
+        for p in maxima:
+            assert p.value == pytest.approx(1.0, abs=1e-3)
+
+    def test_peak_to_peak(self):
+        tr = sine_trace(amp=2.0, offset=1.0)
+        assert tr.peak_to_peak() == pytest.approx(4.0, abs=1e-3)
+
+    def test_mean_of_offset_sine(self):
+        tr = sine_trace(f=1.0, t_end=2.0, offset=3.0)
+        assert tr.mean() == pytest.approx(3.0, abs=1e-3)
+
+    def test_mean_single_sample(self):
+        tr = Trace("x")
+        tr.append(1.0, 7.0)
+        assert tr.mean() == 7.0
+
+    def test_mean_respects_window(self):
+        tr = Trace("x")
+        for i in range(11):
+            tr.append(i * 0.1, 0.0 if i < 5 else 10.0)
+        assert tr.mean(0.6, 1.0) == pytest.approx(10.0)

@@ -1,0 +1,139 @@
+"""Closed-form analogue segments: values, integrals, crossings."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.segments import (
+    ConstantSegment,
+    ExponentialSegment,
+    RampSegment,
+    crossing_time,
+)
+
+
+class TestConstantSegment:
+    def test_value_is_constant(self):
+        seg = ConstantSegment(initial=2.5)
+        assert seg.value(0.0) == 2.5
+        assert seg.value(10.0) == 2.5
+
+    def test_derivative_zero(self):
+        assert ConstantSegment(initial=1.0).derivative(3.0) == 0.0
+
+    def test_integral_linear_in_dt(self):
+        seg = ConstantSegment(initial=3.0)
+        assert seg.integral(2.0) == pytest.approx(6.0)
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantSegment(initial=0.0).value(-1e-9)
+
+
+class TestRampSegment:
+    def test_value(self):
+        seg = RampSegment(initial=1.0, slope=2.0)
+        assert seg.value(0.5) == pytest.approx(2.0)
+
+    def test_derivative_is_slope(self):
+        seg = RampSegment(initial=0.0, slope=-3.0)
+        assert seg.derivative(1.0) == -3.0
+
+    def test_integral(self):
+        seg = RampSegment(initial=1.0, slope=2.0)
+        # ∫(1 + 2t) dt over [0, 2] = 2 + 4 = 6
+        assert seg.integral(2.0) == pytest.approx(6.0)
+
+    def test_integral_matches_numeric(self):
+        seg = RampSegment(initial=-0.3, slope=0.7)
+        dt = 1.3
+        n = 100000
+        numeric = sum(seg.value(i * dt / n) for i in range(n)) * dt / n
+        assert seg.integral(dt) == pytest.approx(numeric, rel=1e-4)
+
+
+class TestExponentialSegment:
+    def test_value_endpoints(self):
+        seg = ExponentialSegment(initial=1.0, asymptote=3.0, tau=0.5)
+        assert seg.value(0.0) == pytest.approx(1.0)
+        assert seg.value(100.0) == pytest.approx(3.0)
+
+    def test_value_one_tau(self):
+        seg = ExponentialSegment(initial=0.0, asymptote=1.0, tau=1.0)
+        assert seg.value(1.0) == pytest.approx(1.0 - math.exp(-1.0))
+
+    def test_derivative_consistency(self):
+        seg = ExponentialSegment(initial=2.0, asymptote=-1.0, tau=0.2)
+        dt = 0.1
+        h = 1e-7
+        numeric = (seg.value(dt + h) - seg.value(dt - h)) / (2 * h)
+        assert seg.derivative(dt) == pytest.approx(numeric, rel=1e-5)
+
+    def test_integral_matches_numeric(self):
+        seg = ExponentialSegment(initial=5.0, asymptote=1.0, tau=0.3)
+        dt = 0.7
+        n = 200000
+        numeric = sum(seg.value(i * dt / n) for i in range(n)) * dt / n
+        assert seg.integral(dt) == pytest.approx(numeric, rel=1e-4)
+
+    def test_integral_small_dt_accurate(self):
+        # expm1 keeps tiny intervals exact (the PFD reset windows are ns).
+        seg = ExponentialSegment(initial=1.0, asymptote=0.0, tau=1.0)
+        dt = 1e-12
+        assert seg.integral(dt) == pytest.approx(dt, rel=1e-9)
+
+    def test_requires_positive_tau(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialSegment(initial=0.0, asymptote=1.0, tau=0.0)
+        with pytest.raises(ConfigurationError):
+            ExponentialSegment(initial=0.0, asymptote=1.0, tau=-1.0)
+        with pytest.raises(ConfigurationError):
+            ExponentialSegment(initial=0.0, asymptote=1.0, tau=math.inf)
+
+
+class TestCrossingTime:
+    def test_constant_never_crosses(self):
+        assert crossing_time(ConstantSegment(initial=1.0), 2.0) is None
+
+    def test_ramp_crossing(self):
+        seg = RampSegment(initial=0.0, slope=2.0)
+        assert crossing_time(seg, 1.0) == pytest.approx(0.5)
+
+    def test_ramp_wrong_direction(self):
+        seg = RampSegment(initial=0.0, slope=2.0)
+        assert crossing_time(seg, -1.0) is None
+
+    def test_ramp_zero_slope(self):
+        assert crossing_time(RampSegment(initial=0.0, slope=0.0), 1.0) is None
+
+    def test_exponential_crossing(self):
+        seg = ExponentialSegment(initial=0.0, asymptote=1.0, tau=1.0)
+        t = crossing_time(seg, 0.5)
+        assert t == pytest.approx(math.log(2.0))
+        assert seg.value(t) == pytest.approx(0.5)
+
+    def test_exponential_unreachable_beyond_asymptote(self):
+        seg = ExponentialSegment(initial=0.0, asymptote=1.0, tau=1.0)
+        assert crossing_time(seg, 1.5) is None
+
+    def test_exponential_unreachable_behind_start(self):
+        seg = ExponentialSegment(initial=0.5, asymptote=1.0, tau=1.0)
+        assert crossing_time(seg, 0.2) is None
+
+    def test_exponential_decreasing(self):
+        seg = ExponentialSegment(initial=2.0, asymptote=0.0, tau=0.5)
+        t = crossing_time(seg, 1.0)
+        assert t is not None
+        assert seg.value(t) == pytest.approx(1.0)
+
+    def test_exponential_at_asymptote_never_crosses(self):
+        seg = ExponentialSegment(initial=1.0, asymptote=1.0, tau=1.0)
+        assert crossing_time(seg, 0.5) is None
+
+    def test_unsupported_type_raises(self):
+        class Weird:
+            pass
+
+        with pytest.raises(TypeError):
+            crossing_time(Weird(), 0.0)

@@ -1,0 +1,177 @@
+"""Edge streams and pulse trains."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EdgeKind
+from repro.sim.signals import (
+    EdgeStream,
+    LogicLevel,
+    PulseTrain,
+    edges_to_frequency,
+)
+
+
+def make_square(stream: EdgeStream, period: float, n: int, high: float = None):
+    """Record n periods of a square wave starting with a rise at t=period."""
+    high = high if high is not None else period / 2.0
+    for i in range(n):
+        t = (i + 1) * period
+        stream.record(t, EdgeKind.RISING)
+        stream.record(t + high, EdgeKind.FALLING)
+
+
+class TestEdgeStreamRecording:
+    def test_alternation_enforced(self):
+        s = EdgeStream("n")
+        s.record(1.0, EdgeKind.RISING)
+        with pytest.raises(SimulationError):
+            s.record(2.0, EdgeKind.RISING)
+
+    def test_initial_level_defines_first_kind(self):
+        s = EdgeStream("n", initial_level=LogicLevel.HIGH)
+        with pytest.raises(SimulationError):
+            s.record(1.0, EdgeKind.RISING)
+        s2 = EdgeStream("n", initial_level=LogicLevel.HIGH)
+        s2.record(1.0, EdgeKind.FALLING)  # ok
+
+    def test_time_ordering_enforced(self):
+        s = EdgeStream("n")
+        s.record(1.0, EdgeKind.RISING)
+        with pytest.raises(SimulationError):
+            s.record(0.5, EdgeKind.FALLING)
+
+    def test_record_level_idempotent(self):
+        s = EdgeStream("n")
+        s.record_level(1.0, LogicLevel.HIGH)
+        s.record_level(1.5, LogicLevel.HIGH)  # no-op
+        s.record_level(2.0, LogicLevel.LOW)
+        assert len(s) == 2
+
+    def test_len_and_iter(self):
+        s = EdgeStream("n")
+        make_square(s, 1.0, 3)
+        assert len(s) == 6
+        kinds = [e.kind for e in s]
+        assert kinds[0] is EdgeKind.RISING
+        assert kinds[1] is EdgeKind.FALLING
+
+
+class TestEdgeStreamQueries:
+    def test_level_at(self):
+        s = EdgeStream("n")
+        make_square(s, 1.0, 2)
+        assert s.level_at(0.5) == LogicLevel.LOW
+        assert s.level_at(1.0) == LogicLevel.HIGH
+        assert s.level_at(1.25) == LogicLevel.HIGH
+        assert s.level_at(1.75) == LogicLevel.LOW
+
+    def test_rising_falling_times(self):
+        s = EdgeStream("n")
+        make_square(s, 1.0, 2)
+        assert list(s.rising_times()) == [1.0, 2.0]
+        assert list(s.falling_times()) == [1.5, 2.5]
+
+    def test_count_in_gate_half_open(self):
+        s = EdgeStream("n")
+        make_square(s, 1.0, 4)
+        # Edges at 1,2,3,4; gate [2, 4) counts 2 and 3 but not 4.
+        assert s.count_in_gate(2.0, 4.0) == 2
+
+    def test_count_in_gate_rejects_inverted(self):
+        s = EdgeStream("n")
+        with pytest.raises(ValueError):
+            s.count_in_gate(2.0, 1.0)
+
+    def test_next_edge_after(self):
+        s = EdgeStream("n")
+        make_square(s, 1.0, 2)
+        e = s.next_edge_after(1.0)
+        assert e.time == 1.5
+        e = s.next_edge_after(1.0, EdgeKind.RISING)
+        assert e.time == 2.0
+        assert s.next_edge_after(10.0) is None
+
+    def test_pulse_widths(self):
+        s = EdgeStream("n")
+        make_square(s, 1.0, 3, high=0.25)
+        assert np.allclose(s.pulse_widths(), [0.25, 0.25, 0.25])
+
+    def test_duty_cycle(self):
+        s = EdgeStream("n")
+        make_square(s, 1.0, 4, high=0.25)
+        assert s.duty_cycle(1.0, 5.0) == pytest.approx(0.25)
+
+    def test_duty_cycle_empty_window_rejected(self):
+        s = EdgeStream("n")
+        with pytest.raises(ValueError):
+            s.duty_cycle(1.0, 1.0)
+
+
+class TestPulseTrain:
+    def test_strictly_increasing_enforced(self):
+        t = PulseTrain("n")
+        t.record(1.0)
+        with pytest.raises(SimulationError):
+            t.record(1.0)
+        with pytest.raises(SimulationError):
+            t.record(0.5)
+
+    def test_count_in_gate(self):
+        t = PulseTrain("n")
+        for i in range(10):
+            t.record(float(i + 1))
+        assert t.count_in_gate(2.0, 5.0) == 3  # 2,3,4
+
+    def test_next_after_and_last_before(self):
+        t = PulseTrain("n")
+        for i in range(3):
+            t.record(float(i + 1))
+        assert t.next_after(1.0) == 2.0
+        assert t.last_at_or_before(1.0) == 1.0
+        assert t.last_at_or_before(0.5) is None
+        assert t.next_after(3.0) is None
+
+    def test_mean_frequency(self):
+        t = PulseTrain("n")
+        for i in range(100):
+            t.record((i + 1) * 0.01)
+        # Half-open gate [0, 1) excludes the edge at exactly 1.0.
+        assert t.mean_frequency(0.0, 1.0) == pytest.approx(99.0)
+        assert t.mean_frequency(0.005, 1.005) == pytest.approx(100.0)
+
+    def test_mean_frequency_empty_gate_rejected(self):
+        t = PulseTrain("n")
+        with pytest.raises(ValueError):
+            t.mean_frequency(1.0, 1.0)
+
+    def test_instantaneous_frequency(self):
+        t = PulseTrain("n")
+        for i in range(5):
+            t.record((i + 1) * 0.25)
+        mids, freqs = t.instantaneous_frequency()
+        assert np.allclose(freqs, 4.0)
+        assert mids[0] == pytest.approx(0.375)
+
+
+class TestEdgesToFrequency:
+    def test_constant_rate(self):
+        times = [0.1 * k for k in range(1, 11)]
+        mids, freqs = edges_to_frequency(times)
+        assert np.allclose(freqs, 10.0)
+        assert len(mids) == 9
+
+    def test_too_few_edges(self):
+        mids, freqs = edges_to_frequency([1.0])
+        assert mids.size == 0 and freqs.size == 0
+
+    def test_non_monotonic_rejected(self):
+        with pytest.raises(SimulationError):
+            edges_to_frequency([1.0, 0.5])
+
+    def test_chirp(self):
+        # Quadratic phase -> linearly increasing frequency.
+        times = [((k / 10.0) ** 0.5) for k in range(1, 50)]
+        __, freqs = edges_to_frequency(times)
+        assert np.all(np.diff(freqs) > 0)

@@ -1,0 +1,89 @@
+"""Harmonic analysis of stepped FM stimuli."""
+
+import math
+
+import pytest
+
+from repro.errors import StimulusError
+from repro.stimulus.modulation import MultiToneFSKStimulus
+from repro.stimulus.spectrum import (
+    HarmonicContent,
+    staircase_harmonics,
+    worst_even_harmonic,
+)
+
+
+def content_for_steps(steps, f_mod=8.0):
+    stim = MultiToneFSKStimulus(1000.0, 1.0, steps=steps)
+    return staircase_harmonics(stim.schedule(f_mod), 1000.0)
+
+
+class TestStaircaseHarmonics:
+    def test_two_tone_is_square_wave(self):
+        """Square FM: only odd harmonics, 3rd at 1/3."""
+        c = content_for_steps(2)
+        assert c.harmonic(2) == pytest.approx(0.0, abs=1e-3)
+        assert c.harmonic(3) == pytest.approx(1.0 / 3.0, rel=0.02)
+        assert c.harmonic(4) == pytest.approx(0.0, abs=1e-3)
+        assert c.harmonic(5) == pytest.approx(1.0 / 5.0, rel=0.02)
+        # Square-wave fundamental = 4/pi x the step amplitude.
+        assert c.fundamental_amplitude == pytest.approx(
+            4.0 / math.pi, rel=0.01
+        )
+
+    def test_even_steps_have_no_even_harmonics(self):
+        for steps in (2, 4, 6, 10, 16):
+            c = content_for_steps(steps)
+            __, worst = worst_even_harmonic(c)
+            assert worst < 5e-3, f"steps={steps}"
+
+    def test_odd_steps_leak_even_harmonics(self):
+        """The FSK-step ablation's pathology, quantified: odd step
+        counts break half-wave symmetry and put real power in even
+        harmonics (the 3-step case leaks strongly into the 2nd)."""
+        c3 = content_for_steps(3)
+        k, a = worst_even_harmonic(c3)
+        assert k == 2
+        assert a > 0.2
+        c5 = content_for_steps(5)
+        assert worst_even_harmonic(c5)[1] > 0.05
+
+    def test_distortion_falls_with_step_count(self):
+        thd = {s: content_for_steps(s).total_harmonic_distortion
+               for s in (2, 4, 6, 10, 16)}
+        assert thd[4] > thd[6] > thd[10] > thd[16]
+
+    def test_four_steps_degenerate_to_two(self):
+        """Midpoint sampling at 4 steps hits ±sin(45°) twice each — a
+        two-level waveform again, with *identical relative* harmonic
+        structure to the two-tone case (only the amplitude differs)."""
+        c2 = content_for_steps(2)
+        c4 = content_for_steps(4)
+        assert c4.total_harmonic_distortion == pytest.approx(
+            c2.total_harmonic_distortion, rel=1e-6
+        )
+        assert c4.fundamental_amplitude == pytest.approx(
+            c2.fundamental_amplitude * math.sin(math.pi / 4.0), rel=1e-6
+        )
+
+    def test_ten_steps_approximates_sine_well(self):
+        c = content_for_steps(10)
+        # Fundamental within a few percent of the ideal sine amplitude.
+        assert c.fundamental_amplitude == pytest.approx(1.0, rel=0.05)
+        assert c.total_harmonic_distortion < 0.25
+
+    def test_validation(self):
+        with pytest.raises(StimulusError):
+            staircase_harmonics([], 1000.0)
+        with pytest.raises(StimulusError):
+            staircase_harmonics([(1000.0, 0.1)], 1000.0, n_harmonics=0)
+        with pytest.raises(StimulusError):
+            # Constant schedule: no fundamental.
+            staircase_harmonics([(1000.0, 0.1)], 1000.0)
+
+    def test_harmonic_index_bounds(self):
+        c = content_for_steps(4)
+        with pytest.raises(StimulusError):
+            c.harmonic(1)
+        with pytest.raises(StimulusError):
+            c.harmonic(99)

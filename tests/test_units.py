@@ -1,0 +1,92 @@
+"""Unit-conversion helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import units
+
+
+class TestFrequencyConversions:
+    def test_hz_to_rad_scalar(self):
+        assert units.hz_to_rad(1.0) == pytest.approx(2.0 * math.pi)
+
+    def test_rad_to_hz_scalar(self):
+        assert units.rad_to_hz(2.0 * math.pi) == pytest.approx(1.0)
+
+    def test_roundtrip(self):
+        for f in (0.1, 8.743, 1e6):
+            assert units.rad_to_hz(units.hz_to_rad(f)) == pytest.approx(f)
+
+    def test_array_input(self):
+        f = np.array([1.0, 2.0, 4.0])
+        w = units.hz_to_rad(f)
+        assert np.allclose(w, 2.0 * math.pi * f)
+        assert np.allclose(units.rad_to_hz(w), f)
+
+
+class TestDecibels:
+    def test_db_of_unity_is_zero(self):
+        assert units.db(1.0) == pytest.approx(0.0)
+
+    def test_db_of_ten_is_twenty(self):
+        assert units.db(10.0) == pytest.approx(20.0)
+
+    def test_db_power_of_ten_is_ten(self):
+        assert units.db_power(10.0) == pytest.approx(10.0)
+
+    def test_undb_inverts_db(self):
+        for r in (0.01, 0.5, 1.0, 3.3, 100.0):
+            assert units.undb(units.db(r)) == pytest.approx(r)
+
+    def test_undb_array(self):
+        vals = np.array([-20.0, 0.0, 6.0])
+        out = units.undb(vals)
+        assert out[0] == pytest.approx(0.1)
+        assert out[1] == pytest.approx(1.0)
+
+
+class TestAngles:
+    def test_deg_rad_roundtrip(self):
+        assert units.rad(units.deg(1.234)) == pytest.approx(1.234)
+
+    def test_wrap_phase_deg_in_range(self):
+        for angle in (-721.0, -180.0, -1.0, 0.0, 179.0, 180.0, 540.0):
+            wrapped = units.wrap_phase_deg(angle)
+            assert -180.0 < wrapped <= 180.0
+
+    def test_wrap_phase_deg_identity_inside(self):
+        assert units.wrap_phase_deg(-45.0) == pytest.approx(-45.0)
+        assert units.wrap_phase_deg(170.0) == pytest.approx(170.0)
+
+    def test_wrap_phase_deg_at_boundary(self):
+        assert units.wrap_phase_deg(180.0) == pytest.approx(180.0)
+        assert units.wrap_phase_deg(-180.0) == pytest.approx(180.0)
+
+    def test_wrap_phase_deg_array(self):
+        wrapped = units.wrap_phase_deg(np.array([360.0, -270.0]))
+        assert wrapped[0] == pytest.approx(0.0)
+        assert wrapped[1] == pytest.approx(90.0)
+
+    def test_wrap_phase_rad(self):
+        assert units.wrap_phase_rad(3.0 * math.pi) == pytest.approx(math.pi)
+        assert units.wrap_phase_rad(-0.5) == pytest.approx(-0.5)
+
+
+class TestPeriodFrequency:
+    def test_period(self):
+        assert units.period(1000.0) == pytest.approx(1e-3)
+
+    def test_frequency(self):
+        assert units.frequency(1e-3) == pytest.approx(1000.0)
+
+    def test_period_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.period(0.0)
+        with pytest.raises(ValueError):
+            units.period(-1.0)
+
+    def test_frequency_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.frequency(0.0)

@@ -1,0 +1,211 @@
+"""Edge-time sources: exactness of the modulation laws."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import StimulusError
+from repro.sim.signals import edges_to_frequency
+from repro.stimulus.waveforms import (
+    ConstantFrequencySource,
+    PiecewiseConstantFrequencySource,
+    SinusoidalFMSource,
+    SinusoidalPMSource,
+)
+
+
+def collect(source, n):
+    return [source.next_edge() for _ in range(n)]
+
+
+class TestConstantSource:
+    def test_edges_at_multiples_of_period(self):
+        src = ConstantFrequencySource(1000.0)
+        edges = collect(src, 5)
+        assert edges == pytest.approx([1e-3, 2e-3, 3e-3, 4e-3, 5e-3])
+
+    def test_start_time_offset(self):
+        src = ConstantFrequencySource(100.0, start_time=2.0)
+        assert src.next_edge() == pytest.approx(2.01)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(StimulusError):
+            ConstantFrequencySource(0.0)
+
+    def test_phase_and_frequency_consistent(self):
+        src = ConstantFrequencySource(50.0, start_time=1.0)
+        assert src.phase_at(1.1) == pytest.approx(5.0)
+        assert src.frequency_at(123.0) == 50.0
+
+
+class TestSinusoidalFM:
+    def test_validation(self):
+        with pytest.raises(StimulusError):
+            SinusoidalFMSource(0.0, 1.0, 1.0)
+        with pytest.raises(StimulusError):
+            SinusoidalFMSource(100.0, 100.0, 1.0)  # deviation = f_nominal
+        with pytest.raises(StimulusError):
+            SinusoidalFMSource(100.0, 1.0, 0.0)
+
+    def test_zero_deviation_is_constant(self):
+        src = SinusoidalFMSource(1000.0, 0.0, 5.0)
+        edges = collect(src, 10)
+        periods = np.diff(edges)
+        assert np.allclose(periods, 1e-3)
+
+    def test_mean_rate_preserved(self):
+        """FM does not change the average frequency over whole cycles."""
+        src = SinusoidalFMSource(1000.0, deviation=5.0, f_mod=10.0)
+        edges = collect(src, 1000)  # 10 modulation cycles
+        assert edges[-1] == pytest.approx(1.0, rel=1e-4)
+
+    def test_instantaneous_frequency_tracks_law(self):
+        f0, dev, fm = 1000.0, 5.0, 4.0
+        src = SinusoidalFMSource(f0, dev, fm)
+        edges = collect(src, 500)
+        mids, freqs = edges_to_frequency(edges)
+        expected = f0 + dev * np.sin(2 * np.pi * fm * mids)
+        assert np.allclose(freqs, expected, atol=0.05)
+
+    def test_phase_integral_consistency(self):
+        src = SinusoidalFMSource(1000.0, 5.0, 4.0)
+        # d(phase)/dt == frequency (numeric check).
+        t, h = 0.123, 1e-7
+        numeric = (src.phase_at(t + h) - src.phase_at(t - h)) / (2 * h)
+        assert numeric == pytest.approx(src.frequency_at(t), rel=1e-6)
+
+    def test_modulation_peak_time(self):
+        src = SinusoidalFMSource(1000.0, 5.0, f_mod=4.0, start_time=1.0)
+        assert src.modulation_peak_time(0) == pytest.approx(1.0625)
+        assert src.modulation_peak_time(2) == pytest.approx(1.5625)
+        assert src.frequency_at(src.modulation_peak_time(1)) == pytest.approx(
+            1005.0
+        )
+
+    def test_modulation_period(self):
+        assert SinusoidalFMSource(1e3, 1.0, 8.0).modulation_period == 0.125
+
+
+class TestSinusoidalPM:
+    def test_validation(self):
+        with pytest.raises(StimulusError):
+            SinusoidalPMSource(100.0, -1.0, 1.0)
+        with pytest.raises(StimulusError):
+            SinusoidalPMSource(100.0, peak_phase_rad=200.0, f_mod=1.0)
+
+    def test_equivalent_fm_deviation(self):
+        src = SinusoidalPMSource(1000.0, peak_phase_rad=0.5, f_mod=8.0)
+        assert src.equivalent_fm_deviation == pytest.approx(4.0)
+
+    def test_pm_fm_equivalence(self):
+        """PM with peak phase Δf/f_mod rad produces the same peak
+        frequency deviation as FM with deviation Δf (Section 2's
+        'possible to replace phase modulation by frequency modulation')."""
+        dev, fm = 2.0, 5.0
+        pm = SinusoidalPMSource(1000.0, peak_phase_rad=dev / fm, f_mod=fm)
+        edges = collect(pm, 1000)
+        __, freqs = edges_to_frequency(edges)
+        assert freqs.max() == pytest.approx(1000.0 + dev, abs=0.1)
+        assert freqs.min() == pytest.approx(1000.0 - dev, abs=0.1)
+
+    def test_mean_rate_preserved(self):
+        pm = SinusoidalPMSource(1000.0, 0.3, f_mod=10.0)
+        edges = collect(pm, 1000)
+        assert edges[-1] == pytest.approx(1.0, rel=1e-4)
+
+
+class TestPiecewiseConstant:
+    def test_validation(self):
+        with pytest.raises(StimulusError):
+            PiecewiseConstantFrequencySource([])
+        with pytest.raises(StimulusError):
+            PiecewiseConstantFrequencySource([(0.0, 1.0)])
+        with pytest.raises(StimulusError):
+            PiecewiseConstantFrequencySource([(1.0, 0.0)])
+
+    def test_two_tone_periods(self):
+        src = PiecewiseConstantFrequencySource(
+            [(1000.0, 0.01), (500.0, 0.01)]
+        )
+        edges = collect(src, 16)
+        periods = np.diff(edges)
+        assert periods.min() == pytest.approx(1e-3, rel=1e-6)
+        assert periods.max() == pytest.approx(2e-3, rel=1e-6)
+
+    def test_phase_continuous_across_dwells(self):
+        src = PiecewiseConstantFrequencySource(
+            [(100.0, 0.05), (200.0, 0.05)]
+        )
+        eps = 1e-9
+        p_before = src.phase_at(0.05 - eps)
+        p_after = src.phase_at(0.05 + eps)
+        assert p_after == pytest.approx(p_before, abs=1e-5)
+
+    def test_phase_accumulates_over_cycles(self):
+        src = PiecewiseConstantFrequencySource(
+            [(100.0, 0.5), (300.0, 0.5)]
+        )
+        # One full cycle = 50 + 150 = 200 cycles of phase.
+        assert src.phase_at(1.0) == pytest.approx(200.0)
+        assert src.phase_at(2.0) == pytest.approx(400.0)
+
+    def test_frequency_lookup(self):
+        src = PiecewiseConstantFrequencySource(
+            [(100.0, 0.5), (300.0, 0.5)], start_time=1.0
+        )
+        assert src.frequency_at(1.2) == 100.0
+        assert src.frequency_at(1.7) == 300.0
+        assert src.frequency_at(2.2) == 100.0  # repeats
+        assert src.frequency_at(0.5) == 100.0  # before start
+
+    def test_edges_strictly_increasing_long_run(self):
+        src = PiecewiseConstantFrequencySource(
+            [(997.0, 0.003), (1003.0, 0.003), (1000.0, 0.004)]
+        )
+        edges = collect(src, 2000)
+        assert all(b > a for a, b in zip(edges, edges[1:]))
+
+
+class TestStepFrequencySource:
+    def test_validation(self):
+        from repro.stimulus.waveforms import StepFrequencySource
+
+        with pytest.raises(StimulusError):
+            StepFrequencySource(0.0, 100.0, 1.0)
+        with pytest.raises(StimulusError):
+            StepFrequencySource(100.0, 0.0, 1.0)
+        with pytest.raises(StimulusError):
+            StepFrequencySource(100.0, 100.0, 0.5, start_time=1.0)
+
+    def test_periods_before_and_after(self):
+        from repro.stimulus.waveforms import StepFrequencySource
+
+        src = StepFrequencySource(1000.0, 500.0, step_time=0.01)
+        edges = collect(src, 30)
+        periods = np.diff(edges)
+        assert periods[0] == pytest.approx(1e-3)
+        assert periods[-1] == pytest.approx(2e-3)
+
+    def test_phase_continuous_at_step(self):
+        from repro.stimulus.waveforms import StepFrequencySource
+
+        src = StepFrequencySource(1000.0, 1200.0, step_time=0.0105)
+        eps = 1e-9
+        assert src.phase_at(0.0105 + eps) == pytest.approx(
+            src.phase_at(0.0105 - eps), abs=1e-5
+        )
+
+    def test_frequency_lookup(self):
+        from repro.stimulus.waveforms import StepFrequencySource
+
+        src = StepFrequencySource(1000.0, 1200.0, step_time=0.01)
+        assert src.frequency_at(0.005) == 1000.0
+        assert src.frequency_at(0.015) == 1200.0
+
+    def test_edges_strictly_increasing_through_step(self):
+        from repro.stimulus.waveforms import StepFrequencySource
+
+        src = StepFrequencySource(997.0, 1003.0, step_time=0.0123)
+        edges = collect(src, 50)
+        assert all(b > a for a, b in zip(edges, edges[1:]))
