@@ -1,0 +1,102 @@
+"""Performance — full 13-tone sweep wall time, serial vs parallel.
+
+Not a paper figure: this guards the executor layer.  The sweep's tones
+are embarrassingly independent, so a process pool should approach
+linear speedup on a multi-core host while returning *bit-identical*
+results.  Besides the human-readable table, the run emits
+``benchmarks/results/BENCH_sweep.json`` so later changes have a
+machine-readable perf trajectory to regress against.
+
+The speedup assertion is gated on the visible core count: on a
+single-core container a process pool cannot beat the serial loop (there
+is nothing to run the workers on), so there the benchmark only checks
+equivalence and that pool overhead stays bounded.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro.core.monitor import TransferFunctionMonitor
+from repro.presets import paper_bist_config, paper_stimulus, paper_sweep
+from repro.reporting import format_table
+
+N_TONES = 13
+N_WORKERS = 4
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _identical(a, b):
+    return (
+        a.f_mod == b.f_mod
+        and a.held.vco_frequency_hz == b.held.vco_frequency_hz
+        and a.phase_count.pulses == b.phase_count.pulses
+        and a.delta_f_hz == b.delta_f_hz
+    )
+
+
+def test_perf_sweep(report, paper_dut):
+    monitor = TransferFunctionMonitor(
+        paper_dut, paper_stimulus("multitone"), paper_bist_config()
+    )
+    plan = paper_sweep(points=N_TONES)
+    cores = os.cpu_count() or 1
+
+    t0 = time.perf_counter()
+    serial = monitor.run(plan)
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = monitor.run(plan, n_workers=N_WORKERS)
+    t_parallel = time.perf_counter() - t0
+
+    # The executor guarantee: identical results, whichever way they ran.
+    assert len(serial.measurements) == len(parallel.measurements)
+    assert all(
+        _identical(a, b)
+        for a, b in zip(serial.measurements, parallel.measurements)
+    )
+    assert serial.failed_tones == parallel.failed_tones
+
+    speedup = t_serial / t_parallel
+    table = format_table(
+        ["metric", "value"],
+        [
+            ["tones", N_TONES],
+            ["measured", len(serial.measurements)],
+            ["visible cores", cores],
+            ["serial wall", f"{t_serial:.2f} s"],
+            [f"parallel wall ({N_WORKERS} workers)", f"{t_parallel:.2f} s"],
+            ["speedup", f"{speedup:.2f}x"],
+            ["results identical", "yes (bit-exact)"],
+        ],
+        title="Sweep executor performance (13-tone paper sweep)",
+    )
+    report("perf_sweep", table)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_sweep.json").write_text(json.dumps(
+        {
+            "tones": N_TONES,
+            "n_workers": N_WORKERS,
+            "visible_cores": cores,
+            "serial_wall_s": round(t_serial, 4),
+            "parallel_wall_s": round(t_parallel, 4),
+            "speedup": round(speedup, 3),
+            "measured_tones": len(serial.measurements),
+            "failed_tones": sorted(serial.failed_tones),
+            "bit_identical": True,
+        },
+        indent=2,
+    ) + "\n")
+
+    assert len(serial.measurements) == N_TONES
+    if cores >= 4:
+        # Four workers on >= 4 cores must at least halve the wall time.
+        assert speedup >= 2.0
+    else:
+        # Single/dual-core host: no parallel win is physically possible;
+        # just bound the process-pool overhead.
+        assert t_parallel < 3.0 * t_serial

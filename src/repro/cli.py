@@ -103,7 +103,7 @@ def cmd_sweep(args) -> int:
     monitor = TransferFunctionMonitor(pll, stimulus, paper_bist_config())
     plan = paper_sweep(points=args.points)
     try:
-        result = monitor.run(plan)
+        result = monitor.run(plan, n_workers=args.workers)
     except MeasurementError as exc:
         print(f"sweep failed: {exc}")
         return 2
@@ -163,7 +163,9 @@ def cmd_screen(args) -> int:
             dut, paper_stimulus(args.stimulus), config
         )
         try:
-            result, verdict = monitor.run_and_check(plan, limits)
+            result, verdict = monitor.run_and_check(
+                plan, limits, n_workers=args.workers
+            )
             est = result.estimated
             rows.append([
                 label,
@@ -221,6 +223,16 @@ def cmd_plan(args) -> int:
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
+def _worker_count(text: str) -> int:
+    try:
+        n = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {n}")
+    return n
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -248,6 +260,8 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--out", default=None,
                    help="also write a markdown device report to this path")
+    p.add_argument("--workers", type=_worker_count, default=1,
+                   help="tone worker processes (1 = serial, default)")
     p.set_defaults(handler=cmd_sweep)
 
     p = sub.add_parser("selftest", help="run the four-step self-test")
@@ -256,6 +270,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("screen", help="screen the fault library")
     common(p)
+    p.add_argument("--workers", type=_worker_count, default=1,
+                   help="tone worker processes (1 = serial, default)")
     p.set_defaults(handler=cmd_screen)
 
     p = sub.add_parser("diagnose",

@@ -6,6 +6,8 @@
   counter (Figure 6, eq. 8).
 * :mod:`repro.core.hold` — the loop-hold (break-and-freeze) mechanism.
 * :mod:`repro.core.sequencer` — the Table 2 five-stage test sequence.
+* :mod:`repro.core.executor` — pluggable serial / process-pool tone
+  execution for sweeps.
 * :mod:`repro.core.monitor` — the sweep orchestrator producing the
   Figures 11–12 responses.
 * :mod:`repro.core.evaluation` — eqs. (7) and (8): magnitude and phase
@@ -26,6 +28,13 @@ from repro.core.counters import (
 )
 from repro.core.hold import LoopHoldControl
 from repro.core.architecture import BISTConfig, MuxState, TEST_SEQUENCE_TABLE
+from repro.core.executor import (
+    ToneOutcome,
+    SweepExecutor,
+    SerialSweepExecutor,
+    ProcessPoolSweepExecutor,
+    executor_for,
+)
 from repro.core.sequencer import TestStage, ToneMeasurement, ToneTestSequencer
 from repro.core.evaluation import evaluate_sweep, magnitude_db_eq7, phase_deg_eq8
 from repro.core.monitor import SweepPlan, SweepResult, TransferFunctionMonitor
@@ -43,6 +52,11 @@ __all__ = [
     "BISTConfig",
     "MuxState",
     "TEST_SEQUENCE_TABLE",
+    "ToneOutcome",
+    "SweepExecutor",
+    "SerialSweepExecutor",
+    "ProcessPoolSweepExecutor",
+    "executor_for",
     "TestStage",
     "ToneMeasurement",
     "ToneTestSequencer",

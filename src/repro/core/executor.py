@@ -1,0 +1,146 @@
+"""Pluggable tone execution for transfer-function sweeps.
+
+Table 2 stage 5 — "increase FN and repeat" — makes the tones of a sweep
+embarrassingly independent: every tone builds its own fresh closed-loop
+simulator from the same immutable (PLL, stimulus, config) triple, so
+tones can run in any order, in any process, and produce bit-identical
+:class:`~repro.core.sequencer.ToneMeasurement` records.
+
+:class:`SerialSweepExecutor` preserves the historical in-process loop;
+:class:`ProcessPoolSweepExecutor` fans the tones out over a
+``concurrent.futures.ProcessPoolExecutor``.  Both return
+:class:`ToneOutcome` records **in plan order** with per-tone
+:class:`~repro.errors.MeasurementError` failures captured as data (a
+dead tone is a diagnostic outcome, not a crash), so the sweep
+orchestrator behaves identically whichever executor runs the tones.
+
+Everything crossing the process boundary is picklable by construction:
+the payload is the plain component dataclasses plus a float, and the
+worker is a module-level function.  Tones are submitted lowest frequency
+first — simulation cost scales with ``1 / f_mod``, so the heaviest tones
+are scheduled before the cheap ones and the pool drains evenly.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.architecture import BISTConfig
+from repro.core.sequencer import ToneMeasurement, ToneTestSequencer
+from repro.errors import ConfigurationError, MeasurementError
+from repro.pll.config import ChargePumpPLL
+from repro.stimulus.modulation import ModulatedStimulus
+
+__all__ = [
+    "ToneOutcome",
+    "SweepExecutor",
+    "SerialSweepExecutor",
+    "ProcessPoolSweepExecutor",
+    "executor_for",
+]
+
+TonePayload = Tuple[ChargePumpPLL, ModulatedStimulus, BISTConfig, float]
+
+
+@dataclass(frozen=True)
+class ToneOutcome:
+    """Result of one tone's Table 2 sequence: a measurement or a failure.
+
+    Exactly one of :attr:`measurement` and :attr:`error` is set.  The
+    error carries the :class:`~repro.errors.MeasurementError` text so it
+    survives pickling across process boundaries with full fidelity.
+    """
+
+    f_mod: float
+    measurement: Optional[ToneMeasurement] = None
+    error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        """Whether the tone raised instead of measuring."""
+        return self.error is not None
+
+
+def _run_tone(payload: TonePayload) -> ToneOutcome:
+    """Worker: run one tone in a fresh sequencer (module-level, picklable)."""
+    pll, stimulus, config, f_mod = payload
+    sequencer = ToneTestSequencer(pll, stimulus, config)
+    try:
+        return ToneOutcome(f_mod=f_mod, measurement=sequencer.run(f_mod))
+    except MeasurementError as exc:
+        return ToneOutcome(f_mod=f_mod, error=str(exc))
+
+
+class SweepExecutor:
+    """Strategy interface: run every tone of a sweep, in plan order."""
+
+    def run_tones(
+        self,
+        pll: ChargePumpPLL,
+        stimulus: ModulatedStimulus,
+        config: BISTConfig,
+        frequencies_hz: Sequence[float],
+    ) -> List[ToneOutcome]:
+        """One :class:`ToneOutcome` per frequency, same order as given."""
+        raise NotImplementedError
+
+
+class SerialSweepExecutor(SweepExecutor):
+    """Run the tones one after another in the calling process."""
+
+    def run_tones(
+        self,
+        pll: ChargePumpPLL,
+        stimulus: ModulatedStimulus,
+        config: BISTConfig,
+        frequencies_hz: Sequence[float],
+    ) -> List[ToneOutcome]:
+        """Sequential in-process execution (the historical behaviour)."""
+        return [
+            _run_tone((pll, stimulus, config, f_mod))
+            for f_mod in frequencies_hz
+        ]
+
+
+class ProcessPoolSweepExecutor(SweepExecutor):
+    """Fan the tones out over a process pool.
+
+    ``ProcessPoolExecutor.map`` preserves submission order, so results
+    come back in plan order regardless of which worker finished first —
+    the sweep is deterministic and bit-identical to the serial run.
+    """
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers < 1:
+            raise ConfigurationError(
+                f"n_workers must be >= 1, got {n_workers!r}"
+            )
+        self.n_workers = n_workers
+
+    def run_tones(
+        self,
+        pll: ChargePumpPLL,
+        stimulus: ModulatedStimulus,
+        config: BISTConfig,
+        frequencies_hz: Sequence[float],
+    ) -> List[ToneOutcome]:
+        """Order-preserving parallel map of the tones over the pool."""
+        payloads = [
+            (pll, stimulus, config, f_mod) for f_mod in frequencies_hz
+        ]
+        workers = min(self.n_workers, len(payloads))
+        if workers <= 1:
+            return [_run_tone(p) for p in payloads]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_run_tone, payloads))
+
+
+def executor_for(n_workers: int) -> SweepExecutor:
+    """Serial executor for ``n_workers == 1``, process pool above that."""
+    if n_workers < 1:
+        raise ConfigurationError(f"n_workers must be >= 1, got {n_workers!r}")
+    if n_workers == 1:
+        return SerialSweepExecutor()
+    return ProcessPoolSweepExecutor(n_workers)

@@ -22,6 +22,7 @@ from repro.analysis.bode import BodeResponse, log_frequency_grid
 from repro.analysis.fitting import EstimatedParameters, estimate_second_order
 from repro.core.architecture import BISTConfig
 from repro.core.evaluation import evaluate_sweep
+from repro.core.executor import SweepExecutor, executor_for
 from repro.core.limits import LimitReport, TestLimits
 from repro.core.sequencer import ToneMeasurement, ToneTestSequencer
 from repro.errors import ConfigurationError, MeasurementError
@@ -158,8 +159,20 @@ class TransferFunctionMonitor:
         """Single-tone measurement (Table 2 stages 0–4)."""
         return self._sequencer.run(f_mod)
 
-    def run(self, plan: SweepPlan) -> SweepResult:
+    def run(
+        self,
+        plan: SweepPlan,
+        n_workers: int = 1,
+        executor: Optional[SweepExecutor] = None,
+    ) -> SweepResult:
         """Sweep every planned tone and evaluate eqs. (7)–(8).
+
+        Tones are independent (each builds a fresh simulator), so the
+        sweep accepts an executor: the default ``n_workers=1`` runs the
+        historical serial loop, ``n_workers > 1`` fans the tones out
+        over a process pool, and an explicit ``executor`` overrides
+        both.  Results are identical — bit for bit — whichever executor
+        runs the tones; only the wall time changes.
 
         Raises
         ------
@@ -167,17 +180,23 @@ class TransferFunctionMonitor:
             Only if the *reference* tone fails — without the in-band
             reference no magnitude can be computed at all.
         """
+        if executor is None:
+            executor = executor_for(n_workers)
+        outcomes = executor.run_tones(
+            self.pll, self.stimulus, self.config, plan.frequencies_hz
+        )
         measurements: List[ToneMeasurement] = []
         failed: Dict[float, str] = {}
-        for f_mod in plan.frequencies_hz:
-            try:
-                measurements.append(self._sequencer.run(f_mod))
-            except MeasurementError as exc:
-                if f_mod == plan.reference_frequency:
+        for outcome in outcomes:
+            if outcome.failed:
+                if outcome.f_mod == plan.reference_frequency:
                     raise MeasurementError(
-                        f"in-band reference tone {f_mod:g} Hz failed: {exc}"
-                    ) from exc
-                failed[f_mod] = str(exc)
+                        f"in-band reference tone {outcome.f_mod:g} Hz "
+                        f"failed: {outcome.error}"
+                    )
+                failed[outcome.f_mod] = outcome.error
+            else:
+                measurements.append(outcome.measurement)
         # A non-positive peak deviation means the tone produced no usable
         # measurement (grossly defective or unsettled loop) — that is a
         # diagnostic outcome, recorded per tone rather than fatal.
@@ -215,7 +234,11 @@ class TransferFunctionMonitor:
         )
 
     def run_and_check(
-        self, plan: SweepPlan, limits: TestLimits
+        self,
+        plan: SweepPlan,
+        limits: TestLimits,
+        n_workers: int = 1,
+        executor: Optional[SweepExecutor] = None,
     ) -> Tuple[SweepResult, LimitReport]:
         """Sweep then compare against on-chip limits (go/no-go).
 
@@ -223,7 +246,7 @@ class TransferFunctionMonitor:
         configured band (NaN values), because "could not measure" is a
         reject, not a pass.
         """
-        result = self.run(plan)
+        result = self.run(plan, n_workers=n_workers, executor=executor)
         if result.estimated is None:
             nan = float("nan")
             estimated = EstimatedParameters(

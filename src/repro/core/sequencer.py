@@ -28,15 +28,15 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Tuple, Union
 
 from repro.core.architecture import BISTConfig
 from repro.core.counters import FrequencyCounter, PhaseCount, PhaseCounter
 from repro.core.hold import HeldFrequencyResult, LoopHoldControl
 from repro.core.peak_detector import PeakEvent, PeakFrequencyDetector
-from repro.errors import MeasurementError
+from repro.errors import ConfigurationError, MeasurementError
 from repro.pll.config import ChargePumpPLL
-from repro.pll.simulator import PLLTransientSimulator
+from repro.pll.simulator import PLLTransientSimulator, RecordLevel
 from repro.stimulus.modulation import ModulatedStimulus
 
 __all__ = ["TestStage", "ToneMeasurement", "ToneTestSequencer"]
@@ -97,6 +97,13 @@ class ToneTestSequencer:
         Modulated-reference family (sine FM / FSK).
     config:
         On-chip test-hardware parameters.
+    record:
+        Recording level for the per-tone simulations.  The sequence only
+        reads the rising-edge trains and the PFD cycle records — none of
+        the analogue traces — so ``"counters"`` (the default) skips the
+        three per-event trace appends without changing any measured
+        value.  Pass ``"full"`` to keep the traces (e.g. for the figure
+        benches that plot a tone's waveforms).
     """
 
     def __init__(
@@ -104,11 +111,18 @@ class ToneTestSequencer:
         pll: ChargePumpPLL,
         stimulus: ModulatedStimulus,
         config: BISTConfig = BISTConfig(),
+        record: Union[RecordLevel, str] = RecordLevel.COUNTERS,
     ) -> None:
         config.validate_against_pfd(pll.pfd_reset_delay)
         self.pll = pll
         self.stimulus = stimulus
         self.config = config
+        self.record_level = RecordLevel.coerce(record)
+        if self.record_level is RecordLevel.OFF:
+            raise ConfigurationError(
+                "the Table 2 sequence reads the rising-edge trains; "
+                "use record='counters' or record='full'"
+            )
 
     def run(self, f_mod: float, max_wait_cycles: float = 3.0) -> ToneMeasurement:
         """Execute the sequence for modulation frequency ``f_mod`` (Hz).
@@ -123,7 +137,7 @@ class ToneTestSequencer:
 
         # ---- stage 0: apply modulation with the loop locked -----------
         source = self.stimulus.make_source(f_mod, start_time=0.0)
-        sim = PLLTransientSimulator(self.pll, source)
+        sim = PLLTransientSimulator(self.pll, source, record=self.record_level)
         detector = PeakFrequencyDetector(
             inverter_delay=cfg.detector_inverter_delay,
             and_gate_delay=cfg.detector_and_delay,
@@ -197,7 +211,7 @@ class ToneTestSequencer:
         from repro.stimulus.waveforms import ConstantFrequencySource
 
         source = ConstantFrequencySource(self.stimulus.f_nominal)
-        sim = PLLTransientSimulator(self.pll, source)
+        sim = PLLTransientSimulator(self.pll, source, record=self.record_level)
         counter = FrequencyCounter(self.config.test_clock_hz)
         settle = 64.0 / self.stimulus.f_nominal
         sim.run_until(settle)

@@ -24,7 +24,7 @@ from repro.pll.loop_filter import (
 from repro.pll.vco import VCO
 from repro.pll.dividers import EdgeDivider, RingCounterDivider
 from repro.pll.config import ChargePumpPLL
-from repro.pll.simulator import PLLTransientSimulator, TransientResult
+from repro.pll.simulator import PLLTransientSimulator, RecordLevel, TransientResult
 from repro.pll.hct4046 import HCT4046Config, make_hct4046_pll
 from repro.pll.faults import (
     Fault,
@@ -51,6 +51,7 @@ __all__ = [
     "RingCounterDivider",
     "ChargePumpPLL",
     "PLLTransientSimulator",
+    "RecordLevel",
     "TransientResult",
     "HCT4046Config",
     "make_hct4046_pll",

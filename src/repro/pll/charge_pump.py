@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.pll.pfd import PFDState
@@ -96,16 +97,35 @@ class ChargePump:
             )
         self.turn_on_delay = turn_on_delay
         self.leakage_current = leakage_current
+        # Per-state drive cache: the PFD has four states and pump
+        # parameters are fixed after construction, so repeated calls
+        # return the *same* Drive object — the simulator's drive-change
+        # comparisons then short-circuit on identity.
+        self._drive_cache: Dict[Tuple[bool, bool], Drive] = {}
+        self._idle_cache: Optional[Drive] = None
 
     def drive_for_state(self, state: PFDState) -> Drive:
         """Drive produced while the PFD sits in ``state`` (post turn-on)."""
+        key = (state.up, state.dn)
+        drive = self._drive_cache.get(key)
+        if drive is None:
+            drive = self._drive_cache[key] = self._drive_for_state(state)
+        return drive
+
+    def _drive_for_state(self, state: PFDState) -> Drive:
+        """Uncached mapping from PFD state to drive; subclass hook."""
         raise NotImplementedError
 
     def idle_drive(self) -> Drive:
         """Drive while tri-stated (leakage only)."""
-        if self.leakage_current != 0.0:
-            return Drive(DriveKind.CURRENT, self.leakage_current)
-        return HIGH_Z
+        idle = self._idle_cache
+        if idle is None:
+            if self.leakage_current != 0.0:
+                idle = Drive(DriveKind.CURRENT, self.leakage_current)
+            else:
+                idle = HIGH_Z
+            self._idle_cache = idle
+        return idle
 
     @property
     def gain_v_per_rad(self) -> float:
@@ -140,7 +160,7 @@ class CurrentChargePump(ChargePump):
         self.i_up = i_up
         self.i_dn = i_dn
 
-    def drive_for_state(self, state: PFDState) -> Drive:
+    def _drive_for_state(self, state: PFDState) -> Drive:
         if state.both:
             mismatch = self.i_up - self.i_dn
             if mismatch == 0.0:
@@ -213,7 +233,7 @@ class RailDriverChargePump(ChargePump):
         self.r_dn = r_dn
         self.contention = contention
 
-    def drive_for_state(self, state: PFDState) -> Drive:
+    def _drive_for_state(self, state: PFDState) -> Drive:
         if state.both:
             if not self.contention:
                 return self.idle_drive()

@@ -28,7 +28,7 @@ capacitor defect that undermines the paper's hold-and-count step.
 from __future__ import annotations
 
 import math
-from typing import Union
+from typing import Tuple, Union
 
 import numpy as np
 
@@ -61,6 +61,16 @@ class LoopFilter:
     def output_segment(self, vc: float, drive: Drive) -> AnalogSegment:
         """VCO-control-node evolution from state ``vc`` under ``drive``."""
         raise NotImplementedError
+
+    def segment_pair(self, vc: float, drive: Drive
+                     ) -> Tuple[AnalogSegment, AnalogSegment]:
+        """``(output_segment, state_segment)`` for one state/drive.
+
+        The output law is derived from the state law, so computing the
+        pair together does the state solve once.  The simulator asks for
+        both on every drive change — this is its entry point.
+        """
+        return self.output_segment(vc, drive), self.state_segment(vc, drive)
 
     def state_for_output(self, vout: float) -> float:
         """Capacitor voltage that yields ``vout`` in the tri-stated condition.
@@ -168,7 +178,15 @@ class PassiveLagLeadFilter(LoopFilter):
         return ConstantSegment(initial=vc)
 
     def output_segment(self, vc: float, drive: Drive) -> AnalogSegment:
+        return self._output_from_state(self.state_segment(vc, drive), drive)
+
+    def segment_pair(self, vc: float, drive: Drive
+                     ) -> Tuple[AnalogSegment, AnalogSegment]:
         state = self.state_segment(vc, drive)
+        return self._output_from_state(state, drive), state
+
+    def _output_from_state(self, state: AnalogSegment, drive: Drive
+                           ) -> AnalogSegment:
         if drive.kind is DriveKind.VOLTAGE:
             # vout = (1 - r2/R) * vc + (r2/R) * vdrive : same tau, scaled.
             r_total = self._series_resistance(drive)
@@ -294,7 +312,15 @@ class SeriesRCFilter(LoopFilter):
         return ConstantSegment(initial=vc)
 
     def output_segment(self, vc: float, drive: Drive) -> AnalogSegment:
+        return self._output_from_state(self.state_segment(vc, drive), drive)
+
+    def segment_pair(self, vc: float, drive: Drive
+                     ) -> Tuple[AnalogSegment, AnalogSegment]:
         state = self.state_segment(vc, drive)
+        return self._output_from_state(state, drive), state
+
+    def _output_from_state(self, state: AnalogSegment, drive: Drive
+                           ) -> AnalogSegment:
         if drive.kind is DriveKind.CURRENT:
             offset = drive.value * self.r
             if isinstance(state, RampSegment):

@@ -59,6 +59,14 @@ class PFDState:
 
 
 _IDLE = PFDState(False, False)
+# The state space is four points and _on_edge runs once per input edge,
+# so the states are interned rather than constructed per event.
+_STATES = {
+    (False, False): _IDLE,
+    (True, False): PFDState(True, False),
+    (False, True): PFDState(False, True),
+    (True, True): PFDState(True, True),
+}
 
 
 @dataclass(frozen=True)
@@ -235,7 +243,7 @@ class PhaseFrequencyDetector:
                 return self._state
             dn = True
             self._last_dn_rise = time
-        new_state = PFDState(up, dn)
+        new_state = _STATES[up, dn]
         self._set_state(time, new_state)
         if new_state.both:
             self._pending_reset = time + self.reset_delay

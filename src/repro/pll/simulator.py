@@ -27,9 +27,10 @@ clocking the frequency counter.
 
 from __future__ import annotations
 
+import enum
 import math
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Protocol, Tuple
+from typing import Callable, List, Optional, Protocol, Tuple, Union
 
 from repro.errors import ConfigurationError, LockError, SimulationError
 from repro.pll.charge_pump import Drive
@@ -38,7 +39,44 @@ from repro.pll.pfd import PFDCycle, PhaseFrequencyDetector
 from repro.sim.probes import Trace
 from repro.sim.signals import PulseTrain
 
-__all__ = ["ReferenceSource", "PLLTransientSimulator", "TransientResult"]
+__all__ = [
+    "RecordLevel",
+    "ReferenceSource",
+    "PLLTransientSimulator",
+    "TransientResult",
+]
+
+
+class RecordLevel(enum.Enum):
+    """How much a transient run records, from heaviest to lightest.
+
+    * ``FULL`` — analogue traces, PFD UP/DOWN waveforms and the rising-
+      edge trains: everything the figure benches plot.
+    * ``COUNTERS`` — only the reference/feedback rising-edge trains, the
+      records the BIST counters actually read.  Analogue traces and PFD
+      waveforms are skipped, which roughly halves the per-event work of
+      a sweep tone.
+    * ``OFF`` — nothing is recorded; only the scalar loop state (time,
+      capacitor voltage, VCO phase) evolves.  Edge-history queries such
+      as :meth:`PLLTransientSimulator.run_until_locked` are unavailable.
+    """
+
+    FULL = "full"
+    COUNTERS = "counters"
+    OFF = "off"
+
+    @classmethod
+    def coerce(cls, value: Union["RecordLevel", str]) -> "RecordLevel":
+        """Accept either a member or its string value."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            options = ", ".join(repr(m.value) for m in cls)
+            raise ConfigurationError(
+                f"unknown record level {value!r}; expected one of {options}"
+            ) from None
 
 
 class ReferenceSource(Protocol):
@@ -92,7 +130,15 @@ class PLLTransientSimulator:
         events only.
     record_pfd:
         Record UP/DOWN edge streams (needed by the peak detector and the
-        Figure 5/8 benches).
+        Figure 5/8 benches).  Only honoured at ``record="full"``; the
+        lighter levels always skip the waveforms.
+    record:
+        Recording policy (:class:`RecordLevel` or its string value).
+        ``"full"`` (default) records everything; ``"counters"`` keeps
+        only the rising-edge trains the BIST counters read; ``"off"``
+        records nothing.  Sweeps run thousands of events per tone and
+        never look at the analogue traces, so the tone sequencer uses
+        ``"counters"``.
     """
 
     def __init__(
@@ -103,6 +149,7 @@ class PLLTransientSimulator:
         sample_interval: Optional[float] = None,
         record_pfd: bool = True,
         start_time: float = 0.0,
+        record: Union[RecordLevel, str] = RecordLevel.FULL,
     ) -> None:
         if sample_interval is not None and sample_interval <= 0.0:
             raise ConfigurationError(
@@ -111,10 +158,14 @@ class PLLTransientSimulator:
         self.pll = pll
         self.reference = reference
         self.sample_interval = sample_interval
+        self.record_level = RecordLevel.coerce(record)
+        self._record_traces = self.record_level is RecordLevel.FULL
+        self._record_edges = self.record_level is not RecordLevel.OFF
 
         self._t = start_time
         self._pfd = PhaseFrequencyDetector(
-            reset_delay=pll.pfd_reset_delay, record=record_pfd,
+            reset_delay=pll.pfd_reset_delay,
+            record=record_pfd and self._record_traces,
             name=f"{pll.name}.pfd",
         )
         v0 = (
@@ -150,6 +201,11 @@ class PLLTransientSimulator:
         self.cap_trace = Trace(f"{pll.name}.vcap")
         self.frequency_trace = Trace(f"{pll.name}.fout")
         self._events = 0
+        # (output_segment, state_segment) for the current (vc, drive);
+        # invalidated whenever either changes.  Each event interrogates
+        # the segments several times (event search, advance, recording),
+        # so rebuilding them per call dominated the per-event cost.
+        self._seg_cache: Optional[Tuple] = None
         initial_segment, __ = self._segments()
         self._record(self._t, initial_segment.value(0.0))
 
@@ -272,6 +328,11 @@ class PLLTransientSimulator:
         transient, so the streak must outlast those stationary points.
         Raises :class:`~repro.errors.LockError` on timeout.
         """
+        if not self._record_edges:
+            raise ConfigurationError(
+                "run_until_locked needs the rising-edge trains; construct "
+                "the simulator with record='full' or record='counters'"
+            )
         t_start = self._t
         period = 1.0 / self.pll.f_ref
         if consecutive is None:
@@ -287,6 +348,10 @@ class PLLTransientSimulator:
         good = 0
         while self._t < deadline:
             self.run_until(min(self._t + 20.0 * period, deadline))
+            # O(1) cached view of the edge buffer; together with the
+            # incrementally advancing ``checked`` index each edge is
+            # examined exactly once over the whole settle (the old
+            # per-chunk ``np.array(list)`` copy made this quadratic).
             ref = self.ref_edges.as_array()
             # Leave the most recent edge unchecked: its feedback partner
             # may not have been produced yet.
@@ -326,11 +391,12 @@ class PLLTransientSimulator:
     # internals
     # ------------------------------------------------------------------
     def _segments(self):
-        lf = self.pll.loop_filter
-        return (
-            lf.output_segment(self._vc, self._applied_drive),
-            lf.state_segment(self._vc, self._applied_drive),
-        )
+        cached = self._seg_cache
+        if cached is None:
+            cached = self._seg_cache = self.pll.loop_filter.segment_pair(
+                self._vc, self._applied_drive
+            )
+        return cached
 
     def _next_event(self, t_end: float) -> Tuple[float, str]:
         """Earliest upcoming event: its absolute time and kind.
@@ -338,41 +404,63 @@ class PLLTransientSimulator:
         Ties are resolved with a fixed priority (activation, reset,
         feedback, reference, sample, end) so behaviour is deterministic;
         coincident reference/feedback edges are both processed, one
-        event at a time.
+        event at a time.  The winner is tracked inline (ascending
+        priority order, strict ``<`` on time) instead of building and
+        min-scanning a candidate list — this runs once per event.
         """
-        candidates: List[Tuple[float, int, str]] = [(t_end, 9, "end")]
+        # Candidates are checked in descending priority number and each
+        # replaces the winner on ``<=``, which reproduces the
+        # (time, priority) lexicographic minimum of the old list scan.
+        best_t, best_kind = t_end, "end"
+        if self._next_sample is not None and self._next_sample <= best_t:
+            best_t, best_kind = self._next_sample, "sample"
+        if self._t_ref_next <= best_t:
+            best_t, best_kind = self._t_ref_next, "ref"
+        # The feedback edge (priority 2) is interleaved here so the
+        # cheaper candidates above already bound the solver horizon.
+        horizon = best_t
+        pending_reset = self._pfd.pending_reset_time
+        if pending_reset is not None and pending_reset < horizon:
+            horizon = pending_reset
         if self._pending_activation is not None:
-            candidates.append((self._pending_activation[0], 0, "activate"))
-        if self._pfd.pending_reset_time is not None:
-            candidates.append((self._pfd.pending_reset_time, 1, "reset"))
-        candidates.append((self._t_ref_next, 3, "ref"))
-        if self._next_sample is not None:
-            candidates.append((self._next_sample, 5, "sample"))
-
-        horizon = min(candidates)[0]
+            t_act = self._pending_activation[0]
+            if t_act < horizon:
+                horizon = t_act
         dt_h = horizon - self._t
         if dt_h < 0.0:
             raise SimulationError(
                 f"event horizon {horizon!r} precedes current time {self._t!r}"
             )
-        out_segment, _ = self._segments()
         need = self._fb_target - self._vco_phase
-        if need <= 0.0:
-            # The phase target was reached within solver tolerance of the
-            # previous event (exact lock does this every cycle): the
-            # divided edge is due *now*.  Anything beyond tolerance is a
-            # genuine bookkeeping bug.
+        if need <= 1e-9:
+            # The phase target was reached (or is within a nanocycle of
+            # being reached — under 1e-13 s even for the slowest loops,
+            # i.e. inside the edge solver's own tolerance) at the
+            # previous event: the divided edge is due *now*.  Exact lock
+            # does this every cycle, and quantizing the sub-tolerance
+            # residual to zero is what keeps coincident reference and
+            # feedback edges *bit-identical* instead of dithering one
+            # ulp apart.  Anything beyond tolerance is a genuine
+            # bookkeeping bug.
             if need < -1e-6:
                 raise SimulationError(
                     f"feedback phase overshot its target by {-need!r} "
                     "cycles; divider bookkeeping is corrupt"
                 )
-            candidates.append((self._t, 2, "fb"))
+            if self._t <= best_t:
+                best_t, best_kind = self._t, "fb"
         elif dt_h > 0.0:
+            out_segment = self._segments()[0]
             dt_fb = self.pll.vco.time_to_phase(out_segment, need, dt_h)
-            if dt_fb is not None:
-                candidates.append((self._t + dt_fb, 2, "fb"))
-        return min(candidates)[:3:2]  # (time, kind) of the winner
+            if dt_fb is not None and self._t + dt_fb <= best_t:
+                best_t, best_kind = self._t + dt_fb, "fb"
+        if pending_reset is not None and pending_reset <= best_t:
+            best_t, best_kind = pending_reset, "reset"
+        if self._pending_activation is not None:
+            t_act = self._pending_activation[0]
+            if t_act <= best_t:
+                best_t, best_kind = t_act, "activate"
+        return best_t, best_kind
 
     def _advance_to(self, t_next: float) -> None:
         dt = t_next - self._t
@@ -385,17 +473,22 @@ class PLLTransientSimulator:
         out_segment, state_segment = self._segments()
         self._vco_phase += self.pll.vco.phase_advance(out_segment, dt)
         self._vc = state_segment.value(dt)
+        self._seg_cache = None
         self._t = t_next
-        self._record(t_next, out_segment.value(dt))
+        if self._record_traces:
+            self._record(t_next, out_segment.value(dt))
 
     def _record(self, t: float, vout: float) -> None:
+        if not self._record_traces:
+            return
         self.control_trace.append(t, vout)
         self.cap_trace.append(t, self._vc)
         self.frequency_trace.append(t, self.pll.vco.frequency_of_voltage(vout))
 
     def _dispatch(self, kind: str) -> None:
         if kind == "ref":
-            self.ref_edges.record(self._t)
+            if self._record_edges:
+                self.ref_edges.record(self._t)
             self._pfd.on_ref_edge(self._t)
             if self._loop_open:
                 # Hold mux: the same edge also clocks the FB input.
@@ -411,7 +504,8 @@ class PLLTransientSimulator:
             # Land exactly on the divider boundary despite solver tolerance.
             self._vco_phase = self._fb_target
             self._fb_target += float(self.pll.n)
-            self.fb_edges.record(self._t)
+            if self._record_edges:
+                self.fb_edges.record(self._t)
             if not self._loop_open:
                 self._pfd.on_fb_edge(self._t)
                 self._drive_update()
@@ -434,10 +528,13 @@ class PLLTransientSimulator:
     def _drive_update(self) -> None:
         pump = self.pll.pump
         target = pump.drive_for_state(self._pfd.state)
-        if target == self._applied_drive:
+        applied = self._applied_drive
+        # The pump interns its drives, so the unchanged-drive case (every
+        # coincident-edge cycle of a locked loop) is an identity hit.
+        if target is applied or target == applied:
             return
         idle = pump.idle_drive()
-        if target == idle or pump.turn_on_delay == 0.0:
+        if target is idle or target == idle or pump.turn_on_delay == 0.0:
             # De-assertion is immediate; so is everything on an ideal pump.
             self._pending_activation = None
             self._apply_drive(target)
@@ -447,13 +544,16 @@ class PLLTransientSimulator:
             self._pending_activation = (self._t + pump.turn_on_delay, target)
 
     def _apply_drive(self, drive: Drive) -> None:
-        if drive == self._applied_drive:
+        applied = self._applied_drive
+        if drive is applied or drive == applied:
             return
         self._applied_drive = drive
+        self._seg_cache = None
         # The control node can jump discontinuously when the drive
         # changes (the filter zero); re-record so traces show the step.
-        out_segment, _ = self._segments()
-        self._record(self._t, out_segment.value(0.0))
+        if self._record_traces:
+            out_segment, _ = self._segments()
+            self._record(self._t, out_segment.value(0.0))
 
     def __repr__(self) -> str:
         return (

@@ -87,6 +87,11 @@ class VCO:
                 f"f_center {f_center!r} outside [{self.f_min!r}, {self.f_max!r}]"
             )
         self.tuning_curve = tuning_curve
+        # Derived constants of the linear law, precomputed because
+        # phase_advance sits on the simulator's per-event fast path.
+        self._base_hz = self.f_center - self.gain_hz_per_v * self.v_center
+        self._v_lo = self.v_center + (self.f_min - self.f_center) / self.gain_hz_per_v
+        self._v_hi = self.v_center + (self.f_max - self.f_center) / self.gain_hz_per_v
 
     # ------------------------------------------------------------------
     # static characteristics
@@ -152,14 +157,25 @@ class VCO:
             return 0.0
         if self.tuning_curve is not None:
             return self._numeric_phase(segment, dt)
+        # Fast path: the segment laws are monotone, so when both
+        # endpoints sit inside the clamp window the whole interval does,
+        # and the phase integral is a single closed-form piece.  This is
+        # the overwhelmingly common case for a settled loop and is
+        # bit-identical to the general path below (which for one
+        # unclamped piece computes 0.0 + base*dt + gain*(I(dt) - 0.0)).
+        v0 = segment.initial
+        v1, v_int = segment.value_and_integral(dt)
+        if v1 < v0:
+            v0, v1 = v1, v0
+        if self._v_lo <= v0 and v1 <= self._v_hi:
+            return self._base_hz * dt + self.gain_hz_per_v * v_int
         total = 0.0
         for t0, t1, clamped_f in self._linear_pieces(segment, dt):
             if clamped_f is not None:
                 total += clamped_f * (t1 - t0)
             else:
-                base = self.f_center - self.gain_hz_per_v * self.v_center
                 v_integral = segment.integral(t1) - segment.integral(t0)
-                total += base * (t1 - t0) + self.gain_hz_per_v * v_integral
+                total += self._base_hz * (t1 - t0) + self.gain_hz_per_v * v_integral
         return total
 
     def frequency_at(self, segment: AnalogSegment, dt: float) -> float:
@@ -181,6 +197,14 @@ class VCO:
         """
         if target_cycles <= 0.0:
             return 0.0
+        if self.tuning_curve is None and type(segment) is ConstantSegment:
+            # Tri-stated loop filter: the frequency is constant, so the
+            # phase law is linear and inverts in one division.  This is
+            # the dominant state of a locked loop (the pump only drives
+            # during the brief PFD pulses), so it skips the Newton solve
+            # for most events.
+            dt = target_cycles / self.frequency_of_voltage(segment.initial)
+            return dt if dt <= dt_max else None
         if self.phase_advance(segment, dt_max) < target_cycles:
             return None
         return solve_increasing(
@@ -197,9 +221,7 @@ class VCO:
     # ------------------------------------------------------------------
     def _clamp_voltages(self) -> Tuple[float, float]:
         """Control voltages at which the linear law hits f_min / f_max."""
-        v_lo = self.v_center + (self.f_min - self.f_center) / self.gain_hz_per_v
-        v_hi = self.v_center + (self.f_max - self.f_center) / self.gain_hz_per_v
-        return v_lo, v_hi
+        return self._v_lo, self._v_hi
 
     def _linear_pieces(
         self, segment: AnalogSegment, dt: float

@@ -7,6 +7,17 @@ in a terminal (no plotting dependencies).
 
 from repro.reporting.tables import format_table
 from repro.reporting.ascii_plot import ascii_bode, ascii_series
-from repro.reporting.device_report import device_report
+from repro.reporting.device_report import (
+    DeviceReportRequest,
+    batch_device_reports,
+    device_report,
+)
 
-__all__ = ["format_table", "ascii_bode", "ascii_series", "device_report"]
+__all__ = [
+    "format_table",
+    "ascii_bode",
+    "ascii_series",
+    "device_report",
+    "DeviceReportRequest",
+    "batch_device_reports",
+]

@@ -4,18 +4,32 @@ Production test flows archive one artefact per device; this renders
 everything a failure-analysis engineer needs from one BIST run — set-up,
 per-tone table, extracted parameters, limit verdicts and (for failures)
 the diagnosis ranking — as plain markdown.
+
+:func:`batch_device_reports` runs the measure-and-render pipeline for a
+whole lot of devices; like the sweep executor it is serial by default
+and fans devices out over a process pool for ``n_workers > 1``.  Each
+device is an independent (PLL, stimulus, config, plan) job, so the
+reports come back in request order and are byte-identical to the serial
+run.  A device whose reference tone dies still yields an artefact — a
+failure-stub report — because production archives one document per
+device, pass or fail.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from repro.analysis.sensitivity import DiagnosisCandidate
-from repro.core.limits import LimitReport
-from repro.core.monitor import SweepResult
+from repro.core.architecture import BISTConfig
+from repro.core.limits import LimitReport, TestLimits
+from repro.core.monitor import SweepPlan, SweepResult, TransferFunctionMonitor
+from repro.errors import ConfigurationError, MeasurementError
 from repro.pll.config import ChargePumpPLL
+from repro.stimulus.modulation import ModulatedStimulus
 
-__all__ = ["device_report"]
+__all__ = ["device_report", "DeviceReportRequest", "batch_device_reports"]
 
 
 def _section(title: str, body: str) -> str:
@@ -126,3 +140,67 @@ def device_report(
         ))
 
     return "\n".join(parts)
+
+
+@dataclass(frozen=True)
+class DeviceReportRequest:
+    """One device's measure-and-report job (picklable by construction).
+
+    Carries everything needed to run the sweep *and* render the report
+    in a worker process: the device, the stimulus family, the test
+    hardware configuration, the sweep plan, and (optionally) the limits
+    to verdict against.
+    """
+
+    pll: ChargePumpPLL
+    stimulus: ModulatedStimulus
+    plan: SweepPlan
+    config: BISTConfig = BISTConfig()
+    limits: Optional[TestLimits] = None
+
+
+def _failure_stub(pll: ChargePumpPLL, reason: str) -> str:
+    """Markdown artefact for a device whose sweep could not complete."""
+    return "\n".join([
+        f"# BIST report — {pll.name}\n",
+        _section("Verdict — **FAIL (sweep aborted)**", reason),
+    ])
+
+
+def _render_one(request: DeviceReportRequest) -> str:
+    """Worker: measure one device and render its report (module-level,
+    picklable)."""
+    monitor = TransferFunctionMonitor(
+        request.pll, request.stimulus, request.config
+    )
+    try:
+        if request.limits is not None:
+            sweep, verdict = monitor.run_and_check(request.plan, request.limits)
+        else:
+            sweep, verdict = monitor.run(request.plan), None
+    except MeasurementError as exc:
+        # The reference tone died: no transfer function exists, but the
+        # lot archive still needs an artefact for this device.
+        return _failure_stub(request.pll, str(exc))
+    return device_report(request.pll, sweep, limits=verdict)
+
+
+def batch_device_reports(
+    requests: Sequence[DeviceReportRequest],
+    n_workers: int = 1,
+) -> List[str]:
+    """Measure and render a lot of devices, one report per request.
+
+    Serial for ``n_workers == 1``; a process pool otherwise.  Devices
+    are independent, and ``ProcessPoolExecutor.map`` preserves
+    submission order, so the returned reports match ``requests``
+    index-for-index and are byte-identical whichever way they ran.
+    """
+    if n_workers < 1:
+        raise ConfigurationError(f"n_workers must be >= 1, got {n_workers!r}")
+    jobs = list(requests)
+    workers = min(n_workers, len(jobs))
+    if workers <= 1:
+        return [_render_one(job) for job in jobs]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_render_one, jobs))

@@ -6,10 +6,20 @@ records sampled analogue values; its analysis helpers (peak finding,
 interpolation, extrema between markers) are used both by the figure
 benches and by tests that verify the peak detector fires at the true
 frequency extremum.
+
+Storage is an amortised-growth numpy buffer pair rather than Python
+lists: the event-driven simulator appends three samples per event, and
+analysis code reads ``times``/``values`` inside polling loops, so both
+the write path (no per-sample boxing into lists) and the read path
+(cached zero-copy views instead of a fresh ``np.array`` per access)
+sit on the simulation fast path.  Returned arrays are **read-only
+views** that are valid snapshots until the next append; re-reading the
+property after an append returns a fresh view covering the new samples.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -18,6 +28,8 @@ import numpy as np
 from repro.errors import MeasurementError
 
 __all__ = ["Trace", "TracePeak"]
+
+_INITIAL_CAPACITY = 64
 
 
 @dataclass(frozen=True)
@@ -32,53 +44,102 @@ class TracePeak:
 class Trace:
     """Append-only record of ``(time, value)`` samples of an analogue node."""
 
+    __slots__ = ("name", "_t", "_v", "_n", "_last", "_views")
+
     def __init__(self, name: str = "") -> None:
         self.name = name
-        self._times: List[float] = []
-        self._values: List[float] = []
+        self._t = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        self._v = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        self._n = 0
+        self._last = -math.inf
+        self._views: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     def __len__(self) -> int:
-        return len(self._times)
+        return self._n
 
     def __repr__(self) -> str:
         return f"Trace(name={self.name!r}, samples={len(self)})"
 
+    def _grow(self) -> None:
+        capacity = max(2 * self._t.size, _INITIAL_CAPACITY)
+        t = np.empty(capacity, dtype=np.float64)
+        v = np.empty(capacity, dtype=np.float64)
+        t[: self._n] = self._t[: self._n]
+        v[: self._n] = self._v[: self._n]
+        self._t = t
+        self._v = v
+
     def append(self, time: float, value: float) -> None:
         """Record one sample; times must be non-decreasing."""
-        if self._times and time < self._times[-1]:
+        n = self._n
+        # ``_last`` mirrors the final buffered time as a Python float so
+        # the ordering check avoids a numpy scalar round-trip per sample.
+        last = self._last
+        if time < last:
             raise MeasurementError(
                 f"trace {self.name!r}: sample at t={time!r} precedes "
-                f"t={self._times[-1]!r}"
+                f"t={last!r}"
             )
-        if self._times and time == self._times[-1]:
+        if time == last and n:
             # Re-sampling the same instant just refreshes the value.
-            self._values[-1] = value
+            # The buffers are shared with any cached view, so the
+            # refresh is visible through previously returned arrays.
+            self._v[n - 1] = value
             return
-        self._times.append(time)
-        self._values.append(value)
+        if n == self._t.size:
+            self._grow()
+        self._t[n] = time
+        self._v[n] = value
+        self._n = n + 1
+        self._last = time
+        self._views = None
+
+    def _arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        views = self._views
+        if views is None:
+            t = self._t[: self._n].view()
+            v = self._v[: self._n].view()
+            t.flags.writeable = False
+            v.flags.writeable = False
+            self._views = views = (t, v)
+        return views
 
     @property
     def times(self) -> np.ndarray:
-        """Sample times as an array."""
-        return np.array(self._times)
+        """Sample times as a read-only array view (no copy)."""
+        return self._arrays()[0]
 
     @property
     def values(self) -> np.ndarray:
-        """Sample values as an array."""
-        return np.array(self._values)
+        """Sample values as a read-only array view (no copy)."""
+        return self._arrays()[1]
 
     def value_at(self, time: float) -> float:
         """Linearly interpolated value at ``time`` (clamped at the ends)."""
-        if not self._times:
+        if not self._n:
             raise MeasurementError(f"trace {self.name!r} is empty")
-        return float(np.interp(time, self._times, self._values))
+        t, v = self._arrays()
+        return float(np.interp(time, t, v))
+
+    def _window_bounds(self, start: float, stop: float) -> Tuple[int, int]:
+        """Index range covering samples with ``start <= t <= stop``."""
+        t = self._arrays()[0]
+        lo = int(np.searchsorted(t, start, side="left"))
+        hi = int(np.searchsorted(t, stop, side="right"))
+        return lo, hi
 
     def window(self, start: float, stop: float) -> "Trace":
         """A new trace restricted to samples with ``start <= t <= stop``."""
         out = Trace(self.name)
-        for t, v in zip(self._times, self._values):
-            if start <= t <= stop:
-                out.append(t, v)
+        lo, hi = self._window_bounds(start, stop)
+        n = hi - lo
+        if n > 0:
+            while out._t.size < n:
+                out._grow()
+            out._t[:n] = self._t[lo:hi]
+            out._v[:n] = self._v[lo:hi]
+            out._n = n
+            out._last = float(out._t[n - 1])
         return out
 
     def extremum(
@@ -86,37 +147,34 @@ class Trace:
         maximum: bool = True,
     ) -> TracePeak:
         """Global extremum of the trace (optionally within a window)."""
-        t = self.times
-        v = self.values
-        if t.size == 0:
+        if not self._n:
             raise MeasurementError(f"trace {self.name!r} is empty")
-        mask = np.ones(t.size, dtype=bool)
-        if start is not None:
-            mask &= t >= start
-        if stop is not None:
-            mask &= t <= stop
-        if not mask.any():
+        t, v = self._arrays()
+        lo, hi = self._window_bounds(
+            start if start is not None else -math.inf,
+            stop if stop is not None else math.inf,
+        )
+        if hi <= lo:
             raise MeasurementError(
                 f"trace {self.name!r} has no samples in [{start!r}, {stop!r}]"
             )
-        idx_local = np.argmax(v[mask]) if maximum else np.argmin(v[mask])
-        idx = np.flatnonzero(mask)[idx_local]
+        sub = v[lo:hi]
+        idx = lo + int(np.argmax(sub) if maximum else np.argmin(sub))
         return TracePeak(float(t[idx]), float(v[idx]), maximum)
 
     def local_peaks(self, maximum: bool = True) -> List[TracePeak]:
         """All strict local extrema (sign change of the discrete slope)."""
-        t = self.times
-        v = self.values
-        peaks: List[TracePeak] = []
-        if t.size < 3:
-            return peaks
+        if self._n < 3:
+            return []
+        t, v = self._arrays()
         dv = np.diff(v)
-        for i in range(1, dv.size):
-            if maximum and dv[i - 1] > 0.0 and dv[i] < 0.0:
-                peaks.append(TracePeak(float(t[i]), float(v[i]), True))
-            if not maximum and dv[i - 1] < 0.0 and dv[i] > 0.0:
-                peaks.append(TracePeak(float(t[i]), float(v[i]), False))
-        return peaks
+        if maximum:
+            hits = np.flatnonzero((dv[:-1] > 0.0) & (dv[1:] < 0.0)) + 1
+        else:
+            hits = np.flatnonzero((dv[:-1] < 0.0) & (dv[1:] > 0.0)) + 1
+        return [
+            TracePeak(float(t[i]), float(v[i]), maximum) for i in hits
+        ]
 
     def peak_to_peak(
         self, start: Optional[float] = None, stop: Optional[float] = None
@@ -128,20 +186,21 @@ class Trace:
 
     def mean(self, start: Optional[float] = None, stop: Optional[float] = None) -> float:
         """Time-weighted (trapezoidal) mean over the optional window."""
-        sub = self
-        if start is not None or stop is not None:
-            sub = self.window(
-                start if start is not None else self._times[0],
-                stop if stop is not None else self._times[-1],
-            )
-        t = sub.times
-        v = sub.values
-        if t.size == 0:
+        if not self._n:
             raise MeasurementError(f"trace {self.name!r} has no samples in window")
+        t, v = self._arrays()
+        lo, hi = self._window_bounds(
+            start if start is not None else -math.inf,
+            stop if stop is not None else math.inf,
+        )
+        if hi <= lo:
+            raise MeasurementError(f"trace {self.name!r} has no samples in window")
+        t = t[lo:hi]
+        v = v[lo:hi]
         if t.size == 1 or t[-1] == t[0]:
             return float(v[0])
         return float(np.trapezoid(v, t) / (t[-1] - t[0]))
 
     def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Return ``(times, values)`` arrays."""
-        return self.times, self.values
+        """Return ``(times, values)`` read-only array views."""
+        return self._arrays()

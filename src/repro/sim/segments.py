@@ -60,6 +60,15 @@ class AnalogSegment:
         """Exact integral of the node value over ``[0, dt]``."""
         raise NotImplementedError
 
+    def value_and_integral(self, dt: float) -> "tuple[float, float]":
+        """``(value(dt), integral(dt))`` in one call.
+
+        The VCO phase fast path needs both per event; subclasses share
+        the per-call bookkeeping while producing bit-identical results
+        to the individual methods.
+        """
+        return self.value(dt), self.integral(dt)
+
     def _check_dt(self, dt: float) -> None:
         if dt < 0.0:
             raise ValueError(f"segment offset must be non-negative, got {dt!r}")
@@ -80,6 +89,10 @@ class ConstantSegment(AnalogSegment):
     def integral(self, dt: float) -> float:
         self._check_dt(dt)
         return self.initial * dt
+
+    def value_and_integral(self, dt: float) -> "tuple[float, float]":
+        self._check_dt(dt)
+        return self.initial, self.initial * dt
 
 
 @dataclass(frozen=True)
@@ -102,6 +115,13 @@ class RampSegment(AnalogSegment):
     def integral(self, dt: float) -> float:
         self._check_dt(dt)
         return self.initial * dt + 0.5 * self.slope * dt * dt
+
+    def value_and_integral(self, dt: float) -> "tuple[float, float]":
+        self._check_dt(dt)
+        return (
+            self.initial + self.slope * dt,
+            self.initial * dt + 0.5 * self.slope * dt * dt,
+        )
 
 
 @dataclass(frozen=True)
@@ -142,6 +162,15 @@ class ExponentialSegment(AnalogSegment):
         self._check_dt(dt)
         decay = -math.expm1(-dt / self.tau)  # 1 - exp(-dt/tau), accurate for small dt
         return self.asymptote * dt + (self.initial - self.asymptote) * self.tau * decay
+
+    def value_and_integral(self, dt: float) -> "tuple[float, float]":
+        self._check_dt(dt)
+        x = -dt / self.tau
+        gap = self.initial - self.asymptote
+        return (
+            self.asymptote + gap * math.exp(x),
+            self.asymptote * dt + gap * self.tau * -math.expm1(x),
+        )
 
 
 def crossing_time(segment: AnalogSegment, threshold: float) -> Optional[float]:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import bisect
 import enum
+import math
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -186,58 +187,99 @@ class PulseTrain:
     feedback nets a bare train of rising-edge times is the natural
     record — lighter than a full :class:`EdgeStream` and without its
     alternation bookkeeping.
+
+    Edge times live in an amortised-growth numpy buffer: :meth:`record`
+    is on the simulator fast path (two calls per reference cycle), and
+    :meth:`as_array`/:attr:`times` are read inside polling loops (lock
+    detection checks every new edge), so reads return a cached
+    **read-only view** in O(1) instead of materialising a fresh copy of
+    the whole history.  A view is a valid snapshot until the next
+    :meth:`record`.
     """
+
+    __slots__ = ("net", "_t", "_n", "_last", "_view")
+
+    _INITIAL_CAPACITY = 64
 
     def __init__(self, net: str = "") -> None:
         self.net = net
-        self._times: List[float] = []
+        self._t = np.empty(self._INITIAL_CAPACITY, dtype=np.float64)
+        self._n = 0
+        self._last = -math.inf
+        self._view: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
-        return len(self._times)
+        return self._n
 
     def __repr__(self) -> str:
         return f"PulseTrain(net={self.net!r}, edges={len(self)})"
 
     @property
-    def times(self) -> Sequence[float]:
-        """Edge times, ascending."""
-        return self._times
+    def times(self) -> np.ndarray:
+        """Edge times, ascending (read-only array view, no copy)."""
+        return self.as_array()
 
     def record(self, time: float) -> None:
         """Append one rising edge; times must be strictly increasing."""
-        if self._times and time <= self._times[-1]:
+        if time <= self._last:
             raise SimulationError(
                 f"edge at t={time!r} on {self.net!r} does not follow "
-                f"last edge at t={self._times[-1]!r}"
+                f"last edge at t={self._last!r}"
             )
-        self._times.append(time)
+        n = self._n
+        if n == self._t.size:
+            grown = np.empty(2 * self._t.size, dtype=np.float64)
+            grown[:n] = self._t[:n]
+            self._t = grown
+        self._t[n] = time
+        self._n = n + 1
+        self._last = time
+        self._view = None
 
     def as_array(self) -> np.ndarray:
-        """Edge times as a float array."""
-        return np.array(self._times)
+        """Edge times as a read-only float array view (O(1), cached)."""
+        view = self._view
+        if view is None:
+            view = self._t[: self._n].view()
+            view.flags.writeable = False
+            self._view = view
+        return view
+
+    def time_at(self, index: int) -> float:
+        """Edge time at ``index`` (O(1); supports negative indices)."""
+        n = self._n
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError(
+                f"edge index {index!r} out of range for {n} edges"
+            )
+        return float(self._t[index])
 
     def count_in_gate(self, start: float, stop: float) -> int:
         """Number of edges with ``start <= t < stop`` — the hardware
         frequency-counter view of a gate."""
         if stop < start:
             raise ValueError(f"gate closes ({stop!r}) before it opens ({start!r})")
-        return bisect.bisect_left(self._times, stop) - bisect.bisect_left(
-            self._times, start
+        t = self._t[: self._n]
+        return int(
+            np.searchsorted(t, stop, side="left")
+            - np.searchsorted(t, start, side="left")
         )
 
     def next_after(self, time: float) -> Optional[float]:
         """First edge strictly after ``time``, or ``None``."""
-        idx = bisect.bisect_right(self._times, time)
-        return self._times[idx] if idx < len(self._times) else None
+        idx = int(np.searchsorted(self._t[: self._n], time, side="right"))
+        return float(self._t[idx]) if idx < self._n else None
 
     def last_at_or_before(self, time: float) -> Optional[float]:
         """Latest edge with ``t <= time``, or ``None``."""
-        idx = bisect.bisect_right(self._times, time)
-        return self._times[idx - 1] if idx > 0 else None
+        idx = int(np.searchsorted(self._t[: self._n], time, side="right"))
+        return float(self._t[idx - 1]) if idx > 0 else None
 
     def instantaneous_frequency(self) -> Tuple[np.ndarray, np.ndarray]:
         """Per-period frequency estimate; see :func:`edges_to_frequency`."""
-        return edges_to_frequency(self._times)
+        return edges_to_frequency(self.as_array())
 
     def mean_frequency(self, start: float, stop: float) -> float:
         """Average frequency over ``[start, stop]`` from the edge count.
@@ -261,7 +303,10 @@ def edges_to_frequency(
     frequency and is what the paper's frequency counter approximates over
     longer gates.
     """
-    t = np.asarray(list(rising_times), dtype=float)
+    t = np.asarray(
+        rising_times if isinstance(rising_times, np.ndarray) else list(rising_times),
+        dtype=float,
+    )
     if t.size < 2:
         return np.empty(0), np.empty(0)
     periods = np.diff(t)

@@ -1,0 +1,172 @@
+"""Serial-vs-parallel sweep equivalence and executor plumbing.
+
+The tentpole guarantee of the executor layer is *bit-identical* results:
+a sweep fanned over a process pool must reproduce the serial sweep
+field-for-field — measurements, failure reasons and ordering — because
+every tone builds its own simulator from the same immutable inputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ProcessPoolSweepExecutor,
+    SerialSweepExecutor,
+    SweepPlan,
+    ToneOutcome,
+    TransferFunctionMonitor,
+    executor_for,
+)
+from repro.errors import ConfigurationError, MeasurementError
+from repro.presets import paper_pll, paper_stimulus
+from repro.reporting import DeviceReportRequest, batch_device_reports
+
+# fn is ~55 Hz: the low tones measure cleanly, while at 2 kHz the loop
+# attenuates the modulation so hard the peak detector starves — a
+# genuine in-worker MeasurementError, not a monkeypatched one (pool
+# workers run in separate processes where monkeypatching can't reach).
+PASSING_TONES = (10.0, 55.0)
+STARVING_TONE = 2000.0
+
+
+@pytest.fixture(scope="module")
+def monitor(fast_bist_config):
+    return TransferFunctionMonitor(
+        paper_pll(), paper_stimulus("multitone"), fast_bist_config
+    )
+
+
+@pytest.fixture(scope="module")
+def mixed_plan():
+    return SweepPlan(PASSING_TONES + (STARVING_TONE,))
+
+
+@pytest.fixture(scope="module")
+def serial_result(monitor, mixed_plan):
+    return monitor.run(mixed_plan)
+
+
+@pytest.fixture(scope="module")
+def parallel_result(monitor, mixed_plan):
+    return monitor.run(mixed_plan, n_workers=4)
+
+
+def _assert_measurements_identical(a, b):
+    assert a.f_mod == b.f_mod
+    assert a.held.vco_frequency_hz == b.held.vco_frequency_hz
+    assert a.phase_count.pulses == b.phase_count.pulses
+    assert a.phase_count.t_start == b.phase_count.t_start
+    assert a.phase_count.t_stop == b.phase_count.t_stop
+    assert a.f_out_nominal == b.f_out_nominal
+    assert a.arm_time == b.arm_time
+    assert a.peak_event.time == b.peak_event.time
+    assert a.delta_f_hz == b.delta_f_hz
+    assert a.phase_delay_deg == b.phase_delay_deg
+
+
+class TestSerialParallelEquivalence:
+    def test_same_tone_count_and_order(self, serial_result, parallel_result):
+        assert [m.f_mod for m in serial_result.measurements] == \
+            [m.f_mod for m in parallel_result.measurements]
+
+    def test_measurements_bit_identical(self, serial_result, parallel_result):
+        for a, b in zip(serial_result.measurements,
+                        parallel_result.measurements):
+            _assert_measurements_identical(a, b)
+
+    def test_response_bit_identical(self, serial_result, parallel_result):
+        assert list(serial_result.response.magnitude_db) == \
+            list(parallel_result.response.magnitude_db)
+        assert list(serial_result.response.phase_deg) == \
+            list(parallel_result.response.phase_deg)
+
+    def test_failed_tones_identical(self, serial_result, parallel_result):
+        assert serial_result.failed_tones == parallel_result.failed_tones
+
+    def test_failure_captured_across_process_boundary(self, parallel_result):
+        assert STARVING_TONE in parallel_result.failed_tones
+        assert "peak detector" in parallel_result.failed_tones[STARVING_TONE]
+        assert not parallel_result.complete
+
+
+class TestReferenceToneFailure:
+    def test_same_exception_both_ways(self, monitor):
+        # Both tones starve, so the *reference* tone fails — which must
+        # raise, with the same message, whichever executor ran it.
+        plan = SweepPlan((STARVING_TONE, 2.0 * STARVING_TONE))
+        with pytest.raises(MeasurementError) as serial_exc:
+            monitor.run(plan)
+        with pytest.raises(MeasurementError) as parallel_exc:
+            monitor.run(plan, n_workers=2)
+        assert str(serial_exc.value) == str(parallel_exc.value)
+        assert "in-band reference tone" in str(serial_exc.value)
+
+
+class TestExecutorPlumbing:
+    def test_factory_serial(self):
+        assert isinstance(executor_for(1), SerialSweepExecutor)
+
+    def test_factory_pool(self):
+        ex = executor_for(4)
+        assert isinstance(ex, ProcessPoolSweepExecutor)
+        assert ex.n_workers == 4
+
+    def test_factory_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            executor_for(0)
+        with pytest.raises(ConfigurationError):
+            ProcessPoolSweepExecutor(-1)
+
+    def test_explicit_executor_overrides_n_workers(
+        self, monitor, mixed_plan, serial_result
+    ):
+        result = monitor.run(
+            mixed_plan, n_workers=4, executor=SerialSweepExecutor()
+        )
+        for a, b in zip(serial_result.measurements, result.measurements):
+            _assert_measurements_identical(a, b)
+
+    def test_pool_wider_than_plan(self, monitor, fast_bist_config):
+        # min(n_workers, tones) keeps the pool from spawning idle workers.
+        plan = SweepPlan(PASSING_TONES)
+        result = monitor.run(plan, n_workers=16)
+        assert len(result.measurements) == len(PASSING_TONES)
+
+    def test_outcome_failed_property(self):
+        assert ToneOutcome(f_mod=1.0, error="boom").failed
+        assert not ToneOutcome(f_mod=1.0).failed
+
+
+class TestBatchDeviceReports:
+    def test_serial_parallel_byte_identical(self, fast_bist_config):
+        plan = SweepPlan(PASSING_TONES)
+        requests = [
+            DeviceReportRequest(
+                pll=paper_pll(),
+                stimulus=paper_stimulus("multitone"),
+                plan=plan,
+                config=fast_bist_config,
+            )
+            for _ in range(2)
+        ]
+        serial = batch_device_reports(requests, n_workers=1)
+        parallel = batch_device_reports(requests, n_workers=2)
+        assert serial == parallel
+        assert all(r.startswith("# BIST report") for r in serial)
+
+    def test_dead_reference_yields_failure_stub(self, fast_bist_config):
+        plan = SweepPlan((STARVING_TONE, 2.0 * STARVING_TONE))
+        request = DeviceReportRequest(
+            pll=paper_pll(),
+            stimulus=paper_stimulus("multitone"),
+            plan=plan,
+            config=fast_bist_config,
+        )
+        (report,) = batch_device_reports([request])
+        assert "FAIL (sweep aborted)" in report
+        assert "in-band reference tone" in report
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ConfigurationError):
+            batch_device_reports([], n_workers=0)

@@ -1,0 +1,171 @@
+"""Array-backed recording: buffer/view semantics and recording levels.
+
+The :class:`~repro.sim.probes.Trace` and
+:class:`~repro.sim.signals.PulseTrain` rewrites promise list-equivalent
+behaviour on numpy buffers: read-only zero-copy views, invalidated by
+appends, with the historical ordering rules intact.  The simulator's
+``record`` policy promises that skipping the recording never changes a
+measured value — recording is observation, not dynamics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ToneTestSequencer
+from repro.errors import ConfigurationError, MeasurementError
+from repro.pll import PLLTransientSimulator, RecordLevel
+from repro.presets import paper_pll
+from repro.sim.probes import Trace
+from repro.sim.signals import PulseTrain
+from repro.stimulus.waveforms import ConstantFrequencySource
+
+
+class TestTraceBufferSemantics:
+    def test_views_are_read_only(self):
+        tr = Trace("v")
+        tr.append(0.0, 1.0)
+        with pytest.raises(ValueError):
+            tr.times[0] = 99.0
+        with pytest.raises(ValueError):
+            tr.values[0] = 99.0
+
+    def test_view_cached_between_reads(self):
+        tr = Trace("v")
+        tr.append(0.0, 1.0)
+        assert tr.times is tr.times  # no per-read allocation
+
+    def test_append_invalidates_view(self):
+        tr = Trace("v")
+        tr.append(0.0, 1.0)
+        before = tr.times
+        tr.append(1.0, 2.0)
+        after = tr.times
+        assert len(before) == 1  # old snapshot unchanged
+        assert len(after) == 2
+        assert after[-1] == 1.0
+
+    def test_same_time_refresh_visible_through_old_view(self):
+        # A same-instant re-sample overwrites in place, so even a view
+        # taken *before* the refresh shows the new value (the buffers
+        # are shared, not copied).
+        tr = Trace("v")
+        tr.append(0.0, 1.0)
+        view = tr.values
+        tr.append(0.0, 5.0)
+        assert view[-1] == 5.0
+        assert len(tr) == 1
+
+    def test_time_ordering_still_enforced(self):
+        tr = Trace("v")
+        tr.append(1.0, 0.0)
+        with pytest.raises(MeasurementError):
+            tr.append(0.5, 0.0)
+
+    def test_growth_beyond_initial_capacity(self):
+        tr = Trace("v")
+        for i in range(1000):
+            tr.append(float(i), float(2 * i))
+        assert len(tr) == 1000
+        t, v = tr.as_arrays()
+        assert t[999] == 999.0 and v[999] == 1998.0
+
+    def test_mean_empty_trace_raises_measurement_error(self):
+        # Regression: the list-backed version crashed with IndexError.
+        with pytest.raises(MeasurementError):
+            Trace("v").mean()
+
+    def test_window_preserves_append_invariants(self):
+        tr = Trace("v")
+        for i in range(10):
+            tr.append(float(i), float(i))
+        win = tr.window(2.0, 5.0)
+        assert list(win.times) == [2.0, 3.0, 4.0, 5.0]
+        win.append(5.0, 99.0)  # same-time refresh on the copy
+        assert win.values[-1] == 99.0
+        with pytest.raises(MeasurementError):
+            win.append(4.0, 0.0)
+
+
+class TestPulseTrainBufferSemantics:
+    def test_views_are_read_only(self):
+        pt = PulseTrain("ref")
+        pt.record(0.0)
+        with pytest.raises(ValueError):
+            pt.times[0] = 99.0
+
+    def test_record_invalidates_view(self):
+        pt = PulseTrain("ref")
+        pt.record(0.0)
+        before = pt.times
+        pt.record(1.0)
+        assert len(before) == 1
+        assert len(pt.times) == 2
+
+    def test_strictly_increasing_still_enforced(self):
+        from repro.errors import SimulationError
+
+        pt = PulseTrain("ref")
+        pt.record(1.0)
+        with pytest.raises(SimulationError):
+            pt.record(1.0)
+
+
+class TestRecordLevels:
+    def test_coerce_accepts_strings_and_members(self):
+        assert RecordLevel.coerce("full") is RecordLevel.FULL
+        assert RecordLevel.coerce("counters") is RecordLevel.COUNTERS
+        assert RecordLevel.coerce(RecordLevel.OFF) is RecordLevel.OFF
+
+    def test_coerce_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            RecordLevel.coerce("verbose")
+
+    def test_counters_skips_traces_keeps_edges(self):
+        pll = paper_pll()
+        sim = PLLTransientSimulator(
+            pll, ConstantFrequencySource(pll.f_ref), record="counters"
+        )
+        sim.run_for(20.0 / pll.f_ref)
+        assert len(sim.control_trace) == 0
+        assert len(sim.cap_trace) == 0
+        assert len(sim.ref_edges) > 0
+        assert len(sim.fb_edges) > 0
+
+    def test_off_skips_everything_and_blocks_lock_detection(self):
+        pll = paper_pll()
+        sim = PLLTransientSimulator(
+            pll, ConstantFrequencySource(pll.f_ref), record=RecordLevel.OFF
+        )
+        sim.run_for(20.0 / pll.f_ref)
+        assert len(sim.ref_edges) == 0
+        assert len(sim.fb_edges) == 0
+        with pytest.raises(ConfigurationError):
+            sim.run_until_locked()
+
+    def test_full_and_counters_measure_identically(self, fast_bist_config):
+        # Recording is pure observation: the Table 2 measurement must
+        # not change by a single bit when the traces are skipped.
+        from repro.stimulus import SineFMStimulus
+
+        stim = SineFMStimulus(1000.0, 1.0)
+        full = ToneTestSequencer(
+            paper_pll(), stim, fast_bist_config, record="full"
+        ).run(8.0)
+        counters = ToneTestSequencer(
+            paper_pll(), stim, fast_bist_config, record="counters"
+        ).run(8.0)
+        assert full.held.vco_frequency_hz == counters.held.vco_frequency_hz
+        assert full.phase_count.pulses == counters.phase_count.pulses
+        assert full.peak_event.time == counters.peak_event.time
+        assert full.delta_f_hz == counters.delta_f_hz
+
+    def test_sequencer_rejects_off(self, fast_bist_config):
+        from repro.stimulus import SineFMStimulus
+
+        with pytest.raises(ConfigurationError):
+            ToneTestSequencer(
+                paper_pll(), SineFMStimulus(1000.0, 1.0), fast_bist_config,
+                record="off",
+            )
