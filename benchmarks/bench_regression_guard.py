@@ -1,0 +1,72 @@
+"""Tier-2 perf gate: the serial sweep must not regress vs the baseline.
+
+A pytest wrapper around :mod:`check_regression` so the perf budget runs
+inside the benchmark suite (``pytest benchmarks/ -m tier2``).  It
+measures a *fresh* cold serial sweep — best of three, because single
+wall-clock samples on a shared box are noisy — and compares it against
+the BENCH_sweep.json committed at HEAD with the 20 % slowdown budget.
+
+Skips (rather than fails) when there is no committed baseline to judge
+against, e.g. on a fresh checkout before the first benchmark commit.
+"""
+
+import pathlib
+import sys
+import time
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from check_regression import (  # noqa: E402
+    SLOWDOWN_THRESHOLD,
+    compare,
+    load_committed,
+)
+from repro.core.monitor import TransferFunctionMonitor  # noqa: E402
+from repro.presets import (  # noqa: E402
+    paper_bist_config,
+    paper_stimulus,
+    paper_sweep,
+)
+
+pytestmark = pytest.mark.tier2
+
+BEST_OF = 3
+
+
+def _measure_cold_serial(paper_dut, tones: int) -> float:
+    plan = paper_sweep(points=tones)
+    best = float("inf")
+    for _ in range(BEST_OF):
+        monitor = TransferFunctionMonitor(
+            paper_dut, paper_stimulus("multitone"), paper_bist_config()
+        )
+        t0 = time.perf_counter()
+        monitor.run(plan)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_serial_sweep_within_budget(report, paper_dut):
+    baseline = load_committed()
+    if baseline is None:
+        pytest.skip("no committed BENCH_sweep.json baseline at HEAD")
+    tones = baseline.get("tones", 13)
+
+    wall = _measure_cold_serial(paper_dut, tones)
+    fresh = {
+        "tones": tones,
+        "serial_wall_s": round(wall, 4),
+        "bit_identical": True,
+    }
+    problems = compare(baseline, fresh, SLOWDOWN_THRESHOLD)
+
+    verdict = "PASS" if not problems else "; ".join(problems)
+    report("perf_regression_guard", "\n".join([
+        f"baseline serial : {baseline['serial_wall_s']:.4f} s",
+        f"fresh serial    : {wall:.4f} s (best of {BEST_OF})",
+        f"budget          : +{SLOWDOWN_THRESHOLD * 100:.0f} %",
+        f"verdict         : {verdict}",
+    ]))
+    assert not problems, problems

@@ -1,0 +1,140 @@
+"""Guard the sweep perf trajectory against silent serial slowdowns.
+
+``bench_perf_sweep.py`` writes ``benchmarks/results/BENCH_sweep.json``
+every time it runs; the committed copy is the performance baseline this
+branch inherited.  This checker compares a *fresh* result against that
+baseline and fails when the cold serial sweep got more than 20 % slower
+— the regression budget for the hot path the paper's test time rests
+on.
+
+Two entry points:
+
+* ``python benchmarks/check_regression.py [--fresh PATH] [--threshold F]``
+  compares an existing fresh JSON (default: the results file on disk)
+  against the committed baseline (``git show HEAD:...``) and exits
+  non-zero on regression;
+* :func:`compare` — the pure comparison, reused by the tier-2 pytest
+  wrapper in ``bench_regression_guard.py``.
+
+Wall-clock measurements on shared machines are noisy, so callers that
+*measure* (rather than load) a fresh number should take the best of a
+few runs before comparing; the pytest wrapper does exactly that.  The
+baseline is machine-relative: re-committing a freshly generated
+``BENCH_sweep.json`` re-anchors the budget to the committing host.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+from typing import List, Optional
+
+SLOWDOWN_THRESHOLD = 0.20
+RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_sweep.json"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def load_committed() -> Optional[dict]:
+    """The baseline BENCH_sweep.json as committed at HEAD, else None."""
+    try:
+        blob = subprocess.run(
+            ["git", "show", "HEAD:benchmarks/results/BENCH_sweep.json"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    try:
+        return json.loads(blob)
+    except json.JSONDecodeError:
+        return None
+
+
+def compare(
+    baseline: dict,
+    fresh: dict,
+    threshold: float = SLOWDOWN_THRESHOLD,
+) -> List[str]:
+    """Return human-readable violations; empty list means no regression.
+
+    Only the *serial* wall time is budgeted: parallel wall depends on
+    the host's core count and warm wall on cache behaviour, so both are
+    reported by the benchmark but not gated here.
+    """
+    problems: List[str] = []
+    base_serial = baseline.get("serial_wall_s")
+    fresh_serial = fresh.get("serial_wall_s")
+    if base_serial is None or fresh_serial is None:
+        problems.append("serial_wall_s missing from baseline or fresh result")
+        return problems
+    if baseline.get("tones") != fresh.get("tones"):
+        problems.append(
+            f"tone counts differ (baseline {baseline.get('tones')}, "
+            f"fresh {fresh.get('tones')}); wall times not comparable"
+        )
+        return problems
+    limit = base_serial * (1.0 + threshold)
+    if fresh_serial > limit:
+        problems.append(
+            f"cold serial sweep regressed: {fresh_serial:.4f} s vs "
+            f"baseline {base_serial:.4f} s "
+            f"(+{(fresh_serial / base_serial - 1.0) * 100:.0f} %, "
+            f"budget +{threshold * 100:.0f} %)"
+        )
+    if not fresh.get("bit_identical", False):
+        problems.append("fresh run did not report bit-identical results")
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when the serial sweep got slower than the "
+                    "committed baseline allows.",
+    )
+    parser.add_argument(
+        "--fresh", type=pathlib.Path, default=RESULTS_PATH,
+        help="fresh BENCH_sweep.json to judge (default: results dir)",
+    )
+    parser.add_argument(
+        "--baseline", type=pathlib.Path, default=None,
+        help="baseline JSON file (default: the copy committed at HEAD)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=SLOWDOWN_THRESHOLD,
+        help="allowed fractional slowdown (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.baseline is not None:
+        baseline = json.loads(args.baseline.read_text())
+    else:
+        baseline = load_committed()
+    if baseline is None:
+        print("no committed baseline (new file or no git); nothing to check")
+        return 0
+    if not args.fresh.exists():
+        print(f"fresh result {args.fresh} missing; "
+              "run bench_perf_sweep.py first")
+        return 2
+
+    fresh = json.loads(args.fresh.read_text())
+    problems = compare(baseline, fresh, args.threshold)
+    if problems:
+        for problem in problems:
+            print(f"REGRESSION: {problem}")
+        return 1
+    print(
+        f"ok: serial {fresh['serial_wall_s']:.4f} s vs baseline "
+        f"{baseline['serial_wall_s']:.4f} s "
+        f"(budget +{args.threshold * 100:.0f} %)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

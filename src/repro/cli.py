@@ -97,13 +97,29 @@ def cmd_theory(args) -> int:
     return 0
 
 
+def _timing_summary(measurements) -> Optional[str]:
+    """One-line wall-time digest of a sweep's per-tone timing."""
+    timings = [m.timing for m in measurements if m.timing is not None]
+    if not timings:
+        return None
+    settle = sum(t.settle_s for t in timings)
+    monitor = sum(t.monitor_s for t in timings)
+    measure = sum(t.measure_s for t in timings)
+    warm = sum(1 for t in timings if t.warm)
+    return (
+        f"tone wall time: {settle + monitor + measure:.2f}s "
+        f"(settle {settle:.2f}s, monitor {monitor:.2f}s, "
+        f"measure {measure:.2f}s; {warm}/{len(timings)} tones warm)"
+    )
+
+
 def cmd_sweep(args) -> int:
     pll = _device(args)
     stimulus = paper_stimulus(args.stimulus)
     monitor = TransferFunctionMonitor(pll, stimulus, paper_bist_config())
     plan = paper_sweep(points=args.points)
     try:
-        result = monitor.run(plan, n_workers=args.workers)
+        result = monitor.run(plan, n_workers=args.workers, settle=args.settle)
     except MeasurementError as exc:
         print(f"sweep failed: {exc}")
         return 2
@@ -113,9 +129,14 @@ def cmd_sweep(args) -> int:
         limits = _golden_limits().check(result.estimated) \
             if result.estimated is not None else None
         with open(args.out, "w") as fh:
-            fh.write(device_report(pll, result, limits=limits))
+            fh.write(device_report(
+                pll, result, limits=limits, include_timing=True
+            ))
         print(f"wrote {args.out}")
     print(result.summary())
+    timing = _timing_summary(result.measurements)
+    if timing:
+        print(timing)
     print()
     print(format_table(
         ["f_mod (Hz)", "magnitude (dB)", "phase (deg)"],
@@ -164,7 +185,7 @@ def cmd_screen(args) -> int:
         )
         try:
             result, verdict = monitor.run_and_check(
-                plan, limits, n_workers=args.workers
+                plan, limits, n_workers=args.workers, settle=args.settle
             )
             est = result.estimated
             rows.append([
@@ -262,6 +283,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write a markdown device report to this path")
     p.add_argument("--workers", type=_worker_count, default=1,
                    help="tone worker processes (1 = serial, default)")
+    p.add_argument("--settle", default="fixed",
+                   choices=("fixed", "adaptive"),
+                   help="stage-0 policy: Table 2 fixed wait, or adaptive "
+                        "lock detection (approximate, never slower)")
     p.set_defaults(handler=cmd_sweep)
 
     p = sub.add_parser("selftest", help="run the four-step self-test")
@@ -272,6 +297,10 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--workers", type=_worker_count, default=1,
                    help="tone worker processes (1 = serial, default)")
+    p.add_argument("--settle", default="fixed",
+                   choices=("fixed", "adaptive"),
+                   help="stage-0 policy: Table 2 fixed wait, or adaptive "
+                        "lock detection (approximate, never slower)")
     p.set_defaults(handler=cmd_screen)
 
     p = sub.add_parser("diagnose",

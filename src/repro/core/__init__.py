@@ -6,8 +6,10 @@
   counter (Figure 6, eq. 8).
 * :mod:`repro.core.hold` — the loop-hold (break-and-freeze) mechanism.
 * :mod:`repro.core.sequencer` — the Table 2 five-stage test sequence.
-* :mod:`repro.core.executor` — pluggable serial / process-pool tone
-  execution for sweeps.
+* :mod:`repro.core.executor` — pluggable serial / batched process-pool
+  tone execution for sweeps (shared-memory result transport).
+* :mod:`repro.core.warm` — the warm-start lock-state cache serving
+  settled stage-0 snapshots.
 * :mod:`repro.core.monitor` — the sweep orchestrator producing the
   Figures 11–12 responses.
 * :mod:`repro.core.evaluation` — eqs. (7) and (8): magnitude and phase
@@ -33,9 +35,16 @@ from repro.core.executor import (
     SweepExecutor,
     SerialSweepExecutor,
     ProcessPoolSweepExecutor,
+    ParallelFallbackWarning,
     executor_for,
 )
-from repro.core.sequencer import TestStage, ToneMeasurement, ToneTestSequencer
+from repro.core.sequencer import (
+    TestStage,
+    ToneMeasurement,
+    ToneTestSequencer,
+    ToneTiming,
+)
+from repro.core.warm import LockStateCache
 from repro.core.evaluation import evaluate_sweep, magnitude_db_eq7, phase_deg_eq8
 from repro.core.monitor import SweepPlan, SweepResult, TransferFunctionMonitor
 from repro.core.limits import LimitCheck, LimitReport, TestLimits
@@ -56,10 +65,13 @@ __all__ = [
     "SweepExecutor",
     "SerialSweepExecutor",
     "ProcessPoolSweepExecutor",
+    "ParallelFallbackWarning",
     "executor_for",
+    "LockStateCache",
     "TestStage",
     "ToneMeasurement",
     "ToneTestSequencer",
+    "ToneTiming",
     "evaluate_sweep",
     "magnitude_db_eq7",
     "phase_deg_eq8",

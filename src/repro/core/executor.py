@@ -1,47 +1,89 @@
 """Pluggable tone execution for transfer-function sweeps.
 
 Table 2 stage 5 — "increase FN and repeat" — makes the tones of a sweep
-embarrassingly independent: every tone builds its own fresh closed-loop
+independent: every tone builds (or warm-restores) its own closed-loop
 simulator from the same immutable (PLL, stimulus, config) triple, so
 tones can run in any order, in any process, and produce bit-identical
 :class:`~repro.core.sequencer.ToneMeasurement` records.
 
-:class:`SerialSweepExecutor` preserves the historical in-process loop;
+:class:`SerialSweepExecutor` preserves the historical in-process loop,
+now threading the warm-start machinery (settle policy, lock-state cache,
+seed-voltage chaining) through one shared sequencer.
 :class:`ProcessPoolSweepExecutor` fans the tones out over a
-``concurrent.futures.ProcessPoolExecutor``.  Both return
-:class:`ToneOutcome` records **in plan order** with per-tone
-:class:`~repro.errors.MeasurementError` failures captured as data (a
-dead tone is a diagnostic outcome, not a crash), so the sweep
-orchestrator behaves identically whichever executor runs the tones.
+``concurrent.futures.ProcessPoolExecutor`` in **batched chunks**: each
+worker receives one pickled payload carrying its whole share of the
+sweep (instead of one pickle round-trip per tone), runs the tones
+serially in-process, and writes every counted scalar of each
+measurement into a ``multiprocessing.shared_memory`` float64 array the
+parent allocated.  Only failures travel back through the pickle channel.
+Chunks are strided over the tones sorted by ascending ``f_mod`` —
+simulation cost scales with ``1 / f_mod``, so striding deals every
+worker one tone of each cost class and the pool drains evenly.
 
-Everything crossing the process boundary is picklable by construction:
-the payload is the plain component dataclasses plus a float, and the
-worker is a module-level function.  Tones are submitted lowest frequency
-first — simulation cost scales with ``1 / f_mod``, so the heaviest tones
-are scheduled before the cheap ones and the pool drains evenly.
+Both executors return :class:`ToneOutcome` records **in plan order**
+with per-tone :class:`~repro.errors.MeasurementError` failures captured
+as data (a dead tone is a diagnostic outcome, not a crash), so the
+sweep orchestrator behaves identically whichever executor runs the
+tones.
+
+:func:`executor_for` picks the executor honestly: when only one CPU is
+visible to the process (affinity masks, containers) or the tone count
+cannot feed a pool, a parallel request degrades to the serial executor
+with a :class:`ParallelFallbackWarning` instead of silently paying
+process spawn cost for a slower sweep.
 """
 
 from __future__ import annotations
 
+import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.architecture import BISTConfig
-from repro.core.sequencer import ToneMeasurement, ToneTestSequencer
+from repro.core.counters import FrequencyMeasurement, PhaseCount
+from repro.core.hold import HeldFrequencyResult
+from repro.core.peak_detector import PeakEvent
+from repro.core.sequencer import (
+    TestStage,
+    ToneMeasurement,
+    ToneTestSequencer,
+    ToneTiming,
+)
+from repro.core.warm import LockStateCache
 from repro.errors import ConfigurationError, MeasurementError
 from repro.pll.config import ChargePumpPLL
 from repro.stimulus.modulation import ModulatedStimulus
+
+try:  # pragma: no cover - absent only on exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
 
 __all__ = [
     "ToneOutcome",
     "SweepExecutor",
     "SerialSweepExecutor",
     "ProcessPoolSweepExecutor",
+    "ParallelFallbackWarning",
     "executor_for",
 ]
 
 TonePayload = Tuple[ChargePumpPLL, ModulatedStimulus, BISTConfig, float]
+
+
+class ParallelFallbackWarning(RuntimeWarning):
+    """A parallel sweep request degraded to the serial executor.
+
+    Emitted by :func:`executor_for` when worker processes could only
+    slow the sweep down (a single visible CPU, or too few tones to feed
+    a pool).  The sweep still runs — serially — so results are
+    unaffected; the warning exists so "I asked for 8 workers and got no
+    speedup" is diagnosable instead of silent.
+    """
 
 
 @dataclass(frozen=True)
@@ -73,6 +115,161 @@ def _run_tone(payload: TonePayload) -> ToneOutcome:
         return ToneOutcome(f_mod=f_mod, error=str(exc))
 
 
+# ----------------------------------------------------------------------
+# shared-memory result transport
+# ----------------------------------------------------------------------
+# Every scalar of a ToneMeasurement is flattened into _SLOTS float64
+# values per tone (float64 round-trips ints up to 2**53 and all floats
+# exactly, so the transport preserves bit-identity).  The stage log is
+# fixed-shape: a successful Table 2 run logs exactly the six stages
+# below, in order.
+_STAGE_ORDER = (
+    TestStage.REF_SET,
+    TestStage.SET_PHASE_COUNTER,
+    TestStage.MONITOR_PEAK,
+    TestStage.PEAK_OCCURRED,
+    TestStage.MEASURE,
+    TestStage.DONE,
+)
+_SLOTS = 30
+_STATUS_EMPTY, _STATUS_OK = 0.0, 1.0
+
+
+def _slots_from_measurement(row: "np.ndarray", m: ToneMeasurement) -> None:
+    """Flatten one measurement into its shared-memory row."""
+    held = m.held
+    fm = held.measurement
+    pc = m.phase_count
+    row[1] = m.f_mod
+    row[2] = m.modulation_period
+    row[3] = held.vco_frequency_hz
+    row[4] = held.engage_time
+    row[5] = held.frequency_at_engage
+    row[6] = held.frequency_at_release
+    row[7] = fm.frequency_hz
+    row[8] = float(fm.count)
+    row[9] = fm.gate_seconds
+    row[10] = fm.resolution_hz
+    row[11] = float(pc.pulses)
+    row[12] = pc.test_clock_hz
+    row[13] = pc.t_start
+    row[14] = pc.t_stop
+    row[15] = m.f_out_nominal
+    row[16] = m.arm_time
+    row[17] = m.peak_event.time
+    row[18] = 1.0 if m.peak_event.is_maximum else 0.0
+    for i, (stage, t) in enumerate(m.stage_log[: len(_STAGE_ORDER)]):
+        row[19 + i] = t
+    if m.timing is not None:
+        row[25] = m.timing.settle_s
+        row[26] = m.timing.monitor_s
+        row[27] = m.timing.measure_s
+        row[28] = 1.0 if m.timing.warm else 0.0
+    row[0] = _STATUS_OK  # status last: row is complete when it flips
+
+
+def _measurement_from_slots(row: "np.ndarray") -> ToneMeasurement:
+    """Rebuild a measurement from its shared-memory row."""
+    held = HeldFrequencyResult(
+        vco_frequency_hz=float(row[3]),
+        measurement=FrequencyMeasurement(
+            frequency_hz=float(row[7]),
+            count=int(row[8]),
+            gate_seconds=float(row[9]),
+            mode="reciprocal",
+            resolution_hz=float(row[10]),
+        ),
+        engage_time=float(row[4]),
+        frequency_at_engage=float(row[5]),
+        frequency_at_release=float(row[6]),
+    )
+    phase = PhaseCount(
+        pulses=int(row[11]),
+        test_clock_hz=float(row[12]),
+        t_start=float(row[13]),
+        t_stop=float(row[14]),
+    )
+    peak = PeakEvent(time=float(row[17]), is_maximum=bool(row[18]))
+    stage_log = [
+        (stage, float(row[19 + i])) for i, stage in enumerate(_STAGE_ORDER)
+    ]
+    timing = ToneTiming(
+        settle_s=float(row[25]),
+        monitor_s=float(row[26]),
+        measure_s=float(row[27]),
+        warm=bool(row[28]),
+    )
+    return ToneMeasurement(
+        f_mod=float(row[1]),
+        modulation_period=float(row[2]),
+        held=held,
+        phase_count=phase,
+        f_out_nominal=float(row[15]),
+        arm_time=float(row[16]),
+        peak_event=peak,
+        stage_log=stage_log,
+        timing=timing,
+    )
+
+
+ChunkPayload = Tuple[
+    ChargePumpPLL,
+    ModulatedStimulus,
+    BISTConfig,
+    Tuple[Tuple[int, float], ...],
+    str,
+    Optional[str],
+]
+
+
+def _run_tone_chunk(
+    payload: ChunkPayload,
+) -> List[Tuple[int, Optional[ToneOutcome], Optional[str]]]:
+    """Worker: run one chunk of tones through a shared sequencer.
+
+    ``payload`` is ``(pll, stimulus, config, ((plan_index, f_mod), ...),
+    settle, shm_name)``.  Successful measurements are written into the
+    named shared-memory array (row = plan index) and reported back as
+    ``(index, None, None)``; failures return ``(index, None, error)``.
+    When the shared-memory segment is unavailable (``shm_name`` None)
+    the full outcome is pickled back as ``(index, outcome, None)``.
+    """
+    pll, stimulus, config, chunk, settle, shm_name = payload
+    sequencer = ToneTestSequencer(pll, stimulus, config)
+    shm = None
+    table = None
+    if shm_name is not None and _shared_memory is not None:
+        shm = _shared_memory.SharedMemory(name=shm_name)
+        table = np.frombuffer(shm.buf, dtype=np.float64).reshape(-1, _SLOTS)
+    results: List[Tuple[int, Optional[ToneOutcome], Optional[str]]] = []
+    seed: Optional[float] = None
+    try:
+        for index, f_mod in chunk:
+            try:
+                measurement = sequencer.run(
+                    f_mod,
+                    settle=settle,
+                    seed_voltage=seed if settle == "adaptive" else None,
+                )
+                seed = sequencer.last_release_voltage
+            except MeasurementError as exc:
+                results.append((index, None, str(exc)))
+                continue
+            if table is not None:
+                _slots_from_measurement(table[index], measurement)
+                results.append((index, None, None))
+            else:
+                results.append(
+                    (index, ToneOutcome(f_mod=f_mod, measurement=measurement), None)
+                )
+    finally:
+        if shm is not None:
+            # Release the worker's buffer view before closing the mapping.
+            table = None
+            shm.close()
+    return results
+
+
 class SweepExecutor:
     """Strategy interface: run every tone of a sweep, in plan order."""
 
@@ -82,13 +279,30 @@ class SweepExecutor:
         stimulus: ModulatedStimulus,
         config: BISTConfig,
         frequencies_hz: Sequence[float],
+        *,
+        settle: str = "fixed",
+        cache: Optional[LockStateCache] = None,
     ) -> List[ToneOutcome]:
-        """One :class:`ToneOutcome` per frequency, same order as given."""
+        """One :class:`ToneOutcome` per frequency, same order as given.
+
+        ``settle`` selects the stage-0 policy (see
+        :meth:`~repro.core.sequencer.ToneTestSequencer.run`); ``cache``
+        optionally provides a lock-state cache for warm starts.
+        """
         raise NotImplementedError
 
 
 class SerialSweepExecutor(SweepExecutor):
-    """Run the tones one after another in the calling process."""
+    """Run the tones one after another in the calling process.
+
+    A single sequencer serves the whole sweep, so the lock-state cache
+    and the memoised nominal baseline persist across tones, and — under
+    adaptive settling — each tone seeds from the previous tone's
+    released control voltage.
+    """
+
+    def __init__(self, cache: Optional[LockStateCache] = None) -> None:
+        self.cache = cache
 
     def run_tones(
         self,
@@ -96,20 +310,42 @@ class SerialSweepExecutor(SweepExecutor):
         stimulus: ModulatedStimulus,
         config: BISTConfig,
         frequencies_hz: Sequence[float],
+        *,
+        settle: str = "fixed",
+        cache: Optional[LockStateCache] = None,
     ) -> List[ToneOutcome]:
         """Sequential in-process execution (the historical behaviour)."""
-        return [
-            _run_tone((pll, stimulus, config, f_mod))
-            for f_mod in frequencies_hz
-        ]
+        cache = cache if cache is not None else self.cache
+        sequencer = ToneTestSequencer(pll, stimulus, config, cache=cache)
+        outcomes: List[ToneOutcome] = []
+        seed: Optional[float] = None
+        for f_mod in frequencies_hz:
+            try:
+                measurement = sequencer.run(
+                    f_mod,
+                    settle=settle,
+                    seed_voltage=seed if settle == "adaptive" else None,
+                )
+                outcomes.append(ToneOutcome(f_mod=f_mod, measurement=measurement))
+                seed = sequencer.last_release_voltage
+            except MeasurementError as exc:
+                outcomes.append(ToneOutcome(f_mod=f_mod, error=str(exc)))
+        return outcomes
 
 
 class ProcessPoolSweepExecutor(SweepExecutor):
-    """Fan the tones out over a process pool.
+    """Fan the tones out over a process pool, one batched chunk per worker.
 
-    ``ProcessPoolExecutor.map`` preserves submission order, so results
-    come back in plan order regardless of which worker finished first —
-    the sweep is deterministic and bit-identical to the serial run.
+    Chunks are strided over the tones sorted by ascending ``f_mod``
+    (descending simulation cost), so every worker gets an even share of
+    the expensive low-frequency tones.  Each worker receives exactly one
+    pickled payload and returns successes through a shared-memory scalar
+    table; results are re-assembled **in plan order**, bit-identical to
+    the serial run.
+
+    The warm-start cache is per-process state and is deliberately not
+    shipped to workers; within a chunk the worker's own sequencer still
+    memoises and (under adaptive settling) chains seed voltages.
     """
 
     def __init__(self, n_workers: int) -> None:
@@ -125,22 +361,131 @@ class ProcessPoolSweepExecutor(SweepExecutor):
         stimulus: ModulatedStimulus,
         config: BISTConfig,
         frequencies_hz: Sequence[float],
+        *,
+        settle: str = "fixed",
+        cache: Optional[LockStateCache] = None,
     ) -> List[ToneOutcome]:
-        """Order-preserving parallel map of the tones over the pool."""
-        payloads = [
-            (pll, stimulus, config, f_mod) for f_mod in frequencies_hz
-        ]
-        workers = min(self.n_workers, len(payloads))
+        """Order-preserving batched parallel execution of the tones."""
+        freqs = list(frequencies_hz)
+        workers = min(self.n_workers, len(freqs))
         if workers <= 1:
-            return [_run_tone(p) for p in payloads]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_run_tone, payloads))
+            return SerialSweepExecutor().run_tones(
+                pll, stimulus, config, freqs, settle=settle, cache=cache
+            )
+        # Ascending f_mod = descending cost; stride so each worker's
+        # chunk samples every cost class.
+        order = sorted(range(len(freqs)), key=lambda i: freqs[i])
+        chunks = [order[w::workers] for w in range(workers)]
+        shm = None
+        shm_name = None
+        if _shared_memory is not None:
+            try:
+                shm = _shared_memory.SharedMemory(
+                    create=True, size=len(freqs) * _SLOTS * 8
+                )
+                np.frombuffer(shm.buf, dtype=np.float64)[:] = _STATUS_EMPTY
+                shm_name = shm.name
+            except OSError:
+                shm = None  # e.g. /dev/shm unavailable; pickle fallback
+        try:
+            payloads: List[ChunkPayload] = [
+                (
+                    pll,
+                    stimulus,
+                    config,
+                    tuple((i, freqs[i]) for i in chunk),
+                    settle,
+                    shm_name,
+                )
+                for chunk in chunks
+            ]
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                chunk_results = list(pool.map(_run_tone_chunk, payloads))
+            outcomes: List[Optional[ToneOutcome]] = [None] * len(freqs)
+            # Copy the table out of the mapping so no buffer view is
+            # alive when the segment is closed/unlinked below.
+            table = (
+                np.frombuffer(shm.buf, dtype=np.float64)
+                .reshape(-1, _SLOTS)
+                .copy()
+                if shm is not None
+                else None
+            )
+            for results in chunk_results:
+                for index, outcome, error in results:
+                    if error is not None:
+                        outcomes[index] = ToneOutcome(
+                            f_mod=freqs[index], error=error
+                        )
+                    elif outcome is not None:
+                        outcomes[index] = outcome
+                    else:
+                        row = table[index]
+                        if row[0] != _STATUS_OK:
+                            raise MeasurementError(
+                                f"worker reported success for tone "
+                                f"{freqs[index]:g} Hz but its shared-memory "
+                                "row is empty"
+                            )
+                        outcomes[index] = ToneOutcome(
+                            f_mod=freqs[index],
+                            measurement=_measurement_from_slots(row),
+                        )
+            missing = [freqs[i] for i, o in enumerate(outcomes) if o is None]
+            if missing:
+                raise MeasurementError(
+                    f"pool returned no outcome for tones {missing!r}"
+                )
+            return outcomes  # type: ignore[return-value]
+        finally:
+            if shm is not None:
+                shm.close()
+                shm.unlink()
 
 
-def executor_for(n_workers: int) -> SweepExecutor:
-    """Serial executor for ``n_workers == 1``, process pool above that."""
+def _visible_cpu_count() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        pass
+    probe = getattr(os, "process_cpu_count", None)
+    if probe is not None:
+        count = probe()
+        if count:
+            return count
+    return os.cpu_count() or 1
+
+
+def executor_for(n_workers: int, n_tones: Optional[int] = None) -> SweepExecutor:
+    """Pick the executor a worker request actually benefits from.
+
+    ``n_workers == 1`` is the serial executor.  A parallel request
+    degrades to serial — with a :class:`ParallelFallbackWarning` — when
+    only one CPU is visible to this process (pool overhead with zero
+    parallelism) or when ``n_tones`` (if given) cannot feed two workers.
+    Otherwise the pool is capped at the visible CPU count.
+    """
     if n_workers < 1:
         raise ConfigurationError(f"n_workers must be >= 1, got {n_workers!r}")
     if n_workers == 1:
         return SerialSweepExecutor()
-    return ProcessPoolSweepExecutor(n_workers)
+    visible = _visible_cpu_count()
+    if visible <= 1:
+        warnings.warn(
+            f"parallel sweep requested (n_workers={n_workers}) but only "
+            "1 CPU is visible to this process; running serially instead "
+            "(process-pool overhead would make the sweep slower)",
+            ParallelFallbackWarning,
+            stacklevel=2,
+        )
+        return SerialSweepExecutor()
+    if n_tones is not None and n_tones < 2:
+        warnings.warn(
+            f"parallel sweep requested (n_workers={n_workers}) for "
+            f"{n_tones} tone(s); running serially instead",
+            ParallelFallbackWarning,
+            stacklevel=2,
+        )
+        return SerialSweepExecutor()
+    return ProcessPoolSweepExecutor(min(n_workers, visible))

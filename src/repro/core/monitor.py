@@ -25,6 +25,7 @@ from repro.core.evaluation import evaluate_sweep
 from repro.core.executor import SweepExecutor, executor_for
 from repro.core.limits import LimitReport, TestLimits
 from repro.core.sequencer import ToneMeasurement, ToneTestSequencer
+from repro.core.warm import LockStateCache
 from repro.errors import ConfigurationError, MeasurementError
 from repro.pll.config import ChargePumpPLL
 from repro.stimulus.modulation import ModulatedStimulus
@@ -139,7 +140,14 @@ class TransferFunctionMonitor:
         self.stimulus = stimulus
         self.config = config
         self.correct_filter_zero = correct_filter_zero
-        self._sequencer = ToneTestSequencer(pll, stimulus, config)
+        #: Warm-start cache of settled stage-0 states, shared by every
+        #: sweep and single-tone measurement this monitor runs: once a
+        #: tone has settled, re-measuring it restores the settled loop
+        #: (bit-identically) instead of re-simulating the settle.
+        self.lock_cache = LockStateCache()
+        self._sequencer = ToneTestSequencer(
+            pll, stimulus, config, cache=self.lock_cache
+        )
 
     def _zero_tau(self) -> Optional[float]:
         if not self.correct_filter_zero:
@@ -156,23 +164,47 @@ class TransferFunctionMonitor:
         return float(tau)
 
     def measure_tone(self, f_mod: float) -> ToneMeasurement:
-        """Single-tone measurement (Table 2 stages 0–4)."""
+        """Single-tone measurement (Table 2 stages 0–4).
+
+        Served warm from :attr:`lock_cache` when the tone's settled
+        state is already known — bit-identical to a cold run.
+        """
         return self._sequencer.run(f_mod)
+
+    def measure_nominal_frequency(self, gate_cycles: int = 128) -> float:
+        """Counted unmodulated baseline, memoised per ``gate_cycles``.
+
+        Delegates to the monitor's single sequencer, so every caller
+        (reports, screens, repeated sweeps) shares one settled baseline
+        measurement per (PLL, stimulus, config, gate) instead of
+        re-simulating a throwaway lock per call.
+        """
+        return self._sequencer.measure_nominal_frequency(gate_cycles)
 
     def run(
         self,
         plan: SweepPlan,
         n_workers: int = 1,
         executor: Optional[SweepExecutor] = None,
+        settle: str = "fixed",
     ) -> SweepResult:
         """Sweep every planned tone and evaluate eqs. (7)–(8).
 
-        Tones are independent (each builds a fresh simulator), so the
-        sweep accepts an executor: the default ``n_workers=1`` runs the
-        historical serial loop, ``n_workers > 1`` fans the tones out
-        over a process pool, and an explicit ``executor`` overrides
+        Tones are independent (each builds or warm-restores its own
+        simulator), so the sweep accepts an executor: the default
+        ``n_workers=1`` runs the serial loop, ``n_workers > 1`` fans the
+        tones out over a batched process pool (degrading to serial, with
+        a :class:`~repro.core.executor.ParallelFallbackWarning`, when
+        only one CPU is visible), and an explicit ``executor`` overrides
         both.  Results are identical — bit for bit — whichever executor
         runs the tones; only the wall time changes.
+
+        ``settle`` selects the stage-0 policy per tone: ``"fixed"``
+        (Table 2's fixed wait, the default) or ``"adaptive"`` (lock
+        detection with fixed-wait fallback; approximate — counted
+        results match the fixed policy to counter resolution).  The
+        monitor's :attr:`lock_cache` serves repeated fixed-settle tones
+        warm.
 
         Raises
         ------
@@ -181,9 +213,16 @@ class TransferFunctionMonitor:
             reference no magnitude can be computed at all.
         """
         if executor is None:
-            executor = executor_for(n_workers)
+            executor = executor_for(
+                n_workers, n_tones=len(plan.frequencies_hz)
+            )
         outcomes = executor.run_tones(
-            self.pll, self.stimulus, self.config, plan.frequencies_hz
+            self.pll,
+            self.stimulus,
+            self.config,
+            plan.frequencies_hz,
+            settle=settle,
+            cache=self.lock_cache,
         )
         measurements: List[ToneMeasurement] = []
         failed: Dict[float, str] = {}
@@ -239,6 +278,7 @@ class TransferFunctionMonitor:
         limits: TestLimits,
         n_workers: int = 1,
         executor: Optional[SweepExecutor] = None,
+        settle: str = "fixed",
     ) -> Tuple[SweepResult, LimitReport]:
         """Sweep then compare against on-chip limits (go/no-go).
 
@@ -246,7 +286,9 @@ class TransferFunctionMonitor:
         configured band (NaN values), because "could not measure" is a
         reject, not a pass.
         """
-        result = self.run(plan, n_workers=n_workers, executor=executor)
+        result = self.run(
+            plan, n_workers=n_workers, executor=executor, settle=settle
+        )
         if result.estimated is None:
             nan = float("nan")
             estimated = EstimatedParameters(

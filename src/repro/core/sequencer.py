@@ -27,19 +27,22 @@ sequence matches the paper's table ordering.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
-from typing import List, Tuple, Union
+from time import perf_counter
+from typing import Dict, Hashable, List, Optional, Tuple, Union
 
 from repro.core.architecture import BISTConfig
 from repro.core.counters import FrequencyCounter, PhaseCount, PhaseCounter
 from repro.core.hold import HeldFrequencyResult, LoopHoldControl
 from repro.core.peak_detector import PeakEvent, PeakFrequencyDetector
-from repro.errors import ConfigurationError, MeasurementError
+from repro.core.warm import LockStateCache
+from repro.errors import ConfigurationError, LockError, MeasurementError
 from repro.pll.config import ChargePumpPLL
 from repro.pll.simulator import PLLTransientSimulator, RecordLevel
 from repro.stimulus.modulation import ModulatedStimulus
 
-__all__ = ["TestStage", "ToneMeasurement", "ToneTestSequencer"]
+__all__ = ["TestStage", "ToneMeasurement", "ToneTestSequencer", "ToneTiming"]
 
 
 class TestStage(enum.Enum):
@@ -55,6 +58,29 @@ class TestStage(enum.Enum):
     DONE = 5
 
 
+@dataclass(frozen=True)
+class ToneTiming:
+    """Wall-clock breakdown of one tone's Table 2 sequence.
+
+    ``settle_s`` covers stage 0 (cache restore *or* closed-loop
+    settling), ``monitor_s`` stages 1–3 (arm, watch for the peak) and
+    ``measure_s`` stage 4 (hold-and-count).  ``warm`` records whether
+    stage 0 was served from a :class:`~repro.core.warm.LockStateCache`
+    hit instead of being simulated.  Timing is observability only — it
+    never participates in measurement-equality comparisons.
+    """
+
+    settle_s: float
+    monitor_s: float
+    measure_s: float
+    warm: bool = False
+
+    @property
+    def total_s(self) -> float:
+        """Whole-tone wall time."""
+        return self.settle_s + self.monitor_s + self.measure_s
+
+
 @dataclass
 class ToneMeasurement:
     """Everything the BIST stores for one modulation frequency."""
@@ -67,6 +93,9 @@ class ToneMeasurement:
     arm_time: float
     peak_event: PeakEvent
     stage_log: List[Tuple[TestStage, float]] = field(default_factory=list)
+    # Wall-clock observability; excluded from equality so measurement
+    # comparisons stay about measured values.
+    timing: Optional[ToneTiming] = field(default=None, compare=False)
 
     @property
     def delta_f_hz(self) -> float:
@@ -104,6 +133,12 @@ class ToneTestSequencer:
         three per-event trace appends without changing any measured
         value.  Pass ``"full"`` to keep the traces (e.g. for the figure
         benches that plot a tone's waveforms).
+    cache:
+        Optional :class:`~repro.core.warm.LockStateCache` of settled
+        stage-0 states.  With a cache, re-running a tone restores the
+        settled loop instead of re-simulating the settle — warm runs are
+        bit-identical to cold runs (snapshot guarantee) and skip the
+        dominant share of the per-tone work.
     """
 
     def __init__(
@@ -112,32 +147,208 @@ class ToneTestSequencer:
         stimulus: ModulatedStimulus,
         config: BISTConfig = BISTConfig(),
         record: Union[RecordLevel, str] = RecordLevel.COUNTERS,
+        cache: Optional[LockStateCache] = None,
     ) -> None:
         config.validate_against_pfd(pll.pfd_reset_delay)
         self.pll = pll
         self.stimulus = stimulus
         self.config = config
+        self.cache = cache
         self.record_level = RecordLevel.coerce(record)
         if self.record_level is RecordLevel.OFF:
             raise ConfigurationError(
                 "the Table 2 sequence reads the rising-edge trains; "
                 "use record='counters' or record='full'"
             )
+        #: Control voltage after the most recent tone released its hold —
+        #: the natural seed for the next tone's adaptive settle.
+        self.last_release_voltage: Optional[float] = None
+        self._nominal_cache: Dict[int, float] = {}
 
-    def run(self, f_mod: float, max_wait_cycles: float = 3.0) -> ToneMeasurement:
+    # ------------------------------------------------------------------
+    # stage-0 helpers
+    # ------------------------------------------------------------------
+    def _settle_cache_key(self, f_mod: float) -> Hashable:
+        """Everything that determines the settled stage-0 state."""
+        return (
+            self.pll.name,
+            self.stimulus.cache_key(),
+            float(f_mod),
+            self.config.settle_cycles,
+            self.record_level.value,
+        )
+
+    def _modulated_lock_tolerance(self, f_mod: float) -> float:
+        """Lock tolerance (reference cycles) that accommodates the tone.
+
+        Under modulation the locked loop's phase error never goes to
+        zero: it oscillates with amplitude
+        ``|E(jω_m)| · deviation / (2π f_mod)`` cycles, where ``E`` is
+        the loop's phase-*error* transfer function
+        ``s² / (s² + 2ζω_n s + ω_n²)``.  The adaptive settle's lock
+        check must tolerate that steady-state excursion or it would
+        never declare lock; the configured
+        :attr:`~repro.core.architecture.BISTConfig.lock_tolerance_cycles`
+        rides on top as the transient-residual budget.
+        """
+        base = self.config.lock_tolerance_cycles
+        try:
+            wn = self.pll.natural_frequency()
+            zeta = self.pll.damping(exact=True)
+        except Exception:
+            return base + 0.05
+        wm = 2.0 * math.pi * f_mod
+        err_mag = wm * wm / math.hypot(wn * wn - wm * wm, 2.0 * zeta * wn * wm)
+        excursion = err_mag * self.stimulus.deviation / (2.0 * math.pi * f_mod)
+        return base + 1.5 * excursion
+
+    def _loop_time_constant(self) -> float:
+        """The loop's dominant transient decay time ``1/(ζ·ωn)`` (s).
+
+        Returns 0.0 when the linearisation is unavailable (exotic
+        device models) so callers degrade to no-floor behaviour.
+        """
+        try:
+            return 1.0 / (
+                self.pll.damping(exact=True) * self.pll.natural_frequency()
+            )
+        except Exception:
+            return 0.0
+
+    def _adaptive_settle(self, sim: PLLTransientSimulator, f_mod: float) -> int:
+        """Stage 0 with lock detection instead of a fixed wait.
+
+        Runs :meth:`~repro.pll.simulator.PLLTransientSimulator.run_until_locked`
+        with a modulation-aware tolerance and a timeout equal to the
+        fixed settle duration, then returns the modulation-peak index at
+        which to arm the phase counter — one full modulation cycle after
+        lock, but never later than the fixed policy would arm.  If lock
+        is not declared within the fixed window the sequencer falls back
+        to the fixed arm index, so the adaptive mode can only save time,
+        never add it.
+
+        Lock detection alone is not sufficient for tones far above the
+        loop bandwidth: their measured deviation sits near counter
+        resolution, and the residual control-voltage transient (a phase
+        error well inside the lock tolerance) can still bias it.  The
+        arm time is therefore floored at a few loop time constants —
+        which only bites high-``f_mod`` tones, whose fixed wait is short
+        anyway; the slow in-band tones keep the full saving.
+        """
+        cfg = self.config
+        fixed_end = cfg.settle_cycles / f_mod
+        try:
+            t_lock = sim.run_until_locked(
+                tolerance_cycles=self._modulated_lock_tolerance(f_mod),
+                timeout=fixed_end,
+            )
+        except LockError:
+            if sim.now < fixed_end:
+                sim.run_until(fixed_end)
+            return cfg.settle_cycles
+        t_floor = 3.0 * self._loop_time_constant()
+        # run_until_locked advances in chunks, so the simulator may sit
+        # past the lock edge; arm after whichever is latest.
+        t_eff = max(t_lock, sim.now, t_floor)
+        k = max(1, math.ceil(t_eff * f_mod + 0.75))
+        return min(k, cfg.settle_cycles)
+
+    def run(
+        self,
+        f_mod: float,
+        max_wait_cycles: float = 3.0,
+        *,
+        settle: str = "fixed",
+        seed_voltage: Optional[float] = None,
+        cache: Optional[LockStateCache] = None,
+    ) -> ToneMeasurement:
         """Execute the sequence for modulation frequency ``f_mod`` (Hz).
 
         ``max_wait_cycles`` bounds how long stage 2 waits for the peak
         detector (in modulation periods) before declaring a failure —
         which *is* a legitimate test outcome for some injected faults.
+
+        ``settle`` selects the stage-0 policy: ``"fixed"`` (the paper's
+        Table 2 — wait ``settle_cycles`` modulation periods) or
+        ``"adaptive"`` (declare lock via the loop's own edge streams and
+        arm one modulation cycle later; falls back to the fixed wait on
+        timeout, so it is never slower).  ``seed_voltage`` optionally
+        starts the loop from a previous tone's released control voltage
+        instead of the computed lock point — with adaptive settling,
+        chaining tones this way lets the lock detector finish early.
+        Both are deliberate approximations: counted results under
+        adaptive settling agree with the fixed policy to counter
+        resolution, not bit-for-bit.
+
+        ``cache`` (or the instance-level cache) serves stage 0 from a
+        stored settled snapshot when the same (PLL, stimulus, tone,
+        settle policy) was settled before; warm runs *are* bit-identical
+        to cold runs.  Caching applies only to the reproducible
+        configuration — fixed settle from the nominal lock point — and
+        only when at least one PFD compare cycle fits between the settle
+        end and the arm instant (``8·f_mod ≤ f_ref``) so the deferred
+        peak-detector attach is transparent.
         """
+        if settle not in ("fixed", "adaptive"):
+            raise ConfigurationError(
+                f"settle must be 'fixed' or 'adaptive', got {settle!r}"
+            )
+        cache = cache if cache is not None else self.cache
         cfg = self.config
         t_mod = 1.0 / f_mod
+        if seed_voltage is not None:
+            # A seed carries the previous tone's modulation ripple.  For
+            # tones whose settle window is shorter than a few loop time
+            # constants the residual cannot decay before the arm instant
+            # and would bias a near-resolution deviation; start those
+            # from the nominal centre instead.
+            window = cfg.settle_cycles / f_mod
+            if window < 3.0 * self._loop_time_constant():
+                seed_voltage = None
         stage_log: List[Tuple[TestStage, float]] = []
+        wall_start = perf_counter()
 
         # ---- stage 0: apply modulation with the loop locked -----------
+        # The peak detector is attached *after* the settle (its latch
+        # re-aligns on the first observed PFD cycle, well before the arm
+        # instant), so warm-restored and cold-settled runs see identical
+        # observer history from the settle end onwards.
         source = self.stimulus.make_source(f_mod, start_time=0.0)
-        sim = PLLTransientSimulator(self.pll, source, record=self.record_level)
+        sim = PLLTransientSimulator(
+            self.pll,
+            source,
+            record=self.record_level,
+            initial_control_voltage=seed_voltage,
+        )
+        stage_log.append((TestStage.REF_SET, 0.0))
+        settle_end = cfg.settle_cycles / f_mod
+        arm_index = cfg.settle_cycles
+        warm = False
+        cacheable = (
+            cache is not None
+            and settle == "fixed"
+            and seed_voltage is None
+            and 8.0 * f_mod <= self.pll.f_ref
+            # Sources outside repro.stimulus may not support snapshots;
+            # they simply run cold rather than fail the tone.
+            and hasattr(source, "snapshot_state")
+            and hasattr(source, "restore_state")
+        )
+        if cacheable:
+            key = self._settle_cache_key(f_mod)
+            snap = cache.get(key)
+            if snap is not None:
+                sim.restore(snap)
+                warm = True
+        if not warm:
+            if settle == "adaptive":
+                arm_index = self._adaptive_settle(sim, f_mod)
+            else:
+                sim.run_until(settle_end)
+            if cacheable:
+                cache.put(key, sim.snapshot())
+        wall_settled = perf_counter()
+
         detector = PeakFrequencyDetector(
             inverter_delay=cfg.detector_inverter_delay,
             and_gate_delay=cfg.detector_and_delay,
@@ -145,13 +356,10 @@ class ToneTestSequencer:
         phase_counter = PhaseCounter(cfg.test_clock_hz)
         hold = LoopHoldControl(FrequencyCounter(cfg.test_clock_hz))
         sim.add_cycle_observer(detector.on_cycle)
-        stage_log.append((TestStage.REF_SET, sim.now))
-        settle_end = cfg.settle_cycles / f_mod
-        sim.run_until(settle_end)
 
         # ---- stage 1: start the phase counter at the input peak -------
         t_arm = self.stimulus.modulation_peak_time(
-            f_mod, start_time=0.0, index=cfg.settle_cycles
+            f_mod, start_time=0.0, index=arm_index
         )
         sim.run_until(t_arm)
         phase_counter.start(t_arm)
@@ -181,6 +389,7 @@ class ToneTestSequencer:
             )
         event = captured[0]
         stage_log.append((TestStage.PEAK_OCCURRED, event.time))
+        wall_monitored = perf_counter()
 
         # ---- stage 4: count the held output frequency ------------------
         stage_log.append((TestStage.MEASURE, sim.now))
@@ -188,6 +397,8 @@ class ToneTestSequencer:
             sim, periods=cfg.frequency_count_periods, release_after=True
         )
         stage_log.append((TestStage.DONE, sim.now))
+        self.last_release_voltage = sim.control_voltage
+        wall_end = perf_counter()
 
         return ToneMeasurement(
             f_mod=f_mod,
@@ -198,6 +409,12 @@ class ToneTestSequencer:
             arm_time=t_arm,
             peak_event=event,
             stage_log=stage_log,
+            timing=ToneTiming(
+                settle_s=wall_settled - wall_start,
+                monitor_s=wall_monitored - wall_settled,
+                measure_s=wall_end - wall_monitored,
+                warm=warm,
+            ),
         )
 
     def measure_nominal_frequency(self, gate_cycles: int = 128) -> float:
@@ -207,7 +424,18 @@ class ToneTestSequencer:
         counts the divided output, giving the ``f_out`` baseline that
         ``ΔF`` measurements subtract (the paper references deviations to
         the locked nominal frequency).
+
+        The baseline depends only on the immutable (PLL, stimulus,
+        config) triple and ``gate_cycles``, so it is measured once per
+        sequencer and memoised — repeated calls (one per tone in a
+        report, or per device in a batch screen against a shared
+        sequencer) no longer rebuild and re-settle a throwaway
+        simulator.
         """
+        cached = self._nominal_cache.get(gate_cycles)
+        if cached is not None:
+            return cached
+
         from repro.stimulus.waveforms import ConstantFrequencySource
 
         source = ConstantFrequencySource(self.stimulus.f_nominal)
@@ -218,6 +446,8 @@ class ToneTestSequencer:
         t0 = sim.now
         f_fb = self.pll.f_out_nominal / self.pll.n
         sim.run_for((gate_cycles + 2) / f_fb)
-        return counter.measure_reciprocal(
+        value = counter.measure_reciprocal(
             sim.fb_edges, start=t0, periods=gate_cycles
         ).scaled(self.pll.n).frequency_hz
+        self._nominal_cache[gate_cycles] = value
+        return value

@@ -1,0 +1,99 @@
+"""Warm-start support: a cache of settled loop states.
+
+Table 2's stage (0) — "allow the loop to settle" — dominates the cost of
+a tone measurement: for the paper's sweep roughly four modulation
+periods of closed-loop simulation (~79 % of the per-tone events) are
+spent reaching steady state before the phase counter is even armed.
+That work is pure replay whenever the same (PLL, stimulus, tone) has
+been settled before: the loop is deterministic, so the settled state is
+a function of the configuration alone.
+
+:class:`LockStateCache` memoises those settled states as
+:class:`~repro.pll.simulator.SimulatorSnapshot` records keyed by the
+tone parameters.  A hit lets the sequencer *restore* instead of
+re-simulating the settle, which is bit-identical to the cold run by the
+snapshot guarantee — measurements from a warm run equal the cold run's
+tick for tick.  Typical uses: batch screening (the same sweep plan run
+against many devices re-settles the same tones), re-measurement of a
+tone at a different ``max_wait_cycles``, and the cold/warm benchmark.
+
+The cache is a bounded LRU so long screening campaigns cannot grow
+memory without limit; snapshots are a few hundred bytes each.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.pll.simulator import SimulatorSnapshot
+
+__all__ = ["LockStateCache"]
+
+
+class LockStateCache:
+    """Bounded LRU cache of settled-loop snapshots.
+
+    Keys are arbitrary hashable tuples built by the sequencer from
+    everything that determines the settled state: the PLL name, the
+    stimulus parameters (nominal frequency, deviation, tone frequency),
+    the settle duration and the recording level.  Values are
+    :class:`~repro.pll.simulator.SimulatorSnapshot` records captured at
+    the end of stage (0).
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity; least-recently-used entries are evicted beyond it.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ConfigurationError(
+                f"max_entries must be >= 1, got {max_entries!r}"
+            )
+        self.max_entries = max_entries
+        self._store: "OrderedDict[Hashable, SimulatorSnapshot]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(self, key: Hashable) -> Optional[SimulatorSnapshot]:
+        """Return the cached snapshot for ``key``, or ``None`` on a miss.
+
+        A hit refreshes the entry's recency.
+        """
+        snap = self._store.get(key)
+        if snap is None:
+            self._misses += 1
+            return None
+        self._store.move_to_end(key)
+        self._hits += 1
+        return snap
+
+    def put(self, key: Hashable, snap: SimulatorSnapshot) -> None:
+        """Store ``snap`` under ``key``, evicting the LRU entry if full."""
+        self._store[key] = snap
+        self._store.move_to_end(key)
+        while len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._store.clear()
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def stats(self) -> Tuple[int, int]:
+        """``(hits, misses)`` counters since construction or clear."""
+        return (self._hits, self._misses)
+
+    def __repr__(self) -> str:
+        return (
+            f"LockStateCache(entries={len(self._store)}/{self.max_entries}, "
+            f"hits={self._hits}, misses={self._misses})"
+        )

@@ -57,6 +57,7 @@ def device_report(
     sweep: SweepResult,
     limits: Optional[LimitReport] = None,
     diagnosis: Optional[Sequence[DiagnosisCandidate]] = None,
+    include_timing: bool = False,
 ) -> str:
     """Render one device's BIST outcome as a markdown document.
 
@@ -71,6 +72,11 @@ def device_report(
     diagnosis:
         Optional ranked single-component hypotheses (usually only
         attached for failing devices).
+    include_timing:
+        Add the per-tone wall-time breakdown (settle/monitor/measure,
+        warm vs cold start).  Off by default because wall time is
+        non-deterministic — archived reports stay byte-identical across
+        reruns and executors unless timing is explicitly requested.
     """
     parts = [f"# BIST report — {pll.name}\n"]
 
@@ -99,6 +105,31 @@ def device_report(
         _md_table(["f_mod (Hz)", "magnitude (dB)", "phase (deg)"],
                   tone_rows),
     ))
+
+    timed = [
+        m for m in sweep.measurements if getattr(m, "timing", None) is not None
+    ] if include_timing else []
+    if timed:
+        rows = [
+            [
+                f"{m.f_mod:.3g}",
+                f"{m.timing.settle_s * 1e3:.1f}",
+                f"{m.timing.monitor_s * 1e3:.1f}",
+                f"{m.timing.measure_s * 1e3:.1f}",
+                "warm" if m.timing.warm else "cold",
+            ]
+            for m in timed
+        ]
+        total = sum(m.timing.total_s for m in timed)
+        warm = sum(1 for m in timed if m.timing.warm)
+        parts.append(_section(
+            f"Test time — {total:.2f} s total, {warm}/{len(timed)} tones warm",
+            _md_table(
+                ["f_mod (Hz)", "settle (ms)", "monitor (ms)",
+                 "measure (ms)", "start"],
+                rows,
+            ),
+        ))
 
     if sweep.estimated is not None:
         est = sweep.estimated

@@ -29,7 +29,7 @@ compares the two experimentally.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 from repro.errors import StimulusError
 from repro.stimulus.modulation import ModulatedStimulus
@@ -270,6 +270,19 @@ class DelayLinePMSource:
             delay -= self.line.total_delay
         return t_grid + delay
 
+    def snapshot_state(self) -> Tuple[float, ...]:
+        """Scalar edge-generator state for warm-start snapshots.
+
+        The tapped line is static once locked, so the edge counter is
+        the only evolving state.
+        """
+        return (float(self._k),)
+
+    def restore_state(self, state: Tuple[float, ...]) -> None:
+        """Restore state captured by :meth:`snapshot_state`."""
+        (k,) = state
+        self._k = int(k)
+
     @property
     def equivalent_fm_deviation(self) -> float:
         """Peak frequency deviation this PM produces, in Hz.
@@ -358,6 +371,10 @@ class DelayLinePMStimulus(ModulatedStimulus):
                 "deviation"
             )
         return p
+
+    def cache_key(self) -> Tuple[object, ...]:
+        mismatch = tuple(self.mismatch) if self.mismatch is not None else None
+        return super().cache_key() + (self.n_taps, mismatch, self.dll_lock)
 
     def make_source(self, f_mod: float, start_time: float = 0.0
                     ) -> DelayLinePMSource:

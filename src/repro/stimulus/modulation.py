@@ -62,6 +62,16 @@ class ModulatedStimulus:
         ``start_time``."""
         raise NotImplementedError
 
+    def cache_key(self) -> Tuple:
+        """Hashable fingerprint of everything that shapes the edge train.
+
+        Two stimuli with equal keys produce bit-identical sources from
+        :meth:`make_source` for every ``(f_mod, start_time)``; the
+        warm-start machinery uses this to key cached settled states.
+        Subclasses with extra shape parameters must extend the tuple.
+        """
+        return (type(self).__name__, self.f_nominal, self.deviation)
+
     def modulation_peak_time(self, f_mod: float, start_time: float = 0.0,
                              index: int = 0) -> float:
         """Absolute time of the ``index``-th input-frequency maximum.
@@ -136,6 +146,15 @@ class MultiToneFSKStimulus(ModulatedStimulus):
         if dco is not None:
             # Fail early if the grid cannot express the deviation.
             dco.tone_set(f_nominal, deviation, steps)
+
+    def cache_key(self) -> Tuple:
+        """Base fingerprint plus the FSK shape parameters."""
+        dco_key = (
+            None
+            if self.dco is None
+            else (self.dco.f_master, self.dco.max_modulus)
+        )
+        return super().cache_key() + (self.steps, self.hardware_edges, dco_key)
 
     def tone_frequencies(self) -> List[float]:
         """The per-dwell tones over one modulation cycle."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core import (
+    ParallelFallbackWarning,
     ProcessPoolSweepExecutor,
     SerialSweepExecutor,
     SweepPlan,
@@ -18,6 +19,7 @@ from repro.core import (
     TransferFunctionMonitor,
     executor_for,
 )
+import repro.core.executor as executor_module
 from repro.errors import ConfigurationError, MeasurementError
 from repro.presets import paper_pll, paper_stimulus
 from repro.reporting import DeviceReportRequest, batch_device_reports
@@ -49,7 +51,9 @@ def serial_result(monitor, mixed_plan):
 
 @pytest.fixture(scope="module")
 def parallel_result(monitor, mixed_plan):
-    return monitor.run(mixed_plan, n_workers=4)
+    # An explicit executor bypasses the visible-CPU fallback, so the
+    # process boundary is genuinely crossed even on a 1-core runner.
+    return monitor.run(mixed_plan, executor=ProcessPoolSweepExecutor(4))
 
 
 def _assert_measurements_identical(a, b):
@@ -98,7 +102,7 @@ class TestReferenceToneFailure:
         with pytest.raises(MeasurementError) as serial_exc:
             monitor.run(plan)
         with pytest.raises(MeasurementError) as parallel_exc:
-            monitor.run(plan, n_workers=2)
+            monitor.run(plan, executor=ProcessPoolSweepExecutor(2))
         assert str(serial_exc.value) == str(parallel_exc.value)
         assert "in-band reference tone" in str(serial_exc.value)
 
@@ -107,10 +111,29 @@ class TestExecutorPlumbing:
     def test_factory_serial(self):
         assert isinstance(executor_for(1), SerialSweepExecutor)
 
-    def test_factory_pool(self):
+    def test_factory_pool(self, monkeypatch):
+        monkeypatch.setattr(executor_module, "_visible_cpu_count", lambda: 8)
         ex = executor_for(4)
         assert isinstance(ex, ProcessPoolSweepExecutor)
         assert ex.n_workers == 4
+
+    def test_factory_caps_at_visible_cores(self, monkeypatch):
+        monkeypatch.setattr(executor_module, "_visible_cpu_count", lambda: 3)
+        ex = executor_for(16)
+        assert isinstance(ex, ProcessPoolSweepExecutor)
+        assert ex.n_workers == 3
+
+    def test_factory_single_core_falls_back_with_warning(self, monkeypatch):
+        monkeypatch.setattr(executor_module, "_visible_cpu_count", lambda: 1)
+        with pytest.warns(ParallelFallbackWarning, match="1 CPU"):
+            ex = executor_for(8)
+        assert isinstance(ex, SerialSweepExecutor)
+
+    def test_factory_too_few_tones_falls_back(self, monkeypatch):
+        monkeypatch.setattr(executor_module, "_visible_cpu_count", lambda: 8)
+        with pytest.warns(ParallelFallbackWarning, match="tone"):
+            ex = executor_for(8, n_tones=1)
+        assert isinstance(ex, SerialSweepExecutor)
 
     def test_factory_rejects_nonpositive(self):
         with pytest.raises(ConfigurationError):
@@ -130,7 +153,7 @@ class TestExecutorPlumbing:
     def test_pool_wider_than_plan(self, monitor, fast_bist_config):
         # min(n_workers, tones) keeps the pool from spawning idle workers.
         plan = SweepPlan(PASSING_TONES)
-        result = monitor.run(plan, n_workers=16)
+        result = monitor.run(plan, executor=ProcessPoolSweepExecutor(16))
         assert len(result.measurements) == len(PASSING_TONES)
 
     def test_outcome_failed_property(self):

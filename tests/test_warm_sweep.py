@@ -1,0 +1,209 @@
+"""Warm-start sweeps: lock-state cache, adaptive settling, memoisation.
+
+Two distinct warm paths with two distinct contracts:
+
+* **Cache-warm** (``LockStateCache``): re-running a tone restores the
+  cached settled snapshot — results are **bit-identical** to the cold
+  run (the snapshot guarantee).
+* **Adaptive settle** (``settle="adaptive"``): lock detection replaces
+  the fixed stage-0 wait — explicitly approximate; counted results must
+  agree with the fixed policy to counter resolution for in-band tones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    LockStateCache,
+    SerialSweepExecutor,
+    SweepPlan,
+    ToneTestSequencer,
+    TransferFunctionMonitor,
+)
+from repro.errors import ConfigurationError
+from repro.presets import paper_pll, paper_stimulus
+
+
+@pytest.fixture()
+def sequencer(pll_linear, sine_stimulus, fast_bist_config):
+    return ToneTestSequencer(
+        pll_linear, sine_stimulus, fast_bist_config, cache=LockStateCache()
+    )
+
+
+def _assert_identical(a, b):
+    assert a.held.vco_frequency_hz == b.held.vco_frequency_hz
+    assert a.held.measurement.count == b.held.measurement.count
+    assert a.phase_count.pulses == b.phase_count.pulses
+    assert a.phase_count.t_start == b.phase_count.t_start
+    assert a.phase_count.t_stop == b.phase_count.t_stop
+    assert a.arm_time == b.arm_time
+    assert a.peak_event.time == b.peak_event.time
+    assert a.delta_f_hz == b.delta_f_hz
+    assert a.phase_delay_deg == b.phase_delay_deg
+    assert [t for __, t in a.stage_log] == [t for __, t in b.stage_log]
+
+
+class TestCacheWarmRuns:
+    def test_warm_rerun_bit_identical(self, sequencer):
+        cold = sequencer.run(8.0)
+        warm = sequencer.run(8.0)
+        assert cold.timing is not None and not cold.timing.warm
+        assert warm.timing is not None and warm.timing.warm
+        _assert_identical(cold, warm)
+        hits, misses = sequencer.cache.stats
+        assert hits == 1 and misses == 1
+
+    def test_warm_rerun_without_cache_is_cold(
+        self, pll_linear, sine_stimulus, fast_bist_config
+    ):
+        sequencer = ToneTestSequencer(
+            pll_linear, sine_stimulus, fast_bist_config
+        )
+        first = sequencer.run(8.0)
+        second = sequencer.run(8.0)
+        assert not first.timing.warm and not second.timing.warm
+        _assert_identical(first, second)
+
+    def test_fast_tones_bypass_cache(self, sequencer):
+        # Above f_ref/8 there may be no PFD cycle between settle end and
+        # arm, so such tones are never cached.
+        f_fast = sequencer.pll.f_ref / 4.0
+        sequencer.run(f_fast)
+        sequencer.run(f_fast)
+        hits, _misses = sequencer.cache.stats
+        assert hits == 0
+        assert len(sequencer.cache) == 0
+
+    def test_monitor_measure_tone_warms_up(
+        self, pll_linear, sine_stimulus, fast_bist_config
+    ):
+        monitor = TransferFunctionMonitor(
+            pll_linear, sine_stimulus, fast_bist_config
+        )
+        cold = monitor.measure_tone(8.0)
+        warm = monitor.measure_tone(8.0)
+        assert warm.timing.warm and not cold.timing.warm
+        _assert_identical(cold, warm)
+
+    def test_repeated_sweep_is_served_warm(
+        self, pll_linear, sine_stimulus, fast_bist_config
+    ):
+        monitor = TransferFunctionMonitor(
+            pll_linear, sine_stimulus, fast_bist_config
+        )
+        plan = SweepPlan((4.0, 8.0, 16.0))
+        first = monitor.run(plan)
+        second = monitor.run(plan)
+        assert all(not m.timing.warm for m in first.measurements)
+        assert all(m.timing.warm for m in second.measurements)
+        for a, b in zip(first.measurements, second.measurements):
+            _assert_identical(a, b)
+
+
+class TestLockStateCacheUnit:
+    def test_lru_eviction(self):
+        cache = LockStateCache(max_entries=2)
+        cache.put("a", "snap-a")  # type: ignore[arg-type]
+        cache.put("b", "snap-b")  # type: ignore[arg-type]
+        assert cache.get("a") == "snap-a"  # refresh a
+        cache.put("c", "snap-c")  # type: ignore[arg-type]
+        assert cache.get("b") is None  # b was LRU
+        assert cache.get("a") == "snap-a"
+        assert cache.get("c") == "snap-c"
+        assert len(cache) == 2
+
+    def test_stats_and_clear(self):
+        cache = LockStateCache()
+        assert cache.get("missing") is None
+        cache.put("k", "v")  # type: ignore[arg-type]
+        assert cache.get("k") == "v"
+        assert cache.stats == (1, 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats == (0, 0)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            LockStateCache(max_entries=0)
+
+
+class TestAdaptiveSettle:
+    def test_rejects_unknown_policy(self, sequencer):
+        with pytest.raises(ConfigurationError):
+            sequencer.run(8.0, settle="eventually")
+
+    def test_adaptive_agrees_with_fixed_in_band(
+        self, pll_linear, sine_stimulus, bist_config
+    ):
+        # In-band tones (well below ~3 fn) must agree to counter
+        # resolution; adaptive settling is an approximation, not a
+        # bit-identity path.
+        sequencer = ToneTestSequencer(pll_linear, sine_stimulus, bist_config)
+        for f_mod in (2.0, 8.0):
+            fixed = sequencer.run(f_mod, settle="fixed")
+            adaptive = sequencer.run(f_mod, settle="adaptive")
+            assert adaptive.delta_f_hz == pytest.approx(
+                fixed.delta_f_hz, rel=0.05, abs=0.05
+            )
+            assert adaptive.phase_delay_deg == pytest.approx(
+                fixed.phase_delay_deg, abs=10.0
+            )
+
+    def test_adaptive_never_arms_later_than_fixed(
+        self, pll_linear, sine_stimulus, bist_config
+    ):
+        sequencer = ToneTestSequencer(pll_linear, sine_stimulus, bist_config)
+        for f_mod in (2.0, 8.0, 40.0):
+            fixed = sequencer.run(f_mod, settle="fixed")
+            adaptive = sequencer.run(f_mod, settle="adaptive")
+            assert adaptive.arm_time <= fixed.arm_time
+
+    def test_serial_executor_chains_seeds(
+        self, pll_linear, fast_bist_config
+    ):
+        stimulus = paper_stimulus("multitone")
+        outcomes = SerialSweepExecutor().run_tones(
+            pll_linear,
+            stimulus,
+            fast_bist_config,
+            (4.0, 8.0, 16.0),
+            settle="adaptive",
+        )
+        assert all(not o.failed for o in outcomes)
+        assert [o.f_mod for o in outcomes] == [4.0, 8.0, 16.0]
+
+
+class TestNominalBaselineMemoised:
+    def test_same_value_and_cached(
+        self, pll_linear, sine_stimulus, fast_bist_config
+    ):
+        sequencer = ToneTestSequencer(
+            pll_linear, sine_stimulus, fast_bist_config
+        )
+        first = sequencer.measure_nominal_frequency()
+        second = sequencer.measure_nominal_frequency()
+        assert first == second
+        assert sequencer._nominal_cache == {128: first}
+
+    def test_distinct_gates_distinct_entries(
+        self, pll_linear, sine_stimulus, fast_bist_config
+    ):
+        sequencer = ToneTestSequencer(
+            pll_linear, sine_stimulus, fast_bist_config
+        )
+        f128 = sequencer.measure_nominal_frequency(128)
+        f64 = sequencer.measure_nominal_frequency(64)
+        assert set(sequencer._nominal_cache) == {64, 128}
+        assert f128 == pytest.approx(f64, rel=1e-6)
+
+    def test_monitor_delegates(self, pll_linear, sine_stimulus, fast_bist_config):
+        monitor = TransferFunctionMonitor(
+            pll_linear, sine_stimulus, fast_bist_config
+        )
+        value = monitor.measure_nominal_frequency()
+        assert value == pytest.approx(
+            pll_linear.f_out_nominal, rel=1e-3
+        )
+        assert monitor.measure_nominal_frequency() == value
