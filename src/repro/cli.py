@@ -6,6 +6,7 @@ theory     print the reconstructed design point and its theoretical Bode plot
 sweep      run the full BIST transfer-function sweep on the paper PLL
 selftest   run the four-step self-test (lock / nominal / droop / sweep)
 screen     push the macro-fault library through the BIST with limits
+lot        batch-screen a lot of devices (warm-state-shared, one report each)
 diagnose   rank single-component explanations for a measured (fn, zeta)
 plan       DCO / detector / counter feasibility checks for DfT planning
 
@@ -170,6 +171,8 @@ def cmd_selftest(args) -> int:
 
 
 def cmd_screen(args) -> int:
+    from repro.core import LockStateCache
+
     limits = _golden_limits()
     config = paper_bist_config()
     plan = paper_sweep(points=args.points)
@@ -179,9 +182,13 @@ def cmd_screen(args) -> int:
         (label, apply_fault(paper_pll(), fault))
         for label, fault in sorted(FAULT_LIBRARY.items())
     ]
+    # One cache across the whole screen: entries are keyed by physics
+    # signature, so distinct faults never collide while any repeated
+    # configuration (re-screens, duplicate faults) is served warm.
+    warm_cache = LockStateCache()
     for label, dut in duts:
         monitor = TransferFunctionMonitor(
-            dut, paper_stimulus(args.stimulus), config
+            dut, paper_stimulus(args.stimulus), config, cache=warm_cache
         )
         try:
             result, verdict = monitor.run_and_check(
@@ -201,6 +208,83 @@ def cmd_screen(args) -> int:
         title="fault-library screening",
     ))
     return 0
+
+
+def cmd_lot(args) -> int:
+    """Batch-screen a lot of devices against the paper sweep and limits.
+
+    The production workload of §5/Table 2: every die gets the full
+    transfer-function BIST and one archived markdown artefact.  By
+    default the lot shares warm state through one
+    :class:`~repro.core.LockStateCache` — each (stimulus, tone,
+    device-physics) family settles once and every behaviourally
+    identical die restores it, byte-identical to a cold screen
+    (``--cold`` opts out, e.g. for timing comparisons).
+    """
+    import pathlib
+    import time
+    from dataclasses import replace
+
+    from repro.core import LockStateCache
+    from repro.reporting import DeviceReportRequest, batch_device_reports
+
+    if args.size < 1:
+        raise SystemExit(f"lot size must be >= 1, got {args.size}")
+    stimulus = paper_stimulus(args.stimulus)
+    config = paper_bist_config()
+    plan = paper_sweep(points=args.points)
+    limits = _golden_limits()
+    template = _device(args)
+    requests = [
+        DeviceReportRequest(
+            pll=replace(template, name=f"{template.name}-{i:03d}"),
+            stimulus=stimulus,
+            plan=plan,
+            config=config,
+            limits=limits,
+        )
+        for i in range(args.size)
+    ]
+    cache = None if args.cold else LockStateCache()
+    t0 = time.perf_counter()
+    reports = batch_device_reports(
+        requests, n_workers=args.workers, cache=cache
+    )
+    wall = time.perf_counter() - t0
+
+    def _verdict(text: str) -> str:
+        if "FAIL (sweep aborted)" in text:
+            return "FAIL (aborted)"
+        if "**PASS**" in text:
+            return "PASS"
+        if "**FAIL**" in text:
+            return "FAIL"
+        return "?"
+
+    rows = [
+        [req.pll.name, _verdict(text)]
+        for req, text in zip(requests, reports)
+    ]
+    if args.out_dir:
+        out_dir = pathlib.Path(args.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for req, text in zip(requests, reports):
+            (out_dir / f"{req.pll.name}.md").write_text(text)
+        print(f"wrote {len(reports)} reports to {out_dir}")
+    print(format_table(
+        ["device", "verdict"], rows,
+        title=f"lot screen — {args.size} devices, {wall:.2f} s "
+              f"({'cold' if cache is None else 'warm-shared'})",
+    ))
+    if cache is not None:
+        detail = cache.stats_detail
+        print(
+            f"warm cache: {detail['entries']} settled states, "
+            f"{detail['hits']} hits / {detail['misses']} misses, "
+            f"{detail['merged']} merged from workers"
+        )
+    failed = sum(1 for __, v in rows if v != "PASS")
+    return 1 if failed else 0
 
 
 def cmd_diagnose(args) -> int:
@@ -302,6 +386,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stage-0 policy: Table 2 fixed wait, or adaptive "
                         "lock detection (approximate, never slower)")
     p.set_defaults(handler=cmd_screen)
+
+    p = sub.add_parser("lot", help="batch-screen a lot of devices")
+    common(p)
+    p.add_argument("--size", type=int, default=8,
+                   help="number of devices in the lot (default 8)")
+    p.add_argument("--workers", type=_worker_count, default=1,
+                   help="device worker processes (1 = serial, default)")
+    p.add_argument("--cold", action="store_true",
+                   help="screen every device cold instead of sharing "
+                        "warm state across the lot")
+    p.add_argument("--out-dir", default=None,
+                   help="also write one markdown report per device here")
+    p.set_defaults(handler=cmd_lot)
 
     p = sub.add_parser("diagnose",
                        help="rank component explanations for a shift")

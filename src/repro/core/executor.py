@@ -219,28 +219,87 @@ ChunkPayload = Tuple[
     Tuple[Tuple[int, float], ...],
     str,
     Optional[str],
+    Optional[Tuple],
+]
+
+ChunkResult = Tuple[
+    List[Tuple[int, Optional[ToneOutcome], Optional[str]]],
+    Tuple,
 ]
 
 
-def _run_tone_chunk(
-    payload: ChunkPayload,
-) -> List[Tuple[int, Optional[ToneOutcome], Optional[str]]]:
+def _close_shm(shm) -> None:
+    """Best-effort close of a shared-memory mapping; never raises.
+
+    Cleanup paths must not mask the original exception — a close that
+    fails (e.g. a stray exported buffer view) leaves the segment to the
+    interpreter's resource tracker rather than crashing the sweep.
+    """
+    try:
+        shm.close()
+    except (BufferError, OSError):  # pragma: no cover - defensive
+        pass
+
+
+def _destroy_shm(shm) -> None:
+    """Best-effort close *and unlink*; never raises.
+
+    Unlink runs even when close fails (on POSIX the segment name can be
+    removed while mappings are still open), so an error mid-sweep — a
+    worker crash, an early pool teardown — cannot leak a ``/dev/shm``
+    segment.
+    """
+    _close_shm(shm)
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+    except OSError:  # pragma: no cover - defensive
+        pass
+
+
+def _run_tone_chunk(payload: ChunkPayload) -> ChunkResult:
     """Worker: run one chunk of tones through a shared sequencer.
 
     ``payload`` is ``(pll, stimulus, config, ((plan_index, f_mod), ...),
-    settle, shm_name)``.  Successful measurements are written into the
-    named shared-memory array (row = plan index) and reported back as
-    ``(index, None, None)``; failures return ``(index, None, error)``.
-    When the shared-memory segment is unavailable (``shm_name`` None)
-    the full outcome is pickled back as ``(index, outcome, None)``.
+    settle, shm_name, warm_entries)``.  Successful measurements are
+    written into the named shared-memory array (row = plan index) and
+    reported back as ``(index, None, None)``; failures return
+    ``(index, None, error)``.  When the shared-memory segment is
+    unavailable (``shm_name`` None, or attaching fails) the full outcome
+    is pickled back as ``(index, outcome, None)``.
+
+    ``warm_entries`` optionally carries the parent cache's exported
+    settled states (:meth:`~repro.core.warm.LockStateCache.export`); the
+    worker seeds a local cache from them so already-settled tones
+    restore instead of re-simulating, and returns whatever *new* settled
+    states it discovered as the second element of the result, for the
+    parent to merge back.
     """
-    pll, stimulus, config, chunk, settle, shm_name = payload
-    sequencer = ToneTestSequencer(pll, stimulus, config)
+    pll, stimulus, config, chunk, settle, shm_name, warm_entries = payload
+    local_cache: Optional[LockStateCache] = None
+    shipped_keys = frozenset()
+    if warm_entries is not None:
+        # Sized so nothing shipped can be evicted while the chunk runs.
+        local_cache = LockStateCache(
+            max_entries=max(256, len(warm_entries) + len(chunk))
+        )
+        local_cache.merge(warm_entries)
+        shipped_keys = frozenset(key for key, __ in warm_entries)
+    sequencer = ToneTestSequencer(pll, stimulus, config, cache=local_cache)
     shm = None
     table = None
     if shm_name is not None and _shared_memory is not None:
-        shm = _shared_memory.SharedMemory(name=shm_name)
-        table = np.frombuffer(shm.buf, dtype=np.float64).reshape(-1, _SLOTS)
+        try:
+            shm = _shared_memory.SharedMemory(name=shm_name)
+            table = np.frombuffer(shm.buf, dtype=np.float64).reshape(-1, _SLOTS)
+        except (OSError, ValueError):
+            # Segment unavailable in this worker: degrade to the pickle
+            # channel rather than killing the whole chunk.
+            if shm is not None:
+                _close_shm(shm)
+            shm = None
+            table = None
     results: List[Tuple[int, Optional[ToneOutcome], Optional[str]]] = []
     seed: Optional[float] = None
     try:
@@ -266,8 +325,15 @@ def _run_tone_chunk(
         if shm is not None:
             # Release the worker's buffer view before closing the mapping.
             table = None
-            shm.close()
-    return results
+            _close_shm(shm)
+    new_entries: Tuple = ()
+    if local_cache is not None:
+        new_entries = tuple(
+            (key, snap)
+            for key, snap in local_cache.export()
+            if key not in shipped_keys
+        )
+    return results, new_entries
 
 
 class SweepExecutor:
@@ -343,9 +409,12 @@ class ProcessPoolSweepExecutor(SweepExecutor):
     table; results are re-assembled **in plan order**, bit-identical to
     the serial run.
 
-    The warm-start cache is per-process state and is deliberately not
-    shipped to workers; within a chunk the worker's own sequencer still
-    memoises and (under adaptive settling) chains seed voltages.
+    When a warm-start cache is provided, its exported settled states
+    ride along in each chunk payload: workers restore known tones
+    instead of re-settling them (bit-identical by the snapshot
+    guarantee) and return the settled states they discovered, which are
+    merged back into the parent cache — so a pool-run sweep leaves the
+    cache as warm as a serial one would have.
     """
 
     def __init__(self, n_workers: int) -> None:
@@ -378,16 +447,19 @@ class ProcessPoolSweepExecutor(SweepExecutor):
         chunks = [order[w::workers] for w in range(workers)]
         shm = None
         shm_name = None
-        if _shared_memory is not None:
-            try:
-                shm = _shared_memory.SharedMemory(
-                    create=True, size=len(freqs) * _SLOTS * 8
-                )
-                np.frombuffer(shm.buf, dtype=np.float64)[:] = _STATUS_EMPTY
-                shm_name = shm.name
-            except OSError:
-                shm = None  # e.g. /dev/shm unavailable; pickle fallback
         try:
+            if _shared_memory is not None:
+                try:
+                    shm = _shared_memory.SharedMemory(
+                        create=True, size=len(freqs) * _SLOTS * 8
+                    )
+                    np.frombuffer(shm.buf, dtype=np.float64)[:] = _STATUS_EMPTY
+                    shm_name = shm.name
+                except OSError:
+                    if shm is not None:
+                        _destroy_shm(shm)
+                    shm = None  # e.g. /dev/shm unavailable; pickle fallback
+            warm_entries = cache.export() if cache is not None else None
             payloads: List[ChunkPayload] = [
                 (
                     pll,
@@ -396,6 +468,7 @@ class ProcessPoolSweepExecutor(SweepExecutor):
                     tuple((i, freqs[i]) for i in chunk),
                     settle,
                     shm_name,
+                    warm_entries,
                 )
                 for chunk in chunks
             ]
@@ -411,7 +484,9 @@ class ProcessPoolSweepExecutor(SweepExecutor):
                 if shm is not None
                 else None
             )
-            for results in chunk_results:
+            for results, new_entries in chunk_results:
+                if cache is not None and new_entries:
+                    cache.merge(new_entries)
                 for index, outcome, error in results:
                     if error is not None:
                         outcomes[index] = ToneOutcome(
@@ -438,9 +513,11 @@ class ProcessPoolSweepExecutor(SweepExecutor):
                 )
             return outcomes  # type: ignore[return-value]
         finally:
+            # Runs on success, on a worker failure surfacing through
+            # pool.map, and on early pool teardown alike: the segment is
+            # closed and unlinked whatever happened above.
             if shm is not None:
-                shm.close()
-                shm.unlink()
+                _destroy_shm(shm)
 
 
 def _visible_cpu_count() -> int:

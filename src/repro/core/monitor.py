@@ -127,6 +127,13 @@ class TransferFunctionMonitor:
         zero time constant, so the reported response is the paper's
         eq. (4) transfer function.  ``False`` reports the raw
         capacitor-referred response.
+    cache:
+        Optional externally owned :class:`~repro.core.warm.LockStateCache`
+        to serve warm starts from.  Passing one cache to many monitors —
+        the batch-screening pattern — lets a whole lot share settled
+        states: each (stimulus, tone, device-physics) family settles
+        once, every behaviourally identical device thereafter restores
+        it.  ``None`` (default) gives the monitor a private cache.
     """
 
     def __init__(
@@ -135,6 +142,7 @@ class TransferFunctionMonitor:
         stimulus: ModulatedStimulus,
         config: BISTConfig = BISTConfig(),
         correct_filter_zero: bool = True,
+        cache: Optional[LockStateCache] = None,
     ) -> None:
         self.pll = pll
         self.stimulus = stimulus
@@ -144,7 +152,7 @@ class TransferFunctionMonitor:
         #: sweep and single-tone measurement this monitor runs: once a
         #: tone has settled, re-measuring it restores the settled loop
         #: (bit-identically) instead of re-simulating the settle.
-        self.lock_cache = LockStateCache()
+        self.lock_cache = cache if cache is not None else LockStateCache()
         self._sequencer = ToneTestSequencer(
             pll, stimulus, config, cache=self.lock_cache
         )
@@ -224,25 +232,36 @@ class TransferFunctionMonitor:
             settle=settle,
             cache=self.lock_cache,
         )
+        if len(outcomes) != len(plan.frequencies_hz):
+            raise MeasurementError(
+                f"executor returned {len(outcomes)} outcomes for "
+                f"{len(plan.frequencies_hz)} planned tones"
+            )
+        # The reference tone is identified by *position in the plan*
+        # (index 0 — the plan sorts ascending and the reference is the
+        # lowest tone), never by comparing f_mod values: executors
+        # contract to return outcomes in plan order, and a tone whose
+        # frequency round-trips through any transport must still be
+        # recognised as the reference.
         measurements: List[ToneMeasurement] = []
         failed: Dict[float, str] = {}
-        for outcome in outcomes:
+        for index, outcome in enumerate(outcomes):
+            is_reference = index == 0
             if outcome.failed:
-                if outcome.f_mod == plan.reference_frequency:
+                if is_reference:
                     raise MeasurementError(
                         f"in-band reference tone {outcome.f_mod:g} Hz "
                         f"failed: {outcome.error}"
                     )
                 failed[outcome.f_mod] = outcome.error
-            else:
-                measurements.append(outcome.measurement)
-        # A non-positive peak deviation means the tone produced no usable
-        # measurement (grossly defective or unsettled loop) — that is a
-        # diagnostic outcome, recorded per tone rather than fatal.
-        usable: List[ToneMeasurement] = []
-        for m in measurements:
+                continue
+            m = outcome.measurement
+            # A non-positive peak deviation means the tone produced no
+            # usable measurement (grossly defective or unsettled loop) —
+            # that is a diagnostic outcome, recorded per tone rather
+            # than fatal.
             if m.delta_f_hz <= 0.0:
-                if m.f_mod == plan.reference_frequency:
+                if is_reference:
                     raise MeasurementError(
                         f"in-band reference tone {m.f_mod:g} Hz measured a "
                         f"non-positive deviation ({m.delta_f_hz:.3g} Hz)"
@@ -250,9 +269,8 @@ class TransferFunctionMonitor:
                 failed[m.f_mod] = (
                     f"non-positive peak deviation ({m.delta_f_hz:.3g} Hz)"
                 )
-            else:
-                usable.append(m)
-        measurements = usable
+                continue
+            measurements.append(m)
         response = evaluate_sweep(
             measurements,
             label=self.stimulus.label,

@@ -169,9 +169,16 @@ class ToneTestSequencer:
     # stage-0 helpers
     # ------------------------------------------------------------------
     def _settle_cache_key(self, f_mod: float) -> Hashable:
-        """Everything that determines the settled stage-0 state."""
+        """Everything that determines the settled stage-0 state.
+
+        Keyed by the device's *physics signature* rather than its name,
+        so behaviourally identical devices — every same-configuration
+        die of a lot, or every repeat of the same injected fault across
+        a fault-library screen — share settled states, while any
+        component shift (i.e. a different fault) keys apart.
+        """
         return (
-            self.pll.name,
+            self.pll.physics_signature(),
             self.stimulus.cache_key(),
             float(f_mod),
             self.config.settle_cycles,

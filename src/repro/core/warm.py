@@ -17,6 +17,17 @@ tick for tick.  Typical uses: batch screening (the same sweep plan run
 against many devices re-settles the same tones), re-measurement of a
 tone at a different ``max_wait_cycles``, and the cold/warm benchmark.
 
+Because entries are keyed by the device's *physics signature* rather
+than its name (see
+:meth:`~repro.pll.config.ChargePumpPLL.physics_signature`), one cache
+shared across a whole lot settles each (stimulus, tone, configuration)
+family exactly once — every same-configuration die, and every repeat of
+the same injected fault in a fault-library screen, restores the first
+die's settled state.  :meth:`export` and :meth:`merge` move entries
+across process boundaries: a batch screen ships the parent cache's
+entries to pool workers inside the chunk payload and merges whatever
+the workers settled back into the parent on return.
+
 The cache is a bounded LRU so long screening campaigns cannot grow
 memory without limit; snapshots are a few hundred bytes each.
 """
@@ -24,23 +35,27 @@ memory without limit; snapshots are a few hundred bytes each.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Hashable, Optional, Tuple
+from typing import Hashable, Iterable, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.pll.simulator import SimulatorSnapshot
 
-__all__ = ["LockStateCache"]
+__all__ = ["LockStateCache", "CacheEntries"]
+
+#: Picklable transport form of a cache's contents: ``(key, snapshot)``
+#: pairs in least-recently-used-first order.
+CacheEntries = Tuple[Tuple[Hashable, SimulatorSnapshot], ...]
 
 
 class LockStateCache:
     """Bounded LRU cache of settled-loop snapshots.
 
     Keys are arbitrary hashable tuples built by the sequencer from
-    everything that determines the settled state: the PLL name, the
-    stimulus parameters (nominal frequency, deviation, tone frequency),
-    the settle duration and the recording level.  Values are
-    :class:`~repro.pll.simulator.SimulatorSnapshot` records captured at
-    the end of stage (0).
+    everything that determines the settled state: the PLL physics
+    signature, the stimulus parameters (nominal frequency, deviation,
+    tone frequency), the settle duration and the recording level.
+    Values are :class:`~repro.pll.simulator.SimulatorSnapshot` records
+    captured at the end of stage (0).
 
     Parameters
     ----------
@@ -57,9 +72,15 @@ class LockStateCache:
         self._store: "OrderedDict[Hashable, SimulatorSnapshot]" = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
+        self._merged = 0
 
     def __len__(self) -> int:
         return len(self._store)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Membership test; does not touch recency or the counters."""
+        return key in self._store
 
     def get(self, key: Hashable) -> Optional[SimulatorSnapshot]:
         """Return the cached snapshot for ``key``, or ``None`` on a miss.
@@ -80,20 +101,76 @@ class LockStateCache:
         self._store.move_to_end(key)
         while len(self._store) > self.max_entries:
             self._store.popitem(last=False)
+            self._evictions += 1
+
+    def export(self) -> CacheEntries:
+        """Every ``(key, snapshot)`` pair, LRU-first (picklable).
+
+        The export is a value copy of the cache's *contents* (snapshots
+        are immutable), sized to cross a process boundary inside a chunk
+        payload; merging it into an empty cache reproduces this cache's
+        entries and recency order.  Counters are not exported — they
+        describe this cache's history, not its contents.
+        """
+        return tuple(self._store.items())
+
+    def merge(
+        self, entries: Iterable[Tuple[Hashable, SimulatorSnapshot]]
+    ) -> int:
+        """Adopt settled states discovered elsewhere; return the number added.
+
+        ``entries`` is typically another cache's :meth:`export` — e.g.
+        what a pool worker settled while screening its share of a lot.
+        Merge semantics: **existing entries win**.  Both sides of a key
+        collision hold the *same* settled state (the settle is a pure
+        function of the key by the snapshot guarantee), so overwriting
+        could only churn recency; keeping the incumbent makes merging
+        idempotent and order-independent.  Newly adopted entries count
+        toward capacity and may evict LRU incumbents, exactly like
+        :meth:`put`.
+        """
+        added = 0
+        for key, snap in entries:
+            if key in self._store:
+                continue
+            self.put(key, snap)
+            added += 1
+        self._merged += added
+        return added
 
     def clear(self) -> None:
-        """Drop every entry and reset the hit/miss counters."""
+        """Drop every entry and reset all counters."""
         self._store.clear()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
+        self._merged = 0
 
     @property
     def stats(self) -> Tuple[int, int]:
         """``(hits, misses)`` counters since construction or clear."""
         return (self._hits, self._misses)
 
+    @property
+    def stats_detail(self) -> dict:
+        """Full counter set: hits, misses, evictions, merged entries.
+
+        ``merged`` counts entries adopted through :meth:`merge` (worker
+        discoveries folded into a parent cache); ``evictions`` counts
+        LRU drops from either :meth:`put` or :meth:`merge`.
+        """
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "merged": self._merged,
+            "entries": len(self._store),
+            "capacity": self.max_entries,
+        }
+
     def __repr__(self) -> str:
         return (
             f"LockStateCache(entries={len(self._store)}/{self.max_entries}, "
-            f"hits={self._hits}, misses={self._misses})"
+            f"hits={self._hits}, misses={self._misses}, "
+            f"evictions={self._evictions}, merged={self._merged})"
         )

@@ -13,9 +13,10 @@ delay lives here.
 
 from __future__ import annotations
 
+import enum
 import math
 from dataclasses import dataclass
-from typing import Union
+from typing import Hashable, Optional, Tuple, Union
 
 import numpy as np
 
@@ -27,6 +28,32 @@ from repro.pll.vco import VCO
 __all__ = ["ChargePumpPLL"]
 
 ComplexLike = Union[complex, np.ndarray]
+
+
+def _component_signature(component: object) -> Optional[Tuple]:
+    """Hashable fingerprint of one loop component's physics, or ``None``.
+
+    Components are plain parameter bags: every public instance attribute
+    is a scalar that fully determines the component's behaviour.  The
+    signature is the sorted ``(attribute, value)`` tuple plus the class
+    name, so two separately constructed components with the same
+    parameters fingerprint identically.
+
+    A component carrying a non-scalar public attribute (e.g. a VCO with
+    a ``tuning_curve`` callable) cannot be fingerprinted from parameters
+    alone; ``None`` tells the caller to fall back to identity-by-name.
+    """
+    fields = []
+    for key in sorted(vars(component)):
+        if key.startswith("_"):
+            continue  # derived caches, not physics
+        value = vars(component)[key]
+        if isinstance(value, enum.Enum):
+            value = value.value
+        if value is not None and not isinstance(value, (bool, int, float, str)):
+            return None
+        fields.append((key, value))
+    return (type(component).__name__,) + tuple(fields)
 
 
 @dataclass
@@ -90,6 +117,39 @@ class ChargePumpPLL:
     def locked_control_voltage(self) -> float:
         """Control voltage at which the VCO runs at exactly ``N * f_ref``."""
         return self.vco.voltage_for_frequency(self.f_out_nominal)
+
+    def physics_signature(self) -> Hashable:
+        """Hashable fingerprint of the loop *physics*, independent of name.
+
+        Two PLLs with equal signatures are behaviourally identical: they
+        produce bit-identical transient trajectories from the same
+        stimulus, so settled-state snapshots (and anything else derived
+        purely from the dynamics) can be shared between them.  This is
+        what lets a lot screen reuse one device's settled state for
+        every same-configuration device in the lot, and — because an
+        injected fault changes component parameters — what keys per-
+        fault settled states apart in a fault-library screen.
+
+        The signature covers the charge pump, loop filter and VCO
+        parameters plus the divider ratio, reference frequency and PFD
+        reset delay.  When any component carries an opaque attribute (a
+        custom VCO tuning curve, say), parameters alone cannot prove
+        behavioural equality, so the signature degrades to the device
+        *name* — correct but never shared across differently named
+        devices.
+        """
+        parts = tuple(
+            _component_signature(c)
+            for c in (self.pump, self.loop_filter, self.vco)
+        )
+        if any(p is None for p in parts):
+            return ("named", self.name)
+        return (
+            "physics",
+            self.n,
+            self.f_ref,
+            self.pfd_reset_delay,
+        ) + parts
 
     # ------------------------------------------------------------------
     # small-signal quantities (linear model; see analysis.linear_model)

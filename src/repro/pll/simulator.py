@@ -146,6 +146,13 @@ class SimulatorSnapshot:
     events: int
     pfd: PFDSnapshot
     source_state: Tuple[float, ...]
+    #: Physics fingerprint of the captured loop
+    #: (:meth:`~repro.pll.config.ChargePumpPLL.physics_signature`).
+    #: Restore compatibility is judged on this, not on the name, so a
+    #: snapshot can warm-start any behaviourally identical device —
+    #: e.g. every same-configuration die of a screened lot.  ``None``
+    #: (legacy captures) falls back to name matching.
+    pll_signature: Optional[Tuple] = None
 
 
 class PLLTransientSimulator:
@@ -442,6 +449,7 @@ class PLLTransientSimulator:
             events=self._events,
             pfd=self._pfd.snapshot_state(),
             source_state=tuple(snap_fn()),
+            pll_signature=self.pll.physics_signature(),
         )
 
     def restore(self, snap: SimulatorSnapshot) -> None:
@@ -455,14 +463,24 @@ class PLLTransientSimulator:
         (fresh edge trains and traces), so edge trains recorded after a
         restore hold only post-restore edges.
 
-        The snapshot must come from a simulator of the *same PLL*
-        (matched by name); restoring across different loop descriptions
-        would silently mix physics and is refused.
+        The snapshot must come from a simulator of a *behaviourally
+        identical PLL* — matched by
+        :meth:`~repro.pll.config.ChargePumpPLL.physics_signature`, so
+        same-configuration devices of a lot interchange settled states
+        freely, while restoring across genuinely different loop
+        descriptions (a different fault, a shifted component) would
+        silently mix physics and is refused.  Legacy snapshots without a
+        signature fall back to name matching.
         """
-        if snap.pll_name != self.pll.name:
+        if snap.pll_signature is not None:
+            compatible = snap.pll_signature == self.pll.physics_signature()
+        else:
+            compatible = snap.pll_name == self.pll.name
+        if not compatible:
             raise ConfigurationError(
                 f"snapshot of PLL {snap.pll_name!r} cannot be restored "
-                f"into simulator of PLL {self.pll.name!r}"
+                f"into simulator of PLL {self.pll.name!r}: the loop "
+                "physics differ"
             )
         restore_fn = getattr(self.reference, "restore_state", None)
         if restore_fn is None:

@@ -10,21 +10,32 @@ whole lot of devices; like the sweep executor it is serial by default
 and fans devices out over a process pool for ``n_workers > 1``.  Each
 device is an independent (PLL, stimulus, config, plan) job, so the
 reports come back in request order and are byte-identical to the serial
-run.  A device whose reference tone dies still yields an artefact — a
-failure-stub report — because production archives one document per
-device, pass or fail.
+run.  A device that cannot be measured — a dead reference tone, a
+mis-configured request, any per-device error — still yields an artefact
+(a failure-stub report) because production archives one document per
+device, pass or fail; one bad device never aborts the lot.
+
+Passing a shared :class:`~repro.core.warm.LockStateCache` warm-starts
+the whole screen: the lot settles each (stimulus, tone, device-physics)
+family once and every behaviourally identical device thereafter restores
+the settled state instead of re-simulating it — bit-identical by the
+snapshot guarantee, so warm lot reports equal cold ones byte for byte.
+Under ``n_workers > 1`` the cache's exported entries ride to each
+worker inside its one chunk payload, and the settled states workers
+discover are merged back into the parent cache on return.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.sensitivity import DiagnosisCandidate
 from repro.core.architecture import BISTConfig
 from repro.core.limits import LimitReport, TestLimits
 from repro.core.monitor import SweepPlan, SweepResult, TransferFunctionMonitor
+from repro.core.warm import LockStateCache
 from repro.errors import ConfigurationError, MeasurementError
 from repro.pll.config import ChargePumpPLL
 from repro.stimulus.modulation import ModulatedStimulus
@@ -198,40 +209,133 @@ def _failure_stub(pll: ChargePumpPLL, reason: str) -> str:
     ])
 
 
-def _render_one(request: DeviceReportRequest) -> str:
+def _render_one(
+    request: DeviceReportRequest,
+    cache: Optional[LockStateCache] = None,
+) -> str:
     """Worker: measure one device and render its report (module-level,
-    picklable)."""
-    monitor = TransferFunctionMonitor(
-        request.pll, request.stimulus, request.config
-    )
+    picklable).
+
+    *Any* per-device failure — a dead reference tone, a configuration
+    that fails validation, an unexpected error in the measure/render
+    pipeline — becomes a failure-stub artefact rather than an exception:
+    a lot screen archives one document per device and one bad device
+    must never abort the remaining devices (least of all by killing a
+    pool map mid-lot).
+    """
     try:
+        monitor = TransferFunctionMonitor(
+            request.pll, request.stimulus, request.config, cache=cache
+        )
         if request.limits is not None:
             sweep, verdict = monitor.run_and_check(request.plan, request.limits)
         else:
             sweep, verdict = monitor.run(request.plan), None
+        return device_report(request.pll, sweep, limits=verdict)
     except MeasurementError as exc:
         # The reference tone died: no transfer function exists, but the
         # lot archive still needs an artefact for this device.
         return _failure_stub(request.pll, str(exc))
-    return device_report(request.pll, sweep, limits=verdict)
+    except Exception as exc:  # noqa: BLE001 - any per-device error stubs
+        return _failure_stub(request.pll, f"{type(exc).__name__}: {exc}")
+
+
+# (chunk of (lot_index, request), exported warm entries or None)
+_BatchChunkPayload = Tuple[
+    Tuple[Tuple[int, DeviceReportRequest], ...],
+    Optional[Tuple],
+]
+
+
+def _render_chunk(
+    payload: _BatchChunkPayload,
+) -> Tuple[List[Tuple[int, str]], Tuple]:
+    """Worker: measure and render one chunk of the lot (module-level,
+    picklable).
+
+    The chunk shares one local :class:`~repro.core.warm.LockStateCache`,
+    seeded from the parent cache's exported entries when warm screening
+    is on — so the worker's first device of each physics family settles
+    cold (unless the parent already knew it) and every later one
+    restores.  Returns the rendered ``(lot_index, report)`` pairs plus
+    the settled states this worker *discovered* (entries not in the
+    shipped export), for the parent to merge back.
+    """
+    chunk, warm_entries = payload
+    local_cache: Optional[LockStateCache] = None
+    shipped_keys = frozenset()
+    if warm_entries is not None:
+        local_cache = LockStateCache(
+            max_entries=max(256, len(warm_entries) + 16 * len(chunk))
+        )
+        local_cache.merge(warm_entries)
+        shipped_keys = frozenset(key for key, __ in warm_entries)
+    rendered = [
+        (index, _render_one(request, cache=local_cache))
+        for index, request in chunk
+    ]
+    new_entries: Tuple = ()
+    if local_cache is not None:
+        new_entries = tuple(
+            (key, snap)
+            for key, snap in local_cache.export()
+            if key not in shipped_keys
+        )
+    return rendered, new_entries
 
 
 def batch_device_reports(
     requests: Sequence[DeviceReportRequest],
     n_workers: int = 1,
+    cache: Optional[LockStateCache] = None,
 ) -> List[str]:
     """Measure and render a lot of devices, one report per request.
 
     Serial for ``n_workers == 1``; a process pool otherwise.  Devices
-    are independent, and ``ProcessPoolExecutor.map`` preserves
-    submission order, so the returned reports match ``requests``
-    index-for-index and are byte-identical whichever way they ran.
+    are independent, and chunks are re-assembled by lot index, so the
+    returned reports match ``requests`` index-for-index and are
+    byte-identical whichever way they ran.
+
+    ``cache`` opts the lot into **warm screening**: every device's
+    monitor draws settled stage-0 states from (and contributes them to)
+    the one shared :class:`~repro.core.warm.LockStateCache`.  Entries
+    are keyed by device *physics signature*, so a lot of
+    same-configuration dies — or repeated injected faults across a
+    fault-library screen — settles each (stimulus, tone) family once
+    and serves the rest warm, with reports byte-identical to the cold
+    run (the snapshot guarantee).  Under ``n_workers > 1`` the cache's
+    entries ship to each worker in its chunk payload and the workers'
+    discoveries are merged back afterwards, leaving ``cache`` as warm
+    as a serial screen would have.  ``None`` (default) screens every
+    device cold, preserving the historical behaviour.
     """
     if n_workers < 1:
         raise ConfigurationError(f"n_workers must be >= 1, got {n_workers!r}")
     jobs = list(requests)
     workers = min(n_workers, len(jobs))
     if workers <= 1:
-        return [_render_one(job) for job in jobs]
+        return [_render_one(job, cache=cache) for job in jobs]
+    # Stride the lot so each worker's chunk samples the request order
+    # evenly (mirrors the tone executor's cost-spreading dispatch).
+    chunks = [
+        tuple((i, jobs[i]) for i in range(w, len(jobs), workers))
+        for w in range(workers)
+    ]
+    warm_entries = cache.export() if cache is not None else None
+    payloads: List[_BatchChunkPayload] = [
+        (chunk, warm_entries) for chunk in chunks
+    ]
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_render_one, jobs))
+        chunk_results = list(pool.map(_render_chunk, payloads))
+    reports: List[Optional[str]] = [None] * len(jobs)
+    for rendered, new_entries in chunk_results:
+        if cache is not None and new_entries:
+            cache.merge(new_entries)
+        for index, text in rendered:
+            reports[index] = text
+    missing = [i for i, text in enumerate(reports) if text is None]
+    if missing:
+        raise MeasurementError(
+            f"batch pool returned no report for lot indices {missing!r}"
+        )
+    return reports  # type: ignore[return-value]

@@ -1,0 +1,287 @@
+"""Warm-state-shared batch screening and sweep/executor-seam hardening.
+
+The lot-screening contract has three legs:
+
+* **byte identity** — a warm batch (one shared ``LockStateCache``)
+  renders every report byte-identical to the cold batch, serial or
+  pooled, because warm starts restore settled snapshots bit-exactly;
+* **signature keying** — cache entries are keyed by the device's
+  *physics signature*, so renamed same-configuration dies (and repeats
+  of the same injected fault) share settled states while genuinely
+  different loops key apart;
+* **hardening** — any per-device error becomes a failure-stub artefact
+  instead of killing the lot, the monitor identifies the reference tone
+  by plan position rather than float equality, and a worker crash never
+  leaks the pool's shared-memory segment.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import replace
+from typing import List
+
+import pytest
+
+from repro.core import (
+    LockStateCache,
+    ProcessPoolSweepExecutor,
+    SweepExecutor,
+    SweepPlan,
+    ToneOutcome,
+    TransferFunctionMonitor,
+)
+from repro.errors import MeasurementError
+from repro.pll.faults import Fault, FaultKind, apply_fault
+from repro.presets import paper_pll, paper_stimulus
+from repro.reporting import DeviceReportRequest, batch_device_reports
+from repro.stimulus.modulation import ModulatedStimulus
+
+# Two cacheable tones (below f_ref / 8): enough to exercise the warm
+# path without the full 13-tone sweep's wall time.
+TONES = (10.0, 55.0)
+LOT_SIZE = 3
+
+_SHM_DIR = pathlib.Path("/dev/shm")
+
+
+def _psm_segments() -> set:
+    """Names of the POSIX shared-memory segments currently mapped."""
+    if not _SHM_DIR.is_dir():
+        return set()
+    return {p.name for p in _SHM_DIR.glob("psm_*")}
+
+
+class ExplodingStimulus(ModulatedStimulus):
+    """Module-level (picklable) stimulus whose source always raises.
+
+    Raises a *non*-``MeasurementError`` so tests can prove that foreign
+    exceptions — not just measurement failures — are handled at every
+    seam: stubbed per device in a batch, propagated (with shared-memory
+    cleanup) out of the pool executor.
+    """
+
+    label = "exploding"
+
+    def make_source(self, f_mod: float, start_time: float = 0.0):
+        raise RuntimeError("stimulus generator died")
+
+
+def _lot_requests(config, size: int = LOT_SIZE) -> List[DeviceReportRequest]:
+    """``size`` distinct-name, identical-physics devices on one plan."""
+    template = paper_pll()
+    stimulus = paper_stimulus("multitone")
+    plan = SweepPlan(TONES)
+    return [
+        DeviceReportRequest(
+            pll=replace(template, name=f"{template.name}-{i:03d}"),
+            stimulus=stimulus,
+            plan=plan,
+            config=config,
+        )
+        for i in range(size)
+    ]
+
+
+class TestWarmBatchByteIdentity:
+    def test_serial_warm_byte_identical_and_stats(self, fast_bist_config):
+        lot = _lot_requests(fast_bist_config)
+        cold = batch_device_reports(lot)
+        cache = LockStateCache()
+        warm = batch_device_reports(lot, cache=cache)
+        assert warm == cold
+        detail = cache.stats_detail
+        # The first device settles each tone; every later device restores.
+        assert detail["misses"] == len(TONES)
+        assert detail["hits"] == (LOT_SIZE - 1) * len(TONES)
+        assert detail["entries"] == len(TONES)
+
+    def test_parallel_warm_byte_identical_and_merge_back(
+        self, fast_bist_config
+    ):
+        lot = _lot_requests(fast_bist_config)
+        cold = batch_device_reports(lot)
+        cache = LockStateCache()
+        warm = batch_device_reports(lot, n_workers=2, cache=cache)
+        assert warm == cold
+        # Worker-discovered settled states were merged back: the parent
+        # cache is as warm as a serial screen would have left it.
+        detail = cache.stats_detail
+        assert detail["entries"] == len(TONES)
+        assert detail["merged"] >= len(TONES)
+
+    def test_cache_persists_across_batches(self, fast_bist_config):
+        lot = _lot_requests(fast_bist_config)
+        cache = LockStateCache()
+        first = batch_device_reports(lot, cache=cache)
+        hits_after_first = cache.stats_detail["hits"]
+        second = batch_device_reports(lot, cache=cache)
+        assert second == first
+        # A re-screen of the same lot settles nothing: every tone of
+        # every device restores from the first screen's entries.
+        detail = cache.stats_detail
+        assert detail["misses"] == len(TONES)
+        assert detail["hits"] == hits_after_first + LOT_SIZE * len(TONES)
+
+
+class TestPhysicsSignatureKeying:
+    def test_renamed_dies_share_signature(self):
+        a = paper_pll()
+        b = replace(a, name=f"{a.name}-die2")
+        assert a.physics_signature() == b.physics_signature()
+
+    def test_fault_keys_apart(self):
+        healthy = paper_pll()
+        faulty = apply_fault(
+            healthy, Fault(FaultKind.VCO_GAIN_SHIFT, 0.5)
+        )
+        assert healthy.physics_signature() != faulty.physics_signature()
+
+    def test_same_fault_on_renamed_dies_shares(self):
+        fault = Fault(FaultKind.R2_SHIFT, 0.7)
+        a = apply_fault(paper_pll(), fault)
+        b = apply_fault(
+            replace(paper_pll(), name="other-die"), fault
+        )
+        assert a.physics_signature() == b.physics_signature()
+
+    def test_opaque_component_falls_back_to_name(self):
+        # The nonlinear VCO carries a tuning-curve callable the generic
+        # fingerprint cannot hash; the signature degrades to name keying
+        # rather than guessing.
+        pll = paper_pll(nonlinear=True)
+        assert pll.physics_signature() == ("named", pll.name)
+
+    def test_fault_library_screen_settles_each_family_once(
+        self, fast_bist_config
+    ):
+        fault = Fault(FaultKind.VCO_GAIN_SHIFT, 0.6)
+        healthy = _lot_requests(fast_bist_config, size=2)
+        faulty = [
+            replace(req, pll=apply_fault(req.pll, fault))
+            for req in healthy
+        ]
+        cache = LockStateCache()
+        reports = batch_device_reports(healthy + faulty, cache=cache)
+        assert len(reports) == 4
+        detail = cache.stats_detail
+        # Two physics families (healthy, faulted) x two tones settle;
+        # the second die of each family restores both tones.
+        assert detail["misses"] == 2 * len(TONES)
+        assert detail["hits"] == 2 * len(TONES)
+
+
+class TestAnyDeviceErrorStubs:
+    def _mixed_lot(self, config) -> List[DeviceReportRequest]:
+        good = _lot_requests(config, size=2)
+        bad = replace(
+            good[0],
+            pll=replace(good[0].pll, name="exploder"),
+            stimulus=ExplodingStimulus(1000.0, 1.0),
+        )
+        return [good[0], bad, good[1]]
+
+    def test_serial_stub_keeps_lot_going(self, fast_bist_config):
+        lot = self._mixed_lot(fast_bist_config)
+        reports = batch_device_reports(lot)
+        assert len(reports) == 3
+        assert "FAIL (sweep aborted)" in reports[1]
+        assert "RuntimeError" in reports[1]
+        assert "stimulus generator died" in reports[1]
+        for i in (0, 2):
+            assert reports[i].startswith(
+                f"# BIST report — {lot[i].pll.name}"
+            )
+            assert "sweep aborted" not in reports[i]
+
+    def test_pool_stub_keeps_lot_going(self, fast_bist_config):
+        # The same foreign exception inside a pool worker must stub the
+        # one device, not kill the worker's whole chunk (or the map).
+        lot = self._mixed_lot(fast_bist_config)
+        serial = batch_device_reports(lot)
+        pooled = batch_device_reports(lot, n_workers=2)
+        assert pooled == serial
+
+
+class _TruncatingExecutor(SweepExecutor):
+    """Misbehaving executor: drops the last outcome of the sweep."""
+
+    def run_tones(self, pll, stimulus, config, frequencies_hz, *,
+                  settle="fixed", cache=None):
+        return [
+            ToneOutcome(f_mod=f, error="short-changed")
+            for f in list(frequencies_hz)[:-1]
+        ]
+
+
+class _PerturbedReferenceExecutor(SweepExecutor):
+    """Executor whose reference outcome's f_mod rounded in transport.
+
+    The returned frequency differs from ``plan.reference_frequency`` in
+    the last bits — exactly what a lossy transport produces — so a
+    monitor matching the reference by float equality would mis-file a
+    dead reference as an ordinary failed tone.
+    """
+
+    def run_tones(self, pll, stimulus, config, frequencies_hz, *,
+                  settle="fixed", cache=None):
+        freqs = list(frequencies_hz)
+        outcomes = [
+            ToneOutcome(f_mod=freqs[0] * (1.0 + 1e-12), error="dead tone")
+        ]
+        outcomes += [ToneOutcome(f_mod=f, error="dead tone") for f in freqs[1:]]
+        return outcomes
+
+
+class TestMonitorExecutorContract:
+    def test_truncated_outcome_list_raises(
+        self, pll_linear, sine_stimulus, fast_bist_config
+    ):
+        monitor = TransferFunctionMonitor(
+            pll_linear, sine_stimulus, fast_bist_config
+        )
+        with pytest.raises(MeasurementError, match="2 outcomes for 3"):
+            monitor.run(
+                SweepPlan((4.0, 8.0, 16.0)), executor=_TruncatingExecutor()
+            )
+
+    def test_reference_identified_by_index_not_float_equality(
+        self, pll_linear, sine_stimulus, fast_bist_config
+    ):
+        monitor = TransferFunctionMonitor(
+            pll_linear, sine_stimulus, fast_bist_config
+        )
+        with pytest.raises(MeasurementError, match="in-band reference tone"):
+            monitor.run(
+                SweepPlan((4.0, 8.0)),
+                executor=_PerturbedReferenceExecutor(),
+            )
+
+
+class TestSharedMemoryLifecycle:
+    def test_worker_crash_leaves_no_segment(
+        self, pll_linear, fast_bist_config
+    ):
+        before = _psm_segments()
+        executor = ProcessPoolSweepExecutor(2)
+        with pytest.raises(RuntimeError, match="stimulus generator died"):
+            executor.run_tones(
+                pll_linear,
+                ExplodingStimulus(1000.0, 1.0),
+                fast_bist_config,
+                TONES,
+            )
+        assert _psm_segments() - before == set()
+
+    def test_successful_sweep_leaves_no_segment(
+        self, pll_linear, fast_bist_config
+    ):
+        before = _psm_segments()
+        outcomes = ProcessPoolSweepExecutor(2).run_tones(
+            pll_linear,
+            paper_stimulus("multitone"),
+            fast_bist_config,
+            TONES,
+        )
+        assert all(not o.failed for o in outcomes)
+        assert _psm_segments() - before == set()

@@ -128,6 +128,73 @@ class TestLockStateCacheUnit:
         with pytest.raises(ConfigurationError):
             LockStateCache(max_entries=0)
 
+    def test_contains_does_not_touch_counters(self):
+        cache = LockStateCache()
+        cache.put("k", "v")  # type: ignore[arg-type]
+        assert "k" in cache
+        assert "missing" not in cache
+        assert cache.stats == (0, 0)
+
+    def test_export_merge_roundtrip(self):
+        cache = LockStateCache()
+        cache.put("a", "snap-a")  # type: ignore[arg-type]
+        cache.put("b", "snap-b")  # type: ignore[arg-type]
+        cache.get("a")  # refresh: LRU order is now b, a
+        exported = cache.export()
+        assert [key for key, __ in exported] == ["b", "a"]
+        clone = LockStateCache()
+        assert clone.merge(exported) == 2
+        # Merging an export into an empty cache reproduces contents and
+        # recency order; counters describe history and do not travel.
+        assert clone.export() == exported
+        assert clone.stats == (0, 0)
+        assert clone.stats_detail["merged"] == 2
+
+    def test_merge_existing_entries_win(self):
+        cache = LockStateCache()
+        cache.put("k", "incumbent")  # type: ignore[arg-type]
+        added = cache.merge((("k", "challenger"), ("new", "snap")))
+        assert added == 1
+        assert cache.get("k") == "incumbent"
+        assert cache.get("new") == "snap"
+
+    def test_merge_is_idempotent(self):
+        cache = LockStateCache()
+        entries = (("a", "1"), ("b", "2"))
+        assert cache.merge(entries) == 2
+        assert cache.merge(entries) == 0
+        assert cache.stats_detail["merged"] == 2
+        assert len(cache) == 2
+
+    def test_merge_respects_capacity_and_counts_evictions(self):
+        cache = LockStateCache(max_entries=2)
+        added = cache.merge((("a", "1"), ("b", "2"), ("c", "3")))
+        assert added == 3
+        assert len(cache) == 2
+        assert "a" not in cache and "b" in cache and "c" in cache
+        detail = cache.stats_detail
+        assert detail["evictions"] == 1
+        assert detail["merged"] == 3
+        assert detail["entries"] == 2
+        assert detail["capacity"] == 2
+
+    def test_clear_resets_all_counters(self):
+        cache = LockStateCache(max_entries=1)
+        cache.merge((("a", "1"), ("b", "2")))  # one merge eviction
+        cache.get("b")
+        cache.get("missing")
+        assert cache.stats_detail["evictions"] == 1
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats_detail == {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "merged": 0,
+            "entries": 0,
+            "capacity": 1,
+        }
+
 
 class TestAdaptiveSettle:
     def test_rejects_unknown_policy(self, sequencer):
