@@ -29,8 +29,10 @@ machine-readable perf trajectory to regress against
 (``benchmarks/check_regression.py`` consumes it).
 """
 
+import asyncio
 import json
 import pathlib
+import tempfile
 import time
 import warnings
 from dataclasses import replace
@@ -260,3 +262,105 @@ def test_perf_batch_screen(report, paper_dut):
     # The first device pays the settles; the other LOT_SIZE-1 restore.
     # 3x is the acceptance floor (typically ~3.5-4x for an 8-die lot).
     assert batch_speedup >= BATCH_WARM_SPEEDUP_FLOOR
+
+
+SERVICE_WARM_SPEEDUP_FLOOR = 1.3
+
+
+def _service_lot(cache_path, pll, plan, label):
+    """One full service session: start, run one job, drain, spill."""
+    from repro.service import SweepJobRequest, SweepJobService
+
+    async def main():
+        service = SweepJobService(cache_path=cache_path)
+        await service.start()
+        request = SweepJobRequest(
+            pll=pll,
+            stimulus=paper_stimulus("multitone"),
+            plan=plan,
+            config=paper_bist_config(),
+            label=label,
+        )
+        t0 = time.perf_counter()
+        job = service.submit(request)
+        events = [e async for e in service.watch(job.job_id)]
+        wall = time.perf_counter() - t0
+        stats = service.stats()
+        await service.stop()
+        return job, events, wall, stats
+
+    return asyncio.run(main())
+
+
+def test_perf_service_warm_across_jobs(report, paper_dut):
+    """Two service sessions, one disk spill: the second lot runs warm.
+
+    The production story the service exists for: a lot finishes, the
+    service (or the whole host) goes away, and the next session's first
+    job — same plan, same-physics devices — reloads the spilled
+    lock-state cache and skips every settle.  Byte-identical artefacts,
+    measurably faster.
+    """
+    plan = paper_sweep(points=N_TONES)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-svc-") as tmp:
+        cache_path = pathlib.Path(tmp) / "service.cache"
+        cold_job, cold_events, t_cold, cold_stats = _service_lot(
+            cache_path, paper_dut, plan, "lot-1"
+        )
+        # A *fresh* service: only the spilled file carries the warmth.
+        warm_job, warm_events, t_warm, warm_stats = _service_lot(
+            cache_path, replace(paper_dut, name=f"{paper_dut.name}-b"),
+            plan, "lot-2",
+        )
+
+    # Streaming must release tones strictly in plan order, both runs.
+    for events in (cold_events, warm_events):
+        indices = [
+            e.payload["index"] for e in events if e.kind == "tone"
+        ]
+        assert indices == list(range(N_TONES))
+
+    # The second lot is served from the persisted cache...
+    assert cold_job.warm_tones == 0
+    assert warm_job.warm_tones == N_TONES
+    assert warm_stats["cache"]["hits"] == N_TONES
+    assert warm_stats["cache"]["misses"] == 0
+    # ...and warmth never changes a byte of the artefact (device names
+    # differ by construction; everything below the title must match).
+    cold_body = cold_job.report.split("\n", 1)[1]
+    warm_body = warm_job.report.split("\n", 1)[1]
+    byte_identical = cold_body == warm_body
+    assert byte_identical
+
+    service_speedup = t_cold / t_warm
+    table = format_table(
+        ["metric", "value"],
+        [
+            ["tones per job", N_TONES],
+            ["cold session wall", f"{t_cold:.2f} s"],
+            ["warm session wall", f"{t_warm:.2f} s"],
+            ["service warm speedup", f"{service_speedup:.2f}x"],
+            ["warm-served tones", f"{warm_job.warm_tones}/{N_TONES}"],
+            ["cache hits (2nd lot)", warm_stats["cache"]["hits"]],
+            ["reports identical", "yes (byte-exact below the title)"],
+        ],
+        title="Service warm-across-jobs (13-tone job, two sessions, "
+              "one disk spill)",
+    )
+    report("perf_service_warm", table)
+
+    _merge_results_json({
+        "service_warm_across_jobs": {
+            "tones": N_TONES,
+            "cold_wall_s": round(t_cold, 4),
+            "warm_wall_s": round(t_warm, 4),
+            "speedup": round(service_speedup, 3),
+            "warm_served_tones": warm_job.warm_tones,
+            "cache_hits": warm_stats["cache"]["hits"],
+            "cache_misses": warm_stats["cache"]["misses"],
+            "byte_identical": byte_identical,
+        },
+    })
+
+    # Restoring beats re-settling even with service/IPC overhead on top.
+    assert service_speedup >= SERVICE_WARM_SPEEDUP_FLOOR

@@ -30,13 +30,16 @@ Package map (see DESIGN.md for the full inventory):
 
 from repro._version import __version__
 from repro.errors import (
+    CachePersistenceError,
     ConfigurationError,
     ConvergenceError,
     FaultInjectionError,
+    JobQueueFullError,
     LockError,
     MeasurementError,
     ReproError,
     SequencerError,
+    ServiceError,
     SimulationError,
     StimulusError,
 )
@@ -97,12 +100,15 @@ __all__ = [
     "__version__",
     # errors
     "ReproError",
+    "CachePersistenceError",
     "ConfigurationError",
     "ConvergenceError",
     "FaultInjectionError",
+    "JobQueueFullError",
     "LockError",
     "MeasurementError",
     "SequencerError",
+    "ServiceError",
     "SimulationError",
     "StimulusError",
     # analysis

@@ -9,9 +9,18 @@ screen     push the macro-fault library through the BIST with limits
 lot        batch-screen a lot of devices (warm-state-shared, one report each)
 diagnose   rank single-component explanations for a measured (fn, zeta)
 plan       DCO / detector / counter feasibility checks for DfT planning
+serve      run the sweep-job service on a local unix socket
+submit     submit a sweep job to a running service (optionally watch it)
+watch      stream a submitted job's tone results as they finish
+status     show a running service's queue / cache / throughput snapshot
+shutdown   ask a running service to drain and exit
 
-Every command operates on the reconstructed Table 3 device; ``--fault``
-injects a defect from the library first (see ``screen`` for the labels).
+Every measurement command operates on the reconstructed Table 3 device;
+``--fault`` injects a defect from the library first (see ``screen`` for
+the labels).  The ``serve``/``submit``/``watch`` family speaks the
+JSON-lines protocol of :mod:`repro.service` — jobs stream tone results
+while the sweep is still running, and the service's warm cache persists
+to disk between sessions.
 """
 
 from __future__ import annotations
@@ -326,6 +335,208 @@ def cmd_plan(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# service commands
+# ----------------------------------------------------------------------
+#: Default rendezvous point of the serve/submit/watch family.
+DEFAULT_SOCKET = "repro-service.sock"
+
+
+def cmd_serve(args) -> int:
+    """Run the sweep-job service until shutdown (op or Ctrl-C)."""
+    import asyncio
+
+    from repro.service import SweepJobServer, SweepJobService
+
+    service = SweepJobService(
+        queue_limit=args.queue_limit,
+        cache_path=args.cache,
+    )
+    server = SweepJobServer(service, args.socket)
+
+    async def main() -> None:
+        await server.start()
+        cache = service.stats()["cache"]
+        print(
+            f"serving on {args.socket} "
+            f"(queue limit {args.queue_limit}, warm cache: "
+            f"{cache['entries']} entries"
+            + (f", spilling to {args.cache}" if args.cache else "")
+            + ")",
+            flush=True,
+        )
+        try:
+            await server.wait_shutdown()
+        finally:
+            await server.stop()
+            print("service drained; bye")
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _client(args):
+    from repro.service import ServiceClient
+
+    return ServiceClient(args.socket, timeout_s=args.timeout)
+
+
+def _format_event(event: dict, tones_planned: Optional[int]) -> str:
+    """One human-readable line per wire event."""
+    kind = event.get("event")
+    if kind == "accepted":
+        return (
+            f"[{event['job_id']}] accepted: {event.get('tones_planned')} "
+            f"tones planned, queue depth {event.get('queue_depth')}"
+        )
+    if kind == "started":
+        return (
+            f"[{event['job_id']}] started "
+            f"(settle={event.get('settle')}, "
+            f"workers={event.get('n_workers')})"
+        )
+    if kind == "tone":
+        total = f"/{tones_planned}" if tones_planned else ""
+        head = (
+            f"[{event['job_id']}] tone {event['index'] + 1}{total}  "
+            f"f={event['f_mod_hz']:8.2f} Hz"
+        )
+        if not event.get("ok"):
+            return f"{head}  FAILED: {event.get('error')}"
+        mag = event.get("magnitude_db")
+        return (
+            head
+            + (f"  mag {mag:+7.2f} dB" if mag is not None else " " * 16)
+            + f"  phase {event['phase_deg']:+7.1f} deg"
+            + ("  (warm)" if event.get("warm") else "")
+        )
+    if kind == "done":
+        return (
+            f"[{event['job_id']}] done: {event.get('summary')} "
+            f"({event.get('warm_tones')} warm, "
+            f"{event.get('failed_tones')} failed tones)"
+        )
+    return f"[{event.get('job_id')}] {kind}: {event.get('error')}"
+
+
+def _stream_job(client, job_id: str, as_json: bool) -> int:
+    """Print a job's event stream; exit code reflects the verdict."""
+    import json as _json
+
+    tones_planned = None
+    final = None
+    for event in client.watch(job_id):
+        if event.get("event") == "accepted":
+            tones_planned = event.get("tones_planned")
+        if as_json:
+            print(_json.dumps(event, sort_keys=True), flush=True)
+        else:
+            print(_format_event(event, tones_planned), flush=True)
+        final = event.get("event")
+    return 0 if final == "done" else 1
+
+
+def cmd_submit(args) -> int:
+    from repro.errors import ServiceError
+    from repro.service import SweepJobSpec
+
+    spec = SweepJobSpec(
+        points=args.points,
+        stimulus=args.stimulus,
+        fault=args.fault,
+        nonlinear=args.nonlinear,
+        settle=args.settle,
+        n_workers=args.workers,
+        timeout_s=args.job_timeout,
+        label=args.label,
+    )
+    client = _client(args)
+    try:
+        accepted = client.submit(spec)
+    except ServiceError as exc:
+        print(f"submit failed: {exc}")
+        return 2
+    print(f"submitted {accepted['job_id']} "
+          f"({accepted['tones_planned']} tones)")
+    if args.watch:
+        return _stream_job(client, accepted["job_id"], args.json)
+    return 0
+
+
+def cmd_watch(args) -> int:
+    from repro.errors import ServiceError
+
+    try:
+        return _stream_job(_client(args), args.job_id, args.json)
+    except ServiceError as exc:
+        print(f"watch failed: {exc}")
+        return 2
+
+
+def cmd_status(args) -> int:
+    from repro.errors import ServiceError
+
+    client = _client(args)
+    try:
+        stats = client.status()
+        jobs = client.jobs()
+    except ServiceError as exc:
+        print(f"status failed: {exc}")
+        return 2
+    cache = stats["cache"]
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["uptime", f"{stats['uptime_s']:.1f} s"],
+            ["accepting", str(stats["accepting"])],
+            ["queue", f"{stats['queue_depth']} pending / "
+                      f"{stats['live_jobs']} live "
+                      f"(limit {stats['queue_limit']})"],
+            ["running job", stats["running_job"] or "—"],
+            ["tones streamed", stats["tones_streamed"]],
+            ["tones/s", f"{stats['tones_per_s']:.2f}"],
+            ["cache", f"{cache['entries']} entries, "
+                      f"hit rate {cache['hit_rate']:.0%} "
+                      f"({cache['hits']}/{cache['hits'] + cache['misses']})"],
+            ["cache path", cache["path"] or "— (in-memory only)"],
+        ],
+        title="sweep-job service status",
+    ))
+    if jobs:
+        print()
+        print(format_table(
+            ["job", "label", "state", "tones", "warm", "error"],
+            [
+                [
+                    j["job_id"],
+                    j["label"] or "—",
+                    j["state"],
+                    f"{j['tones_streamed']}/{j['tones_planned']}",
+                    j["warm_tones"],
+                    j["error"] or "—",
+                ]
+                for j in jobs
+            ],
+            title="jobs",
+        ))
+    return 0
+
+
+def cmd_shutdown(args) -> int:
+    from repro.errors import ServiceError
+
+    try:
+        _client(args).shutdown()
+    except ServiceError as exc:
+        print(f"shutdown failed: {exc}")
+        return 2
+    print("service draining")
+    return 0
+
+
+# ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
 def _worker_count(text: str) -> int:
@@ -415,6 +626,59 @@ def build_parser() -> argparse.ArgumentParser:
                    default=[1e6, 10e6, 100e6],
                    help="candidate DCO master clocks (Hz)")
     p.set_defaults(handler=cmd_plan)
+
+    def socket_opts(p):
+        p.add_argument("--socket", default=DEFAULT_SOCKET,
+                       help=f"service socket path "
+                            f"(default {DEFAULT_SOCKET})")
+        p.add_argument("--timeout", type=float, default=60.0,
+                       help="client socket timeout per reply line, "
+                            "seconds (default 60)")
+
+    p = sub.add_parser("serve", help="run the sweep-job service")
+    p.add_argument("--socket", default=DEFAULT_SOCKET,
+                   help=f"unix socket to bind (default {DEFAULT_SOCKET})")
+    p.add_argument("--cache", default=None,
+                   help="persist the warm lock-state cache to this file "
+                        "(reloaded at start, spilled after every job)")
+    p.add_argument("--queue-limit", type=int, default=16,
+                   help="max live (pending+running) jobs (default 16)")
+    p.set_defaults(handler=cmd_serve)
+
+    p = sub.add_parser("submit", help="submit a job to a running service")
+    common(p)
+    socket_opts(p)
+    p.add_argument("--workers", type=_worker_count, default=1,
+                   help="tone worker processes for this job (default 1)")
+    p.add_argument("--settle", default="fixed",
+                   choices=("fixed", "adaptive"),
+                   help="stage-0 policy: Table 2 fixed wait, or adaptive "
+                        "lock detection (approximate, never slower)")
+    p.add_argument("--job-timeout", type=float, default=None,
+                   help="abort the job at the next tone boundary after "
+                        "this many seconds of running time")
+    p.add_argument("--label", default=None,
+                   help="free-form tag shown in status listings")
+    p.add_argument("--watch", action="store_true",
+                   help="stay attached and stream the job's tone results")
+    p.add_argument("--json", action="store_true",
+                   help="with --watch, print raw JSON event lines")
+    p.set_defaults(handler=cmd_submit)
+
+    p = sub.add_parser("watch", help="stream a job's tone results")
+    socket_opts(p)
+    p.add_argument("job_id", help="job id from submit (e.g. job-0001)")
+    p.add_argument("--json", action="store_true",
+                   help="print raw JSON event lines")
+    p.set_defaults(handler=cmd_watch)
+
+    p = sub.add_parser("status", help="show service queue/cache stats")
+    socket_opts(p)
+    p.set_defaults(handler=cmd_status)
+
+    p = sub.add_parser("shutdown", help="drain and stop a running service")
+    socket_opts(p)
+    p.set_defaults(handler=cmd_shutdown)
     return parser
 
 

@@ -32,6 +32,7 @@ from repro.core.hold import LoopHoldControl
 from repro.core.architecture import BISTConfig, MuxState, TEST_SEQUENCE_TABLE
 from repro.core.executor import (
     ToneOutcome,
+    SweepAborted,
     SweepExecutor,
     SerialSweepExecutor,
     ProcessPoolSweepExecutor,
@@ -62,6 +63,7 @@ __all__ = [
     "MuxState",
     "TEST_SEQUENCE_TABLE",
     "ToneOutcome",
+    "SweepAborted",
     "SweepExecutor",
     "SerialSweepExecutor",
     "ProcessPoolSweepExecutor",

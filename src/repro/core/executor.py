@@ -37,9 +37,9 @@ from __future__ import annotations
 
 import os
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -54,7 +54,7 @@ from repro.core.sequencer import (
     ToneTiming,
 )
 from repro.core.warm import LockStateCache
-from repro.errors import ConfigurationError, MeasurementError
+from repro.errors import ConfigurationError, MeasurementError, ReproError
 from repro.pll.config import ChargePumpPLL
 from repro.stimulus.modulation import ModulatedStimulus
 
@@ -65,14 +65,31 @@ except ImportError:  # pragma: no cover
 
 __all__ = [
     "ToneOutcome",
+    "ToneCallback",
+    "SweepAborted",
     "SweepExecutor",
     "SerialSweepExecutor",
     "ProcessPoolSweepExecutor",
     "ParallelFallbackWarning",
     "executor_for",
+    "REPRO_NUM_WORKERS_ENV",
 ]
 
 TonePayload = Tuple[ChargePumpPLL, ModulatedStimulus, BISTConfig, float]
+
+#: Per-tone completion hook: ``on_outcome(plan_index, outcome)`` is
+#: invoked as tones finish.  The serial executor calls it after every
+#: tone; the pool executor calls it as each worker's chunk completes
+#: (per-chunk granularity — a chunk's tones arrive together, in plan
+#: order within the chunk).  Raising :class:`SweepAborted` from the
+#: callback stops the sweep at that boundary.
+ToneCallback = Callable[[int, "ToneOutcome"], None]
+
+#: Environment variable that pins the worker count for every
+#: :func:`executor_for` call in the process — CI runners and the
+#: sweep-job service use it to make parallelism deterministic without
+#: threading a flag through every call site.
+REPRO_NUM_WORKERS_ENV = "REPRO_NUM_WORKERS"
 
 
 class ParallelFallbackWarning(RuntimeWarning):
@@ -82,7 +99,21 @@ class ParallelFallbackWarning(RuntimeWarning):
     slow the sweep down (a single visible CPU, or too few tones to feed
     a pool).  The sweep still runs — serially — so results are
     unaffected; the warning exists so "I asked for 8 workers and got no
-    speedup" is diagnosable instead of silent.
+    speedup" is diagnosable instead of silent.  It fires at most once
+    per process: a sweep service falling back on every job would
+    otherwise bury its own logs.
+    """
+
+
+class SweepAborted(ReproError):
+    """A per-tone callback asked the executor to stop the sweep.
+
+    Raised *by* :data:`ToneCallback` implementations (never by the
+    executors themselves) to abandon the remaining tones at the next
+    completion boundary — the sweep-job service uses it for job
+    cancellation and per-job timeouts.  The executor stops dispatching,
+    tears its pool and shared-memory segment down cleanly, and lets the
+    exception propagate to the caller that installed the callback.
     """
 
 
@@ -348,12 +379,20 @@ class SweepExecutor:
         *,
         settle: str = "fixed",
         cache: Optional[LockStateCache] = None,
+        on_outcome: Optional[ToneCallback] = None,
     ) -> List[ToneOutcome]:
         """One :class:`ToneOutcome` per frequency, same order as given.
 
         ``settle`` selects the stage-0 policy (see
         :meth:`~repro.core.sequencer.ToneTestSequencer.run`); ``cache``
         optionally provides a lock-state cache for warm starts.
+
+        ``on_outcome`` streams completions: it is invoked with
+        ``(plan_index, outcome)`` as tones finish — per tone for the
+        serial executor, per completed chunk for the pool — *before*
+        ``run_tones`` returns the assembled plan-order list.  A callback
+        that raises :class:`SweepAborted` stops the sweep at that
+        boundary; the exception propagates after cleanup.
         """
         raise NotImplementedError
 
@@ -379,23 +418,36 @@ class SerialSweepExecutor(SweepExecutor):
         *,
         settle: str = "fixed",
         cache: Optional[LockStateCache] = None,
+        on_outcome: Optional[ToneCallback] = None,
     ) -> List[ToneOutcome]:
-        """Sequential in-process execution (the historical behaviour)."""
+        """Sequential in-process execution (the historical behaviour).
+
+        With ``on_outcome`` set, every tone's outcome is delivered the
+        moment it exists — the true streaming path the sweep-job
+        service's watchers ride on.
+        """
         cache = cache if cache is not None else self.cache
         sequencer = ToneTestSequencer(pll, stimulus, config, cache=cache)
         outcomes: List[ToneOutcome] = []
         seed: Optional[float] = None
-        for f_mod in frequencies_hz:
+        for index, f_mod in enumerate(frequencies_hz):
             try:
                 measurement = sequencer.run(
                     f_mod,
                     settle=settle,
                     seed_voltage=seed if settle == "adaptive" else None,
                 )
-                outcomes.append(ToneOutcome(f_mod=f_mod, measurement=measurement))
+                outcome = ToneOutcome(f_mod=f_mod, measurement=measurement)
                 seed = sequencer.last_release_voltage
             except MeasurementError as exc:
-                outcomes.append(ToneOutcome(f_mod=f_mod, error=str(exc)))
+                outcome = ToneOutcome(f_mod=f_mod, error=str(exc))
+            outcomes.append(outcome)
+            if on_outcome is not None:
+                # A SweepAborted raised here (cancellation, timeout)
+                # propagates: the remaining tones are deliberately
+                # abandoned, and the callback owner already holds every
+                # outcome produced so far.
+                on_outcome(index, outcome)
         return outcomes
 
 
@@ -433,13 +485,24 @@ class ProcessPoolSweepExecutor(SweepExecutor):
         *,
         settle: str = "fixed",
         cache: Optional[LockStateCache] = None,
+        on_outcome: Optional[ToneCallback] = None,
     ) -> List[ToneOutcome]:
-        """Order-preserving batched parallel execution of the tones."""
+        """Order-preserving batched parallel execution of the tones.
+
+        Chunks are dispatched eagerly and harvested **as they
+        complete**, so ``on_outcome`` sees a chunk's tones the moment
+        its worker finishes — not after the whole pool drains.  A
+        callback raising :class:`SweepAborted` cancels every not-yet-
+        started chunk (chunks already running in workers finish but are
+        discarded) and propagates after the pool and the shared-memory
+        segment are torn down.
+        """
         freqs = list(frequencies_hz)
         workers = min(self.n_workers, len(freqs))
         if workers <= 1:
             return SerialSweepExecutor().run_tones(
-                pll, stimulus, config, freqs, settle=settle, cache=cache
+                pll, stimulus, config, freqs, settle=settle, cache=cache,
+                on_outcome=on_outcome,
             )
         # Ascending f_mod = descending cost; stride so each worker's
         # chunk samples every cost class.
@@ -472,21 +535,15 @@ class ProcessPoolSweepExecutor(SweepExecutor):
                 )
                 for chunk in chunks
             ]
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                chunk_results = list(pool.map(_run_tone_chunk, payloads))
             outcomes: List[Optional[ToneOutcome]] = [None] * len(freqs)
-            # Copy the table out of the mapping so no buffer view is
-            # alive when the segment is closed/unlinked below.
-            table = (
-                np.frombuffer(shm.buf, dtype=np.float64)
-                .reshape(-1, _SLOTS)
-                .copy()
-                if shm is not None
-                else None
-            )
-            for results, new_entries in chunk_results:
+
+            def _harvest_chunk(chunk_result: ChunkResult) -> List[int]:
+                """Fold one chunk's results into ``outcomes``; return the
+                plan indices it filled, ascending."""
+                results, new_entries = chunk_result
                 if cache is not None and new_entries:
                     cache.merge(new_entries)
+                filled: List[int] = []
                 for index, outcome, error in results:
                     if error is not None:
                         outcomes[index] = ToneOutcome(
@@ -495,7 +552,13 @@ class ProcessPoolSweepExecutor(SweepExecutor):
                     elif outcome is not None:
                         outcomes[index] = outcome
                     else:
-                        row = table[index]
+                        # Copy the row out of the mapping immediately so
+                        # no buffer view survives past the harvest.
+                        row = (
+                            np.frombuffer(shm.buf, dtype=np.float64)
+                            .reshape(-1, _SLOTS)[index]
+                            .copy()
+                        )
                         if row[0] != _STATUS_OK:
                             raise MeasurementError(
                                 f"worker reported success for tone "
@@ -506,6 +569,33 @@ class ProcessPoolSweepExecutor(SweepExecutor):
                             f_mod=freqs[index],
                             measurement=_measurement_from_slots(row),
                         )
+                    filled.append(index)
+                return sorted(filled)
+
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                pending = set()
+                try:
+                    pending = {
+                        pool.submit(_run_tone_chunk, payload)
+                        for payload in payloads
+                    }
+                    while pending:
+                        done, pending = wait(
+                            pending, return_when=FIRST_COMPLETED
+                        )
+                        for future in done:
+                            # A worker exception (not a per-tone failure
+                            # — those travel as data) aborts the sweep,
+                            # exactly as pool.map used to.
+                            filled = _harvest_chunk(future.result())
+                            if on_outcome is not None:
+                                for index in filled:
+                                    on_outcome(index, outcomes[index])
+                except BaseException:
+                    for future in pending:
+                        future.cancel()
+                    pool.shutdown(wait=True, cancel_futures=True)
+                    raise
             missing = [freqs[i] for i, o in enumerate(outcomes) if o is None]
             if missing:
                 raise MeasurementError(
@@ -513,9 +603,9 @@ class ProcessPoolSweepExecutor(SweepExecutor):
                 )
             return outcomes  # type: ignore[return-value]
         finally:
-            # Runs on success, on a worker failure surfacing through
-            # pool.map, and on early pool teardown alike: the segment is
-            # closed and unlinked whatever happened above.
+            # Runs on success, on a worker failure, on SweepAborted and
+            # on early pool teardown alike: the segment is closed and
+            # unlinked whatever happened above.
             if shm is not None:
                 _destroy_shm(shm)
 
@@ -534,35 +624,92 @@ def _visible_cpu_count() -> int:
     return os.cpu_count() or 1
 
 
+# ParallelFallbackWarning fires at most once per process (see
+# _warn_fallback); tests reset this through _reset_fallback_warning().
+_fallback_warned = False
+
+
+def _warn_fallback(message: str) -> None:
+    """Emit :class:`ParallelFallbackWarning` at most once per process.
+
+    A long-lived process (CI collecting hundreds of sweeps, the
+    sweep-job service falling back on every job of a session) would
+    otherwise repeat the same diagnostic until it drowns the log; the
+    condition it reports — the host's visible CPU count — does not
+    change within a process, so once is informative and twice is noise.
+    """
+    global _fallback_warned
+    if _fallback_warned:
+        return
+    _fallback_warned = True
+    warnings.warn(message, ParallelFallbackWarning, stacklevel=3)
+
+
+def _reset_fallback_warning() -> None:
+    """Re-arm the once-per-process fallback warning (test hook)."""
+    global _fallback_warned
+    _fallback_warned = False
+
+
+def _env_worker_override() -> Optional[int]:
+    """Worker count pinned by ``REPRO_NUM_WORKERS``, or ``None``.
+
+    Raises
+    ------
+    ConfigurationError
+        If the variable is set but not a positive integer — a silent
+        fallback would defeat the variable's whole purpose (deterministic
+        worker counts on CI and under the service).
+    """
+    raw = os.environ.get(REPRO_NUM_WORKERS_ENV)
+    if raw is None or raw.strip() == "":
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        value = -1
+    if value < 1:
+        raise ConfigurationError(
+            f"{REPRO_NUM_WORKERS_ENV}={raw!r} is not a positive integer"
+        )
+    return value
+
+
 def executor_for(n_workers: int, n_tones: Optional[int] = None) -> SweepExecutor:
     """Pick the executor a worker request actually benefits from.
 
     ``n_workers == 1`` is the serial executor.  A parallel request
-    degrades to serial — with a :class:`ParallelFallbackWarning` — when
-    only one CPU is visible to this process (pool overhead with zero
-    parallelism) or when ``n_tones`` (if given) cannot feed two workers.
-    Otherwise the pool is capped at the visible CPU count.
+    degrades to serial — with a :class:`ParallelFallbackWarning`, at
+    most once per process — when only one CPU is visible to this
+    process (pool overhead with zero parallelism) or when ``n_tones``
+    (if given) cannot feed two workers.  Otherwise the pool is capped
+    at the visible CPU count.
+
+    Setting the ``REPRO_NUM_WORKERS`` environment variable overrides
+    ``n_workers`` for every call in the process: CI runners pin it to
+    ``1`` for deterministic serial runs, and a deployed sweep-job
+    service pins its parallelism without a config change.  The fallback
+    and CPU-cap logic still apply to the overridden value.
     """
     if n_workers < 1:
         raise ConfigurationError(f"n_workers must be >= 1, got {n_workers!r}")
+    override = _env_worker_override()
+    if override is not None:
+        n_workers = override
     if n_workers == 1:
         return SerialSweepExecutor()
     visible = _visible_cpu_count()
     if visible <= 1:
-        warnings.warn(
+        _warn_fallback(
             f"parallel sweep requested (n_workers={n_workers}) but only "
             "1 CPU is visible to this process; running serially instead "
-            "(process-pool overhead would make the sweep slower)",
-            ParallelFallbackWarning,
-            stacklevel=2,
+            "(process-pool overhead would make the sweep slower)"
         )
         return SerialSweepExecutor()
     if n_tones is not None and n_tones < 2:
-        warnings.warn(
+        _warn_fallback(
             f"parallel sweep requested (n_workers={n_workers}) for "
-            f"{n_tones} tone(s); running serially instead",
-            ParallelFallbackWarning,
-            stacklevel=2,
+            f"{n_tones} tone(s); running serially instead"
         )
         return SerialSweepExecutor()
     return ProcessPoolSweepExecutor(min(n_workers, visible))

@@ -22,7 +22,12 @@ from repro.analysis.bode import BodeResponse, log_frequency_grid
 from repro.analysis.fitting import EstimatedParameters, estimate_second_order
 from repro.core.architecture import BISTConfig
 from repro.core.evaluation import evaluate_sweep
-from repro.core.executor import SweepExecutor, executor_for
+from repro.core.executor import (
+    SweepExecutor,
+    ToneCallback,
+    ToneOutcome,
+    executor_for,
+)
 from repro.core.limits import LimitReport, TestLimits
 from repro.core.sequencer import ToneMeasurement, ToneTestSequencer
 from repro.core.warm import LockStateCache
@@ -195,6 +200,7 @@ class TransferFunctionMonitor:
         n_workers: int = 1,
         executor: Optional[SweepExecutor] = None,
         settle: str = "fixed",
+        on_outcome: Optional[ToneCallback] = None,
     ) -> SweepResult:
         """Sweep every planned tone and evaluate eqs. (7)–(8).
 
@@ -214,6 +220,16 @@ class TransferFunctionMonitor:
         monitor's :attr:`lock_cache` serves repeated fixed-settle tones
         warm.
 
+        ``on_outcome`` streams per-tone completions to the caller as the
+        executor produces them (see
+        :data:`~repro.core.executor.ToneCallback`) — the sweep-job
+        service forwards them to its subscribers so watchers see tone
+        results mid-flight, not after the sweep.  A callback raising
+        :class:`~repro.core.executor.SweepAborted` abandons the
+        remaining tones; the caller keeps the outcomes it has seen and
+        can later finish the plan and fold everything through
+        :meth:`evaluate_outcomes` (the resume path).
+
         Raises
         ------
         MeasurementError
@@ -224,14 +240,41 @@ class TransferFunctionMonitor:
             executor = executor_for(
                 n_workers, n_tones=len(plan.frequencies_hz)
             )
+        kwargs = {"settle": settle, "cache": self.lock_cache}
+        if on_outcome is not None:
+            # Only threaded through when given: third-party executors
+            # predating the streaming seam keep working unchanged.
+            kwargs["on_outcome"] = on_outcome
         outcomes = executor.run_tones(
             self.pll,
             self.stimulus,
             self.config,
             plan.frequencies_hz,
-            settle=settle,
-            cache=self.lock_cache,
+            **kwargs,
         )
+        return self.evaluate_outcomes(plan, outcomes)
+
+    def evaluate_outcomes(
+        self,
+        plan: SweepPlan,
+        outcomes: Sequence[ToneOutcome],
+    ) -> SweepResult:
+        """Fold plan-ordered tone outcomes through eqs. (7)–(8).
+
+        This is the second half of :meth:`run`, split out so callers
+        that collected the outcomes themselves — a streaming service
+        assembling tones as they arrive, or a resumed job combining a
+        partial run with the re-run remainder — produce a
+        :class:`SweepResult` byte-identical to a one-shot ``run`` of
+        the same plan.  ``outcomes`` must be in plan order (the
+        executor contract); the reference tone is ``outcomes[0]``.
+
+        Raises
+        ------
+        MeasurementError
+            If the outcome count does not match the plan, or the
+            *reference* tone failed.
+        """
         if len(outcomes) != len(plan.frequencies_hz):
             raise MeasurementError(
                 f"executor returned {len(outcomes)} outcomes for "
@@ -297,6 +340,7 @@ class TransferFunctionMonitor:
         n_workers: int = 1,
         executor: Optional[SweepExecutor] = None,
         settle: str = "fixed",
+        on_outcome: Optional[ToneCallback] = None,
     ) -> Tuple[SweepResult, LimitReport]:
         """Sweep then compare against on-chip limits (go/no-go).
 
@@ -305,7 +349,8 @@ class TransferFunctionMonitor:
         reject, not a pass.
         """
         result = self.run(
-            plan, n_workers=n_workers, executor=executor, settle=settle
+            plan, n_workers=n_workers, executor=executor, settle=settle,
+            on_outcome=on_outcome,
         )
         if result.estimated is None:
             nan = float("nan")

@@ -30,21 +30,68 @@ the workers settled back into the parent on return.
 
 The cache is a bounded LRU so long screening campaigns cannot grow
 memory without limit; snapshots are a few hundred bytes each.
+
+:meth:`save` and :meth:`load` extend the export/merge story across
+process *lifetimes*: a long-lived service spills its settled states to
+disk between lots and reloads them on the next start, so the first job
+of a new session runs as warm as the last job of the previous one.  The
+on-disk format is versioned, and loading guards every entry — a stale
+entry (wrong shape, or a key whose physics signature no longer matches
+its snapshot) is skipped, never fatal, because losing a warm start
+costs one re-settle while crashing costs the whole session.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
 from collections import OrderedDict
-from typing import Hashable, Iterable, Optional, Tuple
+from typing import Hashable, Iterable, Optional, Tuple, Union
 
-from repro.errors import ConfigurationError
+from repro.errors import CachePersistenceError, ConfigurationError
 from repro.pll.simulator import SimulatorSnapshot
 
-__all__ = ["LockStateCache", "CacheEntries"]
+__all__ = [
+    "LockStateCache",
+    "CacheEntries",
+    "CACHE_FORMAT_MAGIC",
+    "CACHE_FORMAT_VERSION",
+]
 
 #: Picklable transport form of a cache's contents: ``(key, snapshot)``
 #: pairs in least-recently-used-first order.
 CacheEntries = Tuple[Tuple[Hashable, SimulatorSnapshot], ...]
+
+#: File-format identifier written into every persisted cache.
+CACHE_FORMAT_MAGIC = "repro-lockstate-cache"
+#: Current on-disk format version.  Readers accept any version up to
+#: this one (older payloads carry a subset of today's fields); a file
+#: from a *newer* library raises, because its semantics are unknowable.
+CACHE_FORMAT_VERSION = 1
+
+#: Pinned pickle protocol so the same cache contents always serialise
+#: to the same bytes — save → load → save is byte-identical, which the
+#: persistence tests (and any content-addressed artefact store) rely on.
+_PICKLE_PROTOCOL = 4
+
+
+def _entry_is_stale(key: object, snap: object) -> bool:
+    """Whether a persisted ``(key, snapshot)`` pair should be skipped.
+
+    A healthy entry is a non-empty tuple key whose first element is the
+    PLL physics signature, paired with a :class:`SimulatorSnapshot`
+    carrying the *same* signature.  Anything else — a foreign object
+    smuggled into the file, a key/snapshot pair that drifted apart when
+    the signature scheme changed — is stale: serving it warm could
+    restore the wrong physics, so it is dropped at the door.
+    """
+    if not isinstance(snap, SimulatorSnapshot):
+        return True
+    if not isinstance(key, tuple) or not key:
+        return True
+    if snap.pll_signature is not None and key[0] != snap.pll_signature:
+        return True
+    return False
 
 
 class LockStateCache:
@@ -74,6 +121,9 @@ class LockStateCache:
         self._misses = 0
         self._evictions = 0
         self._merged = 0
+        #: Stale entries dropped by the most recent :meth:`load` that
+        #: built this cache (0 for caches never loaded from disk).
+        self.stale_entries_skipped = 0
 
     def __len__(self) -> int:
         return len(self._store)
@@ -137,6 +187,113 @@ class LockStateCache:
             added += 1
         self._merged += added
         return added
+
+    def save(self, path: Union[str, "os.PathLike[str]"]) -> int:
+        """Persist the cache contents to ``path``; return the entry count.
+
+        The file carries a format-version header followed by the
+        entries in recency order (the same order :meth:`export` yields),
+        pickled at a pinned protocol, so identical contents always
+        produce identical bytes.  The write goes through a same-directory
+        temporary file and :func:`os.replace`, so a crash mid-spill
+        leaves the previous file intact rather than a truncated one.
+
+        Counters (hits/misses/evictions/merged) are *not* persisted —
+        they describe this process's history, not the settled states.
+        """
+        payload = {
+            "format": CACHE_FORMAT_MAGIC,
+            "version": CACHE_FORMAT_VERSION,
+            "max_entries": self.max_entries,
+            "entries": tuple(self._store.items()),
+        }
+        data = pickle.dumps(payload, protocol=_PICKLE_PROTOCOL)
+        path = os.fspath(path)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):  # replace failed; don't litter
+                os.unlink(tmp)
+        return len(self._store)
+
+    @classmethod
+    def load(
+        cls,
+        path: Union[str, "os.PathLike[str]"],
+        max_entries: Optional[int] = None,
+    ) -> "LockStateCache":
+        """Rebuild a cache from a file written by :meth:`save`.
+
+        ``max_entries`` overrides the persisted capacity (e.g. a service
+        adopting a small spill into a larger live cache); by default the
+        loaded cache reproduces the saved one — same capacity, same
+        entries in the same recency order — so a load/save round trip is
+        byte-identical.
+
+        Raises
+        ------
+        CachePersistenceError
+            If the file cannot be read, is not a lock-state cache, or
+            was written by a newer format version.  *Entries* inside a
+            valid file are individually guarded instead: any stale pair
+            (wrong shape, or a physics signature that disagrees with its
+            snapshot) is skipped — recorded in
+            :attr:`stale_entries_skipped` — never raised, because a lost
+            warm start costs one re-settle while a crash costs the
+            session.
+        """
+        try:
+            with open(os.fspath(path), "rb") as fh:
+                payload = pickle.load(fh)
+        except FileNotFoundError as exc:
+            raise CachePersistenceError(
+                f"no persisted lock-state cache at {os.fspath(path)!r}"
+            ) from exc
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, OSError) as exc:
+            raise CachePersistenceError(
+                f"cannot read {os.fspath(path)!r} as a lock-state cache: "
+                f"{exc}"
+            ) from exc
+        if not isinstance(payload, dict) or (
+            payload.get("format") != CACHE_FORMAT_MAGIC
+        ):
+            raise CachePersistenceError(
+                f"{os.fspath(path)!r} is not a persisted lock-state cache"
+            )
+        version = payload.get("version")
+        if not isinstance(version, int) or version < 1:
+            raise CachePersistenceError(
+                f"{os.fspath(path)!r} carries an unreadable cache format "
+                f"version {version!r}"
+            )
+        if version > CACHE_FORMAT_VERSION:
+            raise CachePersistenceError(
+                f"{os.fspath(path)!r} was written by cache format "
+                f"version {version}; this library reads up to "
+                f"{CACHE_FORMAT_VERSION}"
+            )
+        capacity = max_entries
+        if capacity is None:
+            persisted = payload.get("max_entries")
+            capacity = persisted if isinstance(persisted, int) else 256
+        cache = cls(max_entries=capacity)
+        entries = payload.get("entries", ())
+        skipped = 0
+        for entry in entries:
+            if not (isinstance(entry, tuple) and len(entry) == 2):
+                skipped += 1
+                continue
+            key, snap = entry
+            if _entry_is_stale(key, snap):
+                skipped += 1
+                continue
+            cache.put(key, snap)
+        cache.stale_entries_skipped = skipped
+        return cache
 
     def clear(self) -> None:
         """Drop every entry and reset all counters."""

@@ -17,6 +17,9 @@ __all__ = [
     "MeasurementError",
     "SequencerError",
     "FaultInjectionError",
+    "CachePersistenceError",
+    "ServiceError",
+    "JobQueueFullError",
 ]
 
 
@@ -78,3 +81,31 @@ class SequencerError(ReproError, RuntimeError):
 
 class FaultInjectionError(ReproError, ValueError):
     """A fault descriptor does not apply to the targeted component."""
+
+
+class CachePersistenceError(ReproError, RuntimeError):
+    """A persisted lock-state cache file could not be read as a cache.
+
+    Raised by :meth:`repro.core.warm.LockStateCache.load` when the file
+    is missing, truncated, not a cache at all, or written by a *newer*
+    format version than this library understands.  Individually stale
+    entries inside an otherwise valid file are *skipped*, not raised —
+    losing a warm start costs a re-settle, never a crash.
+    """
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The sweep-job service was driven through an illegal transition.
+
+    Examples: submitting to a service that is not running, or watching a
+    job id the service has never seen.
+    """
+
+
+class JobQueueFullError(ServiceError):
+    """A job submission was rejected because the bounded queue is full.
+
+    The sweep-job service admits at most ``queue_limit`` live (pending +
+    running) jobs; back-pressure is explicit so producers can retry or
+    shed load instead of growing an unbounded backlog.
+    """

@@ -1,0 +1,133 @@
+"""Blocking client for the sweep-job service socket.
+
+:class:`ServiceClient` is the thin synchronous counterpart of
+:class:`~repro.service.server.SweepJobServer`: one short-lived
+connection per operation, JSON line out, JSON line(s) back.  It is what
+the ``submit`` / ``watch`` / ``status`` CLI commands are built on, and
+what a test-floor script would import — no asyncio required on the
+client side.
+
+``watch`` is a generator: it yields each event dict as the line
+arrives, so a caller sees tones while the sweep is still running, and
+returns after the terminal event when the server closes the stream.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+from typing import Iterator, Optional, Union
+
+from repro.errors import ReproError, ServiceError
+from repro.service.events import TERMINAL_EVENTS
+from repro.service.jobs import SweepJobSpec
+from repro.service.protocol import MAX_LINE_BYTES, encode_line
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Talk to a running :class:`SweepJobServer` over its unix socket.
+
+    Parameters
+    ----------
+    socket_path:
+        The path the server bound (the ``serve`` command's
+        ``--socket``).
+    timeout_s:
+        Per-connection socket timeout.  ``watch`` applies it per line,
+        so a healthy stream with slow tones is fine; a dead server
+        raises instead of hanging the test floor forever.
+    """
+
+    def __init__(
+        self,
+        socket_path: Union[str, os.PathLike],
+        timeout_s: Optional[float] = 60.0,
+    ) -> None:
+        self.socket_path = os.fspath(socket_path)
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def submit(self, spec: SweepJobSpec) -> dict:
+        """Submit one job; returns its accepted snapshot (``job_id`` …)."""
+        return self._roundtrip({"op": "submit", "spec": spec.to_dict()})
+
+    def watch(self, job_id: str) -> Iterator[dict]:
+        """Stream a job's events; ends after the terminal event."""
+        with self._connect() as sock:
+            sock.sendall(encode_line({"op": "watch", "job_id": job_id}))
+            for payload in self._lines(sock):
+                if payload.get("ok") is False:
+                    raise ServiceError(payload.get("error", "watch failed"))
+                yield payload
+                if payload.get("event") in TERMINAL_EVENTS:
+                    return
+
+    def cancel(self, job_id: str) -> dict:
+        """Request cancellation; returns the job's current snapshot."""
+        return self._roundtrip({"op": "cancel", "job_id": job_id})
+
+    def status(self) -> dict:
+        """The service's ``/status`` snapshot (queue, cache, throughput)."""
+        return self._roundtrip({"op": "status"})
+
+    def jobs(self) -> list:
+        """Snapshots of every job this service session, oldest first."""
+        return self._roundtrip({"op": "jobs"})["jobs"]
+
+    def report(self, job_id: str) -> str:
+        """The finished job's markdown artefact (report or failure stub)."""
+        return self._roundtrip({"op": "report", "job_id": job_id})["report"]
+
+    def shutdown(self) -> dict:
+        """Ask the server to drain and exit."""
+        return self._roundtrip({"op": "shutdown"})
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout_s)
+        try:
+            sock.connect(self.socket_path)
+        except OSError as exc:
+            sock.close()
+            raise ServiceError(
+                f"cannot reach service socket {self.socket_path!r}: {exc} "
+                "(is `python -m repro serve` running?)"
+            ) from exc
+        return sock
+
+    def _roundtrip(self, request: dict) -> dict:
+        with self._connect() as sock:
+            sock.sendall(encode_line(request))
+            for payload in self._lines(sock):
+                if payload.get("ok") is False:
+                    raise ServiceError(payload.get("error", "request failed"))
+                return payload
+        raise ServiceError("service closed the connection without replying")
+
+    @staticmethod
+    def _lines(sock: socket.socket) -> Iterator[dict]:
+        """Yield decoded JSON lines until the server closes the stream."""
+        buffer = b""
+        while True:
+            while b"\n" in buffer:
+                line, buffer = buffer.split(b"\n", 1)
+                if line.strip():
+                    yield json.loads(line.decode("utf-8"))
+            chunk = sock.recv(65536)
+            if not chunk:
+                if buffer.strip():
+                    yield json.loads(buffer.decode("utf-8"))
+                return
+            buffer += chunk
+            if len(buffer) > MAX_LINE_BYTES:
+                raise ReproError(
+                    f"service reply line exceeds {MAX_LINE_BYTES} bytes"
+                )

@@ -1,0 +1,206 @@
+"""Unix-socket front door of the sweep-job service.
+
+:class:`SweepJobServer` binds a :class:`~repro.service.service.SweepJobService`
+to a local stream socket and speaks the JSON-lines protocol of
+:mod:`repro.service.protocol`.  One connection carries one operation;
+``watch`` streams a job's events and closes after the terminal one, so
+clients are plain line readers with no framing state.
+
+The server is deliberately boring: every client-side mistake — bad
+JSON, unknown op, unknown job, a full queue — becomes an ``ok: false``
+response line on that connection and nothing else.  Only ``shutdown``
+(or cancelling the serve task) ends the accept loop, and the service is
+drained (cache spilled) on the way out.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+from typing import Optional, Union
+
+from repro.errors import ConfigurationError, ReproError
+from repro.service.jobs import JobState
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    OPS,
+    decode_line,
+    encode_line,
+    error_response,
+    parse_spec,
+    resolve_spec,
+)
+from repro.service.service import SweepJobService
+
+__all__ = ["SweepJobServer"]
+
+
+class SweepJobServer:
+    """Serve one :class:`SweepJobService` over a unix stream socket.
+
+    Parameters
+    ----------
+    service:
+        The service instance to expose (not started yet; the server
+        starts and stops it around its own lifetime).
+    socket_path:
+        Filesystem path to bind.  A stale socket file from a previous
+        run is removed before binding; the file is unlinked again on
+        shutdown.
+
+    Usage::
+
+        server = SweepJobServer(service, "repro.sock")
+        await server.serve_forever()          # returns after shutdown op
+
+    or, for embedding in tests::
+
+        await server.start()
+        ...
+        await server.stop()
+    """
+
+    def __init__(
+        self,
+        service: SweepJobService,
+        socket_path: Union[str, os.PathLike],
+    ) -> None:
+        self.service = service
+        self.socket_path = os.fspath(socket_path)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+
+    async def start(self) -> None:
+        """Start the service and begin accepting connections."""
+        if self._server is not None:
+            raise ReproError("server already started")
+        with contextlib.suppress(FileNotFoundError):
+            os.unlink(self.socket_path)
+        await self.service.start()
+        self._server = await asyncio.start_unix_server(
+            self._handle_connection, path=self.socket_path
+        )
+
+    async def stop(self) -> None:
+        """Stop accepting, drain the service, spill the cache, unbind."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        await self.service.stop()
+        with contextlib.suppress(FileNotFoundError):
+            os.unlink(self.socket_path)
+
+    async def wait_shutdown(self) -> None:
+        """Block until a ``shutdown`` operation arrives."""
+        await self._shutdown.wait()
+
+    async def serve_forever(self) -> None:
+        """Run until a ``shutdown`` operation arrives, then drain."""
+        await self.start()
+        try:
+            await self.wait_shutdown()
+        finally:
+            await self.stop()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            try:
+                line = await reader.readline()
+                if len(line) > MAX_LINE_BYTES:
+                    raise ConfigurationError(
+                        f"protocol line exceeds {MAX_LINE_BYTES} bytes"
+                    )
+                if not line.strip():
+                    return  # client connected and went away; nothing owed
+                request = decode_line(line)
+                await self._dispatch(request, writer)
+            except Exception as exc:  # noqa: BLE001 - uniform error line
+                writer.write(encode_line(error_response(exc)))
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client vanished mid-reply; its problem, not ours
+        finally:
+            writer.close()
+            with contextlib.suppress(
+                ConnectionResetError, BrokenPipeError
+            ):
+                await writer.wait_closed()
+
+    async def _dispatch(
+        self, request: dict, writer: asyncio.StreamWriter
+    ) -> None:
+        op = request.get("op")
+        if op not in OPS:
+            known = ", ".join(sorted(OPS))
+            raise ConfigurationError(
+                f"unknown op {op!r}; expected one of: {known}"
+            )
+        if op == "submit":
+            spec = parse_spec(request.get("spec"))
+            job = self.service.submit(resolve_spec(spec))
+            writer.write(encode_line({
+                "ok": True,
+                **job.snapshot(),
+            }))
+        elif op == "watch":
+            await self._watch(request, writer)
+        elif op == "cancel":
+            job_id = self._job_id(request)
+            cancelled = self.service.cancel(job_id)
+            writer.write(encode_line({
+                "ok": True,
+                "cancelled": cancelled,
+                **self.service.get(job_id).snapshot(),
+            }))
+        elif op == "status":
+            writer.write(encode_line({"ok": True, **self.service.stats()}))
+        elif op == "jobs":
+            writer.write(encode_line({
+                "ok": True,
+                "jobs": [job.snapshot() for job in self.service.jobs()],
+            }))
+        elif op == "report":
+            job = self.service.get(self._job_id(request))
+            if not job.finished:
+                raise ReproError(
+                    f"job {job.job_id} is {job.state.value}; the report "
+                    "exists once the job is terminal"
+                )
+            if job.state is JobState.CANCELLED or job.report is None:
+                raise ReproError(
+                    f"job {job.job_id} was cancelled and has no report"
+                )
+            writer.write(encode_line({
+                "ok": True,
+                "job_id": job.job_id,
+                "report": job.report,
+            }))
+        elif op == "shutdown":
+            writer.write(encode_line({"ok": True, "shutdown": True}))
+            self._shutdown.set()
+
+    def _job_id(self, request: dict) -> str:
+        job_id = request.get("job_id")
+        if not isinstance(job_id, str) or not job_id:
+            raise ConfigurationError(
+                "request is missing a string 'job_id'"
+            )
+        return job_id
+
+    async def _watch(
+        self, request: dict, writer: asyncio.StreamWriter
+    ) -> None:
+        job_id = self._job_id(request)
+        async for event in self.service.watch(job_id):
+            writer.write(encode_line(event.to_wire()))
+            await writer.drain()

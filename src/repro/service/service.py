@@ -1,0 +1,550 @@
+"""The asyncio sweep-job service: queue, scheduler, streams, warm cache.
+
+:class:`SweepJobService` turns the one-shot
+:class:`~repro.core.monitor.TransferFunctionMonitor` into a long-lived
+measurement controller, the shape production synthesizer test flows
+assume: jobs queue up, a scheduler runs them one at a time through the
+existing executor layer, and every finished tone is streamed to
+subscribers *while the sweep is still in flight* — the seam the
+ROADMAP's adaptive sweep planning needs.
+
+Design points
+-------------
+* **One loop thread owns all state.**  Jobs run in a worker thread (the
+  sweep is CPU-bound synchronous code), but every mutation — job
+  transitions, event emission, cache bookkeeping — happens on the
+  asyncio loop via ``call_soon_threadsafe``.  The per-tone callback the
+  worker installs is also where cancellation and timeouts bite: both
+  simply raise :class:`~repro.core.executor.SweepAborted` at the next
+  tone boundary.
+* **One job at a time.**  The scheduler is deliberately width-1: the
+  shared :class:`~repro.core.warm.LockStateCache` then has exactly one
+  writer (per-job parallelism still fans tones over the process pool,
+  whose workers merge their discoveries back through the existing
+  export/merge seam).
+* **One cache across all jobs, persistent across sessions.**  The
+  service's cache is keyed by
+  :meth:`~repro.pll.config.ChargePumpPLL.physics_signature`, so repeated
+  lots and fault-library screens warm each other; with a ``cache_path``
+  it is reloaded at start and spilled back to disk after every finished
+  job and at shutdown (:meth:`~repro.core.warm.LockStateCache.save`).
+* **Plan-order streaming.**  Pool chunks complete out of order; the
+  service buffers and releases tone events strictly in plan order, so
+  the in-band reference tone always arrives first and watchers can fold
+  eq. (7) incrementally.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import time
+from typing import AsyncIterator, Dict, List, Optional, Union
+
+from repro.core.evaluation import magnitude_db_eq7
+from repro.core.executor import SweepAborted, ToneOutcome
+from repro.core.monitor import TransferFunctionMonitor
+from repro.core.sequencer import ToneMeasurement
+from repro.core.warm import LockStateCache
+from repro.errors import (
+    CachePersistenceError,
+    JobQueueFullError,
+    MeasurementError,
+    ServiceError,
+)
+from repro.reporting import device_report
+# The service honours the batch screen's stubbing contract verbatim: a
+# device that cannot be measured still yields the same failure artefact
+# a lot screen would have archived.
+from repro.reporting.device_report import _failure_stub
+from repro.service.events import (
+    EVENT_ACCEPTED,
+    EVENT_CANCELLED,
+    EVENT_DONE,
+    EVENT_FAILED,
+    EVENT_STARTED,
+    EVENT_TONE,
+    JobEvent,
+    tone_event_payload,
+)
+from repro.service.jobs import JobState, SweepJob, SweepJobRequest
+
+__all__ = ["SweepJobService"]
+
+#: Abort reasons recorded before the abort flag is set, so the worker's
+#: SweepAborted can be classified when it surfaces.
+_REASON_CANCELLED = "cancelled"
+_REASON_TIMEOUT = "timeout"
+
+
+class SweepJobService:
+    """Long-lived asyncio front-end over the sweep monitor.
+
+    Parameters
+    ----------
+    queue_limit:
+        Maximum number of *live* (pending + running) jobs.  Submissions
+        beyond it raise :class:`~repro.errors.JobQueueFullError` —
+        back-pressure is explicit.  Cancelling a pending job frees its
+        slot immediately.
+    cache:
+        Externally owned warm cache to serve jobs from; ``None`` builds
+        a private one (reloaded from ``cache_path`` when that file
+        exists).
+    cache_path:
+        Disk spill location.  Loaded at construction (stale entries are
+        skipped, an unreadable file starts cold), saved after every
+        finished job and at :meth:`stop`, so warm state survives service
+        restarts between lots.
+    cache_max_entries:
+        Capacity of the service-built cache (ignored when ``cache`` is
+        given).
+
+    Usage::
+
+        service = SweepJobService(cache_path="warm.cache")
+        await service.start()
+        job = service.submit(request)
+        async for event in service.watch(job.job_id):
+            ...                       # tone events stream in plan order
+        await service.stop()
+    """
+
+    def __init__(
+        self,
+        queue_limit: int = 16,
+        cache: Optional[LockStateCache] = None,
+        cache_path: Optional[Union[str, os.PathLike]] = None,
+        cache_max_entries: int = 1024,
+    ) -> None:
+        if queue_limit < 1:
+            raise ServiceError(
+                f"queue_limit must be >= 1, got {queue_limit!r}"
+            )
+        self.queue_limit = queue_limit
+        self.cache_path = cache_path
+        if cache is not None:
+            self.cache = cache
+        else:
+            self.cache = self._load_or_new_cache(
+                cache_path, cache_max_entries
+            )
+        self._jobs: Dict[str, SweepJob] = {}
+        self._order: List[str] = []
+        self._history: Dict[str, List[JobEvent]] = {}
+        self._subscribers: Dict[str, List["asyncio.Queue[JobEvent]"]] = {}
+        self._abort_events: Dict[str, threading.Event] = {}
+        self._abort_reasons: Dict[str, str] = {}
+        self._queue: "asyncio.Queue[Optional[str]]" = asyncio.Queue()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._scheduler_task: Optional["asyncio.Task[None]"] = None
+        self._accepting = False
+        self._live = 0
+        self._next_id = 1
+        self._started_at: Optional[float] = None
+        self._tones_streamed = 0
+        self._run_wall_s = 0.0
+        self._jobs_by_state: Dict[str, int] = {
+            state.value: 0 for state in JobState
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _load_or_new_cache(
+        cache_path, max_entries: int
+    ) -> LockStateCache:
+        """Reload the spilled cache, or start cold on any trouble.
+
+        An unreadable spill (truncated write on a crashed host, a file
+        from a newer library) costs warm starts, never availability.
+        """
+        if cache_path is None:
+            return LockStateCache(max_entries=max_entries)
+        try:
+            return LockStateCache.load(cache_path, max_entries=max_entries)
+        except CachePersistenceError:
+            return LockStateCache(max_entries=max_entries)
+
+    async def start(self) -> None:
+        """Bind to the running loop and start the scheduler."""
+        if self._scheduler_task is not None:
+            raise ServiceError("service already started")
+        self._loop = asyncio.get_running_loop()
+        self._started_at = time.monotonic()
+        self._accepting = True
+        self._scheduler_task = self._loop.create_task(self._scheduler())
+
+    async def stop(self, save_cache: bool = True) -> None:
+        """Drain and shut down: no new jobs, finish/abort the current one.
+
+        Pending jobs are cancelled (their slots freed, their watchers
+        get a terminal event); a running job is aborted at its next tone
+        boundary.  With ``save_cache`` (default) and a configured
+        ``cache_path``, the warm cache spills to disk last, so the next
+        session's first job starts warm.
+        """
+        if self._scheduler_task is None:
+            return
+        self._accepting = False
+        for job_id in list(self._order):
+            job = self._jobs[job_id]
+            if job.state is JobState.PENDING:
+                self.cancel(job_id)
+            elif job.state is JobState.RUNNING:
+                self.cancel(job_id)
+        await self._queue.put(None)  # sentinel: scheduler exits when idle
+        await self._scheduler_task
+        self._scheduler_task = None
+        if save_cache and self.cache_path is not None:
+            self.cache.save(self.cache_path)
+
+    @property
+    def running(self) -> bool:
+        """Whether the scheduler is up and accepting work."""
+        return self._scheduler_task is not None and self._accepting
+
+    # ------------------------------------------------------------------
+    # submission / cancellation
+    # ------------------------------------------------------------------
+    def submit(self, request: SweepJobRequest) -> SweepJob:
+        """Admit one job; raises when the service is down or the queue full.
+
+        Returns the tracked :class:`~repro.service.jobs.SweepJob` with
+        its assigned id; the job's ``accepted`` event is already in its
+        history when this returns, so an immediately attached watcher
+        replays it.
+        """
+        if not self.running:
+            raise ServiceError("service is not accepting jobs")
+        if self._live >= self.queue_limit:
+            raise JobQueueFullError(
+                f"job queue is full ({self._live}/{self.queue_limit} live "
+                "jobs); retry after one finishes or cancel a pending job"
+            )
+        job_id = f"job-{self._next_id:04d}"
+        self._next_id += 1
+        job = SweepJob(
+            job_id=job_id,
+            request=request,
+            submitted_at=time.monotonic(),
+        )
+        self._jobs[job_id] = job
+        self._order.append(job_id)
+        self._history[job_id] = []
+        self._subscribers[job_id] = []
+        self._live += 1
+        self._jobs_by_state[JobState.PENDING.value] += 1
+        self._emit(job, EVENT_ACCEPTED, {
+            "label": request.label,
+            "tones_planned": len(request.plan.frequencies_hz),
+            "queue_depth": self.queue_depth,
+        })
+        self._queue.put_nowait(job_id)
+        return job
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job; ``True`` if the request had any effect.
+
+        A **pending** job transitions to ``CANCELLED`` immediately and
+        frees its queue slot (its id stays in the dispatch queue but the
+        scheduler skips non-pending ids).  A **running** job gets its
+        abort flag set and transitions at the next tone boundary — tones
+        already streamed stay valid.  Terminal jobs return ``False``.
+        """
+        job = self._require_job(job_id)
+        if job.state is JobState.PENDING:
+            self._transition(job, JobState.CANCELLED)
+            job.error = "cancelled while queued"
+            self._finish(job, EVENT_CANCELLED, {"error": job.error})
+            return True
+        if job.state is JobState.RUNNING:
+            self._abort_reasons.setdefault(job_id, _REASON_CANCELLED)
+            event = self._abort_events.get(job_id)
+            if event is not None:
+                event.set()
+            return True
+        return False
+
+    def get(self, job_id: str) -> SweepJob:
+        """Look a job up by id (raises ServiceError for unknown ids)."""
+        return self._require_job(job_id)
+
+    def jobs(self) -> List[SweepJob]:
+        """All jobs this session, in submission order."""
+        return [self._jobs[job_id] for job_id in self._order]
+
+    # ------------------------------------------------------------------
+    # watching
+    # ------------------------------------------------------------------
+    async def watch(self, job_id: str) -> AsyncIterator[JobEvent]:
+        """Stream a job's events: full history first, then live.
+
+        The iterator ends after the terminal event, so ``async for`` over
+        it is bounded.  Multiple watchers per job are fine; each gets the
+        identical sequence regardless of when it attached.
+        """
+        self._require_job(job_id)
+        queue: "asyncio.Queue[JobEvent]" = asyncio.Queue()
+        self._subscribers[job_id].append(queue)
+        try:
+            history = list(self._history[job_id])
+            last_seq = history[-1].seq if history else -1
+            for event in history:
+                yield event
+                if event.terminal:
+                    return
+            while True:
+                event = await queue.get()
+                if event.seq <= last_seq:
+                    continue  # already replayed from history
+                yield event
+                if event.terminal:
+                    return
+        finally:
+            self._subscribers[job_id].remove(queue)
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Jobs admitted but not yet started."""
+        return self._jobs_by_state[JobState.PENDING.value]
+
+    def stats(self) -> dict:
+        """``/status``-style snapshot: queue, throughput, cache health."""
+        detail = self.cache.stats_detail
+        lookups = detail["hits"] + detail["misses"]
+        running = [
+            job.job_id
+            for job in self._jobs.values()
+            if job.state is JobState.RUNNING
+        ]
+        wall = self._run_wall_s
+        for job_id in running:
+            job = self._jobs[job_id]
+            if job.started_at is not None:
+                wall += time.monotonic() - job.started_at
+        return {
+            "uptime_s": (
+                time.monotonic() - self._started_at
+                if self._started_at is not None
+                else 0.0
+            ),
+            "accepting": self.running,
+            "queue_limit": self.queue_limit,
+            "queue_depth": self.queue_depth,
+            "live_jobs": self._live,
+            "running_job": running[0] if running else None,
+            "jobs_by_state": dict(self._jobs_by_state),
+            "tones_streamed": self._tones_streamed,
+            "tones_per_s": (
+                self._tones_streamed / wall if wall > 0.0 else 0.0
+            ),
+            "cache": {
+                **detail,
+                "hit_rate": (
+                    detail["hits"] / lookups if lookups else 0.0
+                ),
+                "path": (
+                    str(self.cache_path)
+                    if self.cache_path is not None
+                    else None
+                ),
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _require_job(self, job_id: str) -> SweepJob:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job id {job_id!r}")
+        return job
+
+    def _transition(self, job: SweepJob, state: JobState) -> None:
+        self._jobs_by_state[job.state.value] -= 1
+        self._jobs_by_state[state.value] += 1
+        job.state = state
+
+    def _emit(self, job: SweepJob, kind: str, payload: dict) -> None:
+        event = JobEvent(
+            job_id=job.job_id,
+            seq=len(self._history[job.job_id]),
+            kind=kind,
+            payload=payload,
+        )
+        self._history[job.job_id].append(event)
+        for queue in self._subscribers[job.job_id]:
+            queue.put_nowait(event)
+
+    def _finish(self, job: SweepJob, kind: str, payload: dict) -> None:
+        """Terminal bookkeeping shared by every exit path."""
+        job.finished_at = time.monotonic()
+        if job.started_at is not None:
+            self._run_wall_s += job.finished_at - job.started_at
+        self._live -= 1
+        self._abort_events.pop(job.job_id, None)
+        self._abort_reasons.pop(job.job_id, None)
+        self._emit(job, kind, {**payload, **job.snapshot()})
+
+    async def _scheduler(self) -> None:
+        """Width-1 dispatch loop; exits on the ``stop`` sentinel."""
+        while True:
+            job_id = await self._queue.get()
+            if job_id is None:
+                return
+            job = self._jobs[job_id]
+            if job.state is not JobState.PENDING:
+                continue  # cancelled while queued; slot already freed
+            await self._run_job(job)
+
+    async def _run_job(self, job: SweepJob) -> None:
+        assert self._loop is not None
+        request = job.request
+        self._transition(job, JobState.RUNNING)
+        job.started_at = time.monotonic()
+        self._emit(job, EVENT_STARTED, {
+            "label": request.label,
+            "settle": request.settle,
+            "n_workers": request.n_workers,
+            "timeout_s": request.timeout_s,
+        })
+        abort = threading.Event()
+        self._abort_events[job.job_id] = abort
+
+        # Plan-order release buffer: pool chunks finish out of order,
+        # watchers must not.
+        ready: Dict[int, ToneOutcome] = {}
+        next_index = 0
+        reference: Optional[ToneMeasurement] = None
+
+        def deliver(index: int, outcome: ToneOutcome) -> None:
+            # Runs on the loop thread (scheduled by the worker), so all
+            # state below is single-threaded.
+            nonlocal next_index, reference
+            if job.finished:
+                return  # late chunk of an aborted pool run
+            ready[index] = outcome
+            while next_index in ready:
+                out = ready.pop(next_index)
+                magnitude: Optional[float] = None
+                if not out.failed:
+                    m = out.measurement
+                    if next_index == 0:
+                        reference = m
+                    if reference is not None:
+                        try:
+                            magnitude = magnitude_db_eq7(
+                                m.delta_f_hz, reference.delta_f_hz
+                            )
+                        except MeasurementError:
+                            magnitude = None
+                    job.warm_tones += int(
+                        m.timing is not None and m.timing.warm
+                    )
+                else:
+                    job.failed_tones += 1
+                job.streamed_indices.append(next_index)
+                self._tones_streamed += 1
+                self._emit(
+                    job,
+                    EVENT_TONE,
+                    tone_event_payload(next_index, out, magnitude),
+                )
+                next_index += 1
+
+        def on_outcome(index: int, outcome: ToneOutcome) -> None:
+            # Worker-thread side of the seam: check the abort flag at
+            # every tone boundary, then hand the outcome to the loop.
+            # call_soon_threadsafe preserves per-thread ordering, and
+            # the executor future resolves after the last callback, so
+            # all tone events land before the terminal event.
+            if abort.is_set():
+                raise SweepAborted(
+                    self._abort_reasons.get(
+                        job.job_id, _REASON_CANCELLED
+                    )
+                )
+            self._loop.call_soon_threadsafe(deliver, index, outcome)
+
+        timeout_handle = None
+        if request.timeout_s is not None:
+
+            def expire() -> None:
+                if job.state is JobState.RUNNING:
+                    self._abort_reasons[job.job_id] = _REASON_TIMEOUT
+                    abort.set()
+
+            timeout_handle = self._loop.call_later(
+                request.timeout_s, expire
+            )
+
+        def measure():
+            monitor = TransferFunctionMonitor(
+                request.pll,
+                request.stimulus,
+                request.config,
+                cache=self.cache,
+            )
+            return monitor.run(
+                request.plan,
+                n_workers=request.n_workers,
+                settle=request.settle,
+                on_outcome=on_outcome,
+            )
+
+        try:
+            result = await self._loop.run_in_executor(None, measure)
+        except SweepAborted:
+            reason = self._abort_reasons.get(
+                job.job_id, _REASON_CANCELLED
+            )
+            if reason == _REASON_TIMEOUT:
+                job.error = (
+                    f"timed out after {request.timeout_s:g} s "
+                    "(stopped at the next tone boundary)"
+                )
+                self._transition(job, JobState.FAILED)
+                job.report = _failure_stub(request.pll, job.error)
+                self._finish(job, EVENT_FAILED, {"error": job.error})
+            else:
+                job.error = "cancelled while running"
+                self._transition(job, JobState.CANCELLED)
+                self._finish(job, EVENT_CANCELLED, {"error": job.error})
+        except MeasurementError as exc:
+            # The reference tone died: no transfer function exists, but
+            # the job still archives a failure-stub artefact — the
+            # service loop survives, mirroring _render_one.
+            job.error = str(exc)
+            self._transition(job, JobState.FAILED)
+            job.report = _failure_stub(request.pll, job.error)
+            self._finish(job, EVENT_FAILED, {"error": job.error})
+        except Exception as exc:  # noqa: BLE001 - any per-job error stubs
+            job.error = f"{type(exc).__name__}: {exc}"
+            self._transition(job, JobState.FAILED)
+            job.report = _failure_stub(request.pll, job.error)
+            self._finish(job, EVENT_FAILED, {"error": job.error})
+        else:
+            job.result = result
+            job.report = device_report(request.pll, result)
+            self._transition(job, JobState.DONE)
+            self._finish(job, EVENT_DONE, {
+                "summary": result.summary(),
+                "complete": result.complete,
+            })
+        finally:
+            if timeout_handle is not None:
+                timeout_handle.cancel()
+            if self.cache_path is not None:
+                # Spill after every job: a few hundred bytes per settled
+                # state buys the next session a warm first lot even if
+                # this process dies before a clean stop().
+                try:
+                    self.cache.save(self.cache_path)
+                except OSError:
+                    pass  # disk trouble must not kill the service loop

@@ -21,6 +21,19 @@ from repro.presets import (
 from repro.stimulus import SineFMStimulus
 
 
+@pytest.fixture(autouse=True)
+def rearm_parallel_fallback_warning():
+    """Re-arm the once-per-process ParallelFallbackWarning for each test.
+
+    Production deduplicates the fallback diagnostic; tests asserting on
+    it must each see their own copy.
+    """
+    from repro.core.executor import _reset_fallback_warning
+
+    _reset_fallback_warning()
+    yield
+
+
 @pytest.fixture(scope="session", autouse=True)
 def no_stray_shared_memory():
     """Fail the session if any test leaks a POSIX shared-memory segment.

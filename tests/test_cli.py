@@ -13,12 +13,19 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         for cmd in ("theory", "sweep", "selftest", "screen", "diagnose",
-                    "plan"):
+                    "plan", "serve", "submit", "status", "shutdown"):
             args = parser.parse_args(
                 [cmd] + (["--fn", "8", "--zeta", "0.4"]
                          if cmd == "diagnose" else [])
             )
             assert callable(args.handler)
+
+    def test_watch_requires_job_id(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["watch"])
+        args = parser.parse_args(["watch", "job-0001"])
+        assert args.job_id == "job-0001"
 
     def test_stimulus_choices(self):
         parser = build_parser()
@@ -89,6 +96,38 @@ class TestPlan:
         out = capsys.readouterr().out
         assert "too coarse" in out
         assert "OK" in out
+
+
+class TestServiceCommands:
+    """Client commands against a socket nobody is serving.
+
+    The full serve/submit/watch loop is exercised end-to-end in
+    test_service_protocol; here the CLI surface just has to parse and
+    fail helpfully when the service is down.
+    """
+
+    def test_submit_without_service_fails_helpfully(self, capsys, tmp_path):
+        sock = str(tmp_path / "absent.sock")
+        assert main(["submit", "--socket", sock, "--timeout", "1"]) == 2
+        out = capsys.readouterr().out
+        assert "submit failed" in out
+        assert "serve" in out  # points the user at `python -m repro serve`
+
+    def test_watch_without_service_fails_helpfully(self, capsys, tmp_path):
+        sock = str(tmp_path / "absent.sock")
+        code = main(["watch", "job-0001", "--socket", sock, "--timeout", "1"])
+        assert code == 2
+        assert "watch failed" in capsys.readouterr().out
+
+    def test_status_without_service_fails_helpfully(self, capsys, tmp_path):
+        sock = str(tmp_path / "absent.sock")
+        assert main(["status", "--socket", sock, "--timeout", "1"]) == 2
+        assert "status failed" in capsys.readouterr().out
+
+    def test_shutdown_without_service_fails_helpfully(self, capsys, tmp_path):
+        sock = str(tmp_path / "absent.sock")
+        assert main(["shutdown", "--socket", sock, "--timeout", "1"]) == 2
+        assert "shutdown failed" in capsys.readouterr().out
 
 
 class TestSweepReport:

@@ -8,17 +8,21 @@ every tone builds its own simulator from the same immutable inputs.
 
 from __future__ import annotations
 
+import warnings
+
 import pytest
 
 from repro.core import (
     ParallelFallbackWarning,
     ProcessPoolSweepExecutor,
     SerialSweepExecutor,
+    SweepAborted,
     SweepPlan,
     ToneOutcome,
     TransferFunctionMonitor,
     executor_for,
 )
+from repro.core.executor import REPRO_NUM_WORKERS_ENV
 import repro.core.executor as executor_module
 from repro.errors import ConfigurationError, MeasurementError
 from repro.presets import paper_pll, paper_stimulus
@@ -159,6 +163,103 @@ class TestExecutorPlumbing:
     def test_outcome_failed_property(self):
         assert ToneOutcome(f_mod=1.0, error="boom").failed
         assert not ToneOutcome(f_mod=1.0).failed
+
+
+class TestEnvWorkerOverride:
+    def test_override_wins_over_argument(self, monkeypatch):
+        monkeypatch.setattr(executor_module, "_visible_cpu_count", lambda: 8)
+        monkeypatch.setenv(REPRO_NUM_WORKERS_ENV, "2")
+        ex = executor_for(6)
+        assert isinstance(ex, ProcessPoolSweepExecutor)
+        assert ex.n_workers == 2
+
+    def test_override_to_one_selects_serial(self, monkeypatch):
+        monkeypatch.setattr(executor_module, "_visible_cpu_count", lambda: 8)
+        monkeypatch.setenv(REPRO_NUM_WORKERS_ENV, "1")
+        assert isinstance(executor_for(6), SerialSweepExecutor)
+
+    def test_blank_override_is_ignored(self, monkeypatch):
+        monkeypatch.setattr(executor_module, "_visible_cpu_count", lambda: 8)
+        monkeypatch.setenv(REPRO_NUM_WORKERS_ENV, "  ")
+        ex = executor_for(4)
+        assert isinstance(ex, ProcessPoolSweepExecutor)
+        assert ex.n_workers == 4
+
+    @pytest.mark.parametrize("value", ["0", "-3", "two", "1.5"])
+    def test_unusable_override_raises(self, monkeypatch, value):
+        monkeypatch.setenv(REPRO_NUM_WORKERS_ENV, value)
+        with pytest.raises(ConfigurationError, match=REPRO_NUM_WORKERS_ENV):
+            executor_for(4)
+
+
+class TestFallbackWarnsOnce:
+    def test_second_fallback_is_silent(self, monkeypatch):
+        monkeypatch.setattr(executor_module, "_visible_cpu_count", lambda: 1)
+        with pytest.warns(ParallelFallbackWarning):
+            executor_for(8)
+        # Production emits the diagnostic once per process; a sweep over
+        # a 200-die lot must not print 200 copies.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert isinstance(executor_for(8), SerialSweepExecutor)
+
+    def test_reset_hook_rearms(self, monkeypatch):
+        monkeypatch.setattr(executor_module, "_visible_cpu_count", lambda: 1)
+        with pytest.warns(ParallelFallbackWarning):
+            executor_for(8)
+        executor_module._reset_fallback_warning()
+        with pytest.warns(ParallelFallbackWarning):
+            executor_for(8)
+
+
+class TestStreamingCallbacks:
+    def test_serial_streams_every_tone_in_plan_order(
+        self, monitor, mixed_plan, serial_result
+    ):
+        seen = []
+        result = monitor.run(
+            mixed_plan,
+            on_outcome=lambda i, out: seen.append((i, out.f_mod, out.failed)),
+        )
+        assert [i for i, _, _ in seen] == list(range(len(seen)))
+        assert [f for _, f, _ in seen] == list(mixed_plan.frequencies_hz)
+        # The starving tone streams as a failed outcome, not an exception.
+        assert (2, STARVING_TONE, True) in seen
+        for a, b in zip(serial_result.measurements, result.measurements):
+            _assert_measurements_identical(a, b)
+
+    def test_pool_streams_every_tone(self, monitor, mixed_plan):
+        seen = {}
+        monitor.run(
+            mixed_plan,
+            executor=ProcessPoolSweepExecutor(4),
+            on_outcome=lambda i, out: seen.setdefault(i, out.f_mod),
+        )
+        # Chunks complete in any order, but every tone must stream
+        # exactly once with its own plan index.
+        assert seen == {
+            i: f for i, f in enumerate(mixed_plan.frequencies_hz)
+        }
+
+    def test_callback_abort_propagates_serial(self, monitor, mixed_plan):
+        def bail(index, outcome):
+            raise SweepAborted("stop right there")
+
+        with pytest.raises(SweepAborted, match="stop right there"):
+            monitor.run(mixed_plan, on_outcome=bail)
+
+    def test_callback_abort_propagates_pool(self, monitor, mixed_plan):
+        # The pool path must also tear down its shared-memory segment —
+        # the session-scoped /dev/shm leak guard enforces that part.
+        def bail(index, outcome):
+            raise SweepAborted("stop right there")
+
+        with pytest.raises(SweepAborted, match="stop right there"):
+            monitor.run(
+                mixed_plan,
+                executor=ProcessPoolSweepExecutor(4),
+                on_outcome=bail,
+            )
 
 
 class TestBatchDeviceReports:

@@ -1,0 +1,373 @@
+"""The sweep-job service: streaming, warmth, cancellation, survival.
+
+The acceptance contract: a job's report is byte-identical to the
+equivalent one-shot monitor run; tone events arrive in plan order while
+the sweep is still running; a second same-physics job is served warm
+from the shared cache (and, via the disk spill, so is the first job of
+the *next* service session); cancelling a pending job frees its queue
+slot; and a dying device fails its own job with a stub artefact without
+killing the service loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core import SweepPlan, TransferFunctionMonitor
+from repro.errors import JobQueueFullError, ServiceError
+from repro.presets import paper_pll, paper_stimulus
+from repro.reporting import device_report
+from repro.service import (
+    EVENT_TONE,
+    JobState,
+    SweepJobRequest,
+    SweepJobService,
+)
+
+# Five tones the fast configuration measures cleanly (fn sits between
+# them), plus the 2 kHz starver for failure-path tests — same physics
+# rationale as test_parallel_sweep.
+SMOKE_TONES = (5.0, 10.0, 20.0, 40.0, 55.0)
+STARVING_TONES = (2000.0, 4000.0)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def request(fast_bist_config, tones=SMOKE_TONES, **kwargs):
+    kwargs.setdefault("pll", paper_pll())
+    return SweepJobRequest(
+        stimulus=paper_stimulus("multitone"),
+        plan=SweepPlan(tones),
+        config=fast_bist_config,
+        **kwargs,
+    )
+
+
+async def run_to_end(service, req):
+    """Submit one job and drain its event stream; returns (job, events)."""
+    job = service.submit(req)
+    events = [event async for event in service.watch(job.job_id)]
+    return job, events
+
+
+class TestStreamingSmoke:
+    def test_five_tone_job_streams_in_plan_order(self, fast_bist_config):
+        async def scenario():
+            service = SweepJobService()
+            await service.start()
+            try:
+                return await run_to_end(service, request(fast_bist_config))
+            finally:
+                await service.stop()
+
+        job, events = run(scenario())
+        tones = [e for e in events if e.kind == EVENT_TONE]
+        assert [e.payload["index"] for e in tones] == list(range(5))
+        assert [e.payload["f_mod_hz"] for e in tones] == list(SMOKE_TONES)
+        assert [e.kind for e in events[:2]] == ["accepted", "started"]
+        assert events[-1].kind == "done"
+        assert job.state is JobState.DONE
+        # The reference tone is index 0, so its eq. (7) magnitude is an
+        # exact 0 dB and every later tone carries a magnitude too.
+        assert tones[0].payload["magnitude_db"] == 0.0
+        assert all("magnitude_db" in e.payload for e in tones)
+
+    def test_report_byte_identical_to_one_shot(self, fast_bist_config):
+        async def scenario():
+            service = SweepJobService()
+            await service.start()
+            try:
+                return (await run_to_end(
+                    service, request(fast_bist_config)
+                ))[0]
+            finally:
+                await service.stop()
+
+        job = run(scenario())
+        one_shot = TransferFunctionMonitor(
+            paper_pll(), paper_stimulus("multitone"), fast_bist_config
+        ).run(SweepPlan(SMOKE_TONES))
+        assert job.report == device_report(paper_pll(), one_shot)
+
+    def test_pool_executor_still_streams_in_plan_order(
+        self, fast_bist_config, monkeypatch
+    ):
+        # Pretend the runner has cores so the factory genuinely builds
+        # a process pool instead of falling back to serial on 1-CPU CI.
+        import repro.core.executor as executor_module
+
+        monkeypatch.setattr(
+            executor_module, "_visible_cpu_count", lambda: 8
+        )
+
+        async def scenario():
+            service = SweepJobService()
+            await service.start()
+            try:
+                return await run_to_end(
+                    service,
+                    request(fast_bist_config, n_workers=4),
+                )
+            finally:
+                await service.stop()
+
+        job, events = run(scenario())
+        tones = [e.payload["index"] for e in events if e.kind == EVENT_TONE]
+        # Pool chunks complete out of order; the service's reorder
+        # buffer must still release strictly by plan index.
+        assert tones == sorted(tones) == list(range(5))
+        assert job.state is JobState.DONE
+
+
+class TestWarmAcrossJobs:
+    def test_second_job_warm_and_byte_identical(self, fast_bist_config):
+        async def scenario():
+            service = SweepJobService()
+            await service.start()
+            try:
+                first, _ = await run_to_end(
+                    service, request(fast_bist_config)
+                )
+                second, events = await run_to_end(
+                    service, request(fast_bist_config)
+                )
+                return first, second, events, service.stats()
+            finally:
+                await service.stop()
+
+        first, second, events, stats = run(scenario())
+        assert first.warm_tones == 0
+        assert second.warm_tones == len(SMOKE_TONES)
+        assert stats["cache"]["hits"] == len(SMOKE_TONES)
+        assert stats["cache"]["hit_rate"] == 0.5
+        assert first.report == second.report
+        assert all(
+            e.payload["warm"] for e in events if e.kind == EVENT_TONE
+        )
+
+    def test_warmth_survives_service_restart(
+        self, fast_bist_config, tmp_path
+    ):
+        cache_path = tmp_path / "service.cache"
+
+        async def session():
+            service = SweepJobService(cache_path=cache_path)
+            await service.start()
+            try:
+                job, _ = await run_to_end(
+                    service, request(fast_bist_config)
+                )
+                return job, service.stats()["cache"]
+            finally:
+                await service.stop()
+
+        cold_job, cold_cache = run(session())
+        warm_job, warm_cache = run(session())
+        assert cold_job.warm_tones == 0 and cold_cache["hits"] == 0
+        # The second *session* reloads the spill: every tone warm.
+        assert warm_job.warm_tones == len(SMOKE_TONES)
+        assert warm_cache["hits"] == len(SMOKE_TONES)
+        assert warm_cache["misses"] == 0
+        assert cold_job.report == warm_job.report
+
+    def test_unreadable_spill_starts_cold(self, fast_bist_config, tmp_path):
+        cache_path = tmp_path / "corrupt.cache"
+        cache_path.write_bytes(b"definitely not a cache")
+
+        async def scenario():
+            service = SweepJobService(cache_path=cache_path)
+            await service.start()
+            try:
+                return (await run_to_end(
+                    service, request(fast_bist_config)
+                ))[0]
+            finally:
+                await service.stop()
+
+        job = run(scenario())
+        assert job.state is JobState.DONE
+        assert job.warm_tones == 0
+
+
+class TestQueueAndCancellation:
+    def test_cancelled_pending_job_frees_its_slot(self, fast_bist_config):
+        async def scenario():
+            service = SweepJobService(queue_limit=2)
+            await service.start()
+            # No await between submits: the scheduler task has not run
+            # yet, so every admission decision here is deterministic.
+            first = service.submit(request(fast_bist_config))
+            second = service.submit(request(fast_bist_config))
+            with pytest.raises(JobQueueFullError):
+                service.submit(request(fast_bist_config))
+            assert service.cancel(second.job_id)
+            assert second.state is JobState.CANCELLED
+            third = service.submit(request(fast_bist_config))  # slot freed
+            events = {}
+            for job in (first, second, third):
+                events[job.job_id] = [
+                    e async for e in service.watch(job.job_id)
+                ]
+            await service.stop()
+            return first, second, third, events
+
+        first, second, third, events = run(scenario())
+        assert first.state is JobState.DONE
+        assert third.state is JobState.DONE
+        assert events[second.job_id][-1].kind == "cancelled"
+        assert second.streamed_indices == []
+
+    def test_cancel_running_job_stops_at_tone_boundary(
+        self, fast_bist_config
+    ):
+        async def scenario():
+            service = SweepJobService()
+            await service.start()
+            job = service.submit(request(fast_bist_config))
+            events = []
+            async for event in service.watch(job.job_id):
+                events.append(event)
+                if event.kind == EVENT_TONE:
+                    service.cancel(job.job_id)
+            # The loop survives: a fresh job still runs to completion.
+            follow_up, _ = await run_to_end(
+                service, request(fast_bist_config)
+            )
+            stats = service.stats()
+            await service.stop()
+            return job, events, follow_up, stats
+
+        job, events, follow_up, stats = run(scenario())
+        assert job.state is JobState.CANCELLED
+        assert events[-1].kind == "cancelled"
+        streamed = [e for e in events if e.kind == EVENT_TONE]
+        assert 0 < len(streamed) < len(SMOKE_TONES)
+        assert follow_up.state is JobState.DONE
+        assert stats["live_jobs"] == 0
+
+    def test_cancel_terminal_job_is_a_noop(self, fast_bist_config):
+        async def scenario():
+            service = SweepJobService()
+            await service.start()
+            try:
+                job, _ = await run_to_end(
+                    service, request(fast_bist_config)
+                )
+                return job, service.cancel(job.job_id)
+            finally:
+                await service.stop()
+
+        job, cancelled = run(scenario())
+        assert job.state is JobState.DONE
+        assert cancelled is False
+
+    def test_unknown_job_raises(self, fast_bist_config):
+        async def scenario():
+            service = SweepJobService()
+            await service.start()
+            try:
+                service.cancel("job-9999")
+            finally:
+                await service.stop()
+
+        with pytest.raises(ServiceError, match="unknown job"):
+            run(scenario())
+
+
+class TestFailureIsolation:
+    def test_dead_reference_stubs_job_and_loop_survives(
+        self, fast_bist_config
+    ):
+        async def scenario():
+            service = SweepJobService()
+            await service.start()
+            try:
+                dead, dead_events = await run_to_end(
+                    service,
+                    request(fast_bist_config, tones=STARVING_TONES),
+                )
+                healthy, _ = await run_to_end(
+                    service, request(fast_bist_config)
+                )
+                return dead, dead_events, healthy
+            finally:
+                await service.stop()
+
+        dead, dead_events, healthy = run(scenario())
+        assert dead.state is JobState.FAILED
+        assert dead_events[-1].kind == "failed"
+        assert "in-band reference tone" in dead.error
+        # Same stubbing contract as the batch screen's _render_one: the
+        # job archives a failure artefact instead of raising.
+        assert dead.report.startswith("# BIST report")
+        assert "FAIL (sweep aborted)" in dead.report
+        # ...and the service loop is alive to run the next device.
+        assert healthy.state is JobState.DONE
+
+    def test_timeout_fails_at_next_tone_boundary(self, fast_bist_config):
+        async def scenario():
+            service = SweepJobService()
+            await service.start()
+            try:
+                return await run_to_end(
+                    service,
+                    request(fast_bist_config, timeout_s=0.001),
+                )
+            finally:
+                await service.stop()
+
+        job, events = run(scenario())
+        assert job.state is JobState.FAILED
+        assert "timed out" in job.error
+        assert events[-1].kind == "failed"
+        assert len(job.streamed_indices) < len(SMOKE_TONES)
+        assert "FAIL (sweep aborted)" in job.report
+
+
+class TestServiceLifecycle:
+    def test_submit_before_start_raises(self, fast_bist_config):
+        service = SweepJobService()
+        with pytest.raises(ServiceError, match="not accepting"):
+            service.submit(request(fast_bist_config))
+
+    def test_rejects_nonpositive_queue_limit(self):
+        with pytest.raises(ServiceError):
+            SweepJobService(queue_limit=0)
+
+    def test_stats_shape(self, fast_bist_config):
+        async def scenario():
+            service = SweepJobService()
+            await service.start()
+            try:
+                await run_to_end(service, request(fast_bist_config))
+                return service.stats()
+            finally:
+                await service.stop()
+
+        stats = run(scenario())
+        assert stats["jobs_by_state"]["done"] == 1
+        assert stats["tones_streamed"] == len(SMOKE_TONES)
+        assert stats["tones_per_s"] > 0.0
+        assert stats["queue_depth"] == 0
+
+    def test_late_watcher_replays_full_history(self, fast_bist_config):
+        async def scenario():
+            service = SweepJobService()
+            await service.start()
+            try:
+                job, live = await run_to_end(
+                    service, request(fast_bist_config)
+                )
+                # Attach *after* the job finished: history replay only.
+                replay = [e async for e in service.watch(job.job_id)]
+                return live, replay
+            finally:
+                await service.stop()
+
+        live, replay = run(scenario())
+        assert [(e.seq, e.kind) for e in live] == \
+            [(e.seq, e.kind) for e in replay]

@@ -1,0 +1,213 @@
+"""Wire protocol and socket round trips of the sweep-job service.
+
+The centrepiece is the end-to-end smoke the CI service step runs: a
+real server on a real unix socket, a five-tone job submitted over the
+wire, tone events streamed back in plan order, and the final report
+byte-identical to the one-shot monitor run — queueing and streaming
+change *when* results arrive, never *what* they are.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import shutil
+import socket as socket_module
+import tempfile
+import threading
+
+import pytest
+
+from repro.core import TransferFunctionMonitor
+from repro.errors import ConfigurationError, ServiceError
+from repro.presets import (
+    paper_bist_config,
+    paper_pll,
+    paper_stimulus,
+    paper_sweep,
+)
+from repro.reporting import device_report
+from repro.service import ServiceClient, SweepJobServer, SweepJobService, SweepJobSpec
+from repro.service.protocol import decode_line, encode_line, resolve_spec
+
+SMOKE_POINTS = 5
+
+
+class TestLineCodec:
+    def test_encode_is_deterministic(self):
+        a = encode_line({"b": 1, "a": 2})
+        b = encode_line({"a": 2, "b": 1})
+        assert a == b == b'{"a": 2, "b": 1}\n'
+
+    def test_decode_round_trip(self):
+        payload = {"op": "submit", "spec": {"points": 5}}
+        assert decode_line(encode_line(payload)) == payload
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ConfigurationError, match="malformed"):
+            decode_line(b"not json\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            decode_line(b"[1, 2, 3]\n")
+
+
+class TestSpec:
+    def test_dict_round_trip(self):
+        spec = SweepJobSpec(points=7, fault="Ko half nominal", label="x")
+        assert SweepJobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="tone_count"):
+            SweepJobSpec.from_dict({"tone_count": 9})
+
+    def test_resolve_builds_the_one_shot_quadruple(self):
+        request = resolve_spec(SweepJobSpec(points=6))
+        assert request.pll.name == "paper-linear"
+        assert request.plan.frequencies_hz == \
+            paper_sweep(points=6).frequencies_hz
+        assert request.config == paper_bist_config()
+
+    def test_resolve_nonlinear_device(self):
+        request = resolve_spec(SweepJobSpec(nonlinear=True))
+        assert request.pll.name == "paper-hct4046"
+
+    def test_resolve_rejects_unknown_fault(self):
+        with pytest.raises(ConfigurationError, match="gremlins"):
+            resolve_spec(SweepJobSpec(fault="gremlins"))
+
+    def test_resolve_rejects_degenerate_plan(self):
+        with pytest.raises(ConfigurationError, match="points"):
+            resolve_spec(SweepJobSpec(points=1))
+
+
+# ----------------------------------------------------------------------
+# live socket round trips
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def service_socket():
+    """A real server on a real unix socket, in a background thread."""
+    # Unix socket paths are length-limited (~108 bytes), so rendezvous
+    # under a short mkdtemp rather than pytest's nested tmp tree.
+    tmp = tempfile.mkdtemp(prefix="repro-svc-")
+    sock_path = os.path.join(tmp, "svc.sock")
+    cache_path = os.path.join(tmp, "warm.cache")
+
+    def serve() -> None:
+        async def main() -> None:
+            service = SweepJobService(cache_path=cache_path)
+            server = SweepJobServer(service, sock_path)
+            await server.serve_forever()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    for _ in range(200):
+        if os.path.exists(sock_path):
+            break
+        threading.Event().wait(0.05)
+    else:
+        raise RuntimeError("service socket never appeared")
+    yield sock_path
+    try:
+        ServiceClient(sock_path, timeout_s=10.0).shutdown()
+    except ServiceError:
+        pass  # a test already shut it down
+    thread.join(timeout=60)
+    assert not thread.is_alive(), "server thread failed to drain"
+    shutil.rmtree(tmp, ignore_errors=True)
+
+
+@pytest.fixture(scope="module")
+def client(service_socket):
+    return ServiceClient(service_socket, timeout_s=120.0)
+
+
+@pytest.fixture(scope="module")
+def smoke_run(client):
+    """The CI smoke: one five-tone job submitted and watched over the wire."""
+    accepted = client.submit(SweepJobSpec(points=SMOKE_POINTS, label="smoke"))
+    events = list(client.watch(accepted["job_id"]))
+    return accepted, events
+
+
+class TestServiceSmoke:
+    def test_submit_acknowledges_with_job_id(self, smoke_run):
+        accepted, _ = smoke_run
+        assert accepted["job_id"].startswith("job-")
+        assert accepted["tones_planned"] == SMOKE_POINTS
+
+    def test_tones_stream_in_plan_order(self, smoke_run):
+        _, events = smoke_run
+        tones = [e for e in events if e.get("event") == "tone"]
+        assert [e["index"] for e in tones] == list(range(SMOKE_POINTS))
+        assert [e["f_mod_hz"] for e in tones] == \
+            list(paper_sweep(points=SMOKE_POINTS).frequencies_hz)
+        assert all(e["ok"] for e in tones)
+        assert events[-1]["event"] == "done"
+
+    def test_report_byte_identical_to_one_shot(self, smoke_run, client):
+        accepted, _ = smoke_run
+        one_shot = TransferFunctionMonitor(
+            paper_pll(), paper_stimulus("multitone"), paper_bist_config()
+        ).run(paper_sweep(points=SMOKE_POINTS))
+        assert client.report(accepted["job_id"]) == \
+            device_report(paper_pll(), one_shot)
+
+    def test_status_reflects_the_finished_job(self, smoke_run, client):
+        accepted, _ = smoke_run
+        stats = client.status()
+        assert stats["jobs_by_state"]["done"] >= 1
+        assert stats["tones_streamed"] >= SMOKE_POINTS
+        assert stats["cache"]["path"] is not None
+        jobs = client.jobs()
+        assert any(j["job_id"] == accepted["job_id"] for j in jobs)
+
+    def test_unknown_job_is_an_error_line(self, smoke_run, client):
+        with pytest.raises(ServiceError, match="unknown job"):
+            list(client.watch("job-9999"))
+        with pytest.raises(ServiceError, match="unknown job"):
+            client.report("job-9999")
+
+    def test_bad_spec_is_an_error_line(self, smoke_run, client):
+        with pytest.raises(ServiceError, match="gremlins"):
+            client.submit(SweepJobSpec(fault="gremlins"))
+
+    def test_malformed_line_gets_error_reply(self, smoke_run, service_socket):
+        # Bypass the client: a raw junk line must earn a polite error
+        # response, not a dead server.
+        sock = socket_module.socket(
+            socket_module.AF_UNIX, socket_module.SOCK_STREAM
+        )
+        sock.settimeout(10.0)
+        try:
+            sock.connect(service_socket)
+            sock.sendall(b"this is not json\n")
+            reply = json.loads(sock.makefile("rb").readline())
+        finally:
+            sock.close()
+        assert reply["ok"] is False
+        assert "malformed" in reply["error"]
+
+    def test_unknown_op_gets_error_reply(self, smoke_run, service_socket):
+        sock = socket_module.socket(
+            socket_module.AF_UNIX, socket_module.SOCK_STREAM
+        )
+        sock.settimeout(10.0)
+        try:
+            sock.connect(service_socket)
+            sock.sendall(encode_line({"op": "juggle"}))
+            reply = json.loads(sock.makefile("rb").readline())
+        finally:
+            sock.close()
+        assert reply["ok"] is False
+        assert "juggle" in reply["error"]
+
+
+class TestClientWithoutServer:
+    def test_dead_socket_raises_service_error(self, tmp_path):
+        client = ServiceClient(tmp_path / "nobody-home.sock", timeout_s=1.0)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.status()

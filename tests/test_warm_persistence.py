@@ -1,0 +1,153 @@
+"""Disk persistence of the warm lock-state cache.
+
+The contract under test: ``save → load`` reproduces the cache exactly
+(entries, recency order, capacity), ``save → load → save`` is
+byte-identical (pinned pickle protocol), and a loaded cache serves warm
+restores bit-identical to the cache that was saved.  Unreadable files
+raise :class:`~repro.errors.CachePersistenceError`; stale *entries*
+inside a readable file are skipped, never fatal.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core import LockStateCache, SweepPlan, TransferFunctionMonitor
+from repro.core.warm import CACHE_FORMAT_MAGIC, CACHE_FORMAT_VERSION
+from repro.errors import CachePersistenceError
+from repro.presets import paper_pll, paper_stimulus
+
+PLAN = SweepPlan((10.0, 55.0))
+
+
+@pytest.fixture(scope="module")
+def populated(fast_bist_config):
+    """A cache filled by a real two-tone sweep, plus that sweep's result."""
+    cache = LockStateCache(max_entries=64)
+    monitor = TransferFunctionMonitor(
+        paper_pll(), paper_stimulus("multitone"), fast_bist_config,
+        cache=cache,
+    )
+    result = monitor.run(PLAN)
+    return cache, result
+
+
+class TestRoundTrip:
+    def test_entries_order_and_capacity_survive(self, populated, tmp_path):
+        cache, _ = populated
+        path = tmp_path / "warm.cache"
+        saved = cache.save(path)
+        assert saved == len(cache) == len(PLAN.frequencies_hz)
+        loaded = LockStateCache.load(path)
+        assert loaded.max_entries == cache.max_entries
+        assert loaded.export() == cache.export()
+        assert loaded.stale_entries_skipped == 0
+
+    def test_save_load_save_byte_identical(self, populated, tmp_path):
+        cache, _ = populated
+        first = tmp_path / "first.cache"
+        second = tmp_path / "second.cache"
+        cache.save(first)
+        LockStateCache.load(first).save(second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_no_temporary_file_litter(self, populated, tmp_path):
+        cache, _ = populated
+        cache.save(tmp_path / "warm.cache")
+        assert [p.name for p in tmp_path.iterdir()] == ["warm.cache"]
+
+    def test_counters_not_persisted(self, populated, tmp_path):
+        cache, _ = populated
+        path = tmp_path / "warm.cache"
+        cache.save(path)
+        loaded = LockStateCache.load(path)
+        assert loaded.stats == (0, 0)
+
+    def test_capacity_override(self, populated, tmp_path):
+        cache, _ = populated
+        path = tmp_path / "warm.cache"
+        cache.save(path)
+        loaded = LockStateCache.load(path, max_entries=512)
+        assert loaded.max_entries == 512
+        assert len(loaded) == len(cache)
+
+
+class TestLoadGuards:
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(CachePersistenceError, match="no persisted"):
+            LockStateCache.load(tmp_path / "absent.cache")
+
+    def test_garbage_file_raises(self, tmp_path):
+        path = tmp_path / "garbage.cache"
+        path.write_bytes(b"not a pickle at all")
+        with pytest.raises(CachePersistenceError, match="cannot read"):
+            LockStateCache.load(path)
+
+    def test_foreign_pickle_raises(self, tmp_path):
+        path = tmp_path / "foreign.cache"
+        path.write_bytes(pickle.dumps({"something": "else"}))
+        with pytest.raises(CachePersistenceError, match="not a persisted"):
+            LockStateCache.load(path)
+
+    def test_newer_version_raises(self, populated, tmp_path):
+        cache, _ = populated
+        path = tmp_path / "future.cache"
+        cache.save(path)
+        payload = pickle.loads(path.read_bytes())
+        payload["version"] = CACHE_FORMAT_VERSION + 1
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(CachePersistenceError, match="newer|reads up to"):
+            LockStateCache.load(path)
+
+    def test_unreadable_version_raises(self, tmp_path):
+        path = tmp_path / "vbad.cache"
+        path.write_bytes(pickle.dumps({
+            "format": CACHE_FORMAT_MAGIC, "version": "one", "entries": (),
+        }))
+        with pytest.raises(CachePersistenceError, match="version"):
+            LockStateCache.load(path)
+
+    def test_stale_entries_skipped_not_fatal(self, populated, tmp_path):
+        cache, _ = populated
+        healthy = cache.export()
+        (sig, *rest), snap = healthy[0]
+        tampered = LockStateCache(max_entries=64)
+        tampered.merge(healthy)
+        # A key whose physics signature disagrees with its snapshot
+        # would restore the wrong device's state — must be dropped.
+        tampered.put(("some-other-signature", *rest), snap)
+        # A non-snapshot value smuggled into the store.
+        tampered.put((sig, "junk-entry"), "not a snapshot")
+        path = tmp_path / "tampered.cache"
+        tampered.save(path)
+        loaded = LockStateCache.load(path)
+        assert loaded.stale_entries_skipped == 2
+        assert loaded.export() == healthy
+
+
+class TestWarmEquivalence:
+    def test_loaded_cache_serves_warm_identical_sweep(
+        self, populated, tmp_path, fast_bist_config
+    ):
+        cache, cold_result = populated
+        path = tmp_path / "warm.cache"
+        cache.save(path)
+        loaded = LockStateCache.load(path)
+        monitor = TransferFunctionMonitor(
+            paper_pll(), paper_stimulus("multitone"), fast_bist_config,
+            cache=loaded,
+        )
+        warm_result = monitor.run(PLAN)
+        hits, misses = loaded.stats
+        assert hits == len(PLAN.frequencies_hz)
+        assert misses == 0
+        assert all(
+            m.timing is not None and m.timing.warm
+            for m in warm_result.measurements
+        )
+        for a, b in zip(cold_result.measurements, warm_result.measurements):
+            assert a.delta_f_hz == b.delta_f_hz
+            assert a.phase_delay_deg == b.phase_delay_deg
+            assert a.phase_count.pulses == b.phase_count.pulses
