@@ -350,6 +350,7 @@ def cmd_serve(args) -> int:
     service = SweepJobService(
         queue_limit=args.queue_limit,
         cache_path=args.cache,
+        max_finished_jobs=args.retain,
     )
     server = SweepJobServer(service, args.socket)
 
@@ -643,6 +644,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "(reloaded at start, spilled after every job)")
     p.add_argument("--queue-limit", type=int, default=16,
                    help="max live (pending+running) jobs (default 16)")
+    p.add_argument("--retain", type=int, default=64,
+                   help="finished jobs (and their event histories) to "
+                        "keep for late watchers before the oldest are "
+                        "evicted (default 64)")
     p.set_defaults(handler=cmd_serve)
 
     p = sub.add_parser("submit", help="submit a job to a running service")

@@ -57,11 +57,18 @@ class ServiceClient:
         return self._roundtrip({"op": "submit", "spec": spec.to_dict()})
 
     def watch(self, job_id: str) -> Iterator[dict]:
-        """Stream a job's events; ends after the terminal event."""
+        """Stream a job's events; ends after the terminal event.
+
+        Only lines *without* an ``event`` key are error replies (unknown
+        job, malformed request).  Event lines pass through verbatim —
+        including failed-tone events, which carry ``ok: false`` as
+        *data* (the tone died, the job marches on) and must reach the
+        watcher rather than abort the stream.
+        """
         with self._connect() as sock:
             sock.sendall(encode_line({"op": "watch", "job_id": job_id}))
             for payload in self._lines(sock):
-                if payload.get("ok") is False:
+                if payload.get("ok") is False and "event" not in payload:
                     raise ServiceError(payload.get("error", "watch failed"))
                 yield payload
                 if payload.get("event") in TERMINAL_EVENTS:

@@ -69,7 +69,11 @@ class SweepJobServer:
         self.service = service
         self.socket_path = os.fspath(socket_path)
         self._server: Optional[asyncio.AbstractServer] = None
-        self._shutdown = asyncio.Event()
+        # Created in start(): an Event built here would bind whatever
+        # loop (if any) exists at construction time, and the natural
+        # call pattern — build the server, then asyncio.run(...) — runs
+        # on a *different* loop (a hard failure on Python 3.9).
+        self._shutdown: Optional[asyncio.Event] = None
 
     async def start(self) -> None:
         """Start the service and begin accepting connections."""
@@ -77,9 +81,16 @@ class SweepJobServer:
             raise ReproError("server already started")
         with contextlib.suppress(FileNotFoundError):
             os.unlink(self.socket_path)
+        self._shutdown = asyncio.Event()
         await self.service.start()
         self._server = await asyncio.start_unix_server(
-            self._handle_connection, path=self.socket_path
+            self._handle_connection,
+            path=self.socket_path,
+            # readline()'s default 64 KiB limit is well below the
+            # protocol's line bound; give it the full bound plus slack
+            # so the explicit MAX_LINE_BYTES check below is what a
+            # too-long line actually hits.
+            limit=MAX_LINE_BYTES + 1024,
         )
 
     async def stop(self) -> None:
@@ -95,6 +106,8 @@ class SweepJobServer:
 
     async def wait_shutdown(self) -> None:
         """Block until a ``shutdown`` operation arrives."""
+        if self._shutdown is None:
+            raise ReproError("server is not started")
         await self._shutdown.wait()
 
     async def serve_forever(self) -> None:
@@ -115,7 +128,14 @@ class SweepJobServer:
     ) -> None:
         try:
             try:
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except ValueError as exc:
+                    # StreamReader limit overrun: the line outgrew even
+                    # the slack past MAX_LINE_BYTES without a newline.
+                    raise ConfigurationError(
+                        f"protocol line exceeds {MAX_LINE_BYTES} bytes"
+                    ) from exc
                 if len(line) > MAX_LINE_BYTES:
                     raise ConfigurationError(
                         f"protocol line exceeds {MAX_LINE_BYTES} bytes"
@@ -187,7 +207,8 @@ class SweepJobServer:
             }))
         elif op == "shutdown":
             writer.write(encode_line({"ok": True, "shutdown": True}))
-            self._shutdown.set()
+            if self._shutdown is not None:
+                self._shutdown.set()
 
     def _job_id(self, request: dict) -> str:
         job_id = request.get("job_id")

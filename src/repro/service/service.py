@@ -37,6 +37,7 @@ Design points
 from __future__ import annotations
 
 import asyncio
+import logging
 import os
 import threading
 import time
@@ -77,6 +78,8 @@ __all__ = ["SweepJobService"]
 _REASON_CANCELLED = "cancelled"
 _REASON_TIMEOUT = "timeout"
 
+_log = logging.getLogger(__name__)
+
 
 class SweepJobService:
     """Long-lived asyncio front-end over the sweep monitor.
@@ -100,6 +103,13 @@ class SweepJobService:
     cache_max_entries:
         Capacity of the service-built cache (ignored when ``cache`` is
         given).
+    max_finished_jobs:
+        How many *terminal* jobs (and their event histories) the service
+        retains for late watchers and status listings.  Older finished
+        jobs are evicted wholesale — a long-lived service stays bounded
+        in memory, like its cache and queue.  ``stats()`` keeps counting
+        evicted jobs in ``jobs_by_state``; ``jobs()`` lists only the
+        retained ones.
 
     Usage::
 
@@ -117,12 +127,18 @@ class SweepJobService:
         cache: Optional[LockStateCache] = None,
         cache_path: Optional[Union[str, os.PathLike]] = None,
         cache_max_entries: int = 1024,
+        max_finished_jobs: int = 64,
     ) -> None:
         if queue_limit < 1:
             raise ServiceError(
                 f"queue_limit must be >= 1, got {queue_limit!r}"
             )
+        if max_finished_jobs < 1:
+            raise ServiceError(
+                f"max_finished_jobs must be >= 1, got {max_finished_jobs!r}"
+            )
         self.queue_limit = queue_limit
+        self.max_finished_jobs = max_finished_jobs
         self.cache_path = cache_path
         if cache is not None:
             self.cache = cache
@@ -136,12 +152,17 @@ class SweepJobService:
         self._subscribers: Dict[str, List["asyncio.Queue[JobEvent]"]] = {}
         self._abort_events: Dict[str, threading.Event] = {}
         self._abort_reasons: Dict[str, str] = {}
-        self._queue: "asyncio.Queue[Optional[str]]" = asyncio.Queue()
+        # Created in start(): a Queue built here would bind whatever
+        # loop exists at construction time, and the natural pattern —
+        # build the service, then asyncio.run(...) — runs on a
+        # *different* loop (a hard failure on Python 3.9).
+        self._queue: Optional["asyncio.Queue[Optional[str]]"] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._scheduler_task: Optional["asyncio.Task[None]"] = None
         self._accepting = False
         self._live = 0
         self._next_id = 1
+        self._jobs_evicted = 0
         self._started_at: Optional[float] = None
         self._tones_streamed = 0
         self._run_wall_s = 0.0
@@ -173,9 +194,30 @@ class SweepJobService:
         if self._scheduler_task is not None:
             raise ServiceError("service already started")
         self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
         self._started_at = time.monotonic()
         self._accepting = True
         self._scheduler_task = self._loop.create_task(self._scheduler())
+        self._scheduler_task.add_done_callback(self._scheduler_done)
+
+    def _scheduler_done(self, task: "asyncio.Task[None]") -> None:
+        """Watchdog: a crashed scheduler must not keep advertising.
+
+        The dispatch loop is written never to raise, but if it ever
+        does, the service would otherwise keep accepting jobs that will
+        never run.  Flip ``_accepting`` so submitters fail fast; the
+        exception itself still surfaces from :meth:`stop`'s await.
+        """
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is not None:
+            self._accepting = False
+            _log.error(
+                "sweep-job scheduler died (%s: %s); "
+                "service no longer accepts jobs",
+                type(exc).__name__, exc,
+            )
 
     async def stop(self, save_cache: bool = True) -> None:
         """Drain and shut down: no new jobs, finish/abort the current one.
@@ -195,6 +237,7 @@ class SweepJobService:
                 self.cancel(job_id)
             elif job.state is JobState.RUNNING:
                 self.cancel(job_id)
+        assert self._queue is not None  # created alongside the scheduler
         await self._queue.put(None)  # sentinel: scheduler exits when idle
         await self._scheduler_task
         self._scheduler_task = None
@@ -273,7 +316,12 @@ class SweepJobService:
         return self._require_job(job_id)
 
     def jobs(self) -> List[SweepJob]:
-        """All jobs this session, in submission order."""
+        """All retained jobs, in submission order.
+
+        Live jobs are always here; terminal jobs age out past the
+        ``max_finished_jobs`` retention bound (``stats()`` still counts
+        them in ``jobs_by_state`` / ``jobs_evicted``).
+        """
         return [self._jobs[job_id] for job_id in self._order]
 
     # ------------------------------------------------------------------
@@ -304,7 +352,12 @@ class SweepJobService:
                 if event.terminal:
                     return
         finally:
-            self._subscribers[job_id].remove(queue)
+            # .get(): the job may have been evicted while this watcher
+            # was replaying pure history (eviction skips jobs with live
+            # subscribers, but only from the moment we registered).
+            queues = self._subscribers.get(job_id)
+            if queues is not None and queue in queues:
+                queues.remove(queue)
 
     # ------------------------------------------------------------------
     # stats
@@ -340,6 +393,7 @@ class SweepJobService:
             "live_jobs": self._live,
             "running_job": running[0] if running else None,
             "jobs_by_state": dict(self._jobs_by_state),
+            "jobs_evicted": self._jobs_evicted,
             "tones_streamed": self._tones_streamed,
             "tones_per_s": (
                 self._tones_streamed / wall if wall > 0.0 else 0.0
@@ -391,9 +445,37 @@ class SweepJobService:
         self._abort_events.pop(job.job_id, None)
         self._abort_reasons.pop(job.job_id, None)
         self._emit(job, kind, {**payload, **job.snapshot()})
+        self._prune_finished()
+
+    def _prune_finished(self) -> None:
+        """Evict the oldest terminal jobs past the retention bound.
+
+        Keeps the service bounded in memory across an arbitrarily long
+        session (histories hold one event per tone per job).  A job with
+        an attached watcher is skipped this round — its stream finishes
+        from history it already holds, and the job is reaped when the
+        next job finishes.
+        """
+        finished = [
+            job_id for job_id in self._order
+            if self._jobs[job_id].finished
+        ]
+        excess = len(finished) - self.max_finished_jobs
+        for job_id in finished:
+            if excess <= 0:
+                return
+            if self._subscribers.get(job_id):
+                continue
+            del self._jobs[job_id]
+            self._order.remove(job_id)
+            del self._history[job_id]
+            del self._subscribers[job_id]
+            self._jobs_evicted += 1
+            excess -= 1
 
     async def _scheduler(self) -> None:
         """Width-1 dispatch loop; exits on the ``stop`` sentinel."""
+        assert self._queue is not None  # created alongside this task
         while True:
             job_id = await self._queue.get()
             if job_id is None:
@@ -546,5 +628,12 @@ class SweepJobService:
                 # this process dies before a clean stop().
                 try:
                     self.cache.save(self.cache_path)
-                except OSError:
-                    pass  # disk trouble must not kill the service loop
+                except Exception:  # noqa: BLE001 - opportunistic spill
+                    # Disk trouble, an unpicklable snapshot — whatever
+                    # went wrong, a failed spill costs warm restarts,
+                    # never the scheduler loop.  stop()'s final save
+                    # still reports persistence errors loudly.
+                    _log.warning(
+                        "per-job cache spill to %s failed",
+                        self.cache_path, exc_info=True,
+                    )

@@ -279,6 +279,37 @@ class TestQueueAndCancellation:
 
 
 class TestFailureIsolation:
+    def test_failed_non_reference_tone_is_data_not_death(
+        self, fast_bist_config
+    ):
+        # A starving *non-reference* tone fails as data: its tone event
+        # carries ok=False + the captured error, and the job still
+        # completes DONE with an (incomplete) report.
+        async def scenario():
+            service = SweepJobService()
+            await service.start()
+            try:
+                return await run_to_end(
+                    service,
+                    request(
+                        fast_bist_config,
+                        tones=SMOKE_TONES + (STARVING_TONES[0],),
+                    ),
+                )
+            finally:
+                await service.stop()
+
+        job, events = run(scenario())
+        assert job.state is JobState.DONE
+        assert job.failed_tones == 1
+        tones = [e for e in events if e.kind == EVENT_TONE]
+        dead = [e for e in tones if e.payload["ok"] is False]
+        assert len(dead) == 1
+        assert dead[0].payload["f_mod_hz"] == STARVING_TONES[0]
+        assert dead[0].payload["error"]
+        assert events[-1].kind == "done"
+        assert job.result is not None and not job.result.complete
+
     def test_dead_reference_stubs_job_and_loop_survives(
         self, fast_bist_config
     ):
@@ -326,6 +357,84 @@ class TestFailureIsolation:
         assert events[-1].kind == "failed"
         assert len(job.streamed_indices) < len(SMOKE_TONES)
         assert "FAIL (sweep aborted)" in job.report
+
+
+class TestFailedSpillSurvival:
+    def test_unspillable_cache_does_not_kill_scheduler(
+        self, fast_bist_config, tmp_path, monkeypatch
+    ):
+        # A non-OSError from cache.save (e.g. an unpicklable snapshot)
+        # must stay inside the opportunistic per-job spill, not kill
+        # the scheduler task and strand later jobs.
+        async def scenario():
+            service = SweepJobService(cache_path=tmp_path / "warm.cache")
+            monkeypatch.setattr(
+                service.cache,
+                "save",
+                lambda path: (_ for _ in ()).throw(RuntimeError("boom")),
+            )
+            await service.start()
+            try:
+                first, _ = await run_to_end(
+                    service, request(fast_bist_config)
+                )
+                second, _ = await run_to_end(
+                    service, request(fast_bist_config)
+                )
+                return first, second
+            finally:
+                await service.stop(save_cache=False)
+
+        first, second = run(scenario())
+        assert first.state is JobState.DONE
+        assert second.state is JobState.DONE
+
+
+class TestRetention:
+    def test_finished_jobs_age_out_past_the_bound(self, fast_bist_config):
+        async def scenario():
+            service = SweepJobService(max_finished_jobs=2)
+            await service.start()
+            try:
+                jobs = []
+                for _ in range(4):
+                    job, _ = await run_to_end(
+                        service, request(fast_bist_config)
+                    )
+                    jobs.append(job)
+                return jobs, service.jobs(), service.stats()
+            finally:
+                await service.stop()
+
+        jobs, retained, stats = run(scenario())
+        assert all(job.state is JobState.DONE for job in jobs)
+        # Oldest two evicted; listings hold only the newest two.
+        assert [job.job_id for job in retained] == \
+            [jobs[2].job_id, jobs[3].job_id]
+        assert stats["jobs_evicted"] == 2
+        # Lifetime accounting is not rewritten by eviction.
+        assert stats["jobs_by_state"]["done"] == 4
+
+    def test_evicted_job_is_unknown_to_watchers(self, fast_bist_config):
+        async def scenario():
+            service = SweepJobService(max_finished_jobs=1)
+            await service.start()
+            try:
+                first, _ = await run_to_end(
+                    service, request(fast_bist_config)
+                )
+                await run_to_end(service, request(fast_bist_config))
+                async for _ in service.watch(first.job_id):
+                    pass
+            finally:
+                await service.stop()
+
+        with pytest.raises(ServiceError, match="unknown job"):
+            run(scenario())
+
+    def test_rejects_nonpositive_retention(self):
+        with pytest.raises(ServiceError, match="max_finished_jobs"):
+            SweepJobService(max_finished_jobs=0)
 
 
 class TestServiceLifecycle:

@@ -10,6 +10,8 @@ change *when* results arrive, never *what* they are.
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
+import contextlib
 import json
 import os
 import shutil
@@ -19,7 +21,7 @@ import threading
 
 import pytest
 
-from repro.core import TransferFunctionMonitor
+from repro.core import SweepPlan, TransferFunctionMonitor
 from repro.errors import ConfigurationError, ServiceError
 from repro.presets import (
     paper_bist_config,
@@ -28,8 +30,19 @@ from repro.presets import (
     paper_sweep,
 )
 from repro.reporting import device_report
-from repro.service import ServiceClient, SweepJobServer, SweepJobService, SweepJobSpec
-from repro.service.protocol import decode_line, encode_line, resolve_spec
+from repro.service import (
+    ServiceClient,
+    SweepJobRequest,
+    SweepJobServer,
+    SweepJobService,
+    SweepJobSpec,
+)
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    decode_line,
+    encode_line,
+    resolve_spec,
+)
 
 SMOKE_POINTS = 5
 
@@ -204,6 +217,116 @@ class TestServiceSmoke:
             sock.close()
         assert reply["ok"] is False
         assert "juggle" in reply["error"]
+
+    def test_line_above_readline_default_is_still_parsed(
+        self, smoke_run, service_socket
+    ):
+        # 128 KiB sits between StreamReader's 64 KiB default limit and
+        # the protocol's 1 MiB bound: the server must actually *parse*
+        # it (here: reject the op by name), not choke inside readline.
+        request = {"op": "juggle", "padding": "x" * (128 * 1024)}
+        sock = socket_module.socket(
+            socket_module.AF_UNIX, socket_module.SOCK_STREAM
+        )
+        sock.settimeout(10.0)
+        try:
+            sock.connect(service_socket)
+            sock.sendall(encode_line(request))
+            reply = json.loads(sock.makefile("rb").readline())
+        finally:
+            sock.close()
+        assert reply["ok"] is False
+        assert "juggle" in reply["error"]
+
+    def test_oversize_line_gets_the_intended_diagnostic(
+        self, smoke_run, service_socket
+    ):
+        request = {"op": "status", "padding": "x" * (MAX_LINE_BYTES + 4096)}
+        sock = socket_module.socket(
+            socket_module.AF_UNIX, socket_module.SOCK_STREAM
+        )
+        sock.settimeout(30.0)
+        try:
+            sock.connect(service_socket)
+            # The server may give up (and reply) before the whole line
+            # is even sent; a send-side reset is fine as long as the
+            # diagnostic still comes back.
+            with contextlib.suppress(BrokenPipeError, ConnectionResetError):
+                sock.sendall(encode_line(request))
+            reply = json.loads(sock.makefile("rb").readline())
+        finally:
+            sock.close()
+        assert reply["ok"] is False
+        assert f"exceeds {MAX_LINE_BYTES}" in reply["error"]
+
+
+class TestFailedToneOverTheWire:
+    def test_failed_tone_event_streams_instead_of_raising(
+        self, fast_bist_config
+    ):
+        # A starving non-reference tone streams as an event line with
+        # ok=false (failure-as-data); the client must yield it — CLI
+        # watchers render the FAILED line — and still reach the
+        # terminal `done` event, not die on a spurious ServiceError.
+        # The preset vocabulary can't express a failing tone, so the
+        # job is injected into the service directly and only *watched*
+        # over the wire.
+        tmp = tempfile.mkdtemp(prefix="repro-svc-")
+        sock_path = os.path.join(tmp, "svc.sock")
+        started = threading.Event()
+        holder = {}
+
+        def serve() -> None:
+            async def main() -> None:
+                service = SweepJobService()
+                server = SweepJobServer(service, sock_path)
+                await server.start()
+                holder["loop"] = asyncio.get_running_loop()
+                holder["service"] = service
+                started.set()
+                try:
+                    await server.wait_shutdown()
+                finally:
+                    await server.stop()
+
+            asyncio.run(main())
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        try:
+            assert started.wait(30), "service socket never appeared"
+            request = SweepJobRequest(
+                pll=paper_pll(),
+                stimulus=paper_stimulus("multitone"),
+                plan=SweepPlan((5.0, 10.0, 2000.0)),  # 2 kHz starves
+                config=fast_bist_config,
+            )
+            submitted: "concurrent.futures.Future[str]" = \
+                concurrent.futures.Future()
+
+            def do_submit() -> None:
+                try:
+                    submitted.set_result(
+                        holder["service"].submit(request).job_id
+                    )
+                except BaseException as exc:  # noqa: BLE001
+                    submitted.set_exception(exc)
+
+            holder["loop"].call_soon_threadsafe(do_submit)
+            job_id = submitted.result(timeout=30)
+            client = ServiceClient(sock_path, timeout_s=120.0)
+            events = list(client.watch(job_id))
+            client.shutdown()
+        finally:
+            thread.join(timeout=60)
+            shutil.rmtree(tmp, ignore_errors=True)
+        assert not thread.is_alive(), "server thread failed to drain"
+        tones = [e for e in events if e.get("event") == "tone"]
+        dead = [e for e in tones if e.get("ok") is False]
+        assert [e["f_mod_hz"] for e in dead] == [2000.0]
+        assert dead[0]["error"]
+        assert events[-1]["event"] == "done"
+        assert events[-1]["failed_tones"] == 1
 
 
 class TestClientWithoutServer:
