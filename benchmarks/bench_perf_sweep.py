@@ -52,12 +52,19 @@ N_WORKERS = 4
 WARM_SPEEDUP_FLOOR = 1.3
 LOT_SIZE = 8
 BATCH_WARM_SPEEDUP_FLOOR = 3.0
+VEC_BATCH_SPEEDUP_FLOOR = 3.0
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def _merge_results_json(updates: dict) -> None:
-    """Fold ``updates`` into BENCH_sweep.json, preserving other keys."""
+def _merge_results_json(updates: dict, remove: tuple = ()) -> None:
+    """Fold ``updates`` into BENCH_sweep.json, preserving other keys.
+
+    ``remove`` drops stale keys a run deliberately did not produce (for
+    example the parallel measurement on a single-core host) so the
+    trajectory never carries numbers the current host could not have
+    measured.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / "BENCH_sweep.json"
     data = {}
@@ -66,6 +73,8 @@ def _merge_results_json(updates: dict) -> None:
             data = json.loads(path.read_text())
         except json.JSONDecodeError:
             data = {}
+    for key in remove:
+        data.pop(key, None)
     data.update(updates)
     path.write_text(json.dumps(data, indent=2) + "\n")
 
@@ -112,16 +121,25 @@ def test_perf_sweep(report, paper_dut):
     warm = monitor.run(plan)
     t_warm = time.perf_counter() - t0
 
-    # Fresh monitor so the pool (or its single-core fallback) starts
-    # cold too — an honest comparison against the cold serial run.
-    parallel_monitor = TransferFunctionMonitor(
-        paper_dut, paper_stimulus("multitone"), paper_bist_config()
-    )
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", ParallelFallbackWarning)
-        t0 = time.perf_counter()
-        parallel = parallel_monitor.run(plan, n_workers=N_WORKERS)
-        t_parallel = time.perf_counter() - t0
+    # The parallel scenario only means something when a pool can
+    # actually form: on a single visible core executor_for falls back
+    # to the serial loop, and timing that fallback would publish a
+    # "speedup" that is pure scheduler noise.  Skip the measurement
+    # (and annotate the JSON) instead of polluting the trajectory.
+    measure_parallel = cores >= 2
+    parallel = None
+    t_parallel = None
+    if measure_parallel:
+        # Fresh monitor so the pool starts cold too — an honest
+        # comparison against the cold serial run.
+        parallel_monitor = TransferFunctionMonitor(
+            paper_dut, paper_stimulus("multitone"), paper_bist_config()
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ParallelFallbackWarning)
+            t0 = time.perf_counter()
+            parallel = parallel_monitor.run(plan, n_workers=N_WORKERS)
+            t_parallel = time.perf_counter() - t0
 
     # The warm-start guarantee: snapshot restore is bit-identical.
     assert len(cold.measurements) == len(warm.measurements) == N_TONES
@@ -132,16 +150,24 @@ def test_perf_sweep(report, paper_dut):
     warm_served = sum(1 for m in warm.measurements if m.timing.warm)
     assert warm_served == N_TONES
 
-    # The executor guarantee: identical results, whichever way they ran.
-    assert len(parallel.measurements) == N_TONES
-    assert all(
-        _identical(a, b)
-        for a, b in zip(cold.measurements, parallel.measurements)
-    )
-    assert cold.failed_tones == warm.failed_tones == parallel.failed_tones
+    assert cold.failed_tones == warm.failed_tones
+    if measure_parallel:
+        # The executor guarantee: identical results however they ran.
+        assert len(parallel.measurements) == N_TONES
+        assert all(
+            _identical(a, b)
+            for a, b in zip(cold.measurements, parallel.measurements)
+        )
+        assert cold.failed_tones == parallel.failed_tones
 
     warm_speedup = t_cold / t_warm
-    speedup = t_cold / t_parallel
+    speedup = t_cold / t_parallel if measure_parallel else None
+    parallel_rows = [
+        [f"parallel wall ({N_WORKERS} workers)", f"{t_parallel:.2f} s"],
+        ["parallel speedup", f"{speedup:.2f}x"],
+    ] if measure_parallel else [
+        ["parallel", f"skipped ({cores} visible core)"],
+    ]
     table = format_table(
         ["metric", "value"],
         [
@@ -151,8 +177,7 @@ def test_perf_sweep(report, paper_dut):
             ["warm serial wall", f"{t_warm:.2f} s"],
             ["warm speedup", f"{warm_speedup:.2f}x"],
             ["warm-served tones", f"{warm_served}/{N_TONES}"],
-            [f"parallel wall ({N_WORKERS} workers)", f"{t_parallel:.2f} s"],
-            ["parallel speedup", f"{speedup:.2f}x"],
+        ] + parallel_rows + [
             ["results identical", "yes (bit-exact)"],
         ],
         title="Sweep executor performance (13-tone paper sweep)",
@@ -165,14 +190,11 @@ def test_perf_sweep(report, paper_dut):
     )
     report("perf_sweep", table + "\n\n" + breakdown)
 
-    _merge_results_json({
+    results = {
         "tones": N_TONES,
-        "n_workers": N_WORKERS,
         "visible_cores": cores,
         # Back-compat keys: "serial" means the cold serial run.
         "serial_wall_s": round(t_cold, 4),
-        "parallel_wall_s": round(t_parallel, 4),
-        "speedup": round(speedup, 3),
         "cold_wall_s": round(t_cold, 4),
         "warm_wall_s": round(t_warm, 4),
         "warm_speedup": round(warm_speedup, 3),
@@ -180,7 +202,21 @@ def test_perf_sweep(report, paper_dut):
         "measured_tones": len(cold.measurements),
         "failed_tones": sorted(cold.failed_tones),
         "bit_identical": True,
-    })
+    }
+    if measure_parallel:
+        results.update({
+            "n_workers": N_WORKERS,
+            "parallel_wall_s": round(t_parallel, 4),
+            "speedup": round(speedup, 3),
+        })
+        stale = ("parallel_skipped",)
+    else:
+        results["parallel_skipped"] = (
+            f"only {cores} visible core(s); pool measurement would "
+            "time the serial fallback"
+        )
+        stale = ("n_workers", "parallel_wall_s", "speedup")
+    _merge_results_json(results, remove=stale)
 
     # Skipping stage 0 must pay for the snapshot restore many times
     # over; 1.3x is a deliberately conservative floor (typically >3x).
@@ -188,9 +224,9 @@ def test_perf_sweep(report, paper_dut):
     if cores >= 4:
         # Four workers on >= 4 cores must at least halve the wall time.
         assert speedup >= 2.0
-    else:
-        # Single/dual-core host: executor_for degrades to the serial
-        # loop, so only timing noise separates the two runs.
+    elif measure_parallel:
+        # Dual/tri-core host: a pool forms but cannot promise 2x; it
+        # must still never lose to serial by more than timing noise.
         assert t_parallel < 1.5 * t_cold
 
 
@@ -232,7 +268,25 @@ def test_perf_batch_screen(report, paper_dut):
     assert detail["misses"] == N_TONES
     assert detail["hits"] == (LOT_SIZE - 1) * N_TONES
 
+    # The vectorised engine: one lockstep presettle pass over the lot's
+    # unique tones, then every device of the lot screens warm — no die
+    # ever pays a scalar cold settle.  Must beat the *cold* screen by
+    # the acceptance floor and change no byte of any artefact.
+    vec_cache = LockStateCache()
+    t0 = time.perf_counter()
+    vec_reports = batch_device_reports(
+        lot, cache=vec_cache, engine="vectorized"
+    )
+    t_vec = time.perf_counter() - t0
+    vec_byte_identical = vec_reports == cold_reports
+    assert vec_byte_identical
+    vec_detail = vec_cache.stats_detail
+    # The farm presettled every tone: the screen itself is all-warm.
+    assert vec_detail["hits"] == LOT_SIZE * N_TONES
+    assert vec_detail["misses"] == 0
+
     batch_speedup = t_cold / t_warm
+    vec_speedup = t_cold / t_vec
     table = format_table(
         ["metric", "value"],
         [
@@ -241,9 +295,11 @@ def test_perf_batch_screen(report, paper_dut):
             ["cold lot wall", f"{t_cold:.2f} s"],
             ["warm lot wall", f"{t_warm:.2f} s"],
             ["lot speedup", f"{batch_speedup:.2f}x"],
+            ["vectorized lot wall", f"{t_vec:.2f} s"],
+            ["vectorized speedup vs cold", f"{vec_speedup:.2f}x"],
             ["settled states", detail["entries"]],
             ["cache hits/misses", f"{detail['hits']}/{detail['misses']}"],
-            ["reports identical", "yes (byte-exact)"],
+            ["reports identical", "yes (byte-exact, all engines)"],
         ],
         title=f"Batch screening ({LOT_SIZE}-device lot, 13-tone paper sweep)",
     )
@@ -257,11 +313,16 @@ def test_perf_batch_screen(report, paper_dut):
         "batch_cache_hits": detail["hits"],
         "batch_cache_misses": detail["misses"],
         "batch_byte_identical": byte_identical,
+        "vec_batch_wall_s": round(t_vec, 4),
+        "vec_batch_speedup": round(vec_speedup, 3),
+        "vec_batch_byte_identical": vec_byte_identical,
     })
 
     # The first device pays the settles; the other LOT_SIZE-1 restore.
     # 3x is the acceptance floor (typically ~3.5-4x for an 8-die lot).
     assert batch_speedup >= BATCH_WARM_SPEEDUP_FLOOR
+    # The lockstep farm + warm screen must also clear 3x against cold.
+    assert vec_speedup >= VEC_BATCH_SPEEDUP_FLOOR
 
 
 SERVICE_WARM_SPEEDUP_FLOOR = 1.3

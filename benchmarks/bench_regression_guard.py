@@ -20,6 +20,8 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
 from check_regression import (  # noqa: E402
     SLOWDOWN_THRESHOLD,
+    VEC_BATCH_SPEEDUP_FLOOR,
+    check_vec_floor,
     compare,
     load_committed,
 )
@@ -67,6 +69,64 @@ def test_serial_sweep_within_budget(report, paper_dut):
         f"baseline serial : {baseline['serial_wall_s']:.4f} s",
         f"fresh serial    : {wall:.4f} s (best of {BEST_OF})",
         f"budget          : +{SLOWDOWN_THRESHOLD * 100:.0f} %",
+        f"verdict         : {verdict}",
+    ]))
+    assert not problems, problems
+
+
+def test_vec_batch_speedup_within_floor(report, paper_dut):
+    """The vectorised lot engine must hold its >=3x acceptance floor.
+
+    Measures a fresh 8-die, 13-tone screen cold (scalar) and with
+    ``engine="vectorized"`` and applies the absolute
+    :data:`~check_regression.VEC_BATCH_SPEEDUP_FLOOR` — one round each,
+    because the two walls ride the same machine noise and only their
+    ratio is judged.  Skips against baselines that predate the key.
+    """
+    from dataclasses import replace
+
+    from repro.reporting import DeviceReportRequest, batch_device_reports
+
+    baseline = load_committed()
+    if baseline is None:
+        pytest.skip("no committed BENCH_sweep.json baseline at HEAD")
+    if baseline.get("vec_batch_speedup") is None:
+        pytest.skip("baseline predates the vectorised lot engine")
+
+    tones = baseline.get("tones", 13)
+    lot_size = baseline.get("batch_lot_size", 8)
+    plan = paper_sweep(points=tones)
+    lot = [
+        DeviceReportRequest(
+            pll=replace(paper_dut, name=f"{paper_dut.name}-{i:03d}"),
+            stimulus=paper_stimulus("multitone"),
+            plan=plan,
+            config=paper_bist_config(),
+        )
+        for i in range(lot_size)
+    ]
+
+    t0 = time.perf_counter()
+    cold_reports = batch_device_reports(lot)
+    t_cold = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    vec_reports = batch_device_reports(lot, engine="vectorized")
+    t_vec = time.perf_counter() - t0
+
+    fresh = {
+        "vec_batch_speedup": round(t_cold / t_vec, 3),
+        "vec_batch_byte_identical": vec_reports == cold_reports,
+    }
+    problems = check_vec_floor(baseline, fresh)
+
+    verdict = "PASS" if not problems else "; ".join(problems)
+    report("perf_vec_batch_guard", "\n".join([
+        f"lot             : {lot_size} devices x {tones} tones",
+        f"scalar cold wall: {t_cold:.4f} s",
+        f"vectorized wall : {t_vec:.4f} s",
+        f"speedup         : {fresh['vec_batch_speedup']:.2f}x "
+        f"(floor {VEC_BATCH_SPEEDUP_FLOOR:.1f}x)",
+        f"byte-identical  : {fresh['vec_batch_byte_identical']}",
         f"verdict         : {verdict}",
     ]))
     assert not problems, problems

@@ -33,6 +33,10 @@ import sys
 from typing import List, Optional
 
 SLOWDOWN_THRESHOLD = 0.20
+#: Absolute floor for the vectorised lot engine: the 8-die cold screen
+#: must stay >= 3x faster than the scalar cold screen (the PR-5
+#: acceptance bar), wherever the baseline happens to sit.
+VEC_BATCH_SPEEDUP_FLOOR = 3.0
 RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_sweep.json"
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
@@ -91,6 +95,42 @@ def compare(
     return problems
 
 
+def check_vec_floor(
+    baseline: dict,
+    fresh: dict,
+    floor: float = VEC_BATCH_SPEEDUP_FLOOR,
+) -> List[str]:
+    """Floor check for the vectorised lot engine's batch speedup.
+
+    Unlike the wall-time budget this is an *absolute* floor, not
+    baseline-relative — the acceptance bar is ">= 3x over the scalar
+    cold screen", full stop.  Results that predate the key (either
+    side) are tolerated: a fresh result is only required to carry
+    ``vec_batch_speedup`` once the committed baseline does, so old
+    baselines never fail and the key can never silently vanish.
+    """
+    problems: List[str] = []
+    fresh_vec = fresh.get("vec_batch_speedup")
+    if fresh_vec is None:
+        if baseline.get("vec_batch_speedup") is not None:
+            problems.append(
+                "vec_batch_speedup missing from the fresh result "
+                "(the committed baseline has it)"
+            )
+        return problems
+    if fresh_vec < floor:
+        problems.append(
+            f"vectorized lot engine below its floor: "
+            f"{fresh_vec:.2f}x vs required {floor:.1f}x over the "
+            "scalar cold screen"
+        )
+    if fresh.get("vec_batch_byte_identical") is False:
+        problems.append(
+            "vectorized lot reports were not byte-identical to scalar"
+        )
+    return problems
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail when the serial sweep got slower than the "
@@ -124,6 +164,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     fresh = json.loads(args.fresh.read_text())
     problems = compare(baseline, fresh, args.threshold)
+    problems += check_vec_floor(baseline, fresh)
     if problems:
         for problem in problems:
             print(f"REGRESSION: {problem}")

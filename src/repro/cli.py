@@ -107,6 +107,41 @@ def cmd_theory(args) -> int:
     return 0
 
 
+def _profiled(path: Optional[str]):
+    """Context manager: cProfile the enclosed block when ``path`` is set.
+
+    Writes the raw ``pstats`` dump to ``path`` (loadable with
+    ``python -m pstats`` or snakeviz) and prints the top-20 functions by
+    cumulative time, so perf work starts from a measurement instead of a
+    guess.  With ``path`` falsy the block runs unprofiled at zero cost.
+    """
+    import contextlib
+
+    if not path:
+        return contextlib.nullcontext()
+
+    @contextlib.contextmanager
+    def _run():
+        import cProfile
+        import io
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            yield
+        finally:
+            profiler.disable()
+            profiler.dump_stats(path)
+            stream = io.StringIO()
+            pstats.Stats(profiler, stream=stream) \
+                .sort_stats("cumulative").print_stats(20)
+            print(f"profile written to {path}; top 20 by cumulative time:")
+            print(stream.getvalue().rstrip())
+
+    return _run()
+
+
 def _timing_summary(measurements) -> Optional[str]:
     """One-line wall-time digest of a sweep's per-tone timing."""
     timings = [m.timing for m in measurements if m.timing is not None]
@@ -129,7 +164,10 @@ def cmd_sweep(args) -> int:
     monitor = TransferFunctionMonitor(pll, stimulus, paper_bist_config())
     plan = paper_sweep(points=args.points)
     try:
-        result = monitor.run(plan, n_workers=args.workers, settle=args.settle)
+        with _profiled(args.profile):
+            result = monitor.run(
+                plan, n_workers=args.workers, settle=args.settle
+            )
     except MeasurementError as exc:
         print(f"sweep failed: {exc}")
         return 2
@@ -256,9 +294,11 @@ def cmd_lot(args) -> int:
     ]
     cache = None if args.cold else LockStateCache()
     t0 = time.perf_counter()
-    reports = batch_device_reports(
-        requests, n_workers=args.workers, cache=cache
-    )
+    with _profiled(args.profile):
+        reports = batch_device_reports(
+            requests, n_workers=args.workers, cache=cache,
+            engine=args.engine,
+        )
     wall = time.perf_counter() - t0
 
     def _verdict(text: str) -> str:
@@ -280,10 +320,12 @@ def cmd_lot(args) -> int:
         for req, text in zip(requests, reports):
             (out_dir / f"{req.pll.name}.md").write_text(text)
         print(f"wrote {len(reports)} reports to {out_dir}")
+    mode = "cold" if cache is None else "warm-shared"
+    if args.engine != "scalar":
+        mode += f", {args.engine}"
     print(format_table(
         ["device", "verdict"], rows,
-        title=f"lot screen — {args.size} devices, {wall:.2f} s "
-              f"({'cold' if cache is None else 'warm-shared'})",
+        title=f"lot screen — {args.size} devices, {wall:.2f} s ({mode})",
     ))
     if cache is not None:
         detail = cache.stats_detail
@@ -452,6 +494,7 @@ def cmd_submit(args) -> int:
         n_workers=args.workers,
         timeout_s=args.job_timeout,
         label=args.label,
+        engine=args.engine,
     )
     client = _client(args)
     try:
@@ -583,6 +626,9 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("fixed", "adaptive"),
                    help="stage-0 policy: Table 2 fixed wait, or adaptive "
                         "lock detection (approximate, never slower)")
+    p.add_argument("--profile", default=None, metavar="PATH",
+                   help="cProfile the sweep; write the pstats dump to "
+                        "PATH and print the top-20 cumulative table")
     p.set_defaults(handler=cmd_sweep)
 
     p = sub.add_parser("selftest", help="run the four-step self-test")
@@ -610,6 +656,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "warm state across the lot")
     p.add_argument("--out-dir", default=None,
                    help="also write one markdown report per device here")
+    p.add_argument("--engine", default="scalar",
+                   choices=("scalar", "vectorized"),
+                   help="stage-0 settle engine: per-device scalar event "
+                        "loops, or the NumPy lockstep settle farm "
+                        "(bit-identical reports, faster wide/cold lots)")
+    p.add_argument("--profile", default=None, metavar="PATH",
+                   help="cProfile the lot screen; write the pstats dump "
+                        "to PATH and print the top-20 cumulative table")
     p.set_defaults(handler=cmd_lot)
 
     p = sub.add_parser("diagnose",
@@ -659,6 +713,11 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("fixed", "adaptive"),
                    help="stage-0 policy: Table 2 fixed wait, or adaptive "
                         "lock detection (approximate, never slower)")
+    p.add_argument("--engine", default="scalar",
+                   choices=("scalar", "vectorized"),
+                   help="stage-0 settle engine for this job (vectorized "
+                        "presettles the plan on the NumPy lockstep farm; "
+                        "bit-identical results)")
     p.add_argument("--job-timeout", type=float, default=None,
                    help="abort the job at the next tone boundary after "
                         "this many seconds of running time")

@@ -367,6 +367,31 @@ def _run_tone_chunk(payload: ChunkPayload) -> ChunkResult:
     return results, new_entries
 
 
+def _relevant_warm_entries(
+    cache: LockStateCache, pll: ChargePumpPLL
+) -> Tuple:
+    """Exported settled states worth shipping for this device's sweep.
+
+    A lot-shared cache holds entries for *every* physics family the lot
+    has touched; a sweep of one device can only ever restore entries
+    whose snapshot carries that device's physics signature.  Filtering
+    here keeps the per-chunk pickle payload proportional to one device's
+    tones instead of the whole lot's history.  Entries with no recorded
+    signature (pre-PR-3 snapshots) ship conservatively — the worker-side
+    restore still validates compatibility.
+    """
+    entries = cache.export()
+    try:
+        signature = pll.physics_signature()
+    except Exception:  # noqa: BLE001 - exotic device: ship everything
+        return entries
+    return tuple(
+        (key, snap)
+        for key, snap in entries
+        if getattr(snap, "pll_signature", None) in (None, signature)
+    )
+
+
 class SweepExecutor:
     """Strategy interface: run every tone of a sweep, in plan order."""
 
@@ -522,7 +547,10 @@ class ProcessPoolSweepExecutor(SweepExecutor):
                     if shm is not None:
                         _destroy_shm(shm)
                     shm = None  # e.g. /dev/shm unavailable; pickle fallback
-            warm_entries = cache.export() if cache is not None else None
+            warm_entries = (
+                _relevant_warm_entries(cache, pll)
+                if cache is not None else None
+            )
             payloads: List[ChunkPayload] = [
                 (
                     pll,

@@ -201,6 +201,7 @@ class TransferFunctionMonitor:
         executor: Optional[SweepExecutor] = None,
         settle: str = "fixed",
         on_outcome: Optional[ToneCallback] = None,
+        engine: str = "scalar",
     ) -> SweepResult:
         """Sweep every planned tone and evaluate eqs. (7)–(8).
 
@@ -220,6 +221,17 @@ class TransferFunctionMonitor:
         monitor's :attr:`lock_cache` serves repeated fixed-settle tones
         warm.
 
+        ``engine`` selects how stage 0 (the settle) is simulated:
+        ``"scalar"`` (default) runs each tone's settle inside its own
+        event loop as before; ``"vectorized"`` first advances every
+        cacheable tone of the plan in lockstep on the NumPy settle farm
+        (:func:`repro.pll.lot.presettle_lot`), warming
+        :attr:`lock_cache`, then runs the same sweep — warm.  Counted
+        results are bit-identical either way (the farm's snapshot
+        guarantee); only wall time changes.  The vectorised engine
+        requires ``settle="fixed"`` — the adaptive policy's lock
+        detection is inherently per-device scalar.
+
         ``on_outcome`` streams per-tone completions to the caller as the
         executor produces them (see
         :data:`~repro.core.executor.ToneCallback`) — the sweep-job
@@ -236,6 +248,25 @@ class TransferFunctionMonitor:
             Only if the *reference* tone fails — without the in-band
             reference no magnitude can be computed at all.
         """
+        if engine not in ("scalar", "vectorized"):
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; expected 'scalar' or 'vectorized'"
+            )
+        if engine == "vectorized":
+            if settle != "fixed":
+                raise ConfigurationError(
+                    "engine='vectorized' requires settle='fixed' "
+                    f"(got settle={settle!r})"
+                )
+            # Imported lazily: repro.pll.lot pulls in the NumPy settle
+            # farm, which scalar-only callers never need.
+            from repro.pll.lot import presettle_lot
+
+            presettle_lot(
+                [(self.pll, self.stimulus, self.config,
+                  plan.frequencies_hz)],
+                self.lock_cache,
+            )
         if executor is None:
             executor = executor_for(
                 n_workers, n_tones=len(plan.frequencies_hz)
@@ -341,6 +372,7 @@ class TransferFunctionMonitor:
         executor: Optional[SweepExecutor] = None,
         settle: str = "fixed",
         on_outcome: Optional[ToneCallback] = None,
+        engine: str = "scalar",
     ) -> Tuple[SweepResult, LimitReport]:
         """Sweep then compare against on-chip limits (go/no-go).
 
@@ -350,7 +382,7 @@ class TransferFunctionMonitor:
         """
         result = self.run(
             plan, n_workers=n_workers, executor=executor, settle=settle,
-            on_outcome=on_outcome,
+            on_outcome=on_outcome, engine=engine,
         )
         if result.estimated is None:
             nan = float("nan")

@@ -44,6 +44,15 @@ from repro.stimulus.modulation import ModulatedStimulus
 
 __all__ = ["TestStage", "ToneMeasurement", "ToneTestSequencer", "ToneTiming"]
 
+#: Process-wide memo for :meth:`ToneTestSequencer.measure_nominal_frequency`,
+#: keyed on (physics signature, f_nominal, test clock, record level,
+#: gate_cycles) — never on the device *object*, so renamed same-physics
+#: dies (a vectorised lot, a repeated library fault) share one measured
+#: baseline.  Entries are single floats; the cap is a leak guard for
+#: very long-lived processes, evicting oldest-inserted first.
+_NOMINAL_FREQUENCY_MEMO: Dict[Hashable, float] = {}
+_NOMINAL_FREQUENCY_MEMO_MAX = 4096
+
 
 class TestStage(enum.Enum):
     """Stages of Table 2 (plus a terminal DONE marker)."""
@@ -163,7 +172,6 @@ class ToneTestSequencer:
         #: Control voltage after the most recent tone released its hold —
         #: the natural seed for the next tone's adaptive settle.
         self.last_release_voltage: Optional[float] = None
-        self._nominal_cache: Dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # stage-0 helpers
@@ -432,14 +440,22 @@ class ToneTestSequencer:
         ``ΔF`` measurements subtract (the paper references deviations to
         the locked nominal frequency).
 
-        The baseline depends only on the immutable (PLL, stimulus,
-        config) triple and ``gate_cycles``, so it is measured once per
-        sequencer and memoised — repeated calls (one per tone in a
-        report, or per device in a batch screen against a shared
-        sequencer) no longer rebuild and re-settle a throwaway
-        simulator.
+        The baseline depends only on the device *physics* (not its
+        name), the stimulus's nominal frequency, the test clock and
+        ``gate_cycles``, so it is memoised process-wide on exactly that
+        key — every sequencer measuring a behaviourally identical die
+        (each renamed die of a lot, each repeat of a library fault)
+        shares one settled baseline instead of re-simulating a
+        throwaway lock per device.
         """
-        cached = self._nominal_cache.get(gate_cycles)
+        key = (
+            self.pll.physics_signature(),
+            float(self.stimulus.f_nominal),
+            float(self.config.test_clock_hz),
+            self.record_level.value,
+            int(gate_cycles),
+        )
+        cached = _NOMINAL_FREQUENCY_MEMO.get(key)
         if cached is not None:
             return cached
 
@@ -456,5 +472,7 @@ class ToneTestSequencer:
         value = counter.measure_reciprocal(
             sim.fb_edges, start=t0, periods=gate_cycles
         ).scaled(self.pll.n).frequency_hz
-        self._nominal_cache[gate_cycles] = value
+        if len(_NOMINAL_FREQUENCY_MEMO) >= _NOMINAL_FREQUENCY_MEMO_MAX:
+            _NOMINAL_FREQUENCY_MEMO.pop(next(iter(_NOMINAL_FREQUENCY_MEMO)))
+        _NOMINAL_FREQUENCY_MEMO[key] = value
         return value

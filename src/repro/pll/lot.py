@@ -1,0 +1,139 @@
+"""Lot-level settle planning for the vectorized engine.
+
+:func:`presettle_lot` is the bridge between the batch-screening /
+sweep layers and the lockstep settle farm
+(:class:`~repro.sim.vectorized.VectorizedLotSimulator`).  Given the
+(device, stimulus, config, tones) jobs of a lot, it:
+
+1. computes each tone's settle-cache key exactly the way
+   :class:`~repro.core.sequencer.ToneTestSequencer` does — so a
+   presettled entry is indistinguishable from one the sequencer wrote
+   itself;
+2. deduplicates: behaviourally identical dies (equal physics
+   signatures) collapse to one *lane* per unique key, which is where
+   an 8-identical-die lot turns 104 settles into 13;
+3. runs the unique lanes through the farm (unsupported lanes settle
+   on the scalar engine instead — correctness never depends on the
+   fast path) and stores the resulting snapshots in ``cache``.
+
+The orchestrating sweep then runs exactly as before: every stage-0
+lookup hits warm, and stages 1–4 (counters, peak detection, eq. 7–8)
+stay on the scalar engine whose results the snapshot guarantee makes
+bit-identical to a cold run.  A lane whose settle *fails* is simply
+left cold — the sweep reproduces the identical error itself, so
+failure semantics do not change either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple, Union
+
+from repro.core.sequencer import ToneTestSequencer
+from repro.core.warm import LockStateCache
+from repro.pll.simulator import RecordLevel
+from repro.sim.vectorized import SettleLane, VectorizedLotSimulator
+
+__all__ = ["LotPresettleStats", "presettle_lot"]
+
+#: One lot job: (pll, stimulus, config, modulation frequencies).
+LotJob = Tuple[object, object, object, Sequence[float]]
+
+
+@dataclass
+class LotPresettleStats:
+    """What the presettle pass did, for logs and benchmarks."""
+
+    tones: int = 0        # (device, tone) pairs considered
+    unique: int = 0       # lanes actually settled (after dedup)
+    cached: int = 0       # keys already present in the cache
+    skipped: int = 0      # uncacheable tones left to the scalar sweep
+    vector: int = 0       # lanes completed inside the farm
+    drained: int = 0      # lockstep start, scalar finish (stragglers)
+    ejected: int = 0      # left the fast path mid-flight, scalar finish
+    scalar: int = 0       # unsupported lanes, full scalar settle
+    failed: int = 0       # settle raised; lane left cold
+
+    def summary(self) -> str:
+        return (
+            f"presettle: {self.tones} tones -> {self.unique} unique lanes "
+            f"({self.cached} already warm, {self.skipped} uncacheable); "
+            f"{self.vector} vector / {self.drained} drained / "
+            f"{self.ejected} ejected / {self.scalar} scalar"
+            + (f"; {self.failed} failed" if self.failed else "")
+        )
+
+
+def presettle_lot(
+    jobs: Iterable[LotJob],
+    cache: LockStateCache,
+    *,
+    record: Union[RecordLevel, str] = RecordLevel.COUNTERS,
+    drain_width: int = 8,
+) -> LotPresettleStats:
+    """Warm ``cache`` with every unique settled state a lot will need.
+
+    ``record`` must match the record level the orchestrating sweep's
+    sequencers use (the cache key includes it); the monitor default is
+    ``"counters"``.  Only the reproducible stage-0 configuration is
+    presettled — fixed settle from the nominal lock point with at least
+    one PFD compare cycle between settle end and arm
+    (``8·f_mod ≤ f_ref``) — mirroring the sequencer's own cacheability
+    rule, so everything else simply runs cold as it does today.
+    """
+    record = RecordLevel.coerce(record)
+    stats = LotPresettleStats()
+    lanes = []
+    keys = []
+    seen = set()
+    for pll, stimulus, config, freqs in jobs:
+        freqs = [float(f) for f in freqs]
+        try:
+            sequencer = ToneTestSequencer(pll, stimulus, config,
+                                          record=record)
+        except Exception:  # noqa: BLE001 - the sweep raises this itself
+            stats.tones += len(freqs)
+            stats.skipped += len(freqs)
+            continue
+        for f_mod in freqs:
+            stats.tones += 1
+            if not (f_mod > 0.0 and 8.0 * f_mod <= pll.f_ref):
+                stats.skipped += 1
+                continue
+            try:
+                key = sequencer._settle_cache_key(f_mod)
+            except Exception:  # noqa: BLE001 - exotic stimulus: run cold
+                stats.skipped += 1
+                continue
+            if key in seen:
+                continue
+            seen.add(key)
+            if key in cache:
+                stats.cached += 1
+                continue
+            lanes.append(SettleLane(
+                pll=pll,
+                stimulus=stimulus,
+                f_mod=f_mod,
+                settle_end=config.settle_cycles / f_mod,
+                record=record,
+            ))
+            keys.append(key)
+    stats.unique = len(lanes)
+    if not lanes:
+        return stats
+    farm = VectorizedLotSimulator(lanes, drain_width=drain_width)
+    for key, result in zip(keys, farm.run()):
+        if result.snapshot is not None:
+            cache.put(key, result.snapshot)
+        else:
+            stats.failed += 1
+        if result.mode == "vector":
+            stats.vector += 1
+        elif result.mode == "drained":
+            stats.drained += 1
+        elif result.mode == "ejected":
+            stats.ejected += 1
+        else:
+            stats.scalar += 1
+    return stats

@@ -288,6 +288,7 @@ def batch_device_reports(
     requests: Sequence[DeviceReportRequest],
     n_workers: int = 1,
     cache: Optional[LockStateCache] = None,
+    engine: str = "scalar",
 ) -> List[str]:
     """Measure and render a lot of devices, one report per request.
 
@@ -308,10 +309,36 @@ def batch_device_reports(
     discoveries are merged back afterwards, leaving ``cache`` as warm
     as a serial screen would have.  ``None`` (default) screens every
     device cold, preserving the historical behaviour.
+
+    ``engine`` selects the stage-0 settle engine.  ``"vectorized"``
+    first advances every unique (physics, stimulus, tone) settle of the
+    whole lot in lockstep on the NumPy settle farm
+    (:func:`repro.pll.lot.presettle_lot`) — one pass over the lot's
+    deduplicated settle work — and then screens warm exactly as above.
+    Reports stay byte-identical to the scalar engine (the snapshot
+    guarantee); only wall time changes.  A private cache is created
+    when ``cache`` is ``None`` so the presettled states are actually
+    served.
     """
     if n_workers < 1:
         raise ConfigurationError(f"n_workers must be >= 1, got {n_workers!r}")
+    if engine not in ("scalar", "vectorized"):
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected 'scalar' or 'vectorized'"
+        )
     jobs = list(requests)
+    if engine == "vectorized" and jobs:
+        if cache is None:
+            cache = LockStateCache(max_entries=max(256, 16 * len(jobs)))
+        # Lazy import: the farm (and NumPy array machinery) only loads
+        # for lots that opt into it.
+        from repro.pll.lot import presettle_lot
+
+        presettle_lot(
+            [(job.pll, job.stimulus, job.config, job.plan.frequencies_hz)
+             for job in jobs],
+            cache,
+        )
     workers = min(n_workers, len(jobs))
     if workers <= 1:
         return [_render_one(job, cache=cache) for job in jobs]

@@ -84,6 +84,10 @@ class SweepJobRequest:
     n_workers: int = 1
     timeout_s: Optional[float] = None
     label: Optional[str] = None
+    #: Stage-0 settle engine: ``"scalar"`` (per-tone event loops) or
+    #: ``"vectorized"`` (the plan presettles on the NumPy lockstep farm,
+    #: warming the service's shared cache; bit-identical results).
+    engine: str = "scalar"
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -97,6 +101,16 @@ class SweepJobRequest:
         if self.settle not in ("fixed", "adaptive"):
             raise ConfigurationError(
                 f"settle must be 'fixed' or 'adaptive', got {self.settle!r}"
+            )
+        if self.engine not in ("scalar", "vectorized"):
+            raise ConfigurationError(
+                f"engine must be 'scalar' or 'vectorized', "
+                f"got {self.engine!r}"
+            )
+        if self.engine == "vectorized" and self.settle != "fixed":
+            raise ConfigurationError(
+                "engine='vectorized' requires settle='fixed' "
+                f"(got settle={self.settle!r})"
             )
 
 
@@ -118,6 +132,7 @@ class SweepJobSpec:
     n_workers: int = 1
     timeout_s: Optional[float] = None
     label: Optional[str] = None
+    engine: str = "scalar"
 
     def to_dict(self) -> dict:
         """JSON-able payload for the submit request."""

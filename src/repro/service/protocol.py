@@ -121,6 +121,7 @@ def resolve_spec(spec: SweepJobSpec) -> SweepJobRequest:
         n_workers=spec.n_workers,
         timeout_s=spec.timeout_s,
         label=spec.label,
+        engine=spec.engine,
     )
 
 

@@ -493,6 +493,7 @@ class SweepJobService:
         self._emit(job, EVENT_STARTED, {
             "label": request.label,
             "settle": request.settle,
+            "engine": request.engine,
             "n_workers": request.n_workers,
             "timeout_s": request.timeout_s,
         })
@@ -578,6 +579,7 @@ class SweepJobService:
                 n_workers=request.n_workers,
                 settle=request.settle,
                 on_outcome=on_outcome,
+                engine=request.engine,
             )
 
         try:

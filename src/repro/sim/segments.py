@@ -26,6 +26,8 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 __all__ = [
@@ -69,9 +71,36 @@ class AnalogSegment:
         """
         return self.value(dt), self.integral(dt)
 
+    def evolve(self, dt: float) -> float:
+        """Alias of :meth:`value`: the node value after ``dt`` seconds.
+
+        Named for symmetry with :meth:`evolve_batch`, which applies the
+        same closed form to an array of offsets at once.
+        """
+        return self.value(dt)
+
+    def evolve_batch(self, dt: "np.ndarray") -> "np.ndarray":
+        """Vectorised :meth:`evolve`: one node value per offset in ``dt``.
+
+        Element ``i`` of the result is bit-identical to
+        ``self.evolve(dt[i])`` — the vectorised lot engine leans on this
+        equivalence, so subclasses must use the exact same operation
+        sequence (and scalar ``math`` transcendentals where NumPy's
+        differ in the last ulp).
+        """
+        raise NotImplementedError
+
     def _check_dt(self, dt: float) -> None:
         if dt < 0.0:
             raise ValueError(f"segment offset must be non-negative, got {dt!r}")
+
+    def _check_dt_batch(self, dt: "np.ndarray") -> "np.ndarray":
+        out = np.asarray(dt, dtype=np.float64)
+        if out.size and float(out.min()) < 0.0:
+            raise ValueError(
+                f"segment offsets must be non-negative, got {float(out.min())!r}"
+            )
+        return out
 
 
 @dataclass(frozen=True)
@@ -93,6 +122,10 @@ class ConstantSegment(AnalogSegment):
     def value_and_integral(self, dt: float) -> "tuple[float, float]":
         self._check_dt(dt)
         return self.initial, self.initial * dt
+
+    def evolve_batch(self, dt: "np.ndarray") -> "np.ndarray":
+        dt = self._check_dt_batch(dt)
+        return np.full(dt.shape, self.initial, dtype=np.float64)
 
 
 @dataclass(frozen=True)
@@ -122,6 +155,10 @@ class RampSegment(AnalogSegment):
             self.initial + self.slope * dt,
             self.initial * dt + 0.5 * self.slope * dt * dt,
         )
+
+    def evolve_batch(self, dt: "np.ndarray") -> "np.ndarray":
+        dt = self._check_dt_batch(dt)
+        return self.initial + self.slope * dt
 
 
 @dataclass(frozen=True)
@@ -171,6 +208,19 @@ class ExponentialSegment(AnalogSegment):
             self.asymptote + gap * math.exp(x),
             self.asymptote * dt + gap * self.tau * -math.expm1(x),
         )
+
+    def evolve_batch(self, dt: "np.ndarray") -> "np.ndarray":
+        dt = self._check_dt_batch(dt)
+        # NumPy's exp differs from math.exp by one ulp on a few percent
+        # of arguments, which would break the bit-identity contract with
+        # evolve(); the decay factors go through scalar math.exp instead.
+        x = -dt / self.tau
+        decay = np.fromiter(
+            (math.exp(xi) for xi in x.ravel().tolist()),
+            dtype=np.float64,
+            count=x.size,
+        ).reshape(x.shape)
+        return self.asymptote + (self.initial - self.asymptote) * decay
 
 
 def crossing_time(segment: AnalogSegment, threshold: float) -> Optional[float]:

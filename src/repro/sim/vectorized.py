@@ -1,0 +1,707 @@
+"""Lockstep settle farm: N devices' closed-form event loops as array ops.
+
+The scalar :class:`~repro.pll.simulator.PLLTransientSimulator` advances
+one device edge-to-edge with closed-form analogue segments.  Stage 0 of
+the Table 2 tone sequence — the fixed settling wait — dominates a cold
+sweep's cost and touches no measurement hardware, so its event loop is
+a pure function of (device physics, stimulus, tone).  This module runs
+*many* such settles in lockstep: every live lane holds its scalar loop
+state in NumPy arrays (capacitor voltage, VCO phase accumulator, PFD
+flip-flops, pending reset, reference-edge cursor) and each iteration
+dispatches exactly one event per lane, with the segment algebra applied
+as array arithmetic across lanes.
+
+Bit-identity contract
+---------------------
+A lane that completes in the farm yields a
+:class:`~repro.pll.simulator.SimulatorSnapshot` **bit-identical** to
+what the scalar engine produces for the same settle.  That holds
+because:
+
+* every floating-point expression replicates the scalar engine's
+  operation sequence exactly (same association, same operand order) —
+  basic IEEE arithmetic is elementwise-identical between Python floats
+  and NumPy float64;
+* transcendentals go through scalar :func:`math.exp` /
+  :func:`math.expm1` per element (NumPy's differ in the last ulp on a
+  few percent of arguments);
+* reference edges come from the *real* stimulus source, generated once
+  per (stimulus, tone) group and shared by every lane in the group;
+* any lane the arrays cannot represent faithfully — VCO clamp
+  excursion, tuning-curve nonlinearity, pump turn-on delay, an exotic
+  filter, a PFD anomaly — is *ejected*: its array state (a valid
+  event-boundary snapshot) is materialised and a scalar simulator
+  finishes the settle, so correctness never depends on the fast path.
+
+The farm also drains itself: when fewer than ``drain_width`` lanes
+remain live, lockstep NumPy overhead loses to the scalar loop, so the
+stragglers are handed off the same way ejected lanes are.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.pll.charge_pump import Drive, DriveKind
+from repro.pll.loop_filter import PassiveLagLeadFilter, SeriesRCFilter
+from repro.pll.pfd import PFDSnapshot, PFDState
+from repro.pll.simulator import (
+    PLLTransientSimulator,
+    RecordLevel,
+    SimulatorSnapshot,
+)
+from repro.pll.vco import VCO
+from repro.sim.segments import ExponentialSegment, RampSegment
+from repro.stimulus.waveforms import EdgeSourceBase
+
+__all__ = ["SettleLane", "LaneResult", "VectorizedLotSimulator"]
+
+
+class _Unsupported(Exception):
+    """Internal: this lane cannot be represented in the array engine."""
+
+
+# Segment-law kinds, per (physics, drive) row.
+_CONST, _RAMP, _EXP = 0, 1, 2
+
+# Event kinds, per lane per iteration.
+_END, _REF, _FB, _RESET = 0, 1, 2, 3
+
+
+@dataclass(frozen=True)
+class SettleLane:
+    """One settle job: device × stimulus × tone, up to ``settle_end``."""
+
+    pll: object
+    stimulus: object
+    f_mod: float
+    settle_end: float
+    record: RecordLevel = RecordLevel.COUNTERS
+
+
+@dataclass
+class LaneResult:
+    """Outcome of one lane.
+
+    ``mode`` is ``"vector"`` (completed in the farm), ``"drained"``
+    (lockstep start, scalar finish), ``"ejected"`` (left the supported
+    envelope mid-flight, scalar finish) or ``"scalar"`` (never entered
+    the farm; full scalar settle).  ``snapshot`` is ``None`` when the
+    scalar path raised — the caller should leave that lane cold so the
+    orchestrating sweep reproduces the identical error itself.
+    """
+
+    snapshot: Optional[SimulatorSnapshot]
+    mode: str
+    error: Optional[str] = None
+
+
+@dataclass
+class _LawRow:
+    """Replicated segment laws for one (filter, drive) pair.
+
+    ``kind`` selects the closed form; the coefficients reproduce the
+    filter's ``segment_pair`` output bit-for-bit (verified at build
+    time against the real filter at a probe voltage).
+    """
+
+    kind: int
+    asym: float = 0.0      # state-law asymptote (exp)
+    tau: float = 1.0       # state/output time constant (exp)
+    slope: float = 0.0     # state/output slope (ramp)
+    half_slope: float = 0.0
+    o_a: float = 1.0       # output initial = o_a * vc + o_b  (exp)
+    o_b: float = 0.0
+    o_asym: float = 0.0    # output-law asymptote (exp)
+    o_off: float = 0.0     # output initial = vc + o_off      (ramp)
+
+
+def _build_law(filt, drive: Drive) -> _LawRow:
+    """Replicate the loop filter's segment formulas for one drive."""
+    if type(filt) is PassiveLagLeadFilter:
+        r_total = drive.source_resistance + filt.r1 + filt.r2
+        r_out = filt.r2
+    elif type(filt) is SeriesRCFilter:
+        r_total = drive.source_resistance + filt.r
+        r_out = filt.r
+    else:
+        raise _Unsupported(f"filter {type(filt).__name__}")
+    r_l = filt.leak_resistance
+    leaky = math.isfinite(r_l)
+    if drive.kind is DriveKind.VOLTAGE:
+        if r_total <= 0.0:
+            raise _Unsupported("voltage drive into zero series resistance")
+        if leaky:
+            tau = filt.c * r_total * r_l / (r_total + r_l)
+            asym = drive.value * r_l / (r_total + r_l)
+        else:
+            tau = filt.c * r_total
+            asym = drive.value
+        k = r_out / r_total
+        return _LawRow(
+            kind=_EXP, asym=asym, tau=tau,
+            o_a=1.0 - k, o_b=k * drive.value,
+            o_asym=(1.0 - k) * asym + k * drive.value,
+        )
+    if drive.kind is DriveKind.CURRENT:
+        o_off = drive.value * r_out
+        if leaky:
+            asym = drive.value * r_l
+            return _LawRow(
+                kind=_EXP, asym=asym, tau=r_l * filt.c,
+                o_a=1.0, o_b=o_off, o_asym=asym + o_off,
+            )
+        slope = drive.value / filt.c
+        return _LawRow(
+            kind=_RAMP, slope=slope, half_slope=0.5 * slope, o_off=o_off,
+        )
+    # HIGH_Z
+    if leaky:
+        return _LawRow(kind=_EXP, asym=0.0, tau=r_l * filt.c,
+                       o_a=1.0, o_b=0.0, o_asym=0.0)
+    return _LawRow(kind=_CONST)
+
+
+def _verify_law(filt, drive: Drive, row: _LawRow, probe_vc: float) -> None:
+    """Cross-check a replicated law against the real filter.
+
+    Guards the bit-identity contract against future filter changes: a
+    mismatch demotes the physics to the scalar path instead of
+    producing silently-wrong fast-path results.
+    """
+    out, state = filt.segment_pair(probe_vc, drive)
+    if row.kind == _CONST:
+        ok = (type(state).__name__ == "ConstantSegment"
+              and state.initial == probe_vc and out is state)
+    elif row.kind == _RAMP:
+        ok = (isinstance(state, RampSegment)
+              and isinstance(out, RampSegment)
+              and state.initial == probe_vc
+              and state.slope == row.slope
+              and out.slope == row.slope
+              and out.initial == probe_vc + row.o_off)
+    else:
+        ok = (isinstance(state, ExponentialSegment)
+              and isinstance(out, ExponentialSegment)
+              and state.initial == probe_vc
+              and state.asymptote == row.asym
+              and state.tau == row.tau
+              and out.tau == row.tau
+              and out.asymptote == row.o_asym
+              and out.initial == row.o_a * probe_vc + row.o_b)
+    if not ok:
+        raise _Unsupported(
+            f"filter {type(filt).__name__} law mismatch under "
+            f"{drive.kind.name} drive"
+        )
+
+
+class _PhysicsTable:
+    """Per-device constants: drives, segment laws, VCO line, divider."""
+
+    def __init__(self, pll, probe_vc: float):
+        vco = pll.vco
+        pump = pll.pump
+        filt = pll.loop_filter
+        if type(vco) is not VCO or vco.tuning_curve is not None:
+            raise _Unsupported("nonlinear or non-standard VCO")
+        if float(getattr(pump, "turn_on_delay", 0.0)) != 0.0:
+            raise _Unsupported("charge pump with turn-on delay")
+        try:
+            self.base_hz = vco._base_hz
+            self.v_lo = vco._v_lo
+            self.v_hi = vco._v_hi
+        except AttributeError:
+            raise _Unsupported("VCO without precomputed clamp window")
+        self.pll = pll
+        self.vco = vco
+        self.gain = vco.gain_hz_per_v
+        self.f_center = vco.f_center
+        self.v_center = vco.v_center
+        self.f_min = vco.f_min
+        self.f_max = vco.f_max
+        self.nf = float(pll.n)
+        self.reset_delay = float(pll.pfd_reset_delay)
+
+        self.drives: List[Drive] = []
+        self.s_to_drive = [
+            self._intern(pump.drive_for_state(PFDState(up=up, dn=dn)))
+            for up, dn in ((False, False), (True, False),
+                           (False, True), (True, True))
+        ]
+        self.idle_idx = self._intern(pump.idle_drive())
+        self.laws = [_build_law(filt, d) for d in self.drives]
+        for drive, row in zip(self.drives, self.laws):
+            _verify_law(filt, drive, row, probe_vc)
+
+    def _intern(self, drive: Drive) -> int:
+        for i, d in enumerate(self.drives):
+            if d is drive:
+                return i
+        self.drives.append(drive)
+        return len(self.drives) - 1
+
+
+@dataclass
+class _EdgeGroup:
+    """Shared reference-edge stream for one (stimulus, tone) family."""
+
+    edges: np.ndarray
+
+
+class VectorizedLotSimulator:
+    """Advance N settle lanes in lockstep; see the module docstring.
+
+    Parameters
+    ----------
+    lanes:
+        The settle jobs; lanes with equal (stimulus cache key, tone)
+        share one generated reference-edge stream.
+    drain_width:
+        When at most this many lanes remain live, they are handed off
+        to scalar simulators — below roughly ten live lanes the
+        fixed per-iteration NumPy overhead loses to the scalar loop,
+        and the stragglers (the lowest tone alone runs thousands of
+        events) would otherwise pay it the longest.
+    """
+
+    def __init__(self, lanes: Sequence[SettleLane], drain_width: int = 8):
+        self.lanes = list(lanes)
+        self.drain_width = max(0, int(drain_width))
+        self.stats = {"vector": 0, "drained": 0, "ejected": 0, "scalar": 0,
+                      "failed": 0}
+        self._results: List[Optional[LaneResult]] = [None] * len(self.lanes)
+        self._vec: List[int] = []          # lane positions in the farm
+        self._fallback: List[int] = []     # lane positions settled scalar
+        self._prepare()
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def _prepare(self) -> None:
+        tables: Dict[int, _PhysicsTable] = {}
+        groups: Dict[Tuple, _EdgeGroup] = {}
+        group_end: Dict[Tuple, float] = {}
+        group_lanes: Dict[Tuple, List[int]] = {}
+
+        candidates: List[Tuple[int, _PhysicsTable, Tuple]] = []
+        for pos, lane in enumerate(self.lanes):
+            try:
+                key = self._group_key(lane)
+                table = tables.get(id(lane.pll))
+                if table is None:
+                    probe = lane.pll.loop_filter.state_for_output(
+                        lane.pll.locked_control_voltage()
+                    )
+                    table = _PhysicsTable(lane.pll, probe)
+                    tables[id(lane.pll)] = table
+            except (_Unsupported, ReproError, AttributeError, TypeError):
+                self._fallback.append(pos)
+                continue
+            candidates.append((pos, table, key))
+            group_end[key] = max(group_end.get(key, 0.0), lane.settle_end)
+            group_lanes.setdefault(key, []).append(pos)
+
+        supported: List[Tuple[int, _PhysicsTable, _EdgeGroup]] = []
+        for pos, table, key in candidates:
+            if key not in groups:
+                group = self._generate_edges(self.lanes[pos], group_end[key])
+                if group is None:
+                    for p in group_lanes[key]:
+                        self._fallback.append(p)
+                    groups[key] = None  # type: ignore[assignment]
+                else:
+                    groups[key] = group
+            group = groups[key]
+            if group is None:
+                continue
+            supported.append((pos, table, group))
+        self._build_arrays(supported)
+
+    def _group_key(self, lane: SettleLane) -> Tuple:
+        stim = lane.stimulus
+        cache_key = stim.cache_key()  # AttributeError -> unsupported
+        source = stim.make_source(lane.f_mod, 0.0)
+        if not isinstance(source, EdgeSourceBase):
+            raise _Unsupported("source is not a plain edge source")
+        if (type(source).snapshot_state is not EdgeSourceBase.snapshot_state
+                or type(source).restore_state
+                is not EdgeSourceBase.restore_state):
+            raise _Unsupported("source overrides its snapshot protocol")
+        return (cache_key, float(lane.f_mod))
+
+    def _generate_edges(self, lane: SettleLane,
+                        t_end: float) -> Optional[_EdgeGroup]:
+        """Pull the real source's edge train out to just past ``t_end``."""
+        try:
+            source = lane.stimulus.make_source(lane.f_mod, 0.0)
+            edges = [source.next_edge()]
+            if edges[0] < 0.0:
+                return None  # the scalar engine rejects this identically
+            while edges[-1] <= t_end:
+                nxt = source.next_edge()
+                if nxt <= edges[-1]:
+                    return None
+                edges.append(nxt)
+        except ReproError:
+            return None
+        return _EdgeGroup(np.asarray(edges, dtype=np.float64))
+
+    def _build_arrays(
+        self,
+        supported: List[Tuple[int, _PhysicsTable, _EdgeGroup]],
+    ) -> None:
+        n = len(supported)
+        self._vec = [pos for pos, __, __ in supported]
+        self._tables = [table for __, table, __ in supported]
+        self._edges = [group.edges for __, __, group in supported]
+
+        # Flat law tables: one row per (physics, drive); a lane's
+        # current row is its physics offset plus its applied-drive
+        # index.  Keeping them flat lets mixed-physics lots share the
+        # same gather-based inner loop.
+        self._row_base = np.zeros(n, dtype=np.int64)
+        rows: List[_LawRow] = []
+        offsets: Dict[int, int] = {}
+        for i, table in enumerate(self._tables):
+            off = offsets.get(id(table))
+            if off is None:
+                off = len(rows)
+                offsets[id(table)] = off
+                rows.extend(table.laws)
+            self._row_base[i] = off
+        self._law_kind = np.array([r.kind for r in rows], dtype=np.int64)
+        self._law_asym = np.array([r.asym for r in rows])
+        self._law_tau = np.array([r.tau for r in rows])
+        self._law_slope = np.array([r.slope for r in rows])
+        self._law_half = np.array([r.half_slope for r in rows])
+        self._law_oa = np.array([r.o_a for r in rows])
+        self._law_ob = np.array([r.o_b for r in rows])
+        self._law_oasym = np.array([r.o_asym for r in rows])
+        self._law_ooff = np.array([r.o_off for r in rows])
+
+        def per_lane(getter):
+            return np.array([getter(t) for t in self._tables])
+
+        self._base_hz = per_lane(lambda t: t.base_hz)
+        self._gain = per_lane(lambda t: t.gain)
+        self._v_lo = per_lane(lambda t: t.v_lo)
+        self._v_hi = per_lane(lambda t: t.v_hi)
+        self._f_center = per_lane(lambda t: t.f_center)
+        self._v_center = per_lane(lambda t: t.v_center)
+        self._f_min = per_lane(lambda t: t.f_min)
+        self._f_max = per_lane(lambda t: t.f_max)
+        self._nf = per_lane(lambda t: t.nf)
+        self._rdelay = per_lane(lambda t: t.reset_delay)
+        self._settle_end = np.array(
+            [self.lanes[pos].settle_end for pos in self._vec]
+        )
+
+        # Mutable lane state — the scalar simulator's fields, columnar.
+        nan = float("nan")
+        self._t = np.zeros(n)
+        self._vc = np.array([
+            self.lanes[pos].pll.loop_filter.state_for_output(
+                self.lanes[pos].pll.locked_control_voltage()
+            )
+            for pos in self._vec
+        ]) if n else np.zeros(0)
+        self._phase = np.zeros(n)
+        self._fbt = self._nf.copy() if n else np.zeros(0)
+        self._j = np.zeros(n, dtype=np.int64)
+        self._tref = np.array([e[0] for e in self._edges]) if n \
+            else np.zeros(0)
+        self._up = np.zeros(n, dtype=bool)
+        self._dn = np.zeros(n, dtype=bool)
+        self._levt = np.full(n, nan)
+        self._pres = np.full(n, nan)
+        self._upr = np.full(n, nan)
+        self._dnr = np.full(n, nan)
+        self._drive = np.array(
+            [t.idle_idx for t in self._tables], dtype=np.int64
+        ) if n else np.zeros(0, dtype=np.int64)
+        self._events = np.zeros(n, dtype=np.int64)
+        self._active = np.ones(n, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # run
+    # ------------------------------------------------------------------
+    def run(self) -> List[LaneResult]:
+        """Settle every lane; returns one :class:`LaneResult` per lane."""
+        for pos in self._fallback:
+            self._results[pos] = self._scalar_settle(self.lanes[pos])
+        while True:
+            idx = np.flatnonzero(self._active)
+            if idx.size == 0:
+                break
+            if idx.size <= self.drain_width:
+                for i in idx.tolist():
+                    self._hand_off(i, "drained")
+                break
+            self._step(idx)
+        out = []
+        for pos, result in enumerate(self._results):
+            assert result is not None, f"lane {pos} never resolved"
+            self.stats[result.mode] += 1
+            if result.snapshot is None:
+                self.stats["failed"] += 1
+            out.append(result)
+        return out
+
+    # ------------------------------------------------------------------
+    # one lockstep iteration: one event per live lane
+    # ------------------------------------------------------------------
+    def _step(self, idx: np.ndarray) -> None:
+        t = self._t[idx]
+        vc = self._vc[idx]
+        rows = self._row_base[idx] + self._drive[idx]
+        kindlaw = self._law_kind[rows]
+        pres = self._pres[idx]
+        has_res = ~np.isnan(pres)
+
+        # --- event selection (mirrors _next_event) -------------------
+        best_t = self._settle_end[idx].copy()
+        kind = np.full(idx.size, _END, dtype=np.int64)
+
+        tref = self._tref[idx]
+        m = tref <= best_t
+        best_t[m] = tref[m]
+        kind[m] = _REF
+
+        horizon = best_t.copy()
+        m = has_res & (pres < horizon)
+        horizon[m] = pres[m]
+        dt_h = horizon - t
+
+        eject = dt_h < 0.0
+
+        need = self._fbt[idx] - self._phase[idx]
+        due = need <= 1e-9
+        eject |= due & (need < -1e-6)
+        m = due & (t <= best_t)
+        best_t[m] = t[m]
+        kind[m] = _FB
+
+        out_v = np.where(
+            kindlaw == _EXP,
+            self._law_oa[rows] * vc + self._law_ob[rows],
+            np.where(kindlaw == _RAMP, vc + self._law_ooff[rows], vc),
+        )
+        solving = ~due & (dt_h > 0.0)
+        m = solving & (kindlaw == _CONST)
+        if m.any():
+            f = self._f_center[idx] + self._gain[idx] * (
+                out_v - self._v_center[idx]
+            )
+            f = np.minimum(np.maximum(f, self._f_min[idx]),
+                           self._f_max[idx])
+            dt_fb = need / f
+            cand = t + dt_fb
+            hit = m & (dt_fb <= dt_h) & (cand <= best_t)
+            best_t[hit] = cand[hit]
+            kind[hit] = _FB
+        for i in np.flatnonzero(solving & (kindlaw != _CONST)).tolist():
+            row = rows[i]
+            if kindlaw[i] == _RAMP:
+                seg = RampSegment(float(out_v[i]),
+                                  float(self._law_slope[row]))
+            else:
+                seg = ExponentialSegment(float(out_v[i]),
+                                         float(self._law_oasym[row]),
+                                         float(self._law_tau[row]))
+            table = self._tables[idx[i]]
+            dt_fb = table.vco.time_to_phase(seg, float(need[i]),
+                                            float(dt_h[i]))
+            if dt_fb is not None and t[i] + dt_fb <= best_t[i]:
+                best_t[i] = t[i] + dt_fb
+                kind[i] = _FB
+
+        m = has_res & (pres <= best_t)
+        best_t[m] = pres[m]
+        kind[m] = _RESET
+
+        # --- advance (mirrors _advance_to + phase_advance fast path) --
+        dt = best_t - t
+        adv = dt > 0.0
+        is_exp = kindlaw == _EXP
+        is_ramp = kindlaw == _RAMP
+        tau = self._law_tau[rows]
+        x = -dt / tau
+        decay = np.ones(idx.size)
+        neg_expm1 = np.zeros(idx.size)
+        for i in np.flatnonzero(adv & is_exp).tolist():
+            decay[i] = math.exp(x[i])
+            neg_expm1[i] = -math.expm1(x[i])
+        o_asym = self._law_oasym[rows]
+        gap = out_v - o_asym
+        slope = self._law_slope[rows]
+        val = np.where(
+            is_exp, o_asym + gap * decay,
+            np.where(is_ramp, out_v + slope * dt, out_v),
+        )
+        v_int = np.where(
+            is_exp, o_asym * dt + (gap * tau) * neg_expm1,
+            np.where(is_ramp,
+                     out_v * dt + (self._law_half[rows] * dt) * dt,
+                     out_v * dt),
+        )
+        v0 = np.minimum(out_v, val)
+        v1 = np.maximum(out_v, val)
+        eject |= adv & ~((self._v_lo[idx] <= v0) & (v1 <= self._v_hi[idx]))
+        asym = self._law_asym[rows]
+        vc_new = np.where(
+            is_exp, asym + (vc - asym) * decay,
+            np.where(is_ramp, vc + slope * dt, vc),
+        )
+        phase_new = np.where(
+            adv,
+            self._phase[idx] + (self._base_hz[idx] * dt
+                                + self._gain[idx] * v_int),
+            self._phase[idx],
+        )
+        vc_new = np.where(adv, vc_new, vc)
+
+        # --- PFD edge checks (mirrors _check_monotonic / _on_edge) ----
+        is_event = kind != _END
+        levt = self._levt[idx]
+        eject |= is_event & ~np.isnan(levt) & (best_t < levt)
+        is_edge = (kind == _REF) | (kind == _FB)
+        eject |= is_edge & has_res & (best_t >= pres)
+        eject |= (kind == _RESET) & (np.isnan(self._upr[idx])
+                                     | np.isnan(self._dnr[idx]))
+
+        # --- hand off ejected lanes from their pre-event state --------
+        if eject.any():
+            for i in np.flatnonzero(eject).tolist():
+                self._hand_off(int(idx[i]), "ejected")
+        ok = ~eject
+        li = idx[ok]
+        if li.size == 0:
+            return
+
+        # --- commit -------------------------------------------------
+        self._t[li] = best_t[ok]
+        self._vc[li] = vc_new[ok]
+        self._phase[li] = phase_new[ok]
+        kind_ok = kind[ok]
+        ev = kind_ok != _END
+        self._events[li[ev]] += 1
+        self._levt[li[ev]] = best_t[ok][ev]
+
+        ref = kind_ok == _REF
+        if ref.any():
+            lr = li[ref]
+            tr = best_t[ok][ref]
+            newly = ~self._up[lr]
+            self._up[lr] = True
+            set_lanes = lr[newly]
+            self._upr[set_lanes] = tr[newly]
+            both = newly & self._dn[lr]
+            self._pres[lr[both]] = tr[both] + self._rdelay[lr[both]]
+            for i, lane in enumerate(lr.tolist()):
+                j = int(self._j[lane]) + 1
+                self._j[lane] = j
+                self._tref[lane] = self._edges[lane][j]
+
+        fb = kind_ok == _FB
+        if fb.any():
+            lf = li[fb]
+            tf = best_t[ok][fb]
+            self._phase[lf] = self._fbt[lf]
+            self._fbt[lf] = self._fbt[lf] + self._nf[lf]
+            newly = ~self._dn[lf]
+            self._dn[lf] = True
+            set_lanes = lf[newly]
+            self._dnr[set_lanes] = tf[newly]
+            both = newly & self._up[lf]
+            self._pres[lf[both]] = tf[both] + self._rdelay[lf[both]]
+
+        res = kind_ok == _RESET
+        if res.any():
+            lz = li[res]
+            self._up[lz] = False
+            self._dn[lz] = False
+            self._pres[lz] = np.nan
+
+        if (ref | fb | res).any():
+            changed = li[ref | fb | res]
+            s = (self._up[changed].astype(np.int64)
+                 + 2 * self._dn[changed].astype(np.int64))
+            for i, lane in enumerate(changed.tolist()):
+                self._drive[lane] = \
+                    self._tables[lane].s_to_drive[int(s[i])]
+
+        done = kind_ok == _END
+        for lane in li[done].tolist():
+            self._active[lane] = False
+            self._results[self._vec[lane]] = LaneResult(
+                snapshot=self._materialize(lane), mode="vector"
+            )
+
+    # ------------------------------------------------------------------
+    # scalar hand-off
+    # ------------------------------------------------------------------
+    def _materialize(self, lane: int) -> SimulatorSnapshot:
+        """The lane's array state as a real simulator snapshot."""
+        table = self._tables[lane]
+        j = int(self._j[lane])
+        edge = float(self._edges[lane][j])
+
+        def opt(arr: np.ndarray) -> Optional[float]:
+            v = float(arr[lane])
+            return None if math.isnan(v) else v
+
+        return SimulatorSnapshot(
+            pll_name=table.pll.name,
+            time=float(self._t[lane]),
+            vc=float(self._vc[lane]),
+            vco_phase=float(self._phase[lane]),
+            fb_target=float(self._fbt[lane]),
+            applied_drive=table.drives[int(self._drive[lane])],
+            pending_activation=None,
+            loop_open=False,
+            t_ref_next=edge,
+            next_sample=None,
+            events=int(self._events[lane]),
+            pfd=PFDSnapshot(
+                up=bool(self._up[lane]),
+                dn=bool(self._dn[lane]),
+                last_event_time=opt(self._levt),
+                pending_reset=opt(self._pres),
+                last_up_rise=opt(self._upr),
+                last_dn_rise=opt(self._dnr),
+            ),
+            source_state=(float(j + 1), edge),
+            pll_signature=table.pll.physics_signature(),
+        )
+
+    def _hand_off(self, lane: int, mode: str) -> None:
+        """Finish one lane in a scalar simulator from its array state."""
+        self._active[lane] = False
+        spec = self.lanes[self._vec[lane]]
+        try:
+            snap = self._materialize(lane)
+            source = spec.stimulus.make_source(spec.f_mod, 0.0)
+            sim = PLLTransientSimulator(spec.pll, source, record=spec.record)
+            sim.restore(snap)
+            sim.run_until(spec.settle_end)
+            result = LaneResult(snapshot=sim.snapshot(), mode=mode)
+        except Exception as exc:  # noqa: BLE001 - leave the lane cold;
+            # the orchestrating sweep reproduces the identical error
+            result = LaneResult(snapshot=None, mode=mode, error=str(exc))
+        self._results[self._vec[lane]] = result
+
+    def _scalar_settle(self, spec: SettleLane) -> LaneResult:
+        """Full scalar settle for a lane the farm cannot represent."""
+        try:
+            source = spec.stimulus.make_source(spec.f_mod, 0.0)
+            sim = PLLTransientSimulator(spec.pll, source, record=spec.record)
+            sim.run_until(spec.settle_end)
+            return LaneResult(snapshot=sim.snapshot(), mode="scalar")
+        except Exception as exc:  # noqa: BLE001 - leave the lane cold
+            return LaneResult(snapshot=None, mode="scalar", error=str(exc))

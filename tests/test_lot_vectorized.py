@@ -1,0 +1,367 @@
+"""The vectorised lot engine: lockstep settle farm + engine wiring.
+
+Four contracts under test:
+
+* **bit identity** — a lane settled on the lockstep farm materialises a
+  :class:`~repro.pll.simulator.SimulatorSnapshot` *exactly equal* (full
+  dataclass equality, PFD state and event counters included) to the
+  snapshot a cold scalar :class:`~repro.pll.simulator.PLLTransientSimulator`
+  produces for the same (device, stimulus, tone) — which is what makes
+  ``engine="vectorized"`` sweeps and batch reports byte-identical to the
+  scalar engine;
+* **graceful divergence** — unsupported physics falls back to a full
+  scalar settle, stragglers drain to the scalar loop mid-flight, and
+  both still satisfy the identity above; correctness never depends on
+  the fast path;
+* **wiring** — ``TransferFunctionMonitor.run(engine=...)``,
+  ``batch_device_reports(engine=...)`` (serial and pooled), the service
+  job spec/request, and the CLI all accept and validate the engine
+  selection;
+* **memo keying** — ``measure_nominal_frequency`` memoises on the
+  physics signature, so renamed same-physics dies share the baseline
+  (the satellite regression for the vectorised lot's renamed dies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core import (
+    LockStateCache,
+    SweepPlan,
+    ToneTestSequencer,
+    TransferFunctionMonitor,
+)
+from repro.core.executor import _relevant_warm_entries
+from repro.core.sequencer import _NOMINAL_FREQUENCY_MEMO
+from repro.errors import ConfigurationError
+from repro.pll.faults import FAULT_LIBRARY, apply_fault
+from repro.pll.lot import presettle_lot
+from repro.pll.simulator import PLLTransientSimulator
+from repro.presets import paper_pll, paper_stimulus
+from repro.reporting import DeviceReportRequest, batch_device_reports
+from repro.sim.vectorized import SettleLane, VectorizedLotSimulator
+
+# Cacheable tones (8·f_mod ≤ f_ref) spanning the sweep's cost range.
+TONES = (10.0, 55.0)
+
+
+def _scalar_snapshot(pll, stimulus, f_mod, settle_end):
+    """The reference: a cold scalar settle, exactly as the sequencer runs it."""
+    source = stimulus.make_source(f_mod, start_time=0.0)
+    sim = PLLTransientSimulator(pll, source, record="counters")
+    sim.run_until(settle_end)
+    return sim.snapshot()
+
+
+def _lanes(pll, stimulus, config, tones=TONES):
+    return [
+        SettleLane(
+            pll=pll,
+            stimulus=stimulus,
+            f_mod=f_mod,
+            settle_end=config.settle_cycles / f_mod,
+            record="counters",
+        )
+        for f_mod in tones
+    ]
+
+
+def _lot_requests(config, size=3, template=None):
+    template = template if template is not None else paper_pll()
+    stimulus = paper_stimulus("multitone")
+    plan = SweepPlan(TONES)
+    return [
+        DeviceReportRequest(
+            pll=replace(template, name=f"{template.name}-{i:03d}"),
+            stimulus=stimulus,
+            plan=plan,
+            config=config,
+        )
+        for i in range(size)
+    ]
+
+
+class TestFarmBitIdentity:
+    def test_lane_snapshots_equal_scalar(self, fast_bist_config):
+        pll = paper_pll()
+        stimulus = paper_stimulus("multitone")
+        lanes = _lanes(pll, stimulus, fast_bist_config)
+        farm = VectorizedLotSimulator(lanes, drain_width=0)
+        results = farm.run()
+        assert len(results) == len(lanes)
+        for lane, result in zip(lanes, results):
+            assert result.mode == "vector", result.error
+            expected = _scalar_snapshot(
+                pll, stimulus, lane.f_mod, lane.settle_end
+            )
+            assert result.snapshot == expected
+
+    def test_faulted_physics_lanes_equal_scalar(self, fast_bist_config):
+        stimulus = paper_stimulus("multitone")
+        # Whatever the library holds, exercise at least two distinct
+        # physics families in one farm.
+        labels = sorted(FAULT_LIBRARY)[:2]
+        duts = [paper_pll()] + [
+            apply_fault(paper_pll(), FAULT_LIBRARY[label])
+            for label in labels
+        ]
+        lanes = []
+        for dut in duts:
+            lanes.extend(_lanes(dut, stimulus, fast_bist_config))
+        results = VectorizedLotSimulator(lanes, drain_width=0).run()
+        for lane, result in zip(lanes, results):
+            expected = _scalar_snapshot(
+                lane.pll, stimulus, lane.f_mod, lane.settle_end
+            )
+            assert result.snapshot == expected, (
+                f"{lane.pll.name} @ {lane.f_mod} Hz via {result.mode}"
+            )
+
+    def test_drained_lanes_equal_vector_lanes(self, fast_bist_config):
+        pll = paper_pll()
+        stimulus = paper_stimulus("multitone")
+        lanes = _lanes(pll, stimulus, fast_bist_config)
+        vector = VectorizedLotSimulator(lanes, drain_width=0).run()
+        drained = VectorizedLotSimulator(
+            lanes, drain_width=len(lanes)
+        ).run()
+        assert all(r.mode == "vector" for r in vector)
+        assert all(r.mode == "drained" for r in drained)
+        for a, b in zip(vector, drained):
+            assert a.snapshot == b.snapshot
+
+    def test_unsupported_physics_falls_back_scalar(self, fast_bist_config):
+        """The nonlinear 74HCT4046A VCO is not vectorisable: the farm
+        must settle it on the scalar engine, bit-identically, instead of
+        failing or (worse) approximating."""
+        pll = paper_pll(nonlinear=True)
+        stimulus = paper_stimulus("multitone")
+        lanes = _lanes(pll, stimulus, fast_bist_config)
+        results = VectorizedLotSimulator(lanes, drain_width=0).run()
+        for lane, result in zip(lanes, results):
+            assert result.mode == "scalar"
+            expected = _scalar_snapshot(
+                pll, stimulus, lane.f_mod, lane.settle_end
+            )
+            assert result.snapshot == expected
+
+
+class TestPresettleLot:
+    def test_presettle_dedups_and_warms_cache(self, fast_bist_config):
+        stimulus = paper_stimulus("multitone")
+        dies = [
+            replace(paper_pll(), name=f"die-{i}") for i in range(4)
+        ]
+        cache = LockStateCache()
+        stats = presettle_lot(
+            [(die, stimulus, fast_bist_config, TONES) for die in dies],
+            cache,
+        )
+        # Four identical-physics dies collapse to one lane per tone.
+        assert stats.tones == 4 * len(TONES)
+        assert stats.unique == len(TONES)
+        assert stats.failed == 0
+        assert len(cache) == len(TONES)
+        # A second pass finds everything warm.
+        again = presettle_lot(
+            [(die, stimulus, fast_bist_config, TONES) for die in dies],
+            cache,
+        )
+        assert again.unique == 0
+        assert again.cached == len(TONES)
+
+    def test_presettled_entries_serve_the_sequencer(self, fast_bist_config):
+        pll = paper_pll()
+        stimulus = paper_stimulus("multitone")
+        cache = LockStateCache()
+        presettle_lot([(pll, stimulus, fast_bist_config, TONES)], cache)
+        sequencer = ToneTestSequencer(
+            pll, stimulus, fast_bist_config, cache=cache
+        )
+        cold = ToneTestSequencer(pll, stimulus, fast_bist_config)
+        for f_mod in TONES:
+            warm_m = sequencer.run(f_mod)
+            cold_m = cold.run(f_mod)
+            assert warm_m.timing.warm
+            assert warm_m.held == cold_m.held
+            assert warm_m.phase_count == cold_m.phase_count
+            assert warm_m.peak_event == cold_m.peak_event
+
+    def test_uncacheable_tones_skipped(self, fast_bist_config):
+        pll = paper_pll()
+        stimulus = paper_stimulus("multitone")
+        cache = LockStateCache()
+        # 8·f_mod > f_ref: the sequencer would never cache these, so the
+        # presettle pass must leave them alone too.
+        high = pll.f_ref / 4.0
+        stats = presettle_lot(
+            [(pll, stimulus, fast_bist_config, (high,))], cache
+        )
+        assert stats.skipped == 1
+        assert stats.unique == 0
+        assert len(cache) == 0
+
+
+class TestEngineWiring:
+    def test_monitor_vectorized_bit_identical(self, fast_bist_config):
+        pll = paper_pll()
+        stimulus = paper_stimulus("multitone")
+        plan = SweepPlan(TONES)
+        cold = TransferFunctionMonitor(pll, stimulus, fast_bist_config).run(
+            plan
+        )
+        vec = TransferFunctionMonitor(pll, stimulus, fast_bist_config).run(
+            plan, engine="vectorized"
+        )
+        assert vec.measurements == cold.measurements
+        assert vec.failed_tones == cold.failed_tones
+        assert list(vec.response.magnitude_db) == list(
+            cold.response.magnitude_db
+        )
+
+    def test_monitor_rejects_bad_engine_and_adaptive(self, fast_bist_config):
+        monitor = TransferFunctionMonitor(
+            paper_pll(), paper_stimulus("multitone"), fast_bist_config
+        )
+        plan = SweepPlan(TONES)
+        with pytest.raises(ConfigurationError):
+            monitor.run(plan, engine="quantum")
+        with pytest.raises(ConfigurationError):
+            monitor.run(plan, engine="vectorized", settle="adaptive")
+
+    def test_batch_vectorized_byte_identical_serial(self, fast_bist_config):
+        lot = _lot_requests(fast_bist_config)
+        cold = batch_device_reports(lot)
+        vec = batch_device_reports(lot, engine="vectorized")
+        assert vec == cold
+
+    def test_batch_vectorized_byte_identical_pooled(self, fast_bist_config):
+        lot = _lot_requests(fast_bist_config)
+        cold = batch_device_reports(lot)
+        cache = LockStateCache()
+        vec = batch_device_reports(
+            lot, n_workers=2, cache=cache, engine="vectorized"
+        )
+        assert vec == cold
+        # The farm presettled every unique tone before the pool split.
+        assert len(cache) == len(TONES)
+
+    def test_batch_vectorized_mixed_physics_lot(self, fast_bist_config):
+        label = sorted(FAULT_LIBRARY)[0]
+        lot = _lot_requests(fast_bist_config, size=2) + _lot_requests(
+            fast_bist_config,
+            size=2,
+            template=apply_fault(paper_pll(), FAULT_LIBRARY[label]),
+        )
+        cold = batch_device_reports(lot)
+        vec = batch_device_reports(lot, engine="vectorized")
+        assert vec == cold
+
+    def test_batch_rejects_unknown_engine(self, fast_bist_config):
+        with pytest.raises(ConfigurationError):
+            batch_device_reports(
+                _lot_requests(fast_bist_config, size=1), engine="quantum"
+            )
+
+    def test_service_spec_and_request_carry_engine(self):
+        from repro.service import SweepJobSpec
+        from repro.service.jobs import SweepJobRequest
+        from repro.service.protocol import resolve_spec
+
+        spec = SweepJobSpec(points=5, engine="vectorized")
+        assert SweepJobSpec.from_dict(spec.to_dict()) == spec
+        request = resolve_spec(spec)
+        assert request.engine == "vectorized"
+        with pytest.raises(ConfigurationError):
+            SweepJobRequest(
+                pll=paper_pll(),
+                stimulus=paper_stimulus("multitone"),
+                plan=SweepPlan(TONES),
+                engine="quantum",
+            )
+        with pytest.raises(ConfigurationError):
+            SweepJobRequest(
+                pll=paper_pll(),
+                stimulus=paper_stimulus("multitone"),
+                plan=SweepPlan(TONES),
+                engine="vectorized",
+                settle="adaptive",
+            )
+
+    def test_cli_flags(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["lot", "--engine", "vectorized", "--profile", "p.pstats"]
+        )
+        assert args.engine == "vectorized"
+        assert args.profile == "p.pstats"
+        assert parser.parse_args(["lot"]).engine == "scalar"
+        assert parser.parse_args(["sweep", "--profile", "s.pstats"])\
+            .profile == "s.pstats"
+        assert parser.parse_args(["submit", "--engine", "vectorized"])\
+            .engine == "vectorized"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["lot", "--engine", "quantum"])
+
+
+class TestWarmEntryShippingFilter:
+    def test_only_matching_physics_ships(self):
+        pll = paper_pll()
+        signature = pll.physics_signature()
+        cache = LockStateCache()
+        cache.put(("a",), SimpleNamespace(pll_signature=signature))
+        cache.put(("b",), SimpleNamespace(pll_signature=("other",)))
+        cache.put(("c",), SimpleNamespace(pll_signature=None))
+        shipped = _relevant_warm_entries(cache, pll)
+        keys = sorted(key for key, __ in shipped)
+        # Matching and unsigned entries ship; foreign physics does not.
+        assert keys == [("a",), ("c",)]
+
+
+class TestNominalFrequencyMemo:
+    def test_renamed_dies_share_the_memo(self, fast_bist_config):
+        _NOMINAL_FREQUENCY_MEMO.clear()
+        stimulus = paper_stimulus("multitone")
+        a = ToneTestSequencer(
+            replace(paper_pll(), name="die-a"), stimulus, fast_bist_config
+        )
+        b = ToneTestSequencer(
+            replace(paper_pll(), name="die-b"), stimulus, fast_bist_config
+        )
+        va = a.measure_nominal_frequency(gate_cycles=32)
+        assert len(_NOMINAL_FREQUENCY_MEMO) == 1
+        vb = b.measure_nominal_frequency(gate_cycles=32)
+        # Same physics: one measurement, bit-equal result, no new entry.
+        assert vb == va
+        assert len(_NOMINAL_FREQUENCY_MEMO) == 1
+
+    def test_different_physics_key_apart(self, fast_bist_config):
+        _NOMINAL_FREQUENCY_MEMO.clear()
+        stimulus = paper_stimulus("multitone")
+        healthy = ToneTestSequencer(
+            paper_pll(), stimulus, fast_bist_config
+        )
+        label = sorted(FAULT_LIBRARY)[0]
+        faulted = ToneTestSequencer(
+            apply_fault(paper_pll(), FAULT_LIBRARY[label]),
+            stimulus,
+            fast_bist_config,
+        )
+        healthy.measure_nominal_frequency(gate_cycles=32)
+        faulted.measure_nominal_frequency(gate_cycles=32)
+        assert len(_NOMINAL_FREQUENCY_MEMO) == 2
+
+    def test_gate_cycles_key_apart(self, fast_bist_config):
+        _NOMINAL_FREQUENCY_MEMO.clear()
+        sequencer = ToneTestSequencer(
+            paper_pll(), paper_stimulus("multitone"), fast_bist_config
+        )
+        sequencer.measure_nominal_frequency(gate_cycles=32)
+        sequencer.measure_nominal_frequency(gate_cycles=64)
+        assert len(_NOMINAL_FREQUENCY_MEMO) == 2

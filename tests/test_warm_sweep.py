@@ -246,23 +246,32 @@ class TestNominalBaselineMemoised:
     def test_same_value_and_cached(
         self, pll_linear, sine_stimulus, fast_bist_config
     ):
+        from repro.core.sequencer import _NOMINAL_FREQUENCY_MEMO
+
+        _NOMINAL_FREQUENCY_MEMO.clear()
         sequencer = ToneTestSequencer(
             pll_linear, sine_stimulus, fast_bist_config
         )
         first = sequencer.measure_nominal_frequency()
         second = sequencer.measure_nominal_frequency()
         assert first == second
-        assert sequencer._nominal_cache == {128: first}
+        assert list(_NOMINAL_FREQUENCY_MEMO.values()) == [first]
 
     def test_distinct_gates_distinct_entries(
         self, pll_linear, sine_stimulus, fast_bist_config
     ):
-        sequencer = ToneTestSequencer(
+        from repro.core.sequencer import _NOMINAL_FREQUENCY_MEMO
+
+        _NOMINAL_FREQUENCY_MEMO.clear()
+        f128 = ToneTestSequencer(
             pll_linear, sine_stimulus, fast_bist_config
-        )
-        f128 = sequencer.measure_nominal_frequency(128)
-        f64 = sequencer.measure_nominal_frequency(64)
-        assert set(sequencer._nominal_cache) == {64, 128}
+        ).measure_nominal_frequency(128)
+        f64 = ToneTestSequencer(
+            pll_linear, sine_stimulus, fast_bist_config
+        ).measure_nominal_frequency(64)
+        # Distinct gate widths key apart; a fresh same-physics sequencer
+        # does not add entries of its own.
+        assert len(_NOMINAL_FREQUENCY_MEMO) == 2
         assert f128 == pytest.approx(f64, rel=1e-6)
 
     def test_monitor_delegates(self, pll_linear, sine_stimulus, fast_bist_config):
