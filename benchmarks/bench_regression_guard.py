@@ -21,7 +21,9 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 from check_regression import (  # noqa: E402
     SLOWDOWN_THRESHOLD,
     VEC_BATCH_SPEEDUP_FLOOR,
+    VEC_SINGLE_SPEEDUP_FLOOR,
     check_vec_floor,
+    check_vec_single_floor,
     compare,
     load_committed,
 )
@@ -75,7 +77,7 @@ def test_serial_sweep_within_budget(report, paper_dut):
 
 
 def test_vec_batch_speedup_within_floor(report, paper_dut):
-    """The vectorised lot engine must hold its >=3x acceptance floor.
+    """The vectorised lot engine must hold its >=5x acceptance floor.
 
     Measures a fresh 8-die, 13-tone screen cold (scalar) and with
     ``engine="vectorized"`` and applies the absolute
@@ -127,6 +129,62 @@ def test_vec_batch_speedup_within_floor(report, paper_dut):
         f"speedup         : {fresh['vec_batch_speedup']:.2f}x "
         f"(floor {VEC_BATCH_SPEEDUP_FLOOR:.1f}x)",
         f"byte-identical  : {fresh['vec_batch_byte_identical']}",
+        f"verdict         : {verdict}",
+    ]))
+    assert not problems, problems
+
+
+def test_vec_single_speedup_within_floor(report, paper_dut):
+    """Tone-level vectorization must hold its single-device floor.
+
+    A *single* 13-tone device screened with ``engine="vectorized"``
+    rides the settle farm across tones (no lot to amortise over), and
+    must stay >= :data:`~check_regression.VEC_SINGLE_SPEEDUP_FLOOR`
+    faster than the scalar cold sweep.  One round each — the two walls
+    ride the same machine noise and only their ratio is judged.  Skips
+    against baselines that predate the key.
+    """
+    baseline = load_committed()
+    if baseline is None:
+        pytest.skip("no committed BENCH_sweep.json baseline at HEAD")
+    if baseline.get("vec_single_device_speedup") is None:
+        pytest.skip("baseline predates tone-level vectorization")
+
+    tones = baseline.get("tones", 13)
+    plan = paper_sweep(points=tones)
+
+    scalar_monitor = TransferFunctionMonitor(
+        paper_dut, paper_stimulus("multitone"), paper_bist_config()
+    )
+    t0 = time.perf_counter()
+    cold = scalar_monitor.run(plan)
+    t_cold = time.perf_counter() - t0
+
+    vec_monitor = TransferFunctionMonitor(
+        paper_dut, paper_stimulus("multitone"), paper_bist_config()
+    )
+    t0 = time.perf_counter()
+    vec = vec_monitor.run(plan, engine="vectorized")
+    t_vec = time.perf_counter() - t0
+
+    identical = len(cold.measurements) == len(vec.measurements) and all(
+        a.delta_f_hz == b.delta_f_hz and a.phase_delay_deg == b.phase_delay_deg
+        for a, b in zip(cold.measurements, vec.measurements)
+    )
+    fresh = {
+        "vec_single_device_speedup": round(t_cold / t_vec, 3),
+        "vec_single_device_bit_identical": identical,
+    }
+    problems = check_vec_single_floor(baseline, fresh)
+
+    verdict = "PASS" if not problems else "; ".join(problems)
+    report("perf_vec_single_guard", "\n".join([
+        f"device          : 1 device x {tones} tones",
+        f"scalar cold wall: {t_cold:.4f} s",
+        f"vectorized wall : {t_vec:.4f} s",
+        f"speedup         : {fresh['vec_single_device_speedup']:.2f}x "
+        f"(floor {VEC_SINGLE_SPEEDUP_FLOOR:.1f}x)",
+        f"bit-identical   : {fresh['vec_single_device_bit_identical']}",
         f"verdict         : {verdict}",
     ]))
     assert not problems, problems

@@ -107,18 +107,45 @@ def cmd_theory(args) -> int:
     return 0
 
 
-def _profiled(path: Optional[str]):
+# Monotone per-process profile counter: combined with the pid it makes
+# every dump filename unique, so concurrent lot/sweep invocations (or a
+# script profiling both in one process) never clobber each other's dump.
+_PROFILE_SEQ = 0
+
+
+def _profile_dump_path(path: str) -> str:
+    """Unique per-invocation variant of the requested dump path.
+
+    ``sweep.prof`` becomes ``sweep.<pid>-<seq>.prof`` — same directory,
+    recognisable stem, collision-free across processes (pid) and across
+    repeated invocations within one process (seq).
+    """
+    import os
+
+    global _PROFILE_SEQ
+    _PROFILE_SEQ += 1
+    root, ext = os.path.splitext(path)
+    return f"{root}.{os.getpid()}-{_PROFILE_SEQ}{ext or '.prof'}"
+
+
+def _profiled(path: Optional[str], engine: Optional[str] = None):
     """Context manager: cProfile the enclosed block when ``path`` is set.
 
-    Writes the raw ``pstats`` dump to ``path`` (loadable with
+    Writes the raw ``pstats`` dump to a unique per-invocation variant of
+    ``path`` (see :func:`_profile_dump_path`; loadable with
     ``python -m pstats`` or snakeviz) and prints the top-20 functions by
     cumulative time, so perf work starts from a measurement instead of a
-    guess.  With ``path`` falsy the block runs unprofiled at zero cost.
+    guess.  ``engine`` annotates the table header with which settle
+    engine produced the numbers — a scalar and a vectorized profile of
+    the same workload look nothing alike, and an unlabelled dump is a
+    trap.  With ``path`` falsy the block runs unprofiled at zero cost.
     """
     import contextlib
 
     if not path:
         return contextlib.nullcontext()
+
+    dump_path = _profile_dump_path(path)
 
     @contextlib.contextmanager
     def _run():
@@ -132,11 +159,13 @@ def _profiled(path: Optional[str]):
             yield
         finally:
             profiler.disable()
-            profiler.dump_stats(path)
+            profiler.dump_stats(dump_path)
             stream = io.StringIO()
             pstats.Stats(profiler, stream=stream) \
                 .sort_stats("cumulative").print_stats(20)
-            print(f"profile written to {path}; top 20 by cumulative time:")
+            ran = f" (engine: {engine})" if engine else ""
+            print(f"profile written to {dump_path}{ran}; "
+                  "top 20 by cumulative time:")
             print(stream.getvalue().rstrip())
 
     return _run()
@@ -164,9 +193,10 @@ def cmd_sweep(args) -> int:
     monitor = TransferFunctionMonitor(pll, stimulus, paper_bist_config())
     plan = paper_sweep(points=args.points)
     try:
-        with _profiled(args.profile):
+        with _profiled(args.profile, engine=args.engine):
             result = monitor.run(
-                plan, n_workers=args.workers, settle=args.settle
+                plan, n_workers=args.workers, settle=args.settle,
+                engine=args.engine,
             )
     except MeasurementError as exc:
         print(f"sweep failed: {exc}")
@@ -294,7 +324,7 @@ def cmd_lot(args) -> int:
     ]
     cache = None if args.cold else LockStateCache()
     t0 = time.perf_counter()
-    with _profiled(args.profile):
+    with _profiled(args.profile, engine=args.engine):
         reports = batch_device_reports(
             requests, n_workers=args.workers, cache=cache,
             engine=args.engine,
@@ -334,6 +364,9 @@ def cmd_lot(args) -> int:
             f"{detail['hits']} hits / {detail['misses']} misses, "
             f"{detail['merged']} merged from workers"
         )
+        presettle = getattr(cache, "presettle_stats", None)
+        if presettle is not None:
+            print(presettle.summary())
     failed = sum(1 for __, v in rows if v != "PASS")
     return 1 if failed else 0
 
@@ -626,9 +659,16 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("fixed", "adaptive"),
                    help="stage-0 policy: Table 2 fixed wait, or adaptive "
                         "lock detection (approximate, never slower)")
+    p.add_argument("--engine", default="scalar",
+                   choices=("scalar", "vectorized"),
+                   help="stage-0 settle engine: per-tone scalar event "
+                        "loops, or the NumPy settle farm batching the "
+                        "plan's tones as lanes (bit-identical results, "
+                        "faster cold sweeps; requires --settle fixed)")
     p.add_argument("--profile", default=None, metavar="PATH",
-                   help="cProfile the sweep; write the pstats dump to "
-                        "PATH and print the top-20 cumulative table")
+                   help="cProfile the sweep; write the pstats dump to a "
+                        "unique per-invocation variant of PATH and print "
+                        "the top-20 cumulative table")
     p.set_defaults(handler=cmd_sweep)
 
     p = sub.add_parser("selftest", help="run the four-step self-test")
@@ -663,7 +703,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "(bit-identical reports, faster wide/cold lots)")
     p.add_argument("--profile", default=None, metavar="PATH",
                    help="cProfile the lot screen; write the pstats dump "
-                        "to PATH and print the top-20 cumulative table")
+                        "to a unique per-invocation variant of PATH and "
+                        "print the top-20 cumulative table")
     p.set_defaults(handler=cmd_lot)
 
     p = sub.add_parser("diagnose",

@@ -38,7 +38,7 @@ from __future__ import annotations
 import os
 import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -53,7 +53,7 @@ from repro.core.sequencer import (
     ToneTestSequencer,
     ToneTiming,
 )
-from repro.core.warm import LockStateCache
+from repro.core.warm import LockStateCache, ToneMeasurementCache
 from repro.errors import ConfigurationError, MeasurementError, ReproError
 from repro.pll.config import ChargePumpPLL
 from repro.stimulus.modulation import ModulatedStimulus
@@ -367,6 +367,36 @@ def _run_tone_chunk(payload: ChunkPayload) -> ChunkResult:
     return results, new_entries
 
 
+def _measurement_cache_key(
+    pll: ChargePumpPLL,
+    stimulus: ModulatedStimulus,
+    config: BISTConfig,
+    f_mod: float,
+):
+    """Dedup key for a finished tone measurement, or ``None``.
+
+    Stages 1–4 are a pure function of (physics, stimulus, tone, config)
+    once stage 0 runs the reproducible fixed settle, so the key is the
+    settle-cache key minus the record level (what the simulator records
+    does not change what the counters measure) plus the full frozen
+    config (every measurement stage reads it).  ``None`` means the tone
+    is not reproducible enough to dedup — exotic stimulus without a
+    cache key, or a settle window too short for the nominal-lock
+    restore — and must simply run.
+    """
+    if not (f_mod > 0.0 and 8.0 * f_mod <= pll.f_ref):
+        return None
+    try:
+        return (
+            pll.physics_signature(),
+            stimulus.cache_key(),
+            float(f_mod),
+            config,
+        )
+    except Exception:  # noqa: BLE001 - unhashable config / odd stimulus
+        return None
+
+
 def _relevant_warm_entries(
     cache: LockStateCache, pll: ChargePumpPLL
 ) -> Tuple:
@@ -405,12 +435,20 @@ class SweepExecutor:
         settle: str = "fixed",
         cache: Optional[LockStateCache] = None,
         on_outcome: Optional[ToneCallback] = None,
+        measurement_cache: Optional[ToneMeasurementCache] = None,
     ) -> List[ToneOutcome]:
         """One :class:`ToneOutcome` per frequency, same order as given.
 
         ``settle`` selects the stage-0 policy (see
         :meth:`~repro.core.sequencer.ToneTestSequencer.run`); ``cache``
         optionally provides a lock-state cache for warm starts.
+
+        ``measurement_cache`` optionally deduplicates *finished*
+        measurements across behaviourally identical sweeps (same
+        physics, stimulus, tone and config): a hit skips stages 0–4
+        entirely and returns the cached measurement re-stamped with a
+        warm :class:`~repro.core.sequencer.ToneTiming`.  Only honoured
+        on the reproducible ``settle="fixed"`` path.
 
         ``on_outcome`` streams completions: it is invoked with
         ``(plan_index, outcome)`` as tones finish — per tone for the
@@ -444,18 +482,42 @@ class SerialSweepExecutor(SweepExecutor):
         settle: str = "fixed",
         cache: Optional[LockStateCache] = None,
         on_outcome: Optional[ToneCallback] = None,
+        measurement_cache: Optional[ToneMeasurementCache] = None,
     ) -> List[ToneOutcome]:
         """Sequential in-process execution (the historical behaviour).
 
         With ``on_outcome`` set, every tone's outcome is delivered the
         moment it exists — the true streaming path the sweep-job
-        service's watchers ride on.
+        service's watchers ride on.  With ``measurement_cache`` set (and
+        fixed settling), tones whose finished measurement is already
+        known are answered from the cache without building a simulator —
+        re-stamped warm, byte-identical everywhere that matters because
+        ``timing`` is excluded from measurement equality and reports.
         """
         cache = cache if cache is not None else self.cache
         sequencer = ToneTestSequencer(pll, stimulus, config, cache=cache)
+        dedup = measurement_cache if settle == "fixed" else None
         outcomes: List[ToneOutcome] = []
         seed: Optional[float] = None
         for index, f_mod in enumerate(frequencies_hz):
+            key = (
+                _measurement_cache_key(pll, stimulus, config, f_mod)
+                if dedup is not None else None
+            )
+            if key is not None:
+                hit = dedup.get(key)
+                if hit is not None:
+                    outcome = ToneOutcome(
+                        f_mod=f_mod,
+                        measurement=replace(
+                            hit,
+                            timing=ToneTiming(0.0, 0.0, 0.0, warm=True),
+                        ),
+                    )
+                    outcomes.append(outcome)
+                    if on_outcome is not None:
+                        on_outcome(index, outcome)
+                    continue
             try:
                 measurement = sequencer.run(
                     f_mod,
@@ -464,6 +526,8 @@ class SerialSweepExecutor(SweepExecutor):
                 )
                 outcome = ToneOutcome(f_mod=f_mod, measurement=measurement)
                 seed = sequencer.last_release_voltage
+                if key is not None:
+                    dedup.put(key, measurement)
             except MeasurementError as exc:
                 outcome = ToneOutcome(f_mod=f_mod, error=str(exc))
             outcomes.append(outcome)
@@ -511,8 +575,14 @@ class ProcessPoolSweepExecutor(SweepExecutor):
         settle: str = "fixed",
         cache: Optional[LockStateCache] = None,
         on_outcome: Optional[ToneCallback] = None,
+        measurement_cache: Optional[ToneMeasurementCache] = None,
     ) -> List[ToneOutcome]:
         """Order-preserving batched parallel execution of the tones.
+
+        ``measurement_cache`` is honoured only when the request degrades
+        to the serial executor — a live cache cannot usefully cross the
+        process boundary, and the pool's chunks already amortise their
+        cost across tones.
 
         Chunks are dispatched eagerly and harvested **as they
         complete**, so ``on_outcome`` sees a chunk's tones the moment
@@ -527,7 +597,7 @@ class ProcessPoolSweepExecutor(SweepExecutor):
         if workers <= 1:
             return SerialSweepExecutor().run_tones(
                 pll, stimulus, config, freqs, settle=settle, cache=cache,
-                on_outcome=on_outcome,
+                on_outcome=on_outcome, measurement_cache=measurement_cache,
             )
         # Ascending f_mod = descending cost; stride so each worker's
         # chunk samples every cost class.

@@ -202,6 +202,7 @@ class TransferFunctionMonitor:
         settle: str = "fixed",
         on_outcome: Optional[ToneCallback] = None,
         engine: str = "scalar",
+        measurement_cache=None,
     ) -> SweepResult:
         """Sweep every planned tone and evaluate eqs. (7)–(8).
 
@@ -231,6 +232,16 @@ class TransferFunctionMonitor:
         guarantee); only wall time changes.  The vectorised engine
         requires ``settle="fixed"`` — the adaptive policy's lock
         detection is inherently per-device scalar.
+
+        ``measurement_cache`` optionally shares *finished* stage 1–4
+        measurements across behaviourally identical sweeps (a
+        :class:`~repro.core.warm.ToneMeasurementCache`, typically one
+        per batch screen): when a lot's dies have equal physics, the
+        first die measures each tone and the rest reuse the result —
+        byte-identical reports, because a hit only differs in the
+        comparison-excluded ``timing``.  Honoured on the in-process
+        serial path with fixed settling; ignored (with fidelity, not
+        silently wrong) by pool and custom executors.
 
         ``on_outcome`` streams per-tone completions to the caller as the
         executor produces them (see
@@ -267,6 +278,7 @@ class TransferFunctionMonitor:
                   plan.frequencies_hz)],
                 self.lock_cache,
             )
+        custom_executor = executor is not None
         if executor is None:
             executor = executor_for(
                 n_workers, n_tones=len(plan.frequencies_hz)
@@ -276,6 +288,16 @@ class TransferFunctionMonitor:
             # Only threaded through when given: third-party executors
             # predating the streaming seam keep working unchanged.
             kwargs["on_outcome"] = on_outcome
+        if (
+            measurement_cache is not None
+            and not custom_executor
+            and n_workers == 1
+            and settle == "fixed"
+        ):
+            # Same compatibility discipline as on_outcome: the kwarg only
+            # appears on the executors we built ourselves, and only on
+            # the serial path where a live in-process cache can help.
+            kwargs["measurement_cache"] = measurement_cache
         outcomes = executor.run_tones(
             self.pll,
             self.stimulus,
@@ -373,6 +395,7 @@ class TransferFunctionMonitor:
         settle: str = "fixed",
         on_outcome: Optional[ToneCallback] = None,
         engine: str = "scalar",
+        measurement_cache=None,
     ) -> Tuple[SweepResult, LimitReport]:
         """Sweep then compare against on-chip limits (go/no-go).
 
@@ -383,6 +406,7 @@ class TransferFunctionMonitor:
         result = self.run(
             plan, n_workers=n_workers, executor=executor, settle=settle,
             on_outcome=on_outcome, engine=engine,
+            measurement_cache=measurement_cache,
         )
         if result.estimated is None:
             nan = float("nan")

@@ -53,6 +53,7 @@ from repro.pll.simulator import SimulatorSnapshot
 
 __all__ = [
     "LockStateCache",
+    "ToneMeasurementCache",
     "CacheEntries",
     "CACHE_FORMAT_MAGIC",
     "CACHE_FORMAT_VERSION",
@@ -124,6 +125,10 @@ class LockStateCache:
         #: Stale entries dropped by the most recent :meth:`load` that
         #: built this cache (0 for caches never loaded from disk).
         self.stale_entries_skipped = 0
+        #: Digest left behind by :func:`repro.pll.lot.presettle_lot`
+        #: (a :class:`~repro.pll.lot.LotPresettleStats`) so callers that
+        #: only hold the cache can report what the settle farm did.
+        self.presettle_stats = None
 
     def __len__(self) -> int:
         return len(self._store)
@@ -330,4 +335,99 @@ class LockStateCache:
             f"LockStateCache(entries={len(self._store)}/{self.max_entries}, "
             f"hits={self._hits}, misses={self._misses}, "
             f"evictions={self._evictions}, merged={self._merged})"
+        )
+
+
+class ToneMeasurementCache:
+    """Bounded LRU cache of finished stage 1–4 tone measurements.
+
+    The settle cache above removes the *stage 0* replay inside one lot;
+    this cache removes the stage 1–4 replay.  Measurement is as
+    deterministic as the settle: once the loop is restored to a settled
+    state, the armed counters, the peak detect/hold and the eq. 7–8
+    arithmetic are a pure function of (physics, stimulus, tone,
+    config) — exactly the key the sequencer builds for the settle
+    cache, minus the record level (the measurement result does not
+    depend on what the simulator records along the way).  So when a lot
+    contains behaviourally identical dies, the first die measures each
+    tone and the other seven reuse the finished
+    :class:`~repro.core.sequencer.ToneMeasurement` verbatim.
+
+    Reuse is only offered on the reproducible fixed-settle path (the
+    same gate the settle cache uses) and a hit is re-stamped with a
+    warm :class:`~repro.core.sequencer.ToneTiming` so timing telemetry
+    stays honest; ``timing`` is excluded from measurement equality and
+    from reports, so a warm report stays byte-identical to cold.
+
+    Values are stored as opaque objects to keep this module free of a
+    sequencer import; the executor owns the semantics.
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise ConfigurationError(
+                f"max_entries must be >= 1, got {max_entries!r}"
+            )
+        self.max_entries = max_entries
+        self._store: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Membership test; does not touch recency or the counters."""
+        return key in self._store
+
+    def get(self, key: Hashable) -> Optional[object]:
+        """Return the cached measurement for ``key``, or ``None`` on a miss.
+
+        A hit refreshes the entry's recency.
+        """
+        value = self._store.get(key)
+        if value is None:
+            self._misses += 1
+            return None
+        self._store.move_to_end(key)
+        self._hits += 1
+        return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Store ``value`` under ``key``, evicting the LRU entry if full."""
+        self._store[key] = value
+        self._store.move_to_end(key)
+        while len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+            self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry and reset all counters."""
+        self._store.clear()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def stats(self) -> Tuple[int, int]:
+        """``(hits, misses)`` counters since construction or clear."""
+        return (self._hits, self._misses)
+
+    @property
+    def stats_detail(self) -> dict:
+        """Full counter set plus occupancy, for bench digests."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "entries": len(self._store),
+            "capacity": self.max_entries,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ToneMeasurementCache(entries={len(self._store)}"
+            f"/{self.max_entries}, hits={self._hits}, "
+            f"misses={self._misses})"
         )

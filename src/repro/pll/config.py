@@ -13,6 +13,7 @@ delay lives here.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 import math
 from dataclasses import dataclass
@@ -30,6 +31,40 @@ __all__ = ["ChargePumpPLL"]
 ComplexLike = Union[complex, np.ndarray]
 
 
+def _bound_method_signature(value: object) -> Optional[Tuple]:
+    """Hashable fingerprint of a bound method on a frozen parameter bag.
+
+    A callable attribute usually forces the signature to degrade to
+    identity-by-name — two arbitrary callables cannot be proven equal.
+    One shape *can*: a method bound to a frozen dataclass whose fields
+    are all scalars (e.g. ``HCT4046Config.tuning_curve``).  The method's
+    behaviour is then fully determined by (class, method name, field
+    values), so equal fingerprints imply bit-identical outputs and
+    settled states may be shared exactly as for plain scalar components.
+    """
+    func = getattr(value, "__func__", None)
+    owner = getattr(value, "__self__", None)
+    if func is None or owner is None:
+        return None
+    if not dataclasses.is_dataclass(owner):
+        return None
+    if not type(owner).__dataclass_params__.frozen:
+        return None
+    fields = []
+    for field in dataclasses.fields(owner):
+        v = getattr(owner, field.name)
+        if isinstance(v, enum.Enum):
+            v = v.value
+        if v is not None and not isinstance(v, (bool, int, float, str)):
+            return None
+        fields.append((field.name, v))
+    return (
+        "boundmethod",
+        type(owner).__name__,
+        func.__qualname__,
+    ) + tuple(fields)
+
+
 def _component_signature(component: object) -> Optional[Tuple]:
     """Hashable fingerprint of one loop component's physics, or ``None``.
 
@@ -39,9 +74,11 @@ def _component_signature(component: object) -> Optional[Tuple]:
     name, so two separately constructed components with the same
     parameters fingerprint identically.
 
-    A component carrying a non-scalar public attribute (e.g. a VCO with
-    a ``tuning_curve`` callable) cannot be fingerprinted from parameters
-    alone; ``None`` tells the caller to fall back to identity-by-name.
+    A non-scalar public attribute is fingerprinted through
+    :func:`_bound_method_signature` when it has that provable shape (the
+    4046 tuning curve does); any other opaque attribute cannot be
+    fingerprinted from parameters alone, and ``None`` tells the caller
+    to fall back to identity-by-name.
     """
     fields = []
     for key in sorted(vars(component)):
@@ -51,7 +88,9 @@ def _component_signature(component: object) -> Optional[Tuple]:
         if isinstance(value, enum.Enum):
             value = value.value
         if value is not None and not isinstance(value, (bool, int, float, str)):
-            return None
+            value = _bound_method_signature(value)
+            if value is None:
+                return None
         fields.append((key, value))
     return (type(component).__name__,) + tuple(fields)
 

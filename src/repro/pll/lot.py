@@ -53,13 +53,17 @@ class LotPresettleStats:
     ejected: int = 0      # left the fast path mid-flight, scalar finish
     scalar: int = 0       # unsupported lanes, full scalar settle
     failed: int = 0       # settle raised; lane left cold
+    tones_vectorized: int = 0  # lanes that finished on the fast path
+    hct4046_lanes: int = 0     # lanes with a recognised nonlinear VCO law
 
     def summary(self) -> str:
         return (
             f"presettle: {self.tones} tones -> {self.unique} unique lanes "
             f"({self.cached} already warm, {self.skipped} uncacheable); "
             f"{self.vector} vector / {self.drained} drained / "
-            f"{self.ejected} ejected / {self.scalar} scalar"
+            f"{self.ejected} ejected / {self.scalar} scalar; "
+            f"{self.tones_vectorized} tones vectorized, "
+            f"{self.hct4046_lanes} nonlinear lanes"
             + (f"; {self.failed} failed" if self.failed else "")
         )
 
@@ -121,6 +125,7 @@ def presettle_lot(
             keys.append(key)
     stats.unique = len(lanes)
     if not lanes:
+        cache.presettle_stats = stats
         return stats
     farm = VectorizedLotSimulator(lanes, drain_width=drain_width)
     for key, result in zip(keys, farm.run()):
@@ -130,10 +135,16 @@ def presettle_lot(
             stats.failed += 1
         if result.mode == "vector":
             stats.vector += 1
+            stats.tones_vectorized += 1
         elif result.mode == "drained":
             stats.drained += 1
         elif result.mode == "ejected":
             stats.ejected += 1
         else:
             stats.scalar += 1
+        if result.nonlinear:
+            stats.hct4046_lanes += 1
+    # Leave the digest on the cache so callers that only see the cache
+    # (the CLI lot command, the benches) can surface what the farm did.
+    cache.presettle_stats = stats
     return stats

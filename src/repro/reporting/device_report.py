@@ -35,7 +35,7 @@ from repro.analysis.sensitivity import DiagnosisCandidate
 from repro.core.architecture import BISTConfig
 from repro.core.limits import LimitReport, TestLimits
 from repro.core.monitor import SweepPlan, SweepResult, TransferFunctionMonitor
-from repro.core.warm import LockStateCache
+from repro.core.warm import LockStateCache, ToneMeasurementCache
 from repro.errors import ConfigurationError, MeasurementError
 from repro.pll.config import ChargePumpPLL
 from repro.stimulus.modulation import ModulatedStimulus
@@ -212,6 +212,7 @@ def _failure_stub(pll: ChargePumpPLL, reason: str) -> str:
 def _render_one(
     request: DeviceReportRequest,
     cache: Optional[LockStateCache] = None,
+    measurement_cache: Optional[ToneMeasurementCache] = None,
 ) -> str:
     """Worker: measure one device and render its report (module-level,
     picklable).
@@ -222,15 +223,24 @@ def _render_one(
     a lot screen archives one document per device and one bad device
     must never abort the remaining devices (least of all by killing a
     pool map mid-lot).
+
+    ``measurement_cache`` (vectorized serial screens) shares finished
+    stage 1–4 measurements across behaviourally identical dies; reports
+    stay byte-identical because timing never reaches the artefact.
     """
     try:
         monitor = TransferFunctionMonitor(
             request.pll, request.stimulus, request.config, cache=cache
         )
+        run_kwargs = {}
+        if measurement_cache is not None:
+            run_kwargs["measurement_cache"] = measurement_cache
         if request.limits is not None:
-            sweep, verdict = monitor.run_and_check(request.plan, request.limits)
+            sweep, verdict = monitor.run_and_check(
+                request.plan, request.limits, **run_kwargs
+            )
         else:
-            sweep, verdict = monitor.run(request.plan), None
+            sweep, verdict = monitor.run(request.plan, **run_kwargs), None
         return device_report(request.pll, sweep, limits=verdict)
     except MeasurementError as exc:
         # The reference tone died: no transfer function exists, but the
@@ -327,6 +337,7 @@ def batch_device_reports(
             f"unknown engine {engine!r}; expected 'scalar' or 'vectorized'"
         )
     jobs = list(requests)
+    measurement_cache: Optional[ToneMeasurementCache] = None
     if engine == "vectorized" and jobs:
         if cache is None:
             cache = LockStateCache(max_entries=max(256, 16 * len(jobs)))
@@ -339,9 +350,21 @@ def batch_device_reports(
              for job in jobs],
             cache,
         )
+        # On the serial path the lot additionally shares *finished*
+        # measurements: behaviourally identical dies measure each tone
+        # once (the warm-settle pass above only removed stage 0; this
+        # removes the stage 1–4 replay too).  Reports stay byte-equal —
+        # a hit differs only in the comparison-excluded timing.
+        measurement_cache = ToneMeasurementCache(
+            max_entries=max(1024, 16 * len(jobs))
+        )
     workers = min(n_workers, len(jobs))
     if workers <= 1:
-        return [_render_one(job, cache=cache) for job in jobs]
+        return [
+            _render_one(job, cache=cache,
+                        measurement_cache=measurement_cache)
+            for job in jobs
+        ]
     # Stride the lot so each worker's chunk samples the request order
     # evenly (mirrors the tone executor's cost-spreading dispatch).
     chunks = [

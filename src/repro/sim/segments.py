@@ -35,6 +35,7 @@ __all__ = [
     "ConstantSegment",
     "RampSegment",
     "ExponentialSegment",
+    "ClampedCubicLaw",
     "crossing_time",
 ]
 
@@ -221,6 +222,66 @@ class ExponentialSegment(AnalogSegment):
             count=x.size,
         ).reshape(x.shape)
         return self.asymptote + (self.initial - self.asymptote) * decay
+
+
+@dataclass(frozen=True)
+class ClampedCubicLaw:
+    """Rail-clamped compressed-cubic tuning law, batchable across lanes.
+
+    The 74HCT4046A VCO model
+    (:meth:`repro.pll.hct4046.HCT4046Config.tuning_curve`) maps a control
+    voltage to a frequency::
+
+        v  clamped to [0, v_rail]
+        f(v) = f_center + gain * (v - v_center) * (1 - curvature * u²),
+        u = (v - v_center) / (v_rail / 2)
+
+    Unlike the :class:`AnalogSegment` laws this is a *voltage → frequency*
+    map (its domain may be negative, so it is deliberately not a segment
+    subclass).  :meth:`evolve` replicates the device model's scalar
+    expression token for token; :meth:`evolve_batch` applies the same
+    operation sequence elementwise with the rail clamp as masked branch
+    selection, so element ``i`` is bit-identical to ``evolve(v[i])`` —
+    the contract the vectorised settle farm's nonlinear lanes lean on.
+    """
+
+    v_rail: float
+    v_center: float
+    f_center: float
+    gain_hz_per_v: float
+    curvature: float
+
+    def __post_init__(self) -> None:
+        if not (self.v_rail > 0.0) or not math.isfinite(self.v_rail):
+            raise ConfigurationError(
+                f"clamped cubic law requires a finite positive rail, "
+                f"got {self.v_rail!r}"
+            )
+
+    def evolve(self, v: float) -> float:
+        """Frequency at control voltage ``v`` (scalar reference path)."""
+        v = min(max(v, 0.0), self.v_rail)
+        dv = v - self.v_center
+        dv_max = 0.5 * self.v_rail
+        u = dv / dv_max
+        return self.f_center + self.gain_hz_per_v * dv * (1.0 - self.curvature * u * u)
+
+    def evolve_batch(self, v: "np.ndarray") -> "np.ndarray":
+        """Vectorised :meth:`evolve`: bit-identical element for element.
+
+        The rail clamp is mask-selected: ``np.where(v < lo, lo, ...)``
+        reproduces scalar ``min(max(v, lo), hi)`` exactly, including NaN
+        propagation (a NaN fails both comparisons and passes through, as
+        it does through scalar ``min``/``max``).  The cubic itself is
+        polynomial — no transcendentals — so plain elementwise NumPy
+        arithmetic in the scalar association order is already exact.
+        """
+        v = np.asarray(v, dtype=np.float64)
+        v = np.where(v < 0.0, 0.0, np.where(v > self.v_rail, self.v_rail, v))
+        dv = v - self.v_center
+        dv_max = 0.5 * self.v_rail
+        u = dv / dv_max
+        return self.f_center + self.gain_hz_per_v * dv * (1.0 - self.curvature * u * u)
 
 
 def crossing_time(segment: AnalogSegment, threshold: float) -> Optional[float]:

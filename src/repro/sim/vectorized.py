@@ -48,6 +48,7 @@ import numpy as np
 
 from repro.errors import ReproError
 from repro.pll.charge_pump import Drive, DriveKind
+from repro.pll.hct4046 import HCT4046Config
 from repro.pll.loop_filter import PassiveLagLeadFilter, SeriesRCFilter
 from repro.pll.pfd import PFDSnapshot, PFDState
 from repro.pll.simulator import (
@@ -56,8 +57,16 @@ from repro.pll.simulator import (
     SimulatorSnapshot,
 )
 from repro.pll.vco import VCO
-from repro.sim.segments import ExponentialSegment, RampSegment
-from repro.stimulus.waveforms import EdgeSourceBase
+from repro.sim.segments import (
+    ClampedCubicLaw,
+    ConstantSegment,
+    ExponentialSegment,
+    RampSegment,
+)
+from repro.stimulus.waveforms import (
+    EdgeSourceBase,
+    PiecewiseConstantFrequencySource,
+)
 
 __all__ = ["SettleLane", "LaneResult", "VectorizedLotSimulator"]
 
@@ -71,6 +80,175 @@ _CONST, _RAMP, _EXP = 0, 1, 2
 
 # Event kinds, per lane per iteration.
 _END, _REF, _FB, _RESET = 0, 1, 2, 3
+
+
+def _tuning_law_for(curve) -> Optional[ClampedCubicLaw]:
+    """A batchable law replicating ``curve``, or ``None`` if unknown.
+
+    Only the 4046 device model's bound :meth:`tuning_curve` is
+    recognised; anything else (a lambda, a subclass override) stays on
+    the scalar path.  The caller still probe-verifies the returned law
+    against the real curve, so recognition is a fast filter, not the
+    correctness guarantee.
+    """
+    fn = getattr(curve, "__func__", None)
+    cfg = getattr(curve, "__self__", None)
+    if fn is HCT4046Config.tuning_curve and type(cfg) is HCT4046Config:
+        return cfg.tuning_law()
+    return None
+
+
+def _simpson_phase(law: ClampedCubicLaw, segment, dt: float,
+                   f_min: float, f_max: float) -> float:
+    """Composite-Simpson phase integral over one segment, batched.
+
+    Bit-identical to :meth:`repro.pll.vco.VCO._numeric_phase` for a VCO
+    whose ``tuning_curve`` the ``law`` replicates: the 33 node voltages
+    come from ``segment.evolve_batch`` (scalar ``math.exp`` per element),
+    the tuning law is applied through ``law.evolve_batch`` (masked rail
+    clamp), the ``[f_min, f_max]`` clamp through ``np.minimum``/
+    ``np.maximum`` (elementwise-identical to scalar ``min``/``max``),
+    and the weighted sum accumulates in the scalar node order.
+    """
+    n = 32
+    h = dt / n
+    if type(segment) is ConstantSegment:
+        # Every node sees the same voltage (the dominant tri-stated
+        # state of a locked loop); evaluate the law once but keep the
+        # node-by-node accumulation order so the sum stays bit-exact.
+        f0 = law.evolve(segment.initial)
+        f0 = min(max(f0, f_min), f_max)
+        total = f0 + f0
+        for i in range(1, n):
+            total += (4.0 if i % 2 else 2.0) * f0
+        return float(total * h / 3.0)
+    offs = np.empty(n + 1, dtype=np.float64)
+    for i in range(1, n):
+        offs[i] = i * h
+    offs[0] = 0.0
+    offs[n] = dt
+    f = law.evolve_batch(segment.evolve_batch(offs))
+    f = np.minimum(np.maximum(f, f_min), f_max)
+    total = f[0] + f[n]
+    for i in range(1, n):
+        total += (4.0 if i % 2 else 2.0) * f[i]
+    return float(total * h / 3.0)
+
+
+def _pcw_edge_train(source, t_end: float) -> Optional[List[float]]:
+    """Inline edge generation for a piecewise-constant-frequency source.
+
+    A straight-line transcription of
+    :meth:`~repro.stimulus.waveforms.EdgeSourceBase.next_edge` with the
+    phase/frequency laws of
+    :class:`~repro.stimulus.waveforms.PiecewiseConstantFrequencySource`
+    unrolled into locals (same expressions, same operation order, same
+    solver iteration), producing bit-identical edge times several times
+    faster than the generic method-dispatch path.  Returns ``None``
+    whenever the source is not the exact expected type and state, or any
+    condition the generic path would treat as an error arises — the
+    caller then falls back to pulling edges from the real source.
+    """
+    if type(source) is not PiecewiseConstantFrequencySource:
+        return None
+    if source._k != 0 or source._t_last != source.start_time:
+        return None
+    start = source.start_time
+    sched = source.schedule
+    f0 = sched[0][0]
+    cyc = source._cycle
+    ppc = source._phase_per_cycle
+    bounds = source._bounds
+    n_seg = len(sched)
+    t0s = [b[0] for b in bounds[:-1]]
+    p0s = [b[1] for b in bounds[:-1]]
+    t1s = [b[0] for b in bounds[1:]]
+    fs = [f for f, _d in sched]
+    floor = math.floor
+    seg_range = range(n_seg)
+
+    def phase_at(t):
+        rel = t - start
+        if rel <= 0.0:
+            return rel * f0
+        cycles = floor(rel / cyc)
+        frac_t = rel - cycles * cyc
+        for i in seg_range:
+            if frac_t <= t1s[i]:
+                return (cycles * ppc + p0s[i]) + fs[i] * (frac_t - t0s[i])
+        return (cycles * ppc + ppc) + f0 * 0.0
+
+    def freq_at(t):
+        rel = t - start
+        if rel <= 0.0:
+            return f0
+        frac_t = rel - floor(rel / cyc) * cyc
+        for i in seg_range:
+            if frac_t <= t1s[i]:
+                return fs[i]
+        return f0
+
+    edges: List[float] = []
+    t_last = start
+    k = 0
+    while True:
+        k += 1
+        target = float(k)
+        lo = t_last
+        f_lo = freq_at(lo)
+        if f_lo <= 0.0:
+            return None
+        hi = lo + 1.5 / f_lo
+        for _ in range(64):
+            if phase_at(hi) >= target:
+                break
+            lo = hi
+            hi = lo + 1.5 / max(freq_at(lo), 1e-12)
+        else:
+            return None
+        # solve_increasing(phase_at, target, lo, hi, derivative=freq_at)
+        f_lo_b = phase_at(lo) - target
+        f_hi_b = phase_at(hi) - target
+        if f_lo_b > 0.0 or f_hi_b < 0.0:
+            return None
+        if f_lo_b == 0.0:
+            t_edge = lo
+        elif f_hi_b == 0.0:
+            t_edge = hi
+        else:
+            x = 0.5 * (lo + hi)
+            t_edge = None
+            for _ in range(200):
+                if hi - lo <= 1e-13:
+                    t_edge = 0.5 * (lo + hi)
+                    break
+                f_x = phase_at(x) - target
+                if f_x == 0.0:
+                    t_edge = x
+                    break
+                if f_x < 0.0:
+                    lo = x
+                else:
+                    hi = x
+                x_next = None
+                d = freq_at(x)
+                if d > 0.0:
+                    candidate = x - f_x / d
+                    if lo < candidate < hi:
+                        x_next = candidate
+                if x_next is None:
+                    x_next = 0.5 * (lo + hi)
+                x = x_next
+            if t_edge is None:
+                return None
+        if t_edge <= t_last and k > 1:
+            return None
+        t_last = t_edge
+        if not edges and t_edge < 0.0:
+            return None
+        edges.append(t_edge)
+        if t_edge > t_end:
+            return edges
 
 
 @dataclass(frozen=True)
@@ -94,11 +272,14 @@ class LaneResult:
     the farm; full scalar settle).  ``snapshot`` is ``None`` when the
     scalar path raised — the caller should leave that lane cold so the
     orchestrating sweep reproduces the identical error itself.
+    ``nonlinear`` marks lanes whose device carries a recognised
+    nonlinear (4046-style) VCO tuning curve.
     """
 
     snapshot: Optional[SimulatorSnapshot]
     mode: str
     error: Optional[str] = None
+    nonlinear: bool = False
 
 
 @dataclass
@@ -208,8 +389,24 @@ class _PhysicsTable:
         vco = pll.vco
         pump = pll.pump
         filt = pll.loop_filter
-        if type(vco) is not VCO or vco.tuning_curve is not None:
-            raise _Unsupported("nonlinear or non-standard VCO")
+        if type(vco) is not VCO:
+            raise _Unsupported("non-standard VCO")
+        self.nonlinear = False
+        self.law: Optional[ClampedCubicLaw] = None
+        if vco.tuning_curve is not None:
+            law = _tuning_law_for(vco.tuning_curve)
+            if law is None:
+                raise _Unsupported("unrecognised nonlinear VCO tuning curve")
+            # Probe-verify the replicated law against the real curve at
+            # the operating point, the rails, beyond the rails and
+            # mid-rail: a mismatch (a future model change) demotes the
+            # lane to the scalar path instead of silently diverging.
+            for v in (probe_vc, 0.0, law.v_rail, law.v_center,
+                      -0.5 * law.v_rail, 1.5 * law.v_rail):
+                if law.evolve(v) != vco.tuning_curve(v):
+                    raise _Unsupported("nonlinear tuning law mismatch")
+            self.nonlinear = True
+            self.law = law
         if float(getattr(pump, "turn_on_delay", 0.0)) != 0.0:
             raise _Unsupported("charge pump with turn-on delay")
         try:
@@ -263,18 +460,28 @@ class VectorizedLotSimulator:
         The settle jobs; lanes with equal (stimulus cache key, tone)
         share one generated reference-edge stream.
     drain_width:
-        When at most this many lanes remain live, they are handed off
-        to scalar simulators — below roughly ten live lanes the
-        fixed per-iteration NumPy overhead loses to the scalar loop,
-        and the stragglers (the lowest tone alone runs thousands of
-        events) would otherwise pay it the longest.
+        When at most this many lanes remain live in *lockstep*, they
+        are handed off to scalar simulators — below roughly ten live
+        lanes the fixed per-iteration NumPy overhead loses to the
+        scalar loop, and the stragglers (the lowest tone alone runs
+        thousands of events) would otherwise pay it the longest.
+    lockstep_width:
+        Farms narrower than this run each lane through the per-lane
+        settle kernel (:meth:`_kernel_settle`) — a specialised scalar
+        transcription of the event loop that beats both the lockstep
+        arrays (whose per-iteration overhead needs many lanes to
+        amortise) and the general simulator (whose per-event object
+        machinery it peels away).  Farms at least this wide use the
+        lockstep arrays.  ``0`` forces lockstep for any width.
     """
 
-    def __init__(self, lanes: Sequence[SettleLane], drain_width: int = 8):
+    def __init__(self, lanes: Sequence[SettleLane], drain_width: int = 8,
+                 lockstep_width: int = 64):
         self.lanes = list(lanes)
         self.drain_width = max(0, int(drain_width))
+        self.lockstep_width = max(0, int(lockstep_width))
         self.stats = {"vector": 0, "drained": 0, "ejected": 0, "scalar": 0,
-                      "failed": 0}
+                      "failed": 0, "nonlinear": 0}
         self._results: List[Optional[LaneResult]] = [None] * len(self.lanes)
         self._vec: List[int] = []          # lane positions in the farm
         self._fallback: List[int] = []     # lane positions settled scalar
@@ -337,9 +544,26 @@ class VectorizedLotSimulator:
 
     def _generate_edges(self, lane: SettleLane,
                         t_end: float) -> Optional[_EdgeGroup]:
-        """Pull the real source's edge train out to just past ``t_end``."""
+        """Pull the source's edge train out to just past ``t_end``.
+
+        Piecewise-constant sources (the multitone FSK stimulus) go
+        through the inlined transcription :func:`_pcw_edge_train`; its
+        first edges are cross-checked against the real generator at
+        runtime before being trusted.  Everything else — and any bail —
+        pulls every edge from the real source.
+        """
         try:
             source = lane.stimulus.make_source(lane.f_mod, 0.0)
+            fast = _pcw_edge_train(source, t_end)
+            if fast:
+                ok = True
+                for i in range(min(2, len(fast))):
+                    if source.next_edge() != fast[i]:
+                        ok = False
+                        break
+                if ok:
+                    return _EdgeGroup(np.asarray(fast, dtype=np.float64))
+                source = lane.stimulus.make_source(lane.f_mod, 0.0)
             edges = [source.next_edge()]
             if edges[0] < 0.0:
                 return None  # the scalar engine rejects this identically
@@ -388,6 +612,9 @@ class VectorizedLotSimulator:
         def per_lane(getter):
             return np.array([getter(t) for t in self._tables])
 
+        self._nonlin = np.array(
+            [t.nonlinear for t in self._tables], dtype=bool
+        ) if n else np.zeros(0, dtype=bool)
         self._base_hz = per_lane(lambda t: t.base_hz)
         self._gain = per_lane(lambda t: t.gain)
         self._v_lo = per_lane(lambda t: t.v_lo)
@@ -435,21 +662,41 @@ class VectorizedLotSimulator:
         """Settle every lane; returns one :class:`LaneResult` per lane."""
         for pos in self._fallback:
             self._results[pos] = self._scalar_settle(self.lanes[pos])
-        while True:
-            idx = np.flatnonzero(self._active)
-            if idx.size == 0:
-                break
-            if idx.size <= self.drain_width:
-                for i in idx.tolist():
-                    self._hand_off(i, "drained")
-                break
-            self._step(idx)
+        n = len(self._vec)
+        if 0 < n <= self.drain_width:
+            # Too narrow for any fast path: straight to scalar.
+            for i in range(n):
+                self._hand_off(i, "drained")
+        elif n:
+            if self.lockstep_width:
+                # Nonlinear lanes always take the per-lane kernel: their
+                # Simpson quadrature vectorises across the 33 quadrature
+                # nodes, not across lanes, so lockstep buys them nothing.
+                for i in range(n):
+                    if self._nonlin[i]:
+                        self._kernel_settle(i)
+                linear = np.flatnonzero(self._active)
+                if linear.size < self.lockstep_width:
+                    # Narrow farm: the kernel beats the lockstep arrays.
+                    for i in linear.tolist():
+                        self._kernel_settle(i)
+            while True:
+                idx = np.flatnonzero(self._active)
+                if idx.size == 0:
+                    break
+                if idx.size <= self.drain_width:
+                    for i in idx.tolist():
+                        self._hand_off(i, "drained")
+                    break
+                self._step(idx)
         out = []
         for pos, result in enumerate(self._results):
             assert result is not None, f"lane {pos} never resolved"
             self.stats[result.mode] += 1
             if result.snapshot is None:
                 self.stats["failed"] += 1
+            if result.nonlinear:
+                self.stats["nonlinear"] += 1
             out.append(result)
         return out
 
@@ -461,6 +708,7 @@ class VectorizedLotSimulator:
         vc = self._vc[idx]
         rows = self._row_base[idx] + self._drive[idx]
         kindlaw = self._law_kind[rows]
+        nl = self._nonlin[idx]
         pres = self._pres[idx]
         has_res = ~np.isnan(pres)
 
@@ -493,7 +741,10 @@ class VectorizedLotSimulator:
             np.where(kindlaw == _RAMP, vc + self._law_ooff[rows], vc),
         )
         solving = ~due & (dt_h > 0.0)
-        m = solving & (kindlaw == _CONST)
+        # The one-division constant-law fast path mirrors the linear
+        # VCO's; a nonlinear VCO has no such inverse, so its lanes go
+        # through the generic per-lane solve even under constant drive.
+        m = solving & (kindlaw == _CONST) & ~nl
         if m.any():
             f = self._f_center[idx] + self._gain[idx] * (
                 out_v - self._v_center[idx]
@@ -505,15 +756,17 @@ class VectorizedLotSimulator:
             hit = m & (dt_fb <= dt_h) & (cand <= best_t)
             best_t[hit] = cand[hit]
             kind[hit] = _FB
-        for i in np.flatnonzero(solving & (kindlaw != _CONST)).tolist():
+        for i in np.flatnonzero(solving & ((kindlaw != _CONST) | nl)).tolist():
             row = rows[i]
             if kindlaw[i] == _RAMP:
                 seg = RampSegment(float(out_v[i]),
                                   float(self._law_slope[row]))
-            else:
+            elif kindlaw[i] == _EXP:
                 seg = ExponentialSegment(float(out_v[i]),
                                          float(self._law_oasym[row]),
                                          float(self._law_tau[row]))
+            else:
+                seg = ConstantSegment(float(out_v[i]))
             table = self._tables[idx[i]]
             dt_fb = table.vco.time_to_phase(seg, float(need[i]),
                                             float(dt_h[i]))
@@ -552,7 +805,12 @@ class VectorizedLotSimulator:
         )
         v0 = np.minimum(out_v, val)
         v1 = np.maximum(out_v, val)
-        eject |= adv & ~((self._v_lo[idx] <= v0) & (v1 <= self._v_hi[idx]))
+        # Clamp-window excursions eject only linear-VCO lanes; the
+        # nonlinear phase path integrates the clamped curve numerically
+        # and needs no window (mirroring scalar phase_advance).
+        eject |= adv & ~nl & ~(
+            (self._v_lo[idx] <= v0) & (v1 <= self._v_hi[idx])
+        )
         asym = self._law_asym[rows]
         vc_new = np.where(
             is_exp, asym + (vc - asym) * decay,
@@ -564,6 +822,25 @@ class VectorizedLotSimulator:
                                 + self._gain[idx] * v_int),
             self._phase[idx],
         )
+        if nl.any():
+            # Nonlinear lanes: replace the linear phase advance with the
+            # composite-Simpson integral of the real tuning curve,
+            # bit-identical to scalar VCO._numeric_phase.
+            for i in np.flatnonzero(adv & nl & ~eject).tolist():
+                row = rows[i]
+                if kindlaw[i] == _RAMP:
+                    seg = RampSegment(float(out_v[i]),
+                                      float(self._law_slope[row]))
+                elif kindlaw[i] == _EXP:
+                    seg = ExponentialSegment(float(out_v[i]),
+                                             float(self._law_oasym[row]),
+                                             float(self._law_tau[row]))
+                else:
+                    seg = ConstantSegment(float(out_v[i]))
+                table = self._tables[idx[i]]
+                pa = _simpson_phase(table.law, seg, float(dt[i]),
+                                    table.f_min, table.f_max)
+                phase_new[i] = float(self._phase[idx[i]]) + pa
         vc_new = np.where(adv, vc_new, vc)
 
         # --- PFD edge checks (mirrors _check_monotonic / _on_edge) ----
@@ -640,8 +917,359 @@ class VectorizedLotSimulator:
         for lane in li[done].tolist():
             self._active[lane] = False
             self._results[self._vec[lane]] = LaneResult(
-                snapshot=self._materialize(lane), mode="vector"
+                snapshot=self._materialize(lane), mode="vector",
+                nonlinear=self._tables[lane].nonlinear,
             )
+
+    # ------------------------------------------------------------------
+    # per-lane settle kernel
+    # ------------------------------------------------------------------
+    def _kernel_settle(self, lane: int) -> None:
+        """Settle one lane in a specialised scalar kernel.
+
+        A straight-line transcription of the scalar event loop
+        (``run_until`` → ``_next_event`` → ``_advance_to`` →
+        ``_dispatch``) with the per-event machinery peeled away: law
+        coefficients live in unpacked locals, the reference edges come
+        from the pregenerated shared train, transcendentals are bound
+        locals, and the feedback-edge solver is inlined (the constant-law
+        one-division fast path, and the safeguarded Newton iteration of
+        ``solve_increasing`` for ramp/exponential laws).  Every
+        floating-point expression replicates the scalar engine's operand
+        order exactly, so a kernel-completed lane is bit-identical to a
+        scalar settle.  Nonlinear (4046-style) lanes integrate phase via
+        :func:`_simpson_phase`, bit-identical to ``VCO._numeric_phase``.
+
+        Any state the kernel cannot advance faithfully — a clamp-window
+        excursion, a solver failure, any condition the scalar engine
+        treats as an error — ejects the lane *from its pre-event state*,
+        and a scalar simulator finishes (or reproduces the error) from
+        that snapshot, exactly like a lockstep ejection.
+        """
+        table = self._tables[lane]
+        settle_end = float(self._settle_end[lane])
+        edges = self._edges[lane].tolist()
+        n_edges = len(edges)
+        laws = [(r.kind, r.asym, r.tau, r.slope, r.half_slope,
+                 r.o_a, r.o_b, r.o_asym, r.o_off) for r in table.laws]
+        s_to_drive = table.s_to_drive
+        base_hz = table.base_hz
+        gain = table.gain
+        f_center = table.f_center
+        v_center = table.v_center
+        f_min = table.f_min
+        f_max = table.f_max
+        v_lo = table.v_lo
+        v_hi = table.v_hi
+        nf = table.nf
+        rdelay = table.reset_delay
+        nonlinear = table.nonlinear
+        nl_law = table.law
+        exp_ = math.exp
+        expm1_ = math.expm1
+
+        # Mutable loop state, unpacked from the arrays.
+        t = float(self._t[lane])
+        vc = float(self._vc[lane])
+        phase = float(self._phase[lane])
+        fbt = float(self._fbt[lane])
+        j = int(self._j[lane])
+        tref = float(self._tref[lane])
+        up = bool(self._up[lane])
+        dn = bool(self._dn[lane])
+
+        def _opt(arr: np.ndarray) -> Optional[float]:
+            v = float(arr[lane])
+            return None if math.isnan(v) else v
+
+        levt = _opt(self._levt)
+        pres = _opt(self._pres)
+        upr = _opt(self._upr)
+        dnr = _opt(self._dnr)
+        drive_idx = int(self._drive[lane])
+        events = int(self._events[lane])
+
+        (l_kind, l_asym, l_tau, l_slope, l_half,
+         l_oa, l_ob, l_oasym, l_ooff) = laws[drive_idx]
+
+        eject = False
+        while True:
+            # --- event selection (transcribes _next_event) ------------
+            best_t = settle_end
+            ekind = _END
+            if tref <= best_t:
+                best_t = tref
+                ekind = _REF
+            horizon = best_t
+            if pres is not None and pres < horizon:
+                horizon = pres
+            dt_h = horizon - t
+            if dt_h < 0.0:
+                eject = True  # scalar raises "horizon precedes time"
+                break
+            need = fbt - phase
+            if need <= 1e-9:
+                if need < -1e-6:
+                    eject = True  # scalar raises "overshot its target"
+                    break
+                if t <= best_t:
+                    best_t = t
+                    ekind = _FB
+            elif dt_h > 0.0:
+                if l_kind == _EXP:
+                    out_v = l_oa * vc + l_ob
+                elif l_kind == _RAMP:
+                    out_v = vc + l_ooff
+                else:
+                    out_v = vc
+                dt_fb = None
+                if l_kind == _CONST and not nonlinear:
+                    # Tri-stated filter, linear VCO: one division.
+                    f = f_center + gain * (out_v - v_center)
+                    f = min(max(f, f_min), f_max)
+                    cand = need / f
+                    if cand <= dt_h:
+                        dt_fb = cand
+                else:
+                    # Generic crossing: time_to_phase's reachability
+                    # guard plus solve_increasing, inlined.
+                    seg = None
+                    if nonlinear:
+                        if l_kind == _EXP:
+                            seg = ExponentialSegment(out_v, l_oasym,
+                                                     l_tau)
+                        elif l_kind == _RAMP:
+                            seg = RampSegment(out_v, l_slope)
+                        else:
+                            seg = ConstantSegment(out_v)
+                    gap0 = out_v - l_oasym
+                    gk = gap0 * l_tau
+                    # pa(dt_h): bracketing guard
+                    if nonlinear:
+                        pa_hi = _simpson_phase(nl_law, seg, dt_h,
+                                               f_min, f_max)
+                    elif l_kind == _EXP:
+                        x = -dt_h / l_tau
+                        v1 = l_oasym + gap0 * exp_(x)
+                        va, vb = (v1, out_v) if v1 < out_v \
+                            else (out_v, v1)
+                        if not (v_lo <= va and vb <= v_hi):
+                            eject = True  # clamp excursion mid-solve
+                            break
+                        pa_hi = base_hz * dt_h + gain * (
+                            l_oasym * dt_h + gk * -expm1_(x))
+                    else:  # _RAMP
+                        v1 = out_v + l_slope * dt_h
+                        va, vb = (v1, out_v) if v1 < out_v \
+                            else (out_v, v1)
+                        if not (v_lo <= va and vb <= v_hi):
+                            eject = True
+                            break
+                        pa_hi = base_hz * dt_h + gain * (
+                            out_v * dt_h + (l_half * dt_h) * dt_h)
+                    if pa_hi >= need:
+                        # solve_increasing(pa, need, 0.0, dt_h):
+                        # pa(0) == 0 so f_lo = -need < 0 always.
+                        if pa_hi == need:
+                            dt_fb = dt_h
+                        else:
+                            lo = 0.0
+                            hi = dt_h
+                            x_s = 0.5 * (lo + hi)
+                            for _ in range(200):
+                                if hi - lo <= 1e-13:
+                                    dt_fb = 0.5 * (lo + hi)
+                                    break
+                                if nonlinear:
+                                    pa_x = _simpson_phase(
+                                        nl_law, seg, x_s, f_min, f_max)
+                                elif l_kind == _EXP:
+                                    x = -x_s / l_tau
+                                    v1 = l_oasym + gap0 * exp_(x)
+                                    va, vb = (v1, out_v) \
+                                        if v1 < out_v else (out_v, v1)
+                                    if not (v_lo <= va and vb <= v_hi):
+                                        eject = True
+                                        break
+                                    pa_x = base_hz * x_s + gain * (
+                                        l_oasym * x_s
+                                        + gk * -expm1_(x))
+                                else:
+                                    v1 = out_v + l_slope * x_s
+                                    va, vb = (v1, out_v) \
+                                        if v1 < out_v else (out_v, v1)
+                                    if not (v_lo <= va and vb <= v_hi):
+                                        eject = True
+                                        break
+                                    pa_x = base_hz * x_s + gain * (
+                                        out_v * x_s
+                                        + (l_half * x_s) * x_s)
+                                f_x = pa_x - need
+                                if f_x == 0.0:
+                                    dt_fb = x_s
+                                    break
+                                if f_x < 0.0:
+                                    lo = x_s
+                                else:
+                                    hi = x_s
+                                # Newton candidate off the segment's
+                                # instantaneous frequency.
+                                if l_kind == _EXP:
+                                    v_d = l_oasym \
+                                        + gap0 * exp_(-x_s / l_tau)
+                                elif l_kind == _RAMP:
+                                    v_d = out_v + l_slope * x_s
+                                else:
+                                    v_d = out_v
+                                if nonlinear:
+                                    f_d = min(max(nl_law.evolve(v_d),
+                                                  f_min), f_max)
+                                else:
+                                    f_d = f_center + gain * (
+                                        v_d - v_center)
+                                    f_d = min(max(f_d, f_min), f_max)
+                                x_next = None
+                                if f_d > 0.0:
+                                    candidate = x_s - f_x / f_d
+                                    if lo < candidate < hi:
+                                        x_next = candidate
+                                if x_next is None:
+                                    x_next = 0.5 * (lo + hi)
+                                x_s = x_next
+                            else:
+                                eject = True  # scalar: ConvergenceError
+                            if eject:
+                                break
+                if dt_fb is not None and t + dt_fb <= best_t:
+                    best_t = t + dt_fb
+                    ekind = _FB
+            if pres is not None and pres <= best_t:
+                best_t = pres
+                ekind = _RESET
+
+            # --- dispatch validity (checks only, pre-commit) ----------
+            if ekind != _END:
+                if levt is not None and best_t < levt:
+                    eject = True  # PFD monotonicity violation
+                    break
+                if ekind == _RESET:
+                    if upr is None or dnr is None:
+                        eject = True  # reset with no cycle in flight
+                        break
+                else:
+                    if pres is not None and best_t >= pres:
+                        eject = True  # edge after pending reset was due
+                        break
+                    if ekind == _REF and j + 1 >= n_edges:
+                        eject = True  # edge train exhausted (bug guard)
+                        break
+
+            # --- advance (transcribes _advance_to + phase_advance) ----
+            dt = best_t - t
+            if dt > 0.0:
+                if l_kind == _EXP:
+                    ov = l_oa * vc + l_ob
+                    x = -dt / l_tau
+                    e = exp_(x)
+                    gap0 = ov - l_oasym
+                    if nonlinear:
+                        pa = _simpson_phase(
+                            nl_law, ExponentialSegment(ov, l_oasym,
+                                                       l_tau),
+                            dt, f_min, f_max)
+                    else:
+                        v1 = l_oasym + gap0 * e
+                        va, vb = (v1, ov) if v1 < ov else (ov, v1)
+                        if not (v_lo <= va and vb <= v_hi):
+                            eject = True
+                            break
+                        pa = base_hz * dt + gain * (
+                            l_oasym * dt + (gap0 * l_tau) * -expm1_(x))
+                    vc = l_asym + (vc - l_asym) * e
+                elif l_kind == _RAMP:
+                    ov = vc + l_ooff
+                    if nonlinear:
+                        pa = _simpson_phase(
+                            nl_law, RampSegment(ov, l_slope),
+                            dt, f_min, f_max)
+                    else:
+                        v1 = ov + l_slope * dt
+                        va, vb = (v1, ov) if v1 < ov else (ov, v1)
+                        if not (v_lo <= va and vb <= v_hi):
+                            eject = True
+                            break
+                        pa = base_hz * dt + gain * (
+                            ov * dt + (l_half * dt) * dt)
+                    vc = vc + l_slope * dt
+                else:
+                    if nonlinear:
+                        pa = _simpson_phase(
+                            nl_law, ConstantSegment(vc),
+                            dt, f_min, f_max)
+                    else:
+                        if not (v_lo <= vc and vc <= v_hi):
+                            eject = True
+                            break
+                        pa = base_hz * dt + gain * (vc * dt)
+                phase = phase + pa
+            t = best_t
+
+            # --- commit the dispatch ----------------------------------
+            if ekind == _END:
+                break
+            events += 1
+            levt = best_t
+            if ekind == _REF:
+                if not up:
+                    up = True
+                    upr = best_t
+                    if dn:
+                        pres = best_t + rdelay
+                j += 1
+                tref = edges[j]
+            elif ekind == _FB:
+                phase = fbt
+                fbt = fbt + nf
+                if not dn:
+                    dn = True
+                    dnr = best_t
+                    if up:
+                        pres = best_t + rdelay
+            else:  # _RESET
+                up = False
+                dn = False
+                pres = None
+            new_idx = s_to_drive[(1 if up else 0) + (2 if dn else 0)]
+            if new_idx != drive_idx:
+                drive_idx = new_idx
+                (l_kind, l_asym, l_tau, l_slope, l_half,
+                 l_oa, l_ob, l_oasym, l_ooff) = laws[drive_idx]
+
+        # Write the locals back so _materialize sees this state (the
+        # pre-event state on ejection; the finished state otherwise).
+        self._t[lane] = t
+        self._vc[lane] = vc
+        self._phase[lane] = phase
+        self._fbt[lane] = fbt
+        self._j[lane] = j
+        self._tref[lane] = tref
+        self._up[lane] = up
+        self._dn[lane] = dn
+        nan = float("nan")
+        self._levt[lane] = nan if levt is None else levt
+        self._pres[lane] = nan if pres is None else pres
+        self._upr[lane] = nan if upr is None else upr
+        self._dnr[lane] = nan if dnr is None else dnr
+        self._drive[lane] = drive_idx
+        self._events[lane] = events
+        if eject:
+            self._hand_off(lane, "ejected")
+            return
+        self._active[lane] = False
+        self._results[self._vec[lane]] = LaneResult(
+            snapshot=self._materialize(lane), mode="vector",
+            nonlinear=nonlinear,
+        )
 
     # ------------------------------------------------------------------
     # scalar hand-off
@@ -680,21 +1308,38 @@ class VectorizedLotSimulator:
             pll_signature=table.pll.physics_signature(),
         )
 
-    def _hand_off(self, lane: int, mode: str) -> None:
-        """Finish one lane in a scalar simulator from its array state."""
-        self._active[lane] = False
-        spec = self.lanes[self._vec[lane]]
+    def _finish_from_snapshot(self, spec: SettleLane,
+                              snap: SimulatorSnapshot, mode: str,
+                              nonlinear: bool) -> LaneResult:
+        """Finish one lane in a scalar simulator from a farm snapshot."""
         try:
-            snap = self._materialize(lane)
             source = spec.stimulus.make_source(spec.f_mod, 0.0)
             sim = PLLTransientSimulator(spec.pll, source, record=spec.record)
             sim.restore(snap)
             sim.run_until(spec.settle_end)
-            result = LaneResult(snapshot=sim.snapshot(), mode=mode)
+            return LaneResult(snapshot=sim.snapshot(), mode=mode,
+                              nonlinear=nonlinear)
         except Exception as exc:  # noqa: BLE001 - leave the lane cold;
             # the orchestrating sweep reproduces the identical error
-            result = LaneResult(snapshot=None, mode=mode, error=str(exc))
-        self._results[self._vec[lane]] = result
+            return LaneResult(snapshot=None, mode=mode, error=str(exc),
+                              nonlinear=nonlinear)
+
+    def _hand_off(self, lane: int, mode: str) -> None:
+        """Finish one lane in a scalar simulator from its array state."""
+        self._active[lane] = False
+        spec = self.lanes[self._vec[lane]]
+        nonlinear = self._tables[lane].nonlinear
+        try:
+            snap = self._materialize(lane)
+        except Exception as exc:  # noqa: BLE001 - leave the lane cold
+            self._results[self._vec[lane]] = LaneResult(
+                snapshot=None, mode=mode, error=str(exc),
+                nonlinear=nonlinear,
+            )
+            return
+        self._results[self._vec[lane]] = self._finish_from_snapshot(
+            spec, snap, mode, nonlinear
+        )
 
     def _scalar_settle(self, spec: SettleLane) -> LaneResult:
         """Full scalar settle for a lane the farm cannot represent."""

@@ -145,12 +145,33 @@ class TestPhysicsSignatureKeying:
         )
         assert a.physics_signature() == b.physics_signature()
 
+    def test_nonlinear_dies_share_signature(self):
+        # The nonlinear VCO's tuning curve is a method bound to a frozen
+        # all-scalar config, so it fingerprints from parameters: renamed
+        # 4046-style dies share settled states just like linear ones.
+        a = paper_pll(nonlinear=True)
+        b = replace(a, name=f"{a.name}-die2")
+        assert a.physics_signature()[0] == "physics"
+        assert a.physics_signature() == b.physics_signature()
+
     def test_opaque_component_falls_back_to_name(self):
-        # The nonlinear VCO carries a tuning-curve callable the generic
-        # fingerprint cannot hash; the signature degrades to name keying
-        # rather than guessing.
+        # A truly opaque callable (no provable parameter bag behind it)
+        # still degrades the signature to name keying rather than
+        # guessing at behavioural equality.
+        from repro.pll.vco import VCO
+
         pll = paper_pll(nonlinear=True)
-        assert pll.physics_signature() == ("named", pll.name)
+        vco = pll.vco
+        opaque_vco = VCO(
+            f_center=vco.f_center,
+            gain_hz_per_v=vco.gain_hz_per_v,
+            v_center=vco.v_center,
+            f_min=vco.f_min,
+            f_max=vco.f_max,
+            tuning_curve=lambda v: vco.tuning_curve(v),
+        )
+        opaque = replace(pll, vco=opaque_vco)
+        assert opaque.physics_signature() == ("named", opaque.name)
 
     def test_fault_library_screen_settles_each_family_once(
         self, fast_bist_config

@@ -134,11 +134,79 @@ class TestFarmBitIdentity:
         for a, b in zip(vector, drained):
             assert a.snapshot == b.snapshot
 
-    def test_unsupported_physics_falls_back_scalar(self, fast_bist_config):
-        """The nonlinear 74HCT4046A VCO is not vectorisable: the farm
-        must settle it on the scalar engine, bit-identically, instead of
-        failing or (worse) approximating."""
+    def test_nonlinear_hct4046_rides_the_farm(self, fast_bist_config):
+        """The nonlinear 74HCT4046A VCO no longer ejects: the farm
+        recognises its tuning curve, integrates phase through the masked
+        Simpson path, and stays bit-identical to the scalar engine."""
         pll = paper_pll(nonlinear=True)
+        stimulus = paper_stimulus("multitone")
+        lanes = _lanes(pll, stimulus, fast_bist_config)
+        farm = VectorizedLotSimulator(lanes, drain_width=0)
+        results = farm.run()
+        for lane, result in zip(lanes, results):
+            assert result.mode == "vector", result.error
+            assert result.nonlinear
+            expected = _scalar_snapshot(
+                pll, stimulus, lane.f_mod, lane.settle_end
+            )
+            assert result.snapshot == expected
+        assert farm.stats["nonlinear"] == len(lanes)
+
+    def test_nonlinear_lockstep_equals_kernel(self, fast_bist_config):
+        """Forced-lockstep nonlinear lanes match the per-lane kernel."""
+        pll = paper_pll(nonlinear=True)
+        stimulus = paper_stimulus("multitone")
+        lanes = _lanes(pll, stimulus, fast_bist_config)
+        kernel = VectorizedLotSimulator(lanes, drain_width=0).run()
+        lockstep = VectorizedLotSimulator(
+            lanes, drain_width=0, lockstep_width=0
+        ).run()
+        for a, b in zip(kernel, lockstep):
+            assert a.snapshot is not None
+            assert a.snapshot == b.snapshot
+
+    def test_kernel_equals_lockstep_linear(self, fast_bist_config):
+        """The per-lane kernel (narrow farms) and the lockstep arrays
+        (wide farms) produce identical snapshots for linear physics."""
+        pll = paper_pll()
+        stimulus = paper_stimulus("multitone")
+        lanes = _lanes(pll, stimulus, fast_bist_config)
+        kernel = VectorizedLotSimulator(lanes, drain_width=0).run()
+        lockstep = VectorizedLotSimulator(
+            lanes, drain_width=0, lockstep_width=0
+        ).run()
+        assert all(r.mode == "vector" for r in kernel)
+        assert all(r.mode == "vector" for r in lockstep)
+        for a, b in zip(kernel, lockstep):
+            assert a.snapshot == b.snapshot
+
+    def test_unrecognised_tuning_curve_falls_back_scalar(
+        self, fast_bist_config
+    ):
+        """A tuning curve the farm cannot replicate (an arbitrary
+        callable) must settle on the scalar engine, bit-identically,
+        instead of failing or (worse) approximating."""
+        from dataclasses import replace as dc_replace
+
+        from repro.pll.vco import VCO
+
+        base = paper_pll(nonlinear=True)
+        vco = base.vco
+
+        def bent(v: float) -> float:
+            return vco.f_center + vco.gain_hz_per_v * 0.9 * (
+                v - vco.v_center
+            )
+
+        custom = VCO(
+            f_center=vco.f_center,
+            gain_hz_per_v=vco.gain_hz_per_v,
+            v_center=vco.v_center,
+            f_min=vco.f_min,
+            f_max=vco.f_max,
+            tuning_curve=bent,
+        )
+        pll = dc_replace(base, vco=custom)
         stimulus = paper_stimulus("multitone")
         lanes = _lanes(pll, stimulus, fast_bist_config)
         results = VectorizedLotSimulator(lanes, drain_width=0).run()
@@ -190,6 +258,30 @@ class TestPresettleLot:
             assert warm_m.held == cold_m.held
             assert warm_m.phase_count == cold_m.phase_count
             assert warm_m.peak_event == cold_m.peak_event
+
+    def test_counters_and_cache_seam(self, fast_bist_config):
+        """tones_vectorized / hct4046_lanes count what actually happened,
+        and the stats digest is left on the cache for the CLI/benches."""
+        stimulus = paper_stimulus("multitone")
+        cache = LockStateCache()
+        stats = presettle_lot(
+            [(paper_pll(nonlinear=True), stimulus, fast_bist_config,
+              TONES)],
+            cache,
+            drain_width=0,
+        )
+        assert stats.tones_vectorized == stats.vector == len(TONES)
+        assert stats.hct4046_lanes == len(TONES)
+        assert cache.presettle_stats is stats
+        assert "tones vectorized" in stats.summary()
+        assert "nonlinear lanes" in stats.summary()
+        linear = presettle_lot(
+            [(paper_pll(), stimulus, fast_bist_config, TONES)],
+            LockStateCache(),
+            drain_width=0,
+        )
+        assert linear.hct4046_lanes == 0
+        assert linear.tones_vectorized == len(TONES)
 
     def test_uncacheable_tones_skipped(self, fast_bist_config):
         pll = paper_pll()
@@ -304,10 +396,89 @@ class TestEngineWiring:
         assert parser.parse_args(["lot"]).engine == "scalar"
         assert parser.parse_args(["sweep", "--profile", "s.pstats"])\
             .profile == "s.pstats"
+        assert parser.parse_args(["sweep", "--engine", "vectorized"])\
+            .engine == "vectorized"
+        assert parser.parse_args(["sweep"]).engine == "scalar"
         assert parser.parse_args(["submit", "--engine", "vectorized"])\
             .engine == "vectorized"
         with pytest.raises(SystemExit):
             parser.parse_args(["lot", "--engine", "quantum"])
+        with pytest.raises(SystemExit):
+            parser.parse_args(["sweep", "--engine", "quantum"])
+
+    def test_profile_dump_paths_unique(self):
+        import os
+
+        from repro.cli import _profile_dump_path
+
+        a = _profile_dump_path("out/sweep.prof")
+        b = _profile_dump_path("out/sweep.prof")
+        assert a != b
+        for path in (a, b):
+            assert path.startswith("out/sweep.")
+            assert path.endswith(".prof")
+            assert f".{os.getpid()}-" in path
+        # A suffix-less request still produces a recognisable dump file.
+        assert _profile_dump_path("lotdump").endswith(".prof")
+
+
+class TestMeasurementDedup:
+    def test_serial_executor_dedups_identical_sweeps(self, fast_bist_config):
+        from repro.core.executor import SerialSweepExecutor
+        from repro.core.warm import ToneMeasurementCache
+
+        pll = paper_pll()
+        stimulus = paper_stimulus("multitone")
+        dedup = ToneMeasurementCache()
+        first = SerialSweepExecutor().run_tones(
+            pll, stimulus, fast_bist_config, TONES,
+            measurement_cache=dedup,
+        )
+        assert dedup.stats == (0, len(TONES))
+        second = SerialSweepExecutor().run_tones(
+            replace(pll, name="same-physics-die"), stimulus,
+            fast_bist_config, TONES, measurement_cache=dedup,
+        )
+        assert dedup.stats == (len(TONES), len(TONES))
+        for a, b in zip(first, second):
+            # Full measurement equality (timing is comparison-excluded),
+            # but the hit is honestly stamped as warm and free.
+            assert a.measurement == b.measurement
+            assert b.measurement.timing.warm
+            assert b.measurement.timing.settle_s == 0.0
+
+    def test_adaptive_settle_bypasses_dedup(self, fast_bist_config):
+        from repro.core.executor import SerialSweepExecutor
+        from repro.core.warm import ToneMeasurementCache
+
+        dedup = ToneMeasurementCache()
+        SerialSweepExecutor().run_tones(
+            paper_pll(), paper_stimulus("multitone"), fast_bist_config,
+            TONES, settle="adaptive", measurement_cache=dedup,
+        )
+        assert len(dedup) == 0
+
+    def test_monitor_threads_measurement_cache(self, fast_bist_config):
+        from repro.core.warm import ToneMeasurementCache
+
+        pll = paper_pll()
+        stimulus = paper_stimulus("multitone")
+        plan = SweepPlan(TONES)
+        cold = TransferFunctionMonitor(pll, stimulus, fast_bist_config).run(
+            plan
+        )
+        dedup = ToneMeasurementCache()
+        TransferFunctionMonitor(pll, stimulus, fast_bist_config).run(
+            plan, engine="vectorized", measurement_cache=dedup
+        )
+        warm = TransferFunctionMonitor(
+            replace(pll, name="twin"), stimulus, fast_bist_config
+        ).run(plan, engine="vectorized", measurement_cache=dedup)
+        assert dedup.stats == (len(TONES), len(TONES))
+        assert warm.measurements == cold.measurements
+        assert list(warm.response.magnitude_db) == list(
+            cold.response.magnitude_db
+        )
 
 
 class TestWarmEntryShippingFilter:

@@ -26,7 +26,9 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.pll.hct4046 import HCT4046Config
 from repro.sim.segments import (
+    ClampedCubicLaw,
     ConstantSegment,
     ExponentialSegment,
     RampSegment,
@@ -38,6 +40,13 @@ finite = st.floats(
 tau_values = st.floats(min_value=1e-9, max_value=1e3)
 dt_values = st.floats(min_value=0.0, max_value=1e2)
 dt_lists = st.lists(dt_values, min_size=1, max_size=16)
+
+rail_values = st.floats(min_value=1e-3, max_value=1e3)
+curvature_values = st.floats(min_value=0.0, max_value=0.333)
+voltages = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+voltage_lists = st.lists(voltages, min_size=1, max_size=16)
 
 
 def _segments(initial, slope, asymptote, tau):
@@ -132,6 +141,84 @@ class TestSplitCompose:
         direct = float(seg.evolve_batch(np.array([dt1 + dt2]))[0])
         scale = max(1.0, abs(initial), abs(asymptote))
         assert abs(direct - stepped) <= 1e-9 * scale
+
+
+def _cubic_law(v_rail, f_center, gain, curvature):
+    return ClampedCubicLaw(
+        v_rail=v_rail,
+        v_center=0.5 * v_rail,
+        f_center=f_center,
+        gain_hz_per_v=gain,
+        curvature=curvature,
+    )
+
+
+class TestClampedCubicBitIdentity:
+    """The nonlinear-VCO lane contract: masked batch == scalar, bit for bit."""
+
+    @given(v_rail=rail_values, f_center=finite, gain=finite,
+           curvature=curvature_values, vs=voltage_lists)
+    def test_batch_equals_scalar_elementwise(
+        self, v_rail, f_center, gain, curvature, vs
+    ):
+        law = _cubic_law(v_rail, f_center, gain, curvature)
+        batch = law.evolve_batch(np.array(vs, dtype=np.float64))
+        assert batch.dtype == np.float64
+        for i, v in enumerate(vs):
+            scalar = law.evolve(v)
+            assert batch[i] == scalar or (
+                math.isnan(batch[i]) and math.isnan(scalar)
+            )
+
+    @given(v_rail=rail_values, f_center=finite, gain=finite,
+           curvature=curvature_values)
+    def test_branch_boundaries(self, v_rail, f_center, gain, curvature):
+        """The clamp edges themselves, plus one-ulp excursions each way.
+
+        ``np.where(v < 0, ...)`` vs scalar ``min(max(v, 0), rail)`` only
+        agree if their branch selection flips at exactly the same bit
+        pattern — probe straddling both rails.
+        """
+        law = _cubic_law(v_rail, f_center, gain, curvature)
+        probes = [
+            0.0, -0.0, v_rail,
+            math.nextafter(0.0, -1.0), math.nextafter(0.0, 1.0),
+            math.nextafter(v_rail, 0.0), math.nextafter(v_rail, math.inf),
+        ]
+        batch = law.evolve_batch(np.array(probes, dtype=np.float64))
+        for i, v in enumerate(probes):
+            assert batch[i] == law.evolve(v)
+
+    @given(v_rail=rail_values, f_center=finite, gain=finite,
+           curvature=curvature_values)
+    def test_nan_passes_through_both_paths(
+        self, v_rail, f_center, gain, curvature
+    ):
+        """NaN fails both clamp comparisons scalar-side and mask-side."""
+        law = _cubic_law(v_rail, f_center, gain, curvature)
+        assert math.isnan(law.evolve(float("nan")))
+        assert math.isnan(
+            float(law.evolve_batch(np.array([float("nan")]))[0])
+        )
+
+    @given(vdd=st.floats(min_value=1.0, max_value=12.0),
+           f_center=st.floats(min_value=100.0, max_value=1e6),
+           gain=st.floats(min_value=1.0, max_value=1e5),
+           curvature=curvature_values,
+           vs=voltage_lists)
+    def test_matches_device_model_tuning_curve(
+        self, vdd, f_center, gain, curvature, vs
+    ):
+        """tuning_law() reproduces HCT4046Config.tuning_curve exactly."""
+        cfg = HCT4046Config(
+            vdd=vdd, f_center=f_center, gain_hz_per_v=gain,
+            curvature=curvature,
+        )
+        law = cfg.tuning_law()
+        batch = law.evolve_batch(np.array(vs, dtype=np.float64))
+        for i, v in enumerate(vs):
+            assert law.evolve(v) == cfg.tuning_curve(v)
+            assert batch[i] == cfg.tuning_curve(v)
 
 
 class TestValidation:
