@@ -19,9 +19,11 @@ import pytest
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
 from check_regression import (  # noqa: E402
+    CF_BATCH_SPEEDUP_FLOOR,
     SLOWDOWN_THRESHOLD,
     VEC_BATCH_SPEEDUP_FLOOR,
     VEC_SINGLE_SPEEDUP_FLOOR,
+    check_closed_form_floor,
     check_vec_floor,
     check_vec_single_floor,
     compare,
@@ -129,6 +131,53 @@ def test_vec_batch_speedup_within_floor(report, paper_dut):
         f"speedup         : {fresh['vec_batch_speedup']:.2f}x "
         f"(floor {VEC_BATCH_SPEEDUP_FLOOR:.1f}x)",
         f"byte-identical  : {fresh['vec_batch_byte_identical']}",
+        f"verdict         : {verdict}",
+    ]))
+    assert not problems, problems
+
+
+def test_closed_form_batch_speedup_within_floor(report):
+    """The closed-form tier must hold its >=2x farm-level floor.
+
+    Re-measures the bench's corner-varied current-mode lot (104
+    physics-distinct lanes) through both presettle farms and applies
+    the absolute :data:`~check_regression.CF_BATCH_SPEEDUP_FLOOR` to
+    the wall ratio — one pair of best-of-2 walls, same machine noise,
+    only the ratio judged.  Skips against baselines that predate the
+    ``closed_form_batch_speedup`` key.
+    """
+    from bench_perf_sweep import _farm_wall, cdr_corner_lot
+
+    baseline = load_committed()
+    if baseline is None:
+        pytest.skip("no committed BENCH_sweep.json baseline at HEAD")
+    if baseline.get("closed_form_batch_speedup") is None:
+        pytest.skip("baseline predates the closed-form tier")
+
+    __, jobs = cdr_corner_lot()
+    t_vec, __, vec_cache = _farm_wall(jobs, "vectorized")
+    t_cf, cf_stats, cf_cache = _farm_wall(jobs, "closed_form")
+
+    vec_entries = dict(vec_cache.export())
+    cf_entries = dict(cf_cache.export())
+    identical = vec_entries.keys() == cf_entries.keys() and all(
+        cf_entries[key] == snap for key, snap in vec_entries.items()
+    )
+    fresh = {
+        "closed_form_batch_speedup": round(t_vec / t_cf, 3),
+        "closed_form_bit_identical": identical,
+    }
+    problems = check_closed_form_floor(baseline, fresh)
+
+    verdict = "PASS" if not problems else "; ".join(problems)
+    report("perf_closed_form_guard", "\n".join([
+        f"lot             : {len(jobs)} devices, "
+        f"{cf_stats.unique} unique lanes",
+        f"vectorized wall : {t_vec:.4f} s",
+        f"closed-form wall: {t_cf:.4f} s",
+        f"speedup         : {fresh['closed_form_batch_speedup']:.2f}x "
+        f"(floor {CF_BATCH_SPEEDUP_FLOOR:.1f}x)",
+        f"bit-identical   : {fresh['closed_form_bit_identical']}",
         f"verdict         : {verdict}",
     ]))
     assert not problems, problems

@@ -45,6 +45,15 @@ VEC_BATCH_SPEEDUP_FLOOR = 5.0
 #: faster than the scalar engine (the bench itself targets >= 2x; the
 #: tier-2 gate leaves headroom for noisy shared hosts).
 VEC_SINGLE_SPEEDUP_FLOOR = 1.5
+#: Absolute floor for the closed-form tier: on the 8-die corner-varied
+#: current-mode lot (104 physics-distinct lanes), the analytic per-edge
+#: farm must stay >= 2x faster than the vectorized lockstep farm (the
+#: bench measures ~4-5x; the gate leaves noise headroom).
+CF_BATCH_SPEEDUP_FLOOR = 2.0
+#: Keys a newer benchmark deliberately stopped writing.  A fresh result
+#: that carries the closed-form trajectory must no longer carry them;
+#: stale copies in an old baseline are ignored.
+RETIRED_KEYS = ("cold_wall_s",)
 RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_sweep.json"
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
@@ -174,6 +183,59 @@ def check_vec_single_floor(
     return problems
 
 
+def check_closed_form_floor(
+    baseline: dict,
+    fresh: dict,
+    floor: float = CF_BATCH_SPEEDUP_FLOOR,
+) -> List[str]:
+    """Floor check for the closed-form analytic settle tier.
+
+    Same tolerant-missing discipline as :func:`check_vec_floor`: an
+    absolute floor on ``closed_form_batch_speedup`` (the analytic farm
+    vs the lockstep farm on the corner-varied lot), required of the
+    fresh result only once the committed baseline carries the key.
+    """
+    problems: List[str] = []
+    fresh_cf = fresh.get("closed_form_batch_speedup")
+    if fresh_cf is None:
+        if baseline.get("closed_form_batch_speedup") is not None:
+            problems.append(
+                "closed_form_batch_speedup missing from the fresh "
+                "result (the committed baseline has it)"
+            )
+        return problems
+    if fresh_cf < floor:
+        problems.append(
+            f"closed-form tier below its floor: {fresh_cf:.2f}x vs "
+            f"required {floor:.1f}x over the vectorized farm"
+        )
+    if fresh.get("closed_form_bit_identical") is False:
+        problems.append(
+            "closed-form settled states were not bit-identical to the "
+            "vectorized farm"
+        )
+    screen = fresh.get("closed_form_screen")
+    if screen is not None and screen.get("byte_identical") is False:
+        problems.append(
+            "closed-form/auto screen reports were not byte-identical "
+            "to scalar"
+        )
+    return problems
+
+
+def check_retired_keys(fresh: dict) -> List[str]:
+    """A fresh result on the closed-form trajectory must not resurrect
+    keys the benchmark retired (stale merges defeat the trajectory)."""
+    if fresh.get("closed_form_batch_speedup") is None:
+        return []
+    return [
+        f"retired key {key!r} present in the fresh result; "
+        "regenerate BENCH_sweep.json with the current benchmark"
+        for key in RETIRED_KEYS
+        if key in fresh
+    ]
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail when the serial sweep got slower than the "
@@ -209,6 +271,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     problems = compare(baseline, fresh, args.threshold)
     problems += check_vec_floor(baseline, fresh)
     problems += check_vec_single_floor(baseline, fresh)
+    problems += check_closed_form_floor(baseline, fresh)
+    problems += check_retired_keys(fresh)
     if problems:
         for problem in problems:
             print(f"REGRESSION: {problem}")

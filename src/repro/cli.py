@@ -40,6 +40,7 @@ from repro.core import (
     TestLimits,
     TransferFunctionMonitor,
 )
+from repro.engines import ENGINES
 from repro.errors import MeasurementError, ReproError
 from repro.pll.faults import FAULT_LIBRARY, apply_fault
 from repro.presets import (
@@ -322,7 +323,13 @@ def cmd_lot(args) -> int:
         )
         for i in range(args.size)
     ]
-    cache = None if args.cold else LockStateCache()
+    # Farm engines allocate a private cache internally anyway (the
+    # presettled states must be served from somewhere), so allocating
+    # it here keeps --cold semantics identical while making the farm's
+    # per-tier digest visible below.
+    cache = (
+        None if args.cold and args.engine == "scalar" else LockStateCache()
+    )
     t0 = time.perf_counter()
     with _profiled(args.profile, engine=args.engine):
         reports = batch_device_reports(
@@ -350,7 +357,7 @@ def cmd_lot(args) -> int:
         for req, text in zip(requests, reports):
             (out_dir / f"{req.pll.name}.md").write_text(text)
         print(f"wrote {len(reports)} reports to {out_dir}")
-    mode = "cold" if cache is None else "warm-shared"
+    mode = "cold" if args.cold else "warm-shared"
     if args.engine != "scalar":
         mode += f", {args.engine}"
     print(format_table(
@@ -659,12 +666,14 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("fixed", "adaptive"),
                    help="stage-0 policy: Table 2 fixed wait, or adaptive "
                         "lock detection (approximate, never slower)")
-    p.add_argument("--engine", default="scalar",
-                   choices=("scalar", "vectorized"),
+    p.add_argument("--engine", default="scalar", choices=ENGINES,
                    help="stage-0 settle engine: per-tone scalar event "
-                        "loops, or the NumPy settle farm batching the "
-                        "plan's tones as lanes (bit-identical results, "
-                        "faster cold sweeps; requires --settle fixed)")
+                        "loops, the NumPy settle farm batching the "
+                        "plan's tones as lanes, the closed_form "
+                        "analytic per-edge tier, or auto (closed_form "
+                        "-> vectorized -> scalar per lane); results are "
+                        "bit-identical on every engine, the farm "
+                        "engines require --settle fixed")
     p.add_argument("--profile", default=None, metavar="PATH",
                    help="cProfile the sweep; write the pstats dump to a "
                         "unique per-invocation variant of PATH and print "
@@ -696,11 +705,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "warm state across the lot")
     p.add_argument("--out-dir", default=None,
                    help="also write one markdown report per device here")
-    p.add_argument("--engine", default="scalar",
-                   choices=("scalar", "vectorized"),
+    p.add_argument("--engine", default="scalar", choices=ENGINES,
                    help="stage-0 settle engine: per-device scalar event "
-                        "loops, or the NumPy lockstep settle farm "
-                        "(bit-identical reports, faster wide/cold lots)")
+                        "loops, the NumPy lockstep settle farm, the "
+                        "closed_form analytic per-edge tier, or auto "
+                        "(tiered per lane); reports are byte-identical "
+                        "on every engine")
     p.add_argument("--profile", default=None, metavar="PATH",
                    help="cProfile the lot screen; write the pstats dump "
                         "to a unique per-invocation variant of PATH and "
@@ -754,10 +764,10 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("fixed", "adaptive"),
                    help="stage-0 policy: Table 2 fixed wait, or adaptive "
                         "lock detection (approximate, never slower)")
-    p.add_argument("--engine", default="scalar",
-                   choices=("scalar", "vectorized"),
+    p.add_argument("--engine", default="scalar", choices=ENGINES,
                    help="stage-0 settle engine for this job (vectorized "
-                        "presettles the plan on the NumPy lockstep farm; "
+                        "presettles the plan on the NumPy lockstep farm, "
+                        "closed_form/auto on the tiered analytic farm; "
                         "bit-identical results)")
     p.add_argument("--job-timeout", type=float, default=None,
                    help="abort the job at the next tone boundary after "

@@ -31,6 +31,7 @@ from repro.core.executor import (
 from repro.core.limits import LimitReport, TestLimits
 from repro.core.sequencer import ToneMeasurement, ToneTestSequencer
 from repro.core.warm import LockStateCache
+from repro.engines import FARM_ENGINES, validate_engine
 from repro.errors import ConfigurationError, MeasurementError
 from repro.pll.config import ChargePumpPLL
 from repro.stimulus.modulation import ModulatedStimulus
@@ -227,10 +228,16 @@ class TransferFunctionMonitor:
         event loop as before; ``"vectorized"`` first advances every
         cacheable tone of the plan in lockstep on the NumPy settle farm
         (:func:`repro.pll.lot.presettle_lot`), warming
-        :attr:`lock_cache`, then runs the same sweep — warm.  Counted
-        results are bit-identical either way (the farm's snapshot
-        guarantee); only wall time changes.  The vectorised engine
-        requires ``settle="fixed"`` — the adaptive policy's lock
+        :attr:`lock_cache`, then runs the same sweep — warm;
+        ``"closed_form"`` presettles through the analytic per-edge tier
+        (:class:`~repro.sim.closed_form.ClosedFormLotSimulator`), which
+        itself cascades ineligible lanes to the vectorized and scalar
+        tiers; ``"auto"`` is the tiered policy — the same cascade, and
+        where a named farm engine would refuse (an adaptive settle
+        policy) it degrades to the scalar path instead of raising.
+        Counted results are bit-identical on every engine (the farm's
+        snapshot guarantee); only wall time changes.  The named farm
+        engines require ``settle="fixed"`` — the adaptive policy's lock
         detection is inherently per-device scalar.
 
         ``measurement_cache`` optionally shares *finished* stage 1–4
@@ -259,16 +266,16 @@ class TransferFunctionMonitor:
             Only if the *reference* tone fails — without the in-band
             reference no magnitude can be computed at all.
         """
-        if engine not in ("scalar", "vectorized"):
+        validate_engine(engine)
+        if engine in ("vectorized", "closed_form") and settle != "fixed":
+            # A named farm engine is an explicit ask; refusing beats
+            # silently running something else.  ``auto`` is a policy,
+            # not an ask — it degrades to scalar below instead.
             raise ConfigurationError(
-                f"unknown engine {engine!r}; expected 'scalar' or 'vectorized'"
+                f"engine={engine!r} requires settle='fixed' "
+                f"(got settle={settle!r})"
             )
-        if engine == "vectorized":
-            if settle != "fixed":
-                raise ConfigurationError(
-                    "engine='vectorized' requires settle='fixed' "
-                    f"(got settle={settle!r})"
-                )
+        if engine in FARM_ENGINES and settle == "fixed":
             # Imported lazily: repro.pll.lot pulls in the NumPy settle
             # farm, which scalar-only callers never need.
             from repro.pll.lot import presettle_lot
@@ -277,6 +284,7 @@ class TransferFunctionMonitor:
                 [(self.pll, self.stimulus, self.config,
                   plan.frequencies_hz)],
                 self.lock_cache,
+                engine=engine,
             )
         custom_executor = executor is not None
         if executor is None:

@@ -1,0 +1,56 @@
+"""The settle-engine vocabulary, shared by every layer that selects one.
+
+Stage 0 of the Table 2 tone sequence — the fixed settling wait — can be
+simulated by three engines plus an automatic tier:
+
+* ``"scalar"`` — the reference :class:`~repro.pll.simulator.\
+  PLLTransientSimulator` event loop, one tone at a time.  Always
+  correct, always available; every other engine is judged against its
+  bits.
+* ``"vectorized"`` — the lockstep settle farm
+  (:class:`~repro.sim.vectorized.VectorizedLotSimulator`): NumPy array
+  ops across lanes, per-lane kernels for narrow farms, scalar ejection
+  for anything the arrays cannot represent.
+* ``"closed_form"`` — the analytic per-edge tier
+  (:class:`~repro.sim.closed_form.ClosedFormLotSimulator`): lanes whose
+  physics admit closed-form inter-event state updates (linear VCO,
+  current-mode/tri-state drives into a passive filter, ideal tri-state
+  PFD) advance edge-to-edge with no segment evolution; everything else
+  cascades to the vectorized farm and from there to scalar.
+* ``"auto"`` — resolve the tier per lane automatically
+  (closed_form → vectorized → scalar) and degrade gracefully: where a
+  named farm engine would raise (an adaptive settle policy, an
+  unbatchable plan), ``auto`` simply runs scalar.
+
+The tuple and validator live here — away from the NumPy-importing farm
+modules — so the CLI, the service protocol and the orchestration layers
+share one source of truth without paying a farm import.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ENGINES", "FARM_ENGINES", "validate_engine"]
+
+#: Every engine name an ``engine=`` parameter accepts, anywhere.
+ENGINES = ("scalar", "vectorized", "closed_form", "auto")
+
+#: The engines that presettle through a lot farm (everything but the
+#: per-tone scalar loop).
+FARM_ENGINES = ("vectorized", "closed_form", "auto")
+
+
+def validate_engine(engine: str, allowed: tuple = ENGINES) -> str:
+    """Return ``engine`` if known; raise a choices-listing error if not.
+
+    Raises :class:`~repro.errors.ConfigurationError` naming every valid
+    choice, so a typo'd engine fails with the menu rather than a deep
+    traceback out of whichever layer first dispatched on the name.
+    """
+    if engine not in allowed:
+        choices = ", ".join(repr(e) for e in allowed)
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected one of {choices}"
+        )
+    return engine

@@ -31,6 +31,7 @@ from typing import Iterable, Sequence, Tuple, Union
 
 from repro.core.sequencer import ToneTestSequencer
 from repro.core.warm import LockStateCache
+from repro.engines import FARM_ENGINES, validate_engine
 from repro.pll.simulator import RecordLevel
 from repro.sim.vectorized import SettleLane, VectorizedLotSimulator
 
@@ -48,20 +49,22 @@ class LotPresettleStats:
     unique: int = 0       # lanes actually settled (after dedup)
     cached: int = 0       # keys already present in the cache
     skipped: int = 0      # uncacheable tones left to the scalar sweep
-    vector: int = 0       # lanes completed inside the farm
+    closed_form_lanes: int = 0  # lanes completed by the analytic tier
+    vector: int = 0       # lanes completed inside the lockstep farm
     drained: int = 0      # lockstep start, scalar finish (stragglers)
     ejected: int = 0      # left the fast path mid-flight, scalar finish
     scalar: int = 0       # unsupported lanes, full scalar settle
     failed: int = 0       # settle raised; lane left cold
-    tones_vectorized: int = 0  # lanes that finished on the fast path
+    tones_vectorized: int = 0  # lanes that finished on any fast path
     hct4046_lanes: int = 0     # lanes with a recognised nonlinear VCO law
 
     def summary(self) -> str:
         return (
             f"presettle: {self.tones} tones -> {self.unique} unique lanes "
             f"({self.cached} already warm, {self.skipped} uncacheable); "
-            f"{self.vector} vector / {self.drained} drained / "
-            f"{self.ejected} ejected / {self.scalar} scalar; "
+            f"{self.closed_form_lanes} closed-form / {self.vector} vector "
+            f"/ {self.drained} drained / {self.ejected} ejected / "
+            f"{self.scalar} scalar; "
             f"{self.tones_vectorized} tones vectorized, "
             f"{self.hct4046_lanes} nonlinear lanes"
             + (f"; {self.failed} failed" if self.failed else "")
@@ -74,6 +77,7 @@ def presettle_lot(
     *,
     record: Union[RecordLevel, str] = RecordLevel.COUNTERS,
     drain_width: int = 8,
+    engine: str = "vectorized",
 ) -> LotPresettleStats:
     """Warm ``cache`` with every unique settled state a lot will need.
 
@@ -84,7 +88,16 @@ def presettle_lot(
     one PFD compare cycle between settle end and arm
     (``8·f_mod ≤ f_ref``) — mirroring the sequencer's own cacheability
     rule, so everything else simply runs cold as it does today.
+
+    ``engine`` picks the farm the unique lanes run through:
+    ``"vectorized"`` (default) is the lockstep farm as before;
+    ``"closed_form"`` and ``"auto"`` run the tiered
+    :class:`~repro.sim.closed_form.ClosedFormLotSimulator`, which
+    settles analytically-eligible lanes per edge and cascades the rest
+    to the vectorized and scalar tiers (both names resolve tiers per
+    lane, so at this level they are the same farm).
     """
+    validate_engine(engine, FARM_ENGINES)
     record = RecordLevel.coerce(record)
     stats = LotPresettleStats()
     lanes = []
@@ -127,13 +140,23 @@ def presettle_lot(
     if not lanes:
         cache.presettle_stats = stats
         return stats
-    farm = VectorizedLotSimulator(lanes, drain_width=drain_width)
+    if engine == "vectorized":
+        farm = VectorizedLotSimulator(lanes, drain_width=drain_width)
+    else:
+        # Imported lazily for symmetry with the monitor: scalar-only
+        # and vectorized-only callers never pay for the extra tier.
+        from repro.sim.closed_form import ClosedFormLotSimulator
+
+        farm = ClosedFormLotSimulator(lanes, drain_width=drain_width)
     for key, result in zip(keys, farm.run()):
         if result.snapshot is not None:
             cache.put(key, result.snapshot)
         else:
             stats.failed += 1
-        if result.mode == "vector":
+        if result.mode == "closed_form":
+            stats.closed_form_lanes += 1
+            stats.tones_vectorized += 1
+        elif result.mode == "vector":
             stats.vector += 1
             stats.tones_vectorized += 1
         elif result.mode == "drained":

@@ -36,6 +36,7 @@ from repro.core.architecture import BISTConfig
 from repro.core.limits import LimitReport, TestLimits
 from repro.core.monitor import SweepPlan, SweepResult, TransferFunctionMonitor
 from repro.core.warm import LockStateCache, ToneMeasurementCache
+from repro.engines import FARM_ENGINES, validate_engine
 from repro.errors import ConfigurationError, MeasurementError
 from repro.pll.config import ChargePumpPLL
 from repro.stimulus.modulation import ModulatedStimulus
@@ -325,20 +326,22 @@ def batch_device_reports(
     whole lot in lockstep on the NumPy settle farm
     (:func:`repro.pll.lot.presettle_lot`) — one pass over the lot's
     deduplicated settle work — and then screens warm exactly as above.
-    Reports stay byte-identical to the scalar engine (the snapshot
+    ``"closed_form"`` and ``"auto"`` presettle through the tiered
+    analytic farm instead
+    (:class:`~repro.sim.closed_form.ClosedFormLotSimulator`): eligible
+    lanes advance edge-to-edge in closed form and everything else
+    cascades to the vectorized and scalar tiers per lane.  Reports stay
+    byte-identical to the scalar engine on every path (the snapshot
     guarantee); only wall time changes.  A private cache is created
     when ``cache`` is ``None`` so the presettled states are actually
     served.
     """
     if n_workers < 1:
         raise ConfigurationError(f"n_workers must be >= 1, got {n_workers!r}")
-    if engine not in ("scalar", "vectorized"):
-        raise ConfigurationError(
-            f"unknown engine {engine!r}; expected 'scalar' or 'vectorized'"
-        )
+    validate_engine(engine)
     jobs = list(requests)
     measurement_cache: Optional[ToneMeasurementCache] = None
-    if engine == "vectorized" and jobs:
+    if engine in FARM_ENGINES and jobs:
         if cache is None:
             cache = LockStateCache(max_entries=max(256, 16 * len(jobs)))
         # Lazy import: the farm (and NumPy array machinery) only loads
@@ -349,6 +352,7 @@ def batch_device_reports(
             [(job.pll, job.stimulus, job.config, job.plan.frequencies_hz)
              for job in jobs],
             cache,
+            engine=engine,
         )
         # On the serial path the lot additionally shares *finished*
         # measurements: behaviourally identical dies measure each tone

@@ -31,6 +31,7 @@ from typing import List, Optional
 
 from repro.core.architecture import BISTConfig
 from repro.core.monitor import SweepPlan, SweepResult
+from repro.engines import validate_engine
 from repro.errors import ConfigurationError
 from repro.pll.config import ChargePumpPLL
 from repro.stimulus.modulation import ModulatedStimulus
@@ -84,9 +85,11 @@ class SweepJobRequest:
     n_workers: int = 1
     timeout_s: Optional[float] = None
     label: Optional[str] = None
-    #: Stage-0 settle engine: ``"scalar"`` (per-tone event loops) or
+    #: Stage-0 settle engine: ``"scalar"`` (per-tone event loops),
     #: ``"vectorized"`` (the plan presettles on the NumPy lockstep farm,
-    #: warming the service's shared cache; bit-identical results).
+    #: warming the service's shared cache; bit-identical results),
+    #: ``"closed_form"`` (the tiered analytic per-edge farm) or
+    #: ``"auto"`` (resolve closed_form → vectorized → scalar per lane).
     engine: str = "scalar"
 
     def __post_init__(self) -> None:
@@ -102,14 +105,13 @@ class SweepJobRequest:
             raise ConfigurationError(
                 f"settle must be 'fixed' or 'adaptive', got {self.settle!r}"
             )
-        if self.engine not in ("scalar", "vectorized"):
+        validate_engine(self.engine)
+        if (self.engine in ("vectorized", "closed_form")
+                and self.settle != "fixed"):
+            # "auto" is allowed with any settle policy: it degrades to
+            # the scalar path instead of refusing (monitor semantics).
             raise ConfigurationError(
-                f"engine must be 'scalar' or 'vectorized', "
-                f"got {self.engine!r}"
-            )
-        if self.engine == "vectorized" and self.settle != "fixed":
-            raise ConfigurationError(
-                "engine='vectorized' requires settle='fixed' "
+                f"engine={self.engine!r} requires settle='fixed' "
                 f"(got settle={self.settle!r})"
             )
 

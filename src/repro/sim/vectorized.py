@@ -662,33 +662,8 @@ class VectorizedLotSimulator:
         """Settle every lane; returns one :class:`LaneResult` per lane."""
         for pos in self._fallback:
             self._results[pos] = self._scalar_settle(self.lanes[pos])
-        n = len(self._vec)
-        if 0 < n <= self.drain_width:
-            # Too narrow for any fast path: straight to scalar.
-            for i in range(n):
-                self._hand_off(i, "drained")
-        elif n:
-            if self.lockstep_width:
-                # Nonlinear lanes always take the per-lane kernel: their
-                # Simpson quadrature vectorises across the 33 quadrature
-                # nodes, not across lanes, so lockstep buys them nothing.
-                for i in range(n):
-                    if self._nonlin[i]:
-                        self._kernel_settle(i)
-                linear = np.flatnonzero(self._active)
-                if linear.size < self.lockstep_width:
-                    # Narrow farm: the kernel beats the lockstep arrays.
-                    for i in linear.tolist():
-                        self._kernel_settle(i)
-            while True:
-                idx = np.flatnonzero(self._active)
-                if idx.size == 0:
-                    break
-                if idx.size <= self.drain_width:
-                    for i in idx.tolist():
-                        self._hand_off(i, "drained")
-                    break
-                self._step(idx)
+        if self._vec:
+            self._run_farm()
         out = []
         for pos, result in enumerate(self._results):
             assert result is not None, f"lane {pos} never resolved"
@@ -699,6 +674,46 @@ class VectorizedLotSimulator:
                 self.stats["nonlinear"] += 1
             out.append(result)
         return out
+
+    def _run_farm(self) -> None:
+        """Drive every still-active farm lane to a result.
+
+        Split out of :meth:`run` so tiered subclasses can settle their
+        own lanes first and let this method sweep up whatever remains
+        active — the base behaviour (kernel for narrow/nonlinear farms,
+        lockstep arrays for wide ones, scalar drain for stragglers) is
+        unchanged.
+        """
+        idx = np.flatnonzero(self._active)
+        n = idx.size
+        if n == 0:
+            return
+        if n <= self.drain_width:
+            # Too narrow for any fast path: straight to scalar.
+            for i in idx.tolist():
+                self._hand_off(i, "drained")
+            return
+        if self.lockstep_width:
+            # Nonlinear lanes always take the per-lane kernel: their
+            # Simpson quadrature vectorises across the 33 quadrature
+            # nodes, not across lanes, so lockstep buys them nothing.
+            for i in idx.tolist():
+                if self._nonlin[i]:
+                    self._kernel_settle(i)
+            linear = np.flatnonzero(self._active)
+            if linear.size < self.lockstep_width:
+                # Narrow farm: the kernel beats the lockstep arrays.
+                for i in linear.tolist():
+                    self._kernel_settle(i)
+        while True:
+            idx = np.flatnonzero(self._active)
+            if idx.size == 0:
+                break
+            if idx.size <= self.drain_width:
+                for i in idx.tolist():
+                    self._hand_off(i, "drained")
+                break
+            self._step(idx)
 
     # ------------------------------------------------------------------
     # one lockstep iteration: one event per live lane
