@@ -20,10 +20,12 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
 from check_regression import (  # noqa: E402
     CF_BATCH_SPEEDUP_FLOOR,
+    SERVICE_LOAD_SPEEDUP_FLOOR,
     SLOWDOWN_THRESHOLD,
     VEC_BATCH_SPEEDUP_FLOOR,
     VEC_SINGLE_SPEEDUP_FLOOR,
     check_closed_form_floor,
+    check_service_load,
     check_vec_floor,
     check_vec_single_floor,
     compare,
@@ -178,6 +180,68 @@ def test_closed_form_batch_speedup_within_floor(report):
         f"speedup         : {fresh['closed_form_batch_speedup']:.2f}x "
         f"(floor {CF_BATCH_SPEEDUP_FLOOR:.1f}x)",
         f"bit-identical   : {fresh['closed_form_bit_identical']}",
+        f"verdict         : {verdict}",
+    ]))
+    assert not problems, problems
+
+
+def test_service_load_within_floor(report):
+    """The sharded service must stay byte-exact and hold its floor.
+
+    Re-drains the saturation lot through the width-1 and 2-shard
+    service and applies :func:`~check_regression.check_service_load`:
+    byte identity unconditionally, the >=
+    :data:`~check_regression.SERVICE_LOAD_SPEEDUP_FLOOR` throughput
+    ratio only on hosts with the cores to gate it (thread shards
+    cannot overlap CPU-bound jobs without a pool underneath).  Skips
+    against baselines that predate the sharded service.
+    """
+    from bench_perf_service_load import GATE_CORES, _drain_fleet
+    from bench_perf_sweep import cdr_corner_lot
+    from repro.core.executor import _visible_cpu_count
+
+    baseline = load_committed()
+    if baseline is None:
+        pytest.skip("no committed BENCH_sweep.json baseline at HEAD")
+    if baseline.get("service_load_throughput_jobs_per_s") is None:
+        pytest.skip("baseline predates the sharded service")
+
+    requests, __ = cdr_corner_lot()
+    cores = _visible_cpu_count()
+    gated = cores >= GATE_CORES
+    n_workers = 2 if gated else 1
+
+    by_width = {}
+    for width in (1, 2):
+        jobs, wall, __, __ = _drain_fleet(width, n_workers, requests)
+        by_width[width] = {
+            "throughput": len(jobs) / wall,
+            "wall": wall,
+            "reports": {job.request.pll.name: job.report for job in jobs},
+        }
+
+    speedup = by_width[2]["throughput"] / by_width[1]["throughput"]
+    fresh = {
+        "service_load_throughput_jobs_per_s": {
+            str(w): round(by_width[w]["throughput"], 4) for w in (1, 2)
+        },
+        "service_load_byte_identical":
+            by_width[2]["reports"] == by_width[1]["reports"],
+        "service_load_speedup_2shard": round(speedup, 3),
+        "service_load_speedup_gated": gated,
+    }
+    problems = check_service_load(baseline, fresh)
+
+    verdict = "PASS" if not problems else "; ".join(problems)
+    report("perf_service_load_guard", "\n".join([
+        f"lot             : {len(requests)} jobs, "
+        f"{cores} visible core(s), {n_workers} worker(s)/job",
+        f"1-shard wall    : {by_width[1]['wall']:.4f} s",
+        f"2-shard wall    : {by_width[2]['wall']:.4f} s",
+        f"speedup         : {speedup:.2f}x "
+        + (f"(floor {SERVICE_LOAD_SPEEDUP_FLOOR:.1f}x)" if gated
+           else "(recorded only; host below gate)"),
+        f"byte-identical  : {fresh['service_load_byte_identical']}",
         f"verdict         : {verdict}",
     ]))
     assert not problems, problems

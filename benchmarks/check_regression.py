@@ -50,6 +50,15 @@ VEC_SINGLE_SPEEDUP_FLOOR = 1.5
 #: farm must stay >= 2x faster than the vectorized lockstep farm (the
 #: bench measures ~4-5x; the gate leaves noise headroom).
 CF_BATCH_SPEEDUP_FLOOR = 2.0
+#: Absolute floor for the sharded service front-end: with 2 scheduler
+#: shards each fanning its job over a 2-worker pool, job throughput on
+#: the saturation lot must stay >= 1.5x the width-1 service's (the
+#: bench itself gates 1.6x; the checker leaves noise headroom).  Only
+#: enforced when the fresh result says the host had the cores to gate
+#: it (``service_load_speedup_gated``) — thread shards cannot overlap
+#: CPU-bound jobs on a small box, so there the numbers are trajectory
+#: records, not promises.
+SERVICE_LOAD_SPEEDUP_FLOOR = 1.5
 #: Keys a newer benchmark deliberately stopped writing.  A fresh result
 #: that carries the closed-form trajectory must no longer carry them;
 #: stale copies in an old baseline are ignored.
@@ -223,6 +232,48 @@ def check_closed_form_floor(
     return problems
 
 
+def check_service_load(
+    baseline: dict,
+    fresh: dict,
+    floor: float = SERVICE_LOAD_SPEEDUP_FLOOR,
+) -> List[str]:
+    """Floor check for the sharded sweep-job service under load.
+
+    Same tolerant-missing discipline as :func:`check_vec_floor`: the
+    fresh result must carry ``service_load_throughput_jobs_per_s`` only
+    once the committed baseline does, so pre-sharding baselines never
+    fail and the key can never silently vanish afterwards.  Byte
+    identity across shard widths is unconditional; the 2-shard speedup
+    floor applies only when the fresh run itself was gated (>= 4
+    visible cores) — otherwise the recorded ratio is informational.
+    """
+    problems: List[str] = []
+    fresh_tp = fresh.get("service_load_throughput_jobs_per_s")
+    if fresh_tp is None:
+        if baseline.get("service_load_throughput_jobs_per_s") is not None:
+            problems.append(
+                "service_load_throughput_jobs_per_s missing from the "
+                "fresh result (the committed baseline has it)"
+            )
+        return problems
+    if fresh.get("service_load_byte_identical") is False:
+        problems.append(
+            "sharded service reports were not byte-identical to the "
+            "width-1 service's"
+        )
+    speedup = fresh.get("service_load_speedup_2shard")
+    if fresh.get("service_load_speedup_gated") and (
+        speedup is None or speedup < floor
+    ):
+        shown = "missing" if speedup is None else f"{speedup:.2f}x"
+        problems.append(
+            f"2-shard service throughput below its floor: {shown} vs "
+            f"required {floor:.1f}x over the width-1 service "
+            "(gated host)"
+        )
+    return problems
+
+
 def check_retired_keys(fresh: dict) -> List[str]:
     """A fresh result on the closed-form trajectory must not resurrect
     keys the benchmark retired (stale merges defeat the trajectory)."""
@@ -272,6 +323,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     problems += check_vec_floor(baseline, fresh)
     problems += check_vec_single_floor(baseline, fresh)
     problems += check_closed_form_floor(baseline, fresh)
+    problems += check_service_load(baseline, fresh)
     problems += check_retired_keys(fresh)
     if problems:
         for problem in problems:

@@ -9,7 +9,7 @@ screen     push the macro-fault library through the BIST with limits
 lot        batch-screen a lot of devices (warm-state-shared, one report each)
 diagnose   rank single-component explanations for a measured (fn, zeta)
 plan       DCO / detector / counter feasibility checks for DfT planning
-serve      run the sweep-job service on a local unix socket
+serve      run the sweep-job service (unix socket and/or TCP)
 submit     submit a sweep job to a running service (optionally watch it)
 watch      stream a submitted job's tone results as they finish
 status     show a running service's queue / cache / throughput snapshot
@@ -433,16 +433,22 @@ def cmd_serve(args) -> int:
         queue_limit=args.queue_limit,
         cache_path=args.cache,
         max_finished_jobs=args.retain,
+        shards=args.shards,
     )
-    server = SweepJobServer(service, args.socket)
+    server = SweepJobServer(service, args.socket, tcp=args.tcp)
 
     async def main() -> None:
         await server.start()
         cache = service.stats()["cache"]
+        endpoints = [args.socket]
+        if server.tcp_port is not None:
+            endpoints.append(
+                f"tcp {server.tcp_endpoint[0]}:{server.tcp_port}"
+            )
         print(
-            f"serving on {args.socket} "
-            f"(queue limit {args.queue_limit}, warm cache: "
-            f"{cache['entries']} entries"
+            f"serving on {' + '.join(endpoints)} "
+            f"({args.shards} shard(s), queue limit {args.queue_limit}, "
+            f"warm cache: {cache['entries']} entries"
             + (f", spilling to {args.cache}" if args.cache else "")
             + ")",
             flush=True,
@@ -463,6 +469,8 @@ def cmd_serve(args) -> int:
 def _client(args):
     from repro.service import ServiceClient
 
+    if args.tcp:
+        return ServiceClient(tcp=args.tcp, timeout_s=args.timeout)
     return ServiceClient(args.socket, timeout_s=args.timeout)
 
 
@@ -535,6 +543,8 @@ def cmd_submit(args) -> int:
         timeout_s=args.job_timeout,
         label=args.label,
         engine=args.engine,
+        client_id=args.client_id,
+        priority=args.priority,
     )
     client = _client(args)
     try:
@@ -737,6 +747,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--socket", default=DEFAULT_SOCKET,
                        help=f"service socket path "
                             f"(default {DEFAULT_SOCKET})")
+        p.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                       help="talk to the service over TCP instead of "
+                            "the unix socket (the serve side's --tcp)")
         p.add_argument("--timeout", type=float, default=60.0,
                        help="client socket timeout per reply line, "
                             "seconds (default 60)")
@@ -744,6 +757,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("serve", help="run the sweep-job service")
     p.add_argument("--socket", default=DEFAULT_SOCKET,
                    help=f"unix socket to bind (default {DEFAULT_SOCKET})")
+    p.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                   help="also bind a TCP endpoint, e.g. 127.0.0.1:7433 "
+                        "(port 0 picks an ephemeral port; the bound one "
+                        "is printed)")
+    p.add_argument("--shards", type=_worker_count, default=1,
+                   help="scheduler width: jobs running concurrently, "
+                        "each with its own worker thread and hot cache "
+                        "(default 1)")
     p.add_argument("--cache", default=None,
                    help="persist the warm lock-state cache to this file "
                         "(reloaded at start, spilled after every job)")
@@ -774,6 +795,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "this many seconds of running time")
     p.add_argument("--label", default=None,
                    help="free-form tag shown in status listings")
+    p.add_argument("--client", default=None, dest="client_id",
+                   help="fair-queue client id: jobs sharing an id share "
+                        "one round-robin dispatch slot, so one flooding "
+                        "client cannot starve the rest")
+    p.add_argument("--priority", type=int, default=0,
+                   help="priority class; higher classes are dispatched "
+                        "first (default 0)")
     p.add_argument("--watch", action="store_true",
                    help="stay attached and stream the job's tone results")
     p.add_argument("--json", action="store_true",

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import tempfile
 from collections import OrderedDict
 from typing import Hashable, Iterable, Optional, Tuple, Union
 
@@ -214,9 +215,19 @@ class LockStateCache:
         }
         data = pickle.dumps(payload, protocol=_PICKLE_PROTOCOL)
         path = os.fspath(path)
-        tmp = f"{path}.tmp.{os.getpid()}"
+        # The temporary must be unique per *call*, not per process: two
+        # writers in one process (sharded anti-entropy spills, threaded
+        # test floors) sharing a pid-derived name would truncate each
+        # other's in-flight data and unlink each other's temporaries.
+        # mkstemp hands every call its own file in the target directory
+        # (same filesystem, so os.replace stays atomic), and the
+        # ``finally`` below can only ever remove what this call created.
+        fd, tmp = tempfile.mkstemp(
+            prefix=f"{os.path.basename(path)}.tmp.",
+            dir=os.path.dirname(path) or ".",
+        )
         try:
-            with open(tmp, "wb") as fh:
+            with os.fdopen(fd, "wb") as fh:
                 fh.write(data)
             os.replace(tmp, path)
         finally:
@@ -236,7 +247,9 @@ class LockStateCache:
         adopting a small spill into a larger live cache); by default the
         loaded cache reproduces the saved one — same capacity, same
         entries in the same recency order — so a load/save round trip is
-        byte-identical.
+        byte-identical.  A malformed persisted capacity (zero, negative,
+        a bool, or any non-int) falls back to the constructor default
+        rather than raising: only an unreadable *file* is fatal.
 
         Raises
         ------
@@ -283,8 +296,20 @@ class LockStateCache:
             )
         capacity = max_entries
         if capacity is None:
+            # The persisted capacity is data from disk, so it gets the
+            # same distrust as the entries: a zero, a negative int or a
+            # bool (an int subclass!) would blow up the constructor with
+            # a ConfigurationError — the wrong exception for a load, and
+            # a startup crash for any service adopting the spill.  Fall
+            # back to the constructor default instead; a wrong capacity
+            # costs early evictions, never availability.
             persisted = payload.get("max_entries")
-            capacity = persisted if isinstance(persisted, int) else 256
+            if (isinstance(persisted, int)
+                    and not isinstance(persisted, bool)
+                    and persisted >= 1):
+                capacity = persisted
+            else:
+                capacity = 256
         cache = cls(max_entries=capacity)
         entries = payload.get("entries", ())
         skipped = 0

@@ -2,10 +2,11 @@
 
 :class:`ServiceClient` is the thin synchronous counterpart of
 :class:`~repro.service.server.SweepJobServer`: one short-lived
-connection per operation, JSON line out, JSON line(s) back.  It is what
-the ``submit`` / ``watch`` / ``status`` CLI commands are built on, and
-what a test-floor script would import — no asyncio required on the
-client side.
+connection per operation, JSON line out, JSON line(s) back.  It speaks
+either transport — a unix socket path or a TCP ``host:port`` endpoint;
+the wire bytes are identical.  It is what the ``submit`` / ``watch`` /
+``status`` CLI commands are built on, and what a test-floor script
+would import — no asyncio required on the client side.
 
 ``watch`` is a generator: it yields each event dict as the line
 arrives, so a caller sees tones while the sweep is still running, and
@@ -19,34 +20,53 @@ import os
 import socket
 from typing import Iterator, Optional, Union
 
-from repro.errors import ReproError, ServiceError
+from repro.errors import ConfigurationError, ReproError, ServiceError
 from repro.service.events import TERMINAL_EVENTS
 from repro.service.jobs import SweepJobSpec
-from repro.service.protocol import MAX_LINE_BYTES, encode_line
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    encode_line,
+    parse_tcp_endpoint,
+)
 
 __all__ = ["ServiceClient"]
 
 
 class ServiceClient:
-    """Talk to a running :class:`SweepJobServer` over its unix socket.
+    """Talk to a running :class:`SweepJobServer` over either transport.
 
     Parameters
     ----------
     socket_path:
-        The path the server bound (the ``serve`` command's
+        The unix socket path the server bound (the ``serve`` command's
         ``--socket``).
     timeout_s:
         Per-connection socket timeout.  ``watch`` applies it per line,
         so a healthy stream with slow tones is fine; a dead server
         raises instead of hanging the test floor forever.
+    tcp:
+        A ``"host:port"`` endpoint the server bound (the ``serve``
+        command's ``--tcp``).  Exactly one of ``socket_path`` / ``tcp``
+        must be given — one client object speaks one transport.
     """
 
     def __init__(
         self,
-        socket_path: Union[str, os.PathLike],
+        socket_path: Optional[Union[str, os.PathLike]] = None,
         timeout_s: Optional[float] = 60.0,
+        tcp: Optional[str] = None,
     ) -> None:
-        self.socket_path = os.fspath(socket_path)
+        if (socket_path is None) == (tcp is None):
+            raise ConfigurationError(
+                "give exactly one of socket_path (unix transport) or "
+                "tcp='host:port' (TCP transport)"
+            )
+        self.socket_path = (
+            os.fspath(socket_path) if socket_path is not None else None
+        )
+        self.tcp_endpoint = (
+            parse_tcp_endpoint(tcp) if tcp is not None else None
+        )
         self.timeout_s = timeout_s
 
     # ------------------------------------------------------------------
@@ -98,14 +118,22 @@ class ServiceClient:
     # plumbing
     # ------------------------------------------------------------------
     def _connect(self) -> socket.socket:
-        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.tcp_endpoint is not None:
+            family = socket.AF_INET
+            address = self.tcp_endpoint
+            shown = "{}:{}".format(*self.tcp_endpoint)
+        else:
+            family = socket.AF_UNIX
+            address = self.socket_path
+            shown = self.socket_path
+        sock = socket.socket(family, socket.SOCK_STREAM)
         sock.settimeout(self.timeout_s)
         try:
-            sock.connect(self.socket_path)
+            sock.connect(address)
         except OSError as exc:
             sock.close()
             raise ServiceError(
-                f"cannot reach service socket {self.socket_path!r}: {exc} "
+                f"cannot reach service at {shown!r}: {exc} "
                 "(is `python -m repro serve` running?)"
             ) from exc
         return sock

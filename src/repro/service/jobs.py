@@ -75,6 +75,12 @@ class SweepJobRequest:
     timeout diagnosis.  ``n_workers`` is passed to the monitor's
     executor selection per job (the ``REPRO_NUM_WORKERS`` environment
     override still wins).
+
+    ``client_id`` and ``priority`` feed the service's fair dispatch:
+    pending jobs are drained round-robin across client ids within each
+    priority class (higher classes first), so one flooding client
+    cannot starve the rest.  Both are optional — anonymous submissions
+    share one round-robin slot at priority 0.
     """
 
     pll: ChargePumpPLL
@@ -85,6 +91,12 @@ class SweepJobRequest:
     n_workers: int = 1
     timeout_s: Optional[float] = None
     label: Optional[str] = None
+    #: Fair-queue identity: jobs from the same client share one
+    #: round-robin slot; ``None`` means the anonymous shared slot.
+    client_id: Optional[str] = None
+    #: Priority class; the scheduler drains higher classes first
+    #: (ties broken round-robin per client, then submission order).
+    priority: int = 0
     #: Stage-0 settle engine: ``"scalar"`` (per-tone event loops),
     #: ``"vectorized"`` (the plan presettles on the NumPy lockstep farm,
     #: warming the service's shared cache; bit-identical results),
@@ -104,6 +116,19 @@ class SweepJobRequest:
         if self.settle not in ("fixed", "adaptive"):
             raise ConfigurationError(
                 f"settle must be 'fixed' or 'adaptive', got {self.settle!r}"
+            )
+        if self.client_id is not None and (
+            not isinstance(self.client_id, str) or not self.client_id
+        ):
+            raise ConfigurationError(
+                f"client_id must be a non-empty string or None, "
+                f"got {self.client_id!r}"
+            )
+        if isinstance(self.priority, bool) or not isinstance(
+            self.priority, int
+        ):
+            raise ConfigurationError(
+                f"priority must be an int, got {self.priority!r}"
             )
         validate_engine(self.engine)
         if (self.engine in ("vectorized", "closed_form")
@@ -135,6 +160,8 @@ class SweepJobSpec:
     timeout_s: Optional[float] = None
     label: Optional[str] = None
     engine: str = "scalar"
+    client_id: Optional[str] = None
+    priority: int = 0
 
     def to_dict(self) -> dict:
         """JSON-able payload for the submit request."""
@@ -206,6 +233,8 @@ class SweepJob:
         return {
             "job_id": self.job_id,
             "label": self.request.label,
+            "client_id": self.request.client_id,
+            "priority": self.request.priority,
             "state": self.state.value,
             "tones_planned": len(self.request.plan.frequencies_hz),
             "tones_streamed": len(self.streamed_indices),

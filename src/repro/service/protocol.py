@@ -48,6 +48,7 @@ __all__ = [
     "decode_line",
     "error_response",
     "parse_spec",
+    "parse_tcp_endpoint",
     "resolve_spec",
 ]
 
@@ -58,6 +59,34 @@ MAX_LINE_BYTES = 1 << 20
 OPS = frozenset(
     {"submit", "watch", "cancel", "status", "jobs", "report", "shutdown"}
 )
+
+
+def parse_tcp_endpoint(endpoint: str) -> "tuple[str, int]":
+    """Split a ``host:port`` endpoint string into ``(host, port)``.
+
+    The protocol is transport-agnostic — the same JSON lines flow over
+    a unix socket or TCP — so this is the one place the ``--tcp``
+    vocabulary of the serve/submit/watch CLI is parsed.  Port ``0``
+    is allowed (bind an ephemeral port; the server reports the real
+    one), and a bracketed IPv6 literal like ``[::1]:7000`` works.
+    """
+    if not isinstance(endpoint, str) or ":" not in endpoint:
+        raise ConfigurationError(
+            f"TCP endpoint must look like 'host:port', got {endpoint!r}"
+        )
+    host, _, port_text = endpoint.rpartition(":")
+    host = host.strip("[]") or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ConfigurationError(
+            f"TCP endpoint port must be an integer, got {port_text!r}"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ConfigurationError(
+            f"TCP endpoint port out of range 0-65535: {port}"
+        )
+    return host, port
 
 
 def encode_line(payload: dict) -> bytes:
@@ -122,6 +151,8 @@ def resolve_spec(spec: SweepJobSpec) -> SweepJobRequest:
         timeout_s=spec.timeout_s,
         label=spec.label,
         engine=spec.engine,
+        client_id=spec.client_id,
+        priority=spec.priority,
     )
 
 

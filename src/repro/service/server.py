@@ -1,10 +1,12 @@
-"""Unix-socket front door of the sweep-job service.
+"""Stream-socket front door of the sweep-job service.
 
 :class:`SweepJobServer` binds a :class:`~repro.service.service.SweepJobService`
-to a local stream socket and speaks the JSON-lines protocol of
-:mod:`repro.service.protocol`.  One connection carries one operation;
-``watch`` streams a job's events and closes after the terminal one, so
-clients are plain line readers with no framing state.
+to a local unix socket, a TCP endpoint, or both at once, and speaks the
+JSON-lines protocol of :mod:`repro.service.protocol` — the protocol is
+transport-agnostic, so both accept loops share one connection handler.
+One connection carries one operation; ``watch`` streams a job's events
+and closes after the terminal one, so clients are plain line readers
+with no framing state.
 
 The server is deliberately boring: every client-side mistake — bad
 JSON, unknown op, unknown job, a full queue — becomes an ``ok: false``
@@ -29,6 +31,7 @@ from repro.service.protocol import (
     encode_line,
     error_response,
     parse_spec,
+    parse_tcp_endpoint,
     resolve_spec,
 )
 from repro.service.service import SweepJobService
@@ -37,7 +40,7 @@ __all__ = ["SweepJobServer"]
 
 
 class SweepJobServer:
-    """Serve one :class:`SweepJobService` over a unix stream socket.
+    """Serve one :class:`SweepJobService` over stream sockets.
 
     Parameters
     ----------
@@ -45,9 +48,15 @@ class SweepJobServer:
         The service instance to expose (not started yet; the server
         starts and stops it around its own lifetime).
     socket_path:
-        Filesystem path to bind.  A stale socket file from a previous
-        run is removed before binding; the file is unlinked again on
-        shutdown.
+        Filesystem path to bind the unix transport.  A stale socket
+        file from a previous run is removed before binding; the file is
+        unlinked again on shutdown.  ``None`` disables the unix
+        transport (TCP-only server).
+    tcp:
+        ``"host:port"`` endpoint to bind the TCP transport (port ``0``
+        binds an ephemeral port; :attr:`tcp_port` reports the real
+        one after :meth:`start`).  ``None`` disables TCP.  At least one
+        transport must be configured.
 
     Usage::
 
@@ -64,11 +73,26 @@ class SweepJobServer:
     def __init__(
         self,
         service: SweepJobService,
-        socket_path: Union[str, os.PathLike],
+        socket_path: Optional[Union[str, os.PathLike]] = None,
+        tcp: Optional[str] = None,
     ) -> None:
+        if socket_path is None and tcp is None:
+            raise ConfigurationError(
+                "server needs at least one transport: a unix socket_path "
+                "and/or a 'host:port' tcp endpoint"
+            )
         self.service = service
-        self.socket_path = os.fspath(socket_path)
+        self.socket_path = (
+            os.fspath(socket_path) if socket_path is not None else None
+        )
+        self.tcp_endpoint = (
+            parse_tcp_endpoint(tcp) if tcp is not None else None
+        )
+        #: The actually bound TCP port (meaningful after start(); with
+        #: an endpoint of port 0 this is the kernel-assigned one).
+        self.tcp_port: Optional[int] = None
         self._server: Optional[asyncio.AbstractServer] = None
+        self._tcp_server: Optional[asyncio.AbstractServer] = None
         # Created in start(): an Event built here would bind whatever
         # loop (if any) exists at construction time, and the natural
         # call pattern — build the server, then asyncio.run(...) — runs
@@ -77,32 +101,48 @@ class SweepJobServer:
 
     async def start(self) -> None:
         """Start the service and begin accepting connections."""
-        if self._server is not None:
+        if self._server is not None or self._tcp_server is not None:
             raise ReproError("server already started")
-        with contextlib.suppress(FileNotFoundError):
-            os.unlink(self.socket_path)
         self._shutdown = asyncio.Event()
         await self.service.start()
-        self._server = await asyncio.start_unix_server(
-            self._handle_connection,
-            path=self.socket_path,
-            # readline()'s default 64 KiB limit is well below the
-            # protocol's line bound; give it the full bound plus slack
-            # so the explicit MAX_LINE_BYTES check below is what a
-            # too-long line actually hits.
-            limit=MAX_LINE_BYTES + 1024,
-        )
+        # readline()'s default 64 KiB limit is well below the protocol's
+        # line bound; give both transports the full bound plus slack so
+        # the explicit MAX_LINE_BYTES check below is what a too-long
+        # line actually hits.
+        limit = MAX_LINE_BYTES + 1024
+        if self.socket_path is not None:
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(self.socket_path)
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection,
+                path=self.socket_path,
+                limit=limit,
+            )
+        if self.tcp_endpoint is not None:
+            host, port = self.tcp_endpoint
+            self._tcp_server = await asyncio.start_server(
+                self._handle_connection,
+                host=host,
+                port=port,
+                limit=limit,
+            )
+            self.tcp_port = self._tcp_server.sockets[0].getsockname()[1]
 
     async def stop(self) -> None:
         """Stop accepting, drain the service, spill the cache, unbind."""
-        if self._server is None:
+        if self._server is None and self._tcp_server is None:
             return
-        self._server.close()
-        await self._server.wait_closed()
+        for server in (self._server, self._tcp_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
         self._server = None
+        self._tcp_server = None
+        self.tcp_port = None
         await self.service.stop()
-        with contextlib.suppress(FileNotFoundError):
-            os.unlink(self.socket_path)
+        if self.socket_path is not None:
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(self.socket_path)
 
     async def wait_shutdown(self) -> None:
         """Block until a ``shutdown`` operation arrives."""

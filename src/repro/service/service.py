@@ -3,31 +3,47 @@
 :class:`SweepJobService` turns the one-shot
 :class:`~repro.core.monitor.TransferFunctionMonitor` into a long-lived
 measurement controller, the shape production synthesizer test flows
-assume: jobs queue up, a scheduler runs them one at a time through the
-existing executor layer, and every finished tone is streamed to
+assume: jobs queue up, ``shards`` scheduler workers drain them through
+the existing executor layer, and every finished tone is streamed to
 subscribers *while the sweep is still in flight* — the seam the
 ROADMAP's adaptive sweep planning needs.
 
 Design points
 -------------
-* **One loop thread owns all state.**  Jobs run in a worker thread (the
+* **One loop thread owns all state.**  Jobs run in worker threads (the
   sweep is CPU-bound synchronous code), but every mutation — job
   transitions, event emission, cache bookkeeping — happens on the
   asyncio loop via ``call_soon_threadsafe``.  The per-tone callback the
   worker installs is also where cancellation and timeouts bite: both
   simply raise :class:`~repro.core.executor.SweepAborted` at the next
   tone boundary.
-* **One job at a time.**  The scheduler is deliberately width-1: the
-  shared :class:`~repro.core.warm.LockStateCache` then has exactly one
-  writer (per-job parallelism still fans tones over the process pool,
-  whose workers merge their discoveries back through the existing
-  export/merge seam).
-* **One cache across all jobs, persistent across sessions.**  The
-  service's cache is keyed by
+* **One job per shard at a time.**  The scheduler is ``shards`` wide
+  (width 1 by default); each shard drains the same fair queue and runs
+  its job in its own worker thread, so N jobs progress concurrently.
+  Per-job parallelism still fans tones over the process pool, whose
+  workers merge their discoveries back through the existing
+  export/merge seam — a 2-shard service running 2-worker jobs keeps
+  four cores busy.
+* **Fair dispatch.**  Pending jobs are drained round-robin across
+  client ids within each priority class (higher
+  :attr:`~repro.service.jobs.SweepJobRequest.priority` classes first),
+  so one client flooding the queue delays only its own jobs — the
+  next distinct client's job is at most one round-robin turn away.
+* **Shard-safe warm tier.**  Each shard settles into its *own* hot
+  :class:`~repro.core.warm.LockStateCache` (single writer, exactly the
+  width-1 guarantee, now per shard) and the service anti-entropies at
+  job boundaries: the shared tier's entries are merged into the
+  shard's hot cache before a job starts, and the shard's discoveries
+  are merged back after it finishes.  The PR 3 merge semantics —
+  existing entries win, idempotent — make the order irrelevant: every
+  shard converges on the union of all settled states.
+* **One shared tier across all jobs, persistent across sessions.**
+  The shared cache is keyed by
   :meth:`~repro.pll.config.ChargePumpPLL.physics_signature`, so repeated
-  lots and fault-library screens warm each other; with a ``cache_path``
-  it is reloaded at start and spilled back to disk after every finished
-  job and at shutdown (:meth:`~repro.core.warm.LockStateCache.save`).
+  lots and fault-library screens warm each other across shards; with a
+  ``cache_path`` it is reloaded at start and spilled back to disk after
+  every finished job and at shutdown
+  (:meth:`~repro.core.warm.LockStateCache.save`).
 * **Plan-order streaming.**  Pool chunks complete out of order; the
   service buffers and releases tone events strictly in plan order, so
   the in-band reference tone always arrives first and watchers can fold
@@ -41,7 +57,8 @@ import logging
 import os
 import threading
 import time
-from typing import AsyncIterator, Dict, List, Optional, Union
+from collections import OrderedDict, deque
+from typing import AsyncIterator, Deque, Dict, List, Optional, Union
 
 from repro.core.evaluation import magnitude_db_eq7
 from repro.core.executor import SweepAborted, ToneOutcome
@@ -110,6 +127,11 @@ class SweepJobService:
         in memory, like its cache and queue.  ``stats()`` keeps counting
         evicted jobs in ``jobs_by_state``; ``jobs()`` lists only the
         retained ones.
+    shards:
+        Scheduler width: how many jobs run concurrently, each in its
+        own worker thread with its own hot lock-state cache
+        (anti-entropied into the shared tier at job boundaries).  The
+        default keeps the historical width-1 behaviour.
 
     Usage::
 
@@ -128,6 +150,7 @@ class SweepJobService:
         cache_path: Optional[Union[str, os.PathLike]] = None,
         cache_max_entries: int = 1024,
         max_finished_jobs: int = 64,
+        shards: int = 1,
     ) -> None:
         if queue_limit < 1:
             raise ServiceError(
@@ -137,8 +160,11 @@ class SweepJobService:
             raise ServiceError(
                 f"max_finished_jobs must be >= 1, got {max_finished_jobs!r}"
             )
+        if shards < 1:
+            raise ServiceError(f"shards must be >= 1, got {shards!r}")
         self.queue_limit = queue_limit
         self.max_finished_jobs = max_finished_jobs
+        self.shards = shards
         self.cache_path = cache_path
         if cache is not None:
             self.cache = cache
@@ -146,19 +172,32 @@ class SweepJobService:
             self.cache = self._load_or_new_cache(
                 cache_path, cache_max_entries
             )
+        # Per-shard hot caches: each has exactly one writer (its
+        # shard's worker thread, while that shard runs a job), and the
+        # loop thread only touches them at job boundaries, where the
+        # shard is idle.  The shared ``self.cache`` is the persisted
+        # tier; only the loop thread ever reads or writes it.
+        self._worker_caches: List[LockStateCache] = [
+            LockStateCache(max_entries=self.cache.max_entries)
+            for _ in range(shards)
+        ]
         self._jobs: Dict[str, SweepJob] = {}
         self._order: List[str] = []
         self._history: Dict[str, List[JobEvent]] = {}
         self._subscribers: Dict[str, List["asyncio.Queue[JobEvent]"]] = {}
         self._abort_events: Dict[str, threading.Event] = {}
         self._abort_reasons: Dict[str, str] = {}
+        # Fair dispatch ring: priority class -> client id -> FIFO of
+        # pending job ids.  The asyncio queue (created in start())
+        # carries only wake tokens; the ring decides *which* job runs.
+        self._pending_ring: Dict[int, "OrderedDict[str, Deque[str]]"] = {}
         # Created in start(): a Queue built here would bind whatever
         # loop exists at construction time, and the natural pattern —
         # build the service, then asyncio.run(...) — runs on a
         # *different* loop (a hard failure on Python 3.9).
-        self._queue: Optional["asyncio.Queue[Optional[str]]"] = None
+        self._queue: Optional["asyncio.Queue[Optional[bool]]"] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
-        self._scheduler_task: Optional["asyncio.Task[None]"] = None
+        self._scheduler_tasks: List["asyncio.Task[None]"] = []
         self._accepting = False
         self._live = 0
         self._next_id = 1
@@ -190,18 +229,22 @@ class SweepJobService:
             return LockStateCache(max_entries=max_entries)
 
     async def start(self) -> None:
-        """Bind to the running loop and start the scheduler."""
-        if self._scheduler_task is not None:
+        """Bind to the running loop and start the scheduler shards."""
+        if self._scheduler_tasks:
             raise ServiceError("service already started")
         self._loop = asyncio.get_running_loop()
         self._queue = asyncio.Queue()
         self._started_at = time.monotonic()
         self._accepting = True
-        self._scheduler_task = self._loop.create_task(self._scheduler())
-        self._scheduler_task.add_done_callback(self._scheduler_done)
+        self._scheduler_tasks = [
+            self._loop.create_task(self._scheduler(shard))
+            for shard in range(self.shards)
+        ]
+        for task in self._scheduler_tasks:
+            task.add_done_callback(self._scheduler_done)
 
     def _scheduler_done(self, task: "asyncio.Task[None]") -> None:
-        """Watchdog: a crashed scheduler must not keep advertising.
+        """Watchdog: a crashed scheduler shard must not keep advertising.
 
         The dispatch loop is written never to raise, but if it ever
         does, the service would otherwise keep accepting jobs that will
@@ -214,21 +257,21 @@ class SweepJobService:
         if exc is not None:
             self._accepting = False
             _log.error(
-                "sweep-job scheduler died (%s: %s); "
+                "sweep-job scheduler shard died (%s: %s); "
                 "service no longer accepts jobs",
                 type(exc).__name__, exc,
             )
 
     async def stop(self, save_cache: bool = True) -> None:
-        """Drain and shut down: no new jobs, finish/abort the current one.
+        """Drain and shut down: no new jobs, finish/abort running ones.
 
         Pending jobs are cancelled (their slots freed, their watchers
-        get a terminal event); a running job is aborted at its next tone
-        boundary.  With ``save_cache`` (default) and a configured
+        get a terminal event); running jobs are aborted at their next
+        tone boundary.  With ``save_cache`` (default) and a configured
         ``cache_path``, the warm cache spills to disk last, so the next
         session's first job starts warm.
         """
-        if self._scheduler_task is None:
+        if not self._scheduler_tasks:
             return
         self._accepting = False
         for job_id in list(self._order):
@@ -238,16 +281,28 @@ class SweepJobService:
             elif job.state is JobState.RUNNING:
                 self.cancel(job_id)
         assert self._queue is not None  # created alongside the scheduler
-        await self._queue.put(None)  # sentinel: scheduler exits when idle
-        await self._scheduler_task
-        self._scheduler_task = None
+        for _ in self._scheduler_tasks:
+            # One sentinel per shard: each exits after its current job.
+            await self._queue.put(None)
+        await asyncio.gather(*self._scheduler_tasks)
+        self._scheduler_tasks = []
         if save_cache and self.cache_path is not None:
-            self.cache.save(self.cache_path)
+            # Same log-and-continue policy as the per-job spill: the
+            # scheduler has already drained, so a full disk here must
+            # cost the next session's warm start, not raise out of a
+            # clean shutdown.
+            try:
+                self.cache.save(self.cache_path)
+            except Exception:  # noqa: BLE001 - opportunistic spill
+                _log.warning(
+                    "final cache spill to %s failed",
+                    self.cache_path, exc_info=True,
+                )
 
     @property
     def running(self) -> bool:
         """Whether the scheduler is up and accepting work."""
-        return self._scheduler_task is not None and self._accepting
+        return bool(self._scheduler_tasks) and self._accepting
 
     # ------------------------------------------------------------------
     # submission / cancellation
@@ -285,8 +340,40 @@ class SweepJobService:
             "tones_planned": len(request.plan.frequencies_hz),
             "queue_depth": self.queue_depth,
         })
-        self._queue.put_nowait(job_id)
+        # Enqueue into the fair ring, then wake one scheduler shard.
+        # The token only says "a job arrived"; _next_fair_job decides
+        # which one actually runs.
+        clients = self._pending_ring.setdefault(
+            request.priority, OrderedDict()
+        )
+        clients.setdefault(request.client_id or "", deque()).append(job_id)
+        self._queue.put_nowait(True)
         return job
+
+    def _next_fair_job(self) -> Optional[SweepJob]:
+        """Pick the next pending job: priority first, then client RR.
+
+        The highest priority class present is drained first; inside a
+        class, one job is taken from the front client's FIFO and that
+        client rotates to the back of the ring, so interleaved clients
+        alternate no matter how deep any one client's backlog runs.
+        Jobs cancelled while queued are skipped here (their queue slot
+        was already freed at cancel time).
+        """
+        while self._pending_ring:
+            priority = max(self._pending_ring)
+            clients = self._pending_ring[priority]
+            client, backlog = next(iter(clients.items()))
+            job_id = backlog.popleft()
+            clients.move_to_end(client)
+            if not backlog:
+                del clients[client]
+            if not clients:
+                del self._pending_ring[priority]
+            job = self._jobs.get(job_id)
+            if job is not None and job.state is JobState.PENDING:
+                return job
+        return None
 
     def cancel(self, job_id: str) -> bool:
         """Cancel a job; ``True`` if the request had any effect.
@@ -368,8 +455,20 @@ class SweepJobService:
         return self._jobs_by_state[JobState.PENDING.value]
 
     def stats(self) -> dict:
-        """``/status``-style snapshot: queue, throughput, cache health."""
+        """``/status``-style snapshot: queue, throughput, cache health.
+
+        The ``cache`` block aggregates the tierset: ``entries`` /
+        ``capacity`` / ``merged`` describe the shared persisted tier,
+        while ``hits`` / ``misses`` / ``evictions`` also sum the
+        per-shard hot caches — jobs look up through their shard's hot
+        cache, so that is where the traffic lands.  At ``shards=1``
+        the numbers match the historical single-cache service exactly.
+        """
         detail = self.cache.stats_detail
+        for worker_cache in self._worker_caches:
+            hot = worker_cache.stats_detail
+            for counter in ("hits", "misses", "evictions"):
+                detail[counter] += hot[counter]
         lookups = detail["hits"] + detail["misses"]
         running = [
             job.job_id
@@ -388,10 +487,12 @@ class SweepJobService:
                 else 0.0
             ),
             "accepting": self.running,
+            "shards": self.shards,
             "queue_limit": self.queue_limit,
             "queue_depth": self.queue_depth,
             "live_jobs": self._live,
             "running_job": running[0] if running else None,
+            "running_jobs": running,
             "jobs_by_state": dict(self._jobs_by_state),
             "jobs_evicted": self._jobs_evicted,
             "tones_streamed": self._tones_streamed,
@@ -473,19 +574,24 @@ class SweepJobService:
             self._jobs_evicted += 1
             excess -= 1
 
-    async def _scheduler(self) -> None:
-        """Width-1 dispatch loop; exits on the ``stop`` sentinel."""
+    async def _scheduler(self, shard: int) -> None:
+        """One shard's dispatch loop; exits on a ``stop`` sentinel.
+
+        Every submission enqueues one wake token, so tokens always
+        cover the pending jobs; a token whose job was cancelled while
+        queued simply finds nothing to run.
+        """
         assert self._queue is not None  # created alongside this task
         while True:
-            job_id = await self._queue.get()
-            if job_id is None:
+            token = await self._queue.get()
+            if token is None:
                 return
-            job = self._jobs[job_id]
-            if job.state is not JobState.PENDING:
+            job = self._next_fair_job()
+            if job is None:
                 continue  # cancelled while queued; slot already freed
-            await self._run_job(job)
+            await self._run_job(job, shard)
 
-    async def _run_job(self, job: SweepJob) -> None:
+    async def _run_job(self, job: SweepJob, shard: int) -> None:
         assert self._loop is not None
         request = job.request
         self._transition(job, JobState.RUNNING)
@@ -496,7 +602,13 @@ class SweepJobService:
             "engine": request.engine,
             "n_workers": request.n_workers,
             "timeout_s": request.timeout_s,
+            "shard": shard,
         })
+        # Anti-entropy, pull half: adopt the shared tier's settled
+        # states before the worker thread starts.  The shard is idle
+        # right now, so the loop thread is the hot cache's only toucher.
+        worker_cache = self._worker_caches[shard]
+        worker_cache.merge(self.cache.export())
         abort = threading.Event()
         self._abort_events[job.job_id] = abort
 
@@ -572,7 +684,7 @@ class SweepJobService:
                 request.pll,
                 request.stimulus,
                 request.config,
-                cache=self.cache,
+                cache=worker_cache,
             )
             return monitor.run(
                 request.plan,
@@ -624,6 +736,11 @@ class SweepJobService:
         finally:
             if timeout_handle is not None:
                 timeout_handle.cancel()
+            # Anti-entropy, push half: fold the shard's discoveries into
+            # the shared tier (existing entries win, so concurrent
+            # shards that settled the same lane converge on one state).
+            # The job's worker thread is done — back to one toucher.
+            self.cache.merge(worker_cache.export())
             if self.cache_path is not None:
                 # Spill after every job: a few hundred bytes per settled
                 # state buys the next session a warm first lot even if

@@ -389,6 +389,177 @@ class TestFailedSpillSurvival:
         assert first.state is JobState.DONE
         assert second.state is JobState.DONE
 
+    def test_unspillable_cache_does_not_fail_stop(
+        self, fast_bist_config, tmp_path, monkeypatch
+    ):
+        # Regression: the *final* spill in stop() was the one save call
+        # outside the log-and-continue policy, so a full disk at
+        # shutdown raised out of an otherwise clean stop() — after the
+        # scheduler had already drained.
+        async def scenario():
+            service = SweepJobService(cache_path=tmp_path / "warm.cache")
+            await service.start()
+            job, _ = await run_to_end(service, request(fast_bist_config))
+            monkeypatch.setattr(
+                service.cache,
+                "save",
+                lambda path: (_ for _ in ()).throw(OSError("disk full")),
+            )
+            await service.stop()  # must not raise
+            return job, service
+
+        job, service = run(scenario())
+        assert job.state is JobState.DONE
+        assert service.running is False
+
+
+class TestShardedService:
+    def test_two_shard_reports_byte_identical_to_width_one(
+        self, fast_bist_config
+    ):
+        # Two jobs submitted together run concurrently on two shards;
+        # each still produces the exact one-shot artefact.
+        async def scenario():
+            service = SweepJobService(shards=2)
+            await service.start()
+            try:
+                first = service.submit(request(fast_bist_config))
+                second = service.submit(request(fast_bist_config))
+                for job in (first, second):
+                    async for _ in service.watch(job.job_id):
+                        pass
+                return first, second, service.stats()
+            finally:
+                await service.stop()
+
+        first, second, stats = run(scenario())
+        one_shot = TransferFunctionMonitor(
+            paper_pll(), paper_stimulus("multitone"), fast_bist_config
+        ).run(SweepPlan(SMOKE_TONES))
+        expected = device_report(paper_pll(), one_shot)
+        assert first.report == expected
+        assert second.report == expected
+        assert stats["shards"] == 2
+
+    def test_anti_entropy_warms_the_other_shard(self, fast_bist_config):
+        # Sequential same-physics jobs on a 2-shard service: whichever
+        # shard takes the second job pulls the first job's settled
+        # states from the shared tier, so it runs fully warm.
+        async def scenario():
+            service = SweepJobService(shards=2)
+            await service.start()
+            try:
+                first, _ = await run_to_end(
+                    service, request(fast_bist_config)
+                )
+                second, _ = await run_to_end(
+                    service, request(fast_bist_config)
+                )
+                return first, second, service.stats()
+            finally:
+                await service.stop()
+
+        first, second, stats = run(scenario())
+        assert first.warm_tones == 0
+        assert second.warm_tones == len(SMOKE_TONES)
+        # The aggregated counters fold the per-shard hot caches in.
+        assert stats["cache"]["hits"] == len(SMOKE_TONES)
+        assert stats["cache"]["hit_rate"] == 0.5
+
+    def test_rejects_nonpositive_shards(self):
+        with pytest.raises(ServiceError, match="shards"):
+            SweepJobService(shards=0)
+
+
+class TestFairDispatch:
+    def test_flooding_client_cannot_starve_another(self, fast_bist_config):
+        # Client A floods three jobs before client B submits one.  A
+        # FIFO queue would run B last; the round-robin ring runs B
+        # right after A's first job.
+        async def scenario():
+            service = SweepJobService()
+            await service.start()
+            try:
+                flood = [
+                    service.submit(
+                        request(fast_bist_config, client_id="flooder")
+                    )
+                    for _ in range(3)
+                ]
+                polite = service.submit(
+                    request(fast_bist_config, client_id="polite")
+                )
+                for job in flood + [polite]:
+                    async for _ in service.watch(job.job_id):
+                        pass
+                return flood, polite
+            finally:
+                await service.stop()
+
+        flood, polite = run(scenario())
+        assert all(job.state is JobState.DONE for job in flood + [polite])
+        starts = sorted(
+            flood + [polite], key=lambda job: job.started_at
+        )
+        assert [job.job_id for job in starts] == [
+            flood[0].job_id,      # flooder's head-of-line job
+            polite.job_id,        # ...then the other client's turn
+            flood[1].job_id,
+            flood[2].job_id,
+        ]
+
+    def test_higher_priority_class_drains_first(self, fast_bist_config):
+        async def scenario():
+            service = SweepJobService()
+            await service.start()
+            try:
+                bulk = [
+                    service.submit(
+                        request(fast_bist_config, client_id="bulk")
+                    )
+                    for _ in range(2)
+                ]
+                urgent = service.submit(
+                    request(
+                        fast_bist_config, client_id="probe", priority=1
+                    )
+                )
+                for job in bulk + [urgent]:
+                    async for _ in service.watch(job.job_id):
+                        pass
+                return bulk, urgent
+            finally:
+                await service.stop()
+
+        bulk, urgent = run(scenario())
+        assert all(job.state is JobState.DONE for job in bulk + [urgent])
+        # The priority-1 job was submitted last but dispatched first.
+        assert urgent.started_at < min(job.started_at for job in bulk)
+
+    def test_cancelled_queued_job_is_skipped_by_the_ring(
+        self, fast_bist_config
+    ):
+        async def scenario():
+            service = SweepJobService()
+            await service.start()
+            try:
+                first = service.submit(request(fast_bist_config))
+                doomed = service.submit(request(fast_bist_config))
+                survivor = service.submit(request(fast_bist_config))
+                service.cancel(doomed.job_id)
+                for job in (first, doomed, survivor):
+                    async for _ in service.watch(job.job_id):
+                        pass
+                return first, doomed, survivor
+            finally:
+                await service.stop()
+
+        first, doomed, survivor = run(scenario())
+        assert first.state is JobState.DONE
+        assert doomed.state is JobState.CANCELLED
+        assert doomed.started_at is None
+        assert survivor.state is JobState.DONE
+
 
 class TestRetention:
     def test_finished_jobs_age_out_past_the_bound(self, fast_bist_config):

@@ -41,6 +41,7 @@ from repro.service.protocol import (
     MAX_LINE_BYTES,
     decode_line,
     encode_line,
+    parse_tcp_endpoint,
     resolve_spec,
 )
 
@@ -64,6 +65,24 @@ class TestLineCodec:
     def test_decode_rejects_non_object(self):
         with pytest.raises(ConfigurationError, match="JSON object"):
             decode_line(b"[1, 2, 3]\n")
+
+
+class TestTcpEndpointParsing:
+    def test_host_and_port(self):
+        assert parse_tcp_endpoint("127.0.0.1:7433") == ("127.0.0.1", 7433)
+
+    def test_ephemeral_port_and_default_host(self):
+        assert parse_tcp_endpoint(":0") == ("127.0.0.1", 0)
+
+    def test_bracketed_ipv6_literal(self):
+        assert parse_tcp_endpoint("[::1]:7000") == ("::1", 7000)
+
+    @pytest.mark.parametrize(
+        "endpoint", ["no-port-here", "host:notaport", "host:70000"]
+    )
+    def test_rejects_malformed_endpoints(self, endpoint):
+        with pytest.raises(ConfigurationError):
+            parse_tcp_endpoint(endpoint)
 
 
 class TestSpec:
@@ -258,6 +277,138 @@ class TestServiceSmoke:
             sock.close()
         assert reply["ok"] is False
         assert f"exceeds {MAX_LINE_BYTES}" in reply["error"]
+
+
+# ----------------------------------------------------------------------
+# TCP transport
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def tcp_server():
+    """A TCP-only server on an ephemeral port, in a background thread.
+
+    Yields a holder with the bound ``port``, the server's ``loop`` and
+    the underlying ``service`` (for interleaving assertions the wire
+    protocol does not expose).
+    """
+    started = threading.Event()
+    holder = {}
+
+    def serve() -> None:
+        async def main() -> None:
+            service = SweepJobService()
+            server = SweepJobServer(service, tcp="127.0.0.1:0")
+            await server.start()
+            holder["loop"] = asyncio.get_running_loop()
+            holder["service"] = service
+            holder["port"] = server.tcp_port
+            started.set()
+            try:
+                await server.wait_shutdown()
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    assert started.wait(30), "TCP service never came up"
+    yield holder
+    try:
+        ServiceClient(
+            tcp=f"127.0.0.1:{holder['port']}", timeout_s=10.0
+        ).shutdown()
+    except ServiceError:
+        pass  # a test already shut it down
+    thread.join(timeout=60)
+    assert not thread.is_alive(), "server thread failed to drain"
+
+
+@pytest.fixture(scope="module")
+def tcp_client(tcp_server):
+    return ServiceClient(
+        tcp=f"127.0.0.1:{tcp_server['port']}", timeout_s=120.0
+    )
+
+
+class TestTcpTransport:
+    def test_smoke_streams_plan_order_and_identical_report(
+        self, tcp_server, tcp_client
+    ):
+        # The same CI smoke as the unix-socket module fixture, over
+        # TCP: tone events in plan order, report byte-identical to the
+        # one-shot run — the transport changes nothing but the address.
+        accepted = tcp_client.submit(
+            SweepJobSpec(points=SMOKE_POINTS, label="tcp-smoke")
+        )
+        events = list(tcp_client.watch(accepted["job_id"]))
+        tones = [e for e in events if e.get("event") == "tone"]
+        assert [e["index"] for e in tones] == list(range(SMOKE_POINTS))
+        assert events[-1]["event"] == "done"
+        one_shot = TransferFunctionMonitor(
+            paper_pll(), paper_stimulus("multitone"), paper_bist_config()
+        ).run(paper_sweep(points=SMOKE_POINTS))
+        assert tcp_client.report(accepted["job_id"]) == \
+            device_report(paper_pll(), one_shot)
+
+    def test_snapshot_carries_fair_queue_identity(
+        self, tcp_server, tcp_client
+    ):
+        accepted = tcp_client.submit(SweepJobSpec(
+            points=2, client_id="floor-7", priority=2, label="idcheck",
+        ))
+        assert accepted["client_id"] == "floor-7"
+        assert accepted["priority"] == 2
+        list(tcp_client.watch(accepted["job_id"]))  # drain
+
+    def test_flooding_client_interleaves_over_the_wire(
+        self, tcp_server, tcp_client
+    ):
+        # Client "flood" stuffs three jobs down the TCP pipe before
+        # "polite" submits one.  To make the dispatch order observable
+        # (warm jobs finish in milliseconds), the single shard is first
+        # pinned on a long cold job; everything submitted while it runs
+        # queues up, and cancelling it releases the fair ring in one
+        # deterministic burst: flood[0], polite, flood[1], flood[2].
+        blocker = tcp_client.submit(SweepJobSpec(
+            points=12, nonlinear=True, client_id="blocker",
+        ))["job_id"]
+        for event in tcp_client.watch(blocker):
+            if event.get("event") == "started":
+                break
+        flood = [
+            tcp_client.submit(
+                SweepJobSpec(points=2, client_id="flood")
+            )["job_id"]
+            for _ in range(3)
+        ]
+        polite = tcp_client.submit(
+            SweepJobSpec(points=2, client_id="polite")
+        )["job_id"]
+        tcp_client.cancel(blocker)
+        for job_id in flood + [polite]:
+            events = list(tcp_client.watch(job_id))
+            assert events[-1]["event"] == "done"
+        service = tcp_server["service"]
+        started = {
+            job_id: service.get(job_id).started_at
+            for job_id in flood + [polite]
+        }
+        assert started[flood[0]] < started[polite]
+        assert started[polite] < started[flood[1]] < started[flood[2]]
+
+
+class TestClientTransportChoice:
+    def test_no_transport_rejected(self):
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            ServiceClient()
+
+    def test_both_transports_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            ServiceClient(tmp_path / "svc.sock", tcp="127.0.0.1:7433")
+
+    def test_server_requires_some_transport(self):
+        with pytest.raises(ConfigurationError, match="transport"):
+            SweepJobServer(SweepJobService())
 
 
 class TestFailedToneOverTheWire:

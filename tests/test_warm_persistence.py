@@ -10,7 +10,9 @@ inside a readable file are skipped, never fatal.
 
 from __future__ import annotations
 
+import os
 import pickle
+import threading
 
 import pytest
 
@@ -74,6 +76,53 @@ class TestRoundTrip:
         assert len(loaded) == len(cache)
 
 
+class TestConcurrentWriters:
+    def test_save_leaves_other_writers_tmp_alone(self, populated, tmp_path):
+        # Regression: the temporary used to be ``{path}.tmp.{pid}`` —
+        # unique per *process*, not per call — so a second writer in
+        # the same process (exactly what sharded anti-entropy spills
+        # create) opened the first writer's in-flight temporary,
+        # truncated its bytes, and the loser's cleanup unlinked the
+        # winner's file.  Simulate the other writer's in-flight tmp at
+        # the old colliding name: save() must neither write through it
+        # nor remove it.
+        cache, _ = populated
+        target = tmp_path / "spill.cache"
+        in_flight = tmp_path / f"spill.cache.tmp.{os.getpid()}"
+        in_flight.write_bytes(b"another writer's half-spilled cache")
+        cache.save(target)
+        assert in_flight.read_bytes() == \
+            b"another writer's half-spilled cache"
+        assert LockStateCache.load(target).export() == cache.export()
+
+    def test_parallel_saves_to_one_path_stay_loadable(
+        self, populated, tmp_path
+    ):
+        # Many writers, one spill path — the sharded service's worst
+        # case.  Every interleaving must leave a loadable file (some
+        # complete writer's contents), raise nothing, and litter no
+        # temporaries.
+        cache, _ = populated
+        target = tmp_path / "spill.cache"
+        errors = []
+
+        def spill():
+            try:
+                for _ in range(10):
+                    cache.save(target)
+            except Exception as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        threads = [threading.Thread(target=spill) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert [p.name for p in tmp_path.iterdir()] == ["spill.cache"]
+        assert LockStateCache.load(target).export() == cache.export()
+
+
 class TestLoadGuards:
     def test_missing_file_raises(self, tmp_path):
         with pytest.raises(CachePersistenceError, match="no persisted"):
@@ -108,6 +157,55 @@ class TestLoadGuards:
         }))
         with pytest.raises(CachePersistenceError, match="version"):
             LockStateCache.load(path)
+
+    @pytest.mark.parametrize("bad_capacity", [0, -3, True, False, "lots"])
+    def test_malformed_persisted_capacity_is_clamped(
+        self, populated, tmp_path, bad_capacity
+    ):
+        # Regression: a persisted ``max_entries`` of 0, a negative int,
+        # or a bool used to be fed straight into the constructor, which
+        # raised ConfigurationError — the wrong exception type for a
+        # load (the documented contract is CachePersistenceError for
+        # unreadable files, nothing for salvageable ones), and a
+        # startup crash for SweepJobService._load_or_new_cache, which
+        # only catches CachePersistenceError.
+        cache, _ = populated
+        path = tmp_path / "badcap.cache"
+        cache.save(path)
+        payload = pickle.loads(path.read_bytes())
+        payload["max_entries"] = bad_capacity
+        path.write_bytes(pickle.dumps(payload))
+        loaded = LockStateCache.load(path)
+        assert loaded.max_entries == 256  # the constructor default
+        assert loaded.export() == cache.export()  # entries survive
+
+    def test_malformed_capacity_does_not_crash_service_start(
+        self, populated, tmp_path
+    ):
+        from repro.service import SweepJobService
+
+        cache, _ = populated
+        path = tmp_path / "badcap.cache"
+        cache.save(path)
+        payload = pickle.loads(path.read_bytes())
+        payload["max_entries"] = 0
+        path.write_bytes(pickle.dumps(payload))
+        service = SweepJobService(cache_path=path)
+        # Better than the contract asks for: the spill is salvageable,
+        # so the service starts *warm*, not merely cold.
+        assert len(service.cache) == len(cache)
+
+    def test_explicit_capacity_override_ignores_persisted_junk(
+        self, populated, tmp_path
+    ):
+        cache, _ = populated
+        path = tmp_path / "badcap.cache"
+        cache.save(path)
+        payload = pickle.loads(path.read_bytes())
+        payload["max_entries"] = -1
+        path.write_bytes(pickle.dumps(payload))
+        loaded = LockStateCache.load(path, max_entries=32)
+        assert loaded.max_entries == 32
 
     def test_stale_entries_skipped_not_fatal(self, populated, tmp_path):
         cache, _ = populated
