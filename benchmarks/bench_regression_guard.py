@@ -20,11 +20,13 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
 from check_regression import (  # noqa: E402
     CF_BATCH_SPEEDUP_FLOOR,
+    POPULATION_THROUGHPUT_FLOOR,
     SERVICE_LOAD_SPEEDUP_FLOOR,
     SLOWDOWN_THRESHOLD,
     VEC_BATCH_SPEEDUP_FLOOR,
     VEC_SINGLE_SPEEDUP_FLOOR,
     check_closed_form_floor,
+    check_population,
     check_service_load,
     check_vec_floor,
     check_vec_single_floor,
@@ -301,3 +303,87 @@ def test_vec_single_speedup_within_floor(report, paper_dut):
         f"verdict         : {verdict}",
     ]))
     assert not problems, problems
+
+
+def test_population_within_floor(report):
+    """The population screen must stay deterministic and hold its floor.
+
+    Re-screens a 16-die slice of the bench's CDR-corner population at
+    two chunk sizes and applies
+    :func:`~check_regression.check_population`: byte identity of the
+    aggregate summary unconditionally, the throughput floor only on
+    hosts with the cores to gate it.  Skips against baselines that
+    predate the population subsystem.
+    """
+    from bench_perf_population import GATE_CORES
+    from repro.core.executor import _visible_cpu_count
+    from repro.pll.population import (
+        PopulationSpec,
+        ToleranceSpec,
+        screen_population,
+    )
+
+    baseline = load_committed()
+    if baseline is None:
+        pytest.skip("no committed BENCH_sweep.json baseline at HEAD")
+    if baseline.get("population_throughput_dies_per_s") is None:
+        pytest.skip("baseline predates the population subsystem")
+
+    cores = _visible_cpu_count()
+    gated = cores >= GATE_CORES
+    spec = PopulationSpec(
+        corner="cdr180", size=16, seed=2026,
+        tolerance=ToleranceSpec(distribution="truncated", rel_sigma=0.05),
+        fault_rate=0.10, points=9,
+    )
+    first, stats = screen_population(
+        spec, chunk_size=5, n_workers=min(4, cores)
+    )
+    second, __ = screen_population(
+        spec, chunk_size=16, n_workers=min(4, cores)
+    )
+    fresh = {
+        "population_throughput_dies_per_s": round(stats.dies_per_s, 4),
+        "population_byte_identical":
+            first.to_json(spec.describe()) == second.to_json(spec.describe()),
+        "population_gated": gated,
+    }
+    problems = check_population(baseline, fresh)
+
+    verdict = "PASS" if not problems else "; ".join(problems)
+    report("perf_population_guard", "\n".join([
+        f"population      : {spec.size} dies, {cores} visible core(s)",
+        f"throughput      : {stats.dies_per_s:.2f} dies/s "
+        + (f"(floor {POPULATION_THROUGHPUT_FLOOR:.1f})" if gated
+           else "(recorded only; host below gate)"),
+        f"byte-identical  : {fresh['population_byte_identical']}",
+        f"verdict         : {verdict}",
+    ]))
+    assert not problems, problems
+
+
+def test_population_namespace_is_closed():
+    """A renamed/misspelled ``population_*`` key must fail the check —
+    otherwise the metric silently detaches from its baseline."""
+    baseline = {"population_throughput_dies_per_s": 3.0}
+    fresh = {
+        "population_throughput_dies_per_s": 3.0,
+        "population_byte_identical": True,
+        "population_gated": False,
+        "population_troughput_dies_per_s": 3.0,  # the typo under test
+    }
+    problems = check_population(baseline, fresh)
+    assert any("unknown population key" in p for p in problems)
+    # Pre-population baselines tolerate a fresh result without the keys.
+    assert check_population({}, {}) == []
+    # ...but once the baseline carries the key it can never vanish.
+    assert check_population(baseline, {}) != []
+    # Broken memory model or determinism fails regardless of gating.
+    for flag in ("population_rss_flat", "population_traced_flat",
+                 "population_smoke_rss_flat", "population_byte_identical"):
+        bad = {
+            "population_throughput_dies_per_s": 3.0,
+            "population_gated": False,
+            flag: False,
+        }
+        assert check_population(baseline, bad), flag

@@ -59,6 +59,48 @@ CF_BATCH_SPEEDUP_FLOOR = 2.0
 #: CPU-bound jobs on a small box, so there the numbers are trajectory
 #: records, not promises.
 SERVICE_LOAD_SPEEDUP_FLOOR = 1.5
+#: Absolute floor for the population screen's throughput on the 96-die
+#: CDR-corner run (the bench itself gates 2.0 dies/s; the checker
+#: leaves noise headroom).  Only enforced when the fresh run was gated
+#: (``population_gated``, >= 4 visible cores) — physics-distinct dies
+#: cannot overlap on a small box, so there the numbers are trajectory
+#: records, not promises.
+POPULATION_THROUGHPUT_FLOOR = 1.5
+#: Every ``population_*`` key the population bench is allowed to write.
+#: A fresh result carrying a ``population_``-prefixed key outside this
+#: set fails the check — renamed or misspelled keys would otherwise
+#: detach the trajectory silently (the old name goes stale in the
+#: baseline, the new one is never compared).
+POPULATION_KNOWN_KEYS = frozenset({
+    "population_dies",
+    "population_corner",
+    "population_points",
+    "population_fault_rate",
+    "population_visible_cores",
+    "population_n_workers",
+    "population_chunk_size",
+    "population_n_chunks",
+    "population_wall_s",
+    "population_throughput_dies_per_s",
+    "population_yield",
+    "population_yield_ci",
+    "population_fault_coverage",
+    "population_false_reject_rate",
+    "population_errors",
+    "population_rss_kb_per_chunk",
+    "population_rss_flat",
+    "population_byte_identical",
+    "population_gated",
+    "population_throughput_skipped",
+    "population_traced_kb_per_chunk",
+    "population_traced_flat",
+    "population_smoke_dies",
+    "population_smoke_wall_s",
+    "population_smoke_throughput_dies_per_s",
+    "population_smoke_yield",
+    "population_smoke_rss_kb_per_chunk",
+    "population_smoke_rss_flat",
+})
 #: Keys a newer benchmark deliberately stopped writing.  A fresh result
 #: that carries the closed-form trajectory must no longer carry them;
 #: stale copies in an old baseline are ignored.
@@ -274,6 +316,65 @@ def check_service_load(
     return problems
 
 
+def check_population(
+    baseline: dict,
+    fresh: dict,
+    floor: float = POPULATION_THROUGHPUT_FLOOR,
+) -> List[str]:
+    """Guard the population-screen trajectory and its key namespace.
+
+    Same tolerant-missing discipline as :func:`check_vec_floor`: the
+    fresh result must carry ``population_throughput_dies_per_s`` only
+    once the committed baseline does, so pre-population baselines never
+    fail and the key can never silently vanish afterwards.  On top of
+    that the whole ``population_*`` namespace is closed: any prefixed
+    key outside :data:`POPULATION_KNOWN_KEYS` fails, so a renamed
+    metric cannot silently detach from its baseline.  Determinism and
+    the memory plateaus are unconditional; the throughput floor applies
+    only when the fresh run itself was gated (>= 4 visible cores).
+    """
+    problems: List[str] = []
+    unknown = sorted(
+        key for key in fresh
+        if key.startswith("population_") and key not in POPULATION_KNOWN_KEYS
+    )
+    for key in unknown:
+        problems.append(
+            f"unknown population key {key!r} in the fresh result; add it "
+            "to POPULATION_KNOWN_KEYS (or fix the benchmark's spelling)"
+        )
+    fresh_tp = fresh.get("population_throughput_dies_per_s")
+    if fresh_tp is None:
+        if baseline.get("population_throughput_dies_per_s") is not None:
+            problems.append(
+                "population_throughput_dies_per_s missing from the "
+                "fresh result (the committed baseline has it)"
+            )
+        return problems
+    if fresh.get("population_byte_identical") is False:
+        problems.append(
+            "population aggregate summaries were not byte-identical "
+            "across chunk sizes"
+        )
+    for key, label in (
+        ("population_rss_flat", "RSS"),
+        ("population_traced_flat", "traced heap"),
+        ("population_smoke_rss_flat", "512-die smoke RSS"),
+    ):
+        if fresh.get(key) is False:
+            problems.append(
+                f"population screen {label} grew past its plateau bound "
+                "(streaming memory model broken)"
+            )
+    if fresh.get("population_gated") and fresh_tp < floor:
+        problems.append(
+            f"population screen throughput below its floor: "
+            f"{fresh_tp:.2f} dies/s vs required {floor:.1f} dies/s "
+            "(gated host)"
+        )
+    return problems
+
+
 def check_retired_keys(fresh: dict) -> List[str]:
     """A fresh result on the closed-form trajectory must not resurrect
     keys the benchmark retired (stale merges defeat the trajectory)."""
@@ -324,6 +425,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     problems += check_vec_single_floor(baseline, fresh)
     problems += check_closed_form_floor(baseline, fresh)
     problems += check_service_load(baseline, fresh)
+    problems += check_population(baseline, fresh)
     problems += check_retired_keys(fresh)
     if problems:
         for problem in problems:

@@ -378,6 +378,85 @@ def cmd_lot(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_population(args) -> int:
+    """Screen a sampled device population with streaming aggregation.
+
+    The 10k-die workload: dies are drawn from seeded process-variation
+    distributions around a corner's nominals (plus injected macro
+    faults at ``--fault-rate``), streamed through the batch screen in
+    bounded-memory chunks, and folded into online aggregates — yield
+    with Wilson intervals, (fn, ζ, f3dB) quantile sketches, fault
+    coverage against the injected ground truth.  Per-die records can be
+    exported as JSONL while streaming; the final summary JSON is
+    byte-identical for a given seed regardless of chunking.
+    """
+    import json as _json
+
+    from repro.pll.population import (
+        ChunkProgress,
+        PopulationSpec,
+        ToleranceSpec,
+        screen_population,
+    )
+
+    try:
+        spec = PopulationSpec(
+            corner=args.corner,
+            size=args.dies,
+            seed=args.seed,
+            tolerance=ToleranceSpec(
+                distribution=args.dist,
+                rel_sigma=args.sigma,
+                clip_sigmas=args.clip,
+            ),
+            fault_rate=args.fault_rate,
+            points=args.points,
+            rel_tol=args.rel_tol,
+        )
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from None
+
+    def live(p: ChunkProgress) -> None:
+        if args.quiet:
+            return
+        y = p.yield_so_far
+        rate = p.dies_per_s
+        print(
+            f"chunk {p.chunk_index + 1}/{p.n_chunks}: "
+            f"{p.dies_done}/{p.dies_total} dies, "
+            f"yield {y:.3f}, {p.errors} errors, "
+            f"{rate:.1f} dies/s" if y is not None and rate is not None
+            else f"chunk {p.chunk_index + 1}/{p.n_chunks}",
+            flush=True,
+        )
+
+    with _profiled(args.profile, engine=args.engine):
+        aggregate, stats = screen_population(
+            spec,
+            chunk_size=args.chunk,
+            n_workers=args.workers,
+            engine=args.engine,
+            jsonl=args.jsonl,
+            progress=live,
+        )
+    if not args.quiet:
+        print(
+            f"screened {stats.dies} dies in {stats.wall_s:.1f} s "
+            f"({stats.dies_per_s:.1f} dies/s, chunk={stats.chunk_size}, "
+            f"engine={stats.engine}, workers={stats.n_workers}); "
+            f"warm cache {stats.cache_entries} entries, nominal memo "
+            f"{stats.memo_hits} hits / {stats.memo_misses} misses / "
+            f"{stats.memo_evictions} evictions",
+        )
+        if args.jsonl:
+            print(f"wrote per-die records to {args.jsonl}")
+    print(_json.dumps(
+        _json.loads(aggregate.to_json(spec.describe())), indent=2,
+        sort_keys=True,
+    ))
+    return 0
+
+
 def cmd_diagnose(args) -> int:
     pll = paper_pll()
     try:
@@ -726,6 +805,55 @@ def build_parser() -> argparse.ArgumentParser:
                         "to a unique per-invocation variant of PATH and "
                         "print the top-20 cumulative table")
     p.set_defaults(handler=cmd_lot)
+
+    p = sub.add_parser(
+        "population",
+        help="screen a sampled device population (streaming Monte-Carlo)",
+    )
+    p.add_argument("--corner", default="table3",
+                   choices=("table3", "cdr180"),
+                   help="design point to sample around: the Table 3 "
+                        "reconstruction or the 180 nm-class current-pump "
+                        "corner (default table3)")
+    p.add_argument("--dies", type=int, default=256,
+                   help="population size (default 256)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="population seed; same seed => byte-identical "
+                        "summary (default 0)")
+    p.add_argument("--dist", default="normal",
+                   choices=("normal", "uniform", "truncated"),
+                   help="component tolerance distribution (default normal)")
+    p.add_argument("--sigma", type=float, default=0.03,
+                   help="fractional tolerance: 1-sigma for normal/"
+                        "truncated, half-width for uniform (default 0.03)")
+    p.add_argument("--clip", type=float, default=3.0,
+                   help="truncation bound in sigmas for --dist truncated "
+                        "(default 3)")
+    p.add_argument("--fault-rate", type=float, default=0.0,
+                   help="per-die probability of one injected macro fault "
+                        "(ground truth recorded; default 0)")
+    p.add_argument("--points", type=int, default=9,
+                   help="sweep tones per die (default 9)")
+    p.add_argument("--rel-tol", type=float, default=0.25,
+                   help="fractional limit band on fn/zeta/f3dB "
+                        "(default 0.25)")
+    p.add_argument("--chunk", type=int, default=None,
+                   help="dies per streamed chunk (default: sized so one "
+                        "chunk's settle lanes fit the warm cache)")
+    p.add_argument("--workers", type=_worker_count, default=1,
+                   help="device worker processes per chunk (default 1)")
+    p.add_argument("--engine", default="auto", choices=ENGINES,
+                   help="stage-0 settle engine (default auto: closed_form "
+                        "-> vectorized -> scalar per lane)")
+    p.add_argument("--jsonl", default=None, metavar="PATH",
+                   help="stream one JSON record per die to this file")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the live per-chunk digest")
+    p.add_argument("--profile", default=None, metavar="PATH",
+                   help="cProfile the screen; write the pstats dump to a "
+                        "unique per-invocation variant of PATH and print "
+                        "the top-20 cumulative table")
+    p.set_defaults(handler=cmd_population)
 
     p = sub.add_parser("diagnose",
                        help="rank component explanations for a shift")

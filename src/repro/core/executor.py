@@ -398,27 +398,38 @@ def _measurement_cache_key(
 
 
 def _relevant_warm_entries(
-    cache: LockStateCache, pll: ChargePumpPLL
+    cache: LockStateCache, pll_or_signatures
 ) -> Tuple:
-    """Exported settled states worth shipping for this device's sweep.
+    """Exported settled states worth shipping for a sweep or a chunk.
 
     A lot-shared cache holds entries for *every* physics family the lot
     has touched; a sweep of one device can only ever restore entries
     whose snapshot carries that device's physics signature.  Filtering
-    here keeps the per-chunk pickle payload proportional to one device's
-    tones instead of the whole lot's history.  Entries with no recorded
-    signature (pre-PR-3 snapshots) ship conservatively — the worker-side
-    restore still validates compatibility.
+    here keeps the per-chunk pickle payload proportional to the chunk's
+    own tones instead of the whole lot's history.  Entries with no
+    recorded signature (pre-PR-3 snapshots) ship conservatively — the
+    worker-side restore still validates compatibility.
+
+    ``pll_or_signatures`` is either one device (its signature is taken)
+    or an iterable of already-computed physics signatures — a population
+    chunk with N distinct physics families ships each worker exactly its
+    families' warm entries rather than one family's or everyone's.  A
+    device whose signature cannot be computed degrades to shipping
+    everything, as before.
     """
     entries = cache.export()
-    try:
-        signature = pll.physics_signature()
-    except Exception:  # noqa: BLE001 - exotic device: ship everything
-        return entries
+    if hasattr(pll_or_signatures, "physics_signature"):
+        try:
+            signatures = {pll_or_signatures.physics_signature()}
+        except Exception:  # noqa: BLE001 - exotic device: ship everything
+            return entries
+    else:
+        signatures = set(pll_or_signatures)
     return tuple(
         (key, snap)
         for key, snap in entries
-        if getattr(snap, "pll_signature", None) in (None, signature)
+        if getattr(snap, "pll_signature", None) is None
+        or snap.pll_signature in signatures
     )
 
 

@@ -28,9 +28,10 @@ from __future__ import annotations
 
 import enum
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, Hashable, List, Optional, Tuple, Union
+from typing import Hashable, List, Optional, Tuple, Union
 
 from repro.core.architecture import BISTConfig
 from repro.core.counters import FrequencyCounter, PhaseCount, PhaseCounter
@@ -42,16 +43,89 @@ from repro.pll.config import ChargePumpPLL
 from repro.pll.simulator import PLLTransientSimulator, RecordLevel
 from repro.stimulus.modulation import ModulatedStimulus
 
-__all__ = ["TestStage", "ToneMeasurement", "ToneTestSequencer", "ToneTiming"]
+__all__ = [
+    "TestStage",
+    "ToneMeasurement",
+    "ToneTestSequencer",
+    "ToneTiming",
+    "NominalFrequencyMemoStats",
+    "nominal_frequency_memo_stats",
+    "set_nominal_frequency_memo_limit",
+    "reset_nominal_frequency_memo",
+]
 
 #: Process-wide memo for :meth:`ToneTestSequencer.measure_nominal_frequency`,
 #: keyed on (physics signature, f_nominal, test clock, record level,
 #: gate_cycles) — never on the device *object*, so renamed same-physics
 #: dies (a vectorised lot, a repeated library fault) share one measured
 #: baseline.  Entries are single floats; the cap is a leak guard for
-#: very long-lived processes, evicting oldest-inserted first.
-_NOMINAL_FREQUENCY_MEMO: Dict[Hashable, float] = {}
-_NOMINAL_FREQUENCY_MEMO_MAX = 4096
+#: very long-lived processes, evicting least-recently-used first.  The
+#: cap is configurable (:func:`set_nominal_frequency_memo_limit`) so
+#: population screens with mostly-unique physics can size it to their
+#: chunking instead of silently thrashing the default; hit/miss/eviction
+#: counters are visible via :func:`nominal_frequency_memo_stats`.
+_NOMINAL_FREQUENCY_MEMO: "OrderedDict[Hashable, float]" = OrderedDict()
+_NOMINAL_FREQUENCY_MEMO_DEFAULT_MAX = 4096
+_NOMINAL_FREQUENCY_MEMO_MAX = _NOMINAL_FREQUENCY_MEMO_DEFAULT_MAX
+_NOMINAL_FREQUENCY_MEMO_HITS = 0
+_NOMINAL_FREQUENCY_MEMO_MISSES = 0
+_NOMINAL_FREQUENCY_MEMO_EVICTIONS = 0
+
+
+@dataclass(frozen=True)
+class NominalFrequencyMemoStats:
+    """Point-in-time counters for the nominal-frequency memo."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    limit: int
+
+
+def nominal_frequency_memo_stats() -> NominalFrequencyMemoStats:
+    """Snapshot the process-wide memo's hit/miss/eviction counters."""
+    return NominalFrequencyMemoStats(
+        hits=_NOMINAL_FREQUENCY_MEMO_HITS,
+        misses=_NOMINAL_FREQUENCY_MEMO_MISSES,
+        evictions=_NOMINAL_FREQUENCY_MEMO_EVICTIONS,
+        size=len(_NOMINAL_FREQUENCY_MEMO),
+        limit=_NOMINAL_FREQUENCY_MEMO_MAX,
+    )
+
+
+def set_nominal_frequency_memo_limit(limit: int) -> int:
+    """Resize the memo cap; returns the previous cap.
+
+    A 10k-die population with mostly-unique physics would thrash the
+    default 4096-entry cap (one insert-evict churn per die with zero
+    reuse); the population engine sizes the cap to its chunk structure
+    instead.  Shrinking below the current fill evicts least-recently-
+    used entries immediately (counted as evictions).
+    """
+    global _NOMINAL_FREQUENCY_MEMO_MAX, _NOMINAL_FREQUENCY_MEMO_EVICTIONS
+    if not isinstance(limit, int) or isinstance(limit, bool) or limit < 1:
+        raise ConfigurationError(
+            f"nominal-frequency memo limit must be an int >= 1, got {limit!r}"
+        )
+    previous = _NOMINAL_FREQUENCY_MEMO_MAX
+    _NOMINAL_FREQUENCY_MEMO_MAX = limit
+    while len(_NOMINAL_FREQUENCY_MEMO) > limit:
+        _NOMINAL_FREQUENCY_MEMO.popitem(last=False)
+        _NOMINAL_FREQUENCY_MEMO_EVICTIONS += 1
+    return previous
+
+
+def reset_nominal_frequency_memo(restore_default_limit: bool = False) -> None:
+    """Clear the memo's entries and counters (test/bench isolation)."""
+    global _NOMINAL_FREQUENCY_MEMO_HITS, _NOMINAL_FREQUENCY_MEMO_MISSES
+    global _NOMINAL_FREQUENCY_MEMO_EVICTIONS, _NOMINAL_FREQUENCY_MEMO_MAX
+    _NOMINAL_FREQUENCY_MEMO.clear()
+    _NOMINAL_FREQUENCY_MEMO_HITS = 0
+    _NOMINAL_FREQUENCY_MEMO_MISSES = 0
+    _NOMINAL_FREQUENCY_MEMO_EVICTIONS = 0
+    if restore_default_limit:
+        _NOMINAL_FREQUENCY_MEMO_MAX = _NOMINAL_FREQUENCY_MEMO_DEFAULT_MAX
 
 
 class TestStage(enum.Enum):
@@ -455,9 +529,14 @@ class ToneTestSequencer:
             self.record_level.value,
             int(gate_cycles),
         )
+        global _NOMINAL_FREQUENCY_MEMO_HITS, _NOMINAL_FREQUENCY_MEMO_MISSES
+        global _NOMINAL_FREQUENCY_MEMO_EVICTIONS
         cached = _NOMINAL_FREQUENCY_MEMO.get(key)
         if cached is not None:
+            _NOMINAL_FREQUENCY_MEMO_HITS += 1
+            _NOMINAL_FREQUENCY_MEMO.move_to_end(key)
             return cached
+        _NOMINAL_FREQUENCY_MEMO_MISSES += 1
 
         from repro.stimulus.waveforms import ConstantFrequencySource
 
@@ -472,7 +551,8 @@ class ToneTestSequencer:
         value = counter.measure_reciprocal(
             sim.fb_edges, start=t0, periods=gate_cycles
         ).scaled(self.pll.n).frequency_hz
-        if len(_NOMINAL_FREQUENCY_MEMO) >= _NOMINAL_FREQUENCY_MEMO_MAX:
-            _NOMINAL_FREQUENCY_MEMO.pop(next(iter(_NOMINAL_FREQUENCY_MEMO)))
+        while len(_NOMINAL_FREQUENCY_MEMO) >= _NOMINAL_FREQUENCY_MEMO_MAX:
+            _NOMINAL_FREQUENCY_MEMO.popitem(last=False)
+            _NOMINAL_FREQUENCY_MEMO_EVICTIONS += 1
         _NOMINAL_FREQUENCY_MEMO[key] = value
         return value

@@ -1,0 +1,58 @@
+"""Population-scale yield screening (streaming Monte-Carlo subsystem).
+
+Samples seeded device populations around a corner's nominals
+(:mod:`~repro.pll.population.samplers`), streams them through the batch
+screen layer in bounded-memory chunks
+(:mod:`~repro.pll.population.engine`), and folds every outcome into
+deterministic online aggregates — yield with Wilson intervals,
+(fn, ζ, f3dB) quantile sketches, fault-detection confusion counts
+(:mod:`~repro.pll.population.aggregate`).
+"""
+
+from .aggregate import (
+    ConfusionCounts,
+    PopulationAggregate,
+    QuantileSketch,
+    ScreenCounts,
+    wilson_interval,
+)
+from .engine import (
+    ChunkProgress,
+    PopulationScreenStats,
+    resolve_chunk_size,
+    screen_population,
+)
+from .samplers import (
+    COMPONENT_NAMES,
+    TOLERANCE_DISTRIBUTIONS,
+    PopulationCorner,
+    PopulationSpec,
+    SampledDie,
+    ToleranceSpec,
+    corner_names,
+    get_corner,
+    sample_die,
+    sample_dies,
+)
+
+__all__ = [
+    "COMPONENT_NAMES",
+    "TOLERANCE_DISTRIBUTIONS",
+    "ChunkProgress",
+    "ConfusionCounts",
+    "PopulationAggregate",
+    "PopulationCorner",
+    "PopulationScreenStats",
+    "PopulationSpec",
+    "QuantileSketch",
+    "SampledDie",
+    "ScreenCounts",
+    "ToleranceSpec",
+    "corner_names",
+    "get_corner",
+    "resolve_chunk_size",
+    "sample_die",
+    "sample_dies",
+    "screen_population",
+    "wilson_interval",
+]

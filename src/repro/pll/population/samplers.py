@@ -1,0 +1,431 @@
+"""Seeded device-population generators for yield screening.
+
+Production test draws devices from process-variation distributions; this
+module turns a :class:`PopulationSpec` — a corner, a tolerance model, a
+fault incidence — into an arbitrarily large, perfectly reproducible
+stream of :class:`SampledDie` records.  Sampling is **index-addressed**:
+die *i* of a spec is derived from ``SeedSequence([seed, i])``, never
+from how many dies were drawn before it, so any chunking (and any
+resume) of the stream produces bit-identical devices.
+
+Two corners ship:
+
+``table3``
+    The reconstructed Table 3 / Figure 9 design point
+    (:func:`repro.presets.paper_pll`'s linear device): 74HCT4046A-class
+    kilohertz loop, rail-driver pump, the paper's FPGA-scale BIST
+    harness.
+
+``cdr180``
+    A current-steering charge-pump corner at 180 nm-class frequencies
+    (10 MHz reference, 40 MHz VCO), obtained by exact time-scaling of
+    the CDR-flavoured corner the perf benches screen — same
+    dimensionless loop (ζ ≈ 0.35, fn/f_ref ≈ 1/355), every frequency
+    ×50 and every time constant ÷50, after the 180 nm design-space
+    study (arXiv:2406.13462) that motivates a second realistic corner
+    beyond the 74HCT4046A.
+
+Each corner perturbs five component scalars (pump strength, R1, R2, C,
+VCO gain) by multiplicative tolerance draws, and owns a macro-fault
+list (magnitudes scaled to its impedance/time scale) from which the
+sampler injects defects at the configured incidence rate — recording
+the injected fault label as ground truth for coverage accounting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.architecture import BISTConfig
+from repro.core.limits import TestLimits
+from repro.core.monitor import SweepPlan
+from repro.analysis.second_order import SecondOrderParameters
+from repro.errors import ConfigurationError
+from repro.pll.charge_pump import CurrentChargePump, RailDriverChargePump
+from repro.pll.config import ChargePumpPLL
+from repro.pll.faults import Fault, FaultKind, apply_fault, fault_library
+from repro.pll.loop_filter import PassiveLagLeadFilter
+from repro.pll.vco import VCO
+from repro.presets import (
+    PAPER_C,
+    PAPER_F_REF,
+    PAPER_N,
+    PAPER_R1,
+    PAPER_R2,
+    PAPER_VCO_GAIN_HZ_PER_V,
+    PAPER_VDD,
+    paper_bist_config,
+    paper_pll,
+    paper_stimulus,
+)
+from repro.stimulus.modulation import ModulatedStimulus, MultiToneFSKStimulus
+
+__all__ = [
+    "COMPONENT_NAMES",
+    "TOLERANCE_DISTRIBUTIONS",
+    "ToleranceSpec",
+    "PopulationCorner",
+    "PopulationSpec",
+    "SampledDie",
+    "corner_names",
+    "get_corner",
+    "sample_die",
+    "sample_dies",
+]
+
+#: The five scalars every corner perturbs, in draw order.
+COMPONENT_NAMES: Tuple[str, ...] = ("pump", "r1", "r2", "c", "vco_gain")
+
+TOLERANCE_DISTRIBUTIONS: Tuple[str, ...] = ("normal", "uniform", "truncated")
+
+#: Multipliers are clamped here: a >4σ draw from a wide normal must
+#: degrade a component, never flip its sign or zero it outright.
+_MIN_MULTIPLIER = 0.05
+
+
+@dataclass(frozen=True)
+class ToleranceSpec:
+    """How component multipliers are drawn around 1.0.
+
+    ``rel_sigma`` is the fractional 1σ for ``normal``/``truncated`` and
+    the half-width for ``uniform``; ``clip_sigmas`` bounds the
+    ``truncated`` draw at ±``clip_sigmas``·σ (the classic screened-lot
+    model: supplier testing removes the tails).
+    """
+
+    distribution: str = "normal"
+    rel_sigma: float = 0.03
+    clip_sigmas: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.distribution not in TOLERANCE_DISTRIBUTIONS:
+            known = ", ".join(TOLERANCE_DISTRIBUTIONS)
+            raise ConfigurationError(
+                f"unknown tolerance distribution {self.distribution!r}; "
+                f"expected one of: {known}"
+            )
+        if not 0.0 <= self.rel_sigma < 1.0:
+            raise ConfigurationError(
+                f"rel_sigma must be in [0, 1), got {self.rel_sigma!r}"
+            )
+        if self.clip_sigmas <= 0.0:
+            raise ConfigurationError(
+                f"clip_sigmas must be positive, got {self.clip_sigmas!r}"
+            )
+
+    def draw(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """``n`` multiplicative factors around 1.0."""
+        if self.distribution == "uniform":
+            m = 1.0 + rng.uniform(-self.rel_sigma, self.rel_sigma, size=n)
+        else:
+            m = 1.0 + rng.standard_normal(n) * self.rel_sigma
+            if self.distribution == "truncated":
+                half = self.clip_sigmas * self.rel_sigma
+                m = np.clip(m, 1.0 - half, 1.0 + half)
+        return np.maximum(m, _MIN_MULTIPLIER)
+
+
+# ----------------------------------------------------------------------
+# corners
+# ----------------------------------------------------------------------
+class PopulationCorner:
+    """One nominal design point a population is drawn around.
+
+    Subclasses supply the device builder and the analytic golden
+    parameters; the base class derives the sweep plan, limits and the
+    corner-scaled macro-fault list from those.
+    """
+
+    key: str = ""
+    title: str = ""
+
+    def build(self, name: str, multipliers: Tuple[float, ...]) -> ChargePumpPLL:
+        raise NotImplementedError
+
+    def golden(self) -> SecondOrderParameters:
+        raise NotImplementedError
+
+    def stimulus(self) -> ModulatedStimulus:
+        raise NotImplementedError
+
+    def config(self) -> BISTConfig:
+        raise NotImplementedError
+
+    def faults(self) -> List[Fault]:
+        raise NotImplementedError
+
+    def nominal(self) -> ChargePumpPLL:
+        """The unperturbed die (all multipliers 1.0)."""
+        return self.build(f"{self.key}-nominal", (1.0,) * len(COMPONENT_NAMES))
+
+    def plan(self, points: int) -> SweepPlan:
+        """Log sweep bracketing the nominal natural frequency."""
+        return SweepPlan.around(
+            self.golden().fn_hz,
+            decades_below=0.8,
+            decades_above=0.55,
+            points=points,
+        )
+
+    def limits(self, rel_tol: float = 0.25,
+               peak_tol_db: float = 2.0) -> TestLimits:
+        """Go/no-go bands centred on the corner's golden parameters."""
+        return TestLimits.from_golden(
+            self.golden(), rel_tol=rel_tol, peak_tol_db=peak_tol_db
+        )
+
+
+class _Table3Corner(PopulationCorner):
+    """The reconstructed paper design point (linear 74HCT4046A-class)."""
+
+    key = "table3"
+    title = "Table 3 / Fig. 9 reconstruction (1 kHz ref, rail-driver pump)"
+
+    def build(self, name: str, multipliers: Tuple[float, ...]) -> ChargePumpPLL:
+        m_pump, m_r1, m_r2, m_c, m_kv = multipliers
+        f_center = PAPER_N * PAPER_F_REF
+        gain = PAPER_VCO_GAIN_HZ_PER_V * m_kv
+        swing = PAPER_VCO_GAIN_HZ_PER_V * 0.5 * PAPER_VDD
+        return ChargePumpPLL(
+            # Pump strength varies through the supply: Kd = VDD/4π.
+            pump=RailDriverChargePump(vdd=PAPER_VDD * m_pump),
+            loop_filter=PassiveLagLeadFilter(
+                r1=PAPER_R1 * m_r1, r2=PAPER_R2 * m_r2, c=PAPER_C * m_c
+            ),
+            vco=VCO(
+                f_center=f_center,
+                gain_hz_per_v=gain,
+                v_center=0.5 * PAPER_VDD,
+                f_min=f_center - swing,
+                f_max=f_center + swing,
+            ),
+            n=PAPER_N,
+            f_ref=PAPER_F_REF,
+            pfd_reset_delay=20e-9,
+            name=name,
+        )
+
+    def golden(self) -> SecondOrderParameters:
+        pll = paper_pll()
+        return SecondOrderParameters(pll.natural_frequency(), pll.damping())
+
+    def stimulus(self) -> ModulatedStimulus:
+        return paper_stimulus("multitone")
+
+    def config(self) -> BISTConfig:
+        return paper_bist_config()
+
+    def faults(self) -> List[Fault]:
+        return fault_library()
+
+
+#: Exact time-scaling factor from the bench's CDR corner to the 180 nm
+#: flavour: ×50 on every frequency, ÷50 on every time constant leaves
+#: the dimensionless loop (ζ, fn/f_ref, detector margins) untouched.
+_CDR_SCALE = 50.0
+_CDR_I_UP = 50e-6
+_CDR_R1 = 1e3
+_CDR_R2 = 2e3
+_CDR_C = 100e-9 / _CDR_SCALE
+_CDR_KV = 100e3 * _CDR_SCALE
+_CDR_N = 4
+_CDR_F_REF = 200e3 * _CDR_SCALE
+
+
+class _Cdr180Corner(PopulationCorner):
+    """Current-pump corner at 180 nm-class frequencies (10 MHz ref)."""
+
+    key = "cdr180"
+    title = "180 nm-class current-pump corner (10 MHz ref, 40 MHz VCO)"
+
+    def build(self, name: str, multipliers: Tuple[float, ...]) -> ChargePumpPLL:
+        m_ip, m_r1, m_r2, m_c, m_kv = multipliers
+        return ChargePumpPLL(
+            pump=CurrentChargePump(i_up=_CDR_I_UP * m_ip),
+            loop_filter=PassiveLagLeadFilter(
+                r1=_CDR_R1 * m_r1, r2=_CDR_R2 * m_r2, c=_CDR_C * m_c
+            ),
+            vco=VCO(
+                800e3 * _CDR_SCALE,
+                _CDR_KV * m_kv,
+                1.5,
+                f_min=400e3 * _CDR_SCALE,
+                f_max=1200e3 * _CDR_SCALE,
+            ),
+            n=_CDR_N,
+            f_ref=_CDR_F_REF,
+            pfd_reset_delay=2e-9 / _CDR_SCALE,
+            name=name,
+        )
+
+    def golden(self) -> SecondOrderParameters:
+        # For a current pump Kd = Ip/2π and Ko = 2π·Kv, so the 2π cancel:
+        # ωn = sqrt(Ip·Kv / (N·C)), ζ = ωn·R2·C/2 (series branch of the
+        # lag-lead dominates at loop frequencies).
+        wn = math.sqrt(_CDR_I_UP * _CDR_KV / (_CDR_N * _CDR_C))
+        zeta = wn * _CDR_R2 * _CDR_C / 2.0
+        return SecondOrderParameters(wn, zeta)
+
+    def stimulus(self) -> ModulatedStimulus:
+        return MultiToneFSKStimulus(
+            _CDR_F_REF, deviation=50.0 * _CDR_SCALE, steps=10
+        )
+
+    def config(self) -> BISTConfig:
+        return BISTConfig(
+            test_clock_hz=100e6 * _CDR_SCALE,
+            settle_cycles=3,
+            frequency_count_periods=128,
+            detector_inverter_delay=8e-9 / _CDR_SCALE,
+            detector_and_delay=1e-9 / _CDR_SCALE,
+        )
+
+    def faults(self) -> List[Fault]:
+        # The library's multiplicative faults are corner-agnostic; the
+        # absolute-magnitude ones (leak resistance, dead-zone delay)
+        # rescale to this corner's impedance and reference period so
+        # they stay *macro* defects rather than no-ops or lock killers.
+        return [
+            Fault(FaultKind.LEAKY_CAPACITOR, 50e3 * (_CDR_R2 / PAPER_R2),
+                  "cap leak (scaled)"),
+            Fault(FaultKind.CP_DEAD_ZONE, 100e-6 * (PAPER_F_REF / _CDR_F_REF),
+                  "pump dead zone (scaled)"),
+            Fault(FaultKind.VCO_GAIN_SHIFT, 0.5, "Ko half nominal"),
+            Fault(FaultKind.VCO_GAIN_SHIFT, 2.0, "Ko double nominal"),
+            Fault(FaultKind.R2_SHIFT, 0.1, "R2 at 10% (zeta collapse)"),
+            Fault(FaultKind.CAP_SHIFT, 3.0, "C tripled"),
+            Fault(FaultKind.R1_SHIFT, 3.0, "R1 tripled"),
+        ]
+
+
+_CORNERS = {c.key: c for c in (_Table3Corner(), _Cdr180Corner())}
+
+
+def corner_names() -> Tuple[str, ...]:
+    """The registered corner keys, sorted."""
+    return tuple(sorted(_CORNERS))
+
+
+def get_corner(key: str) -> PopulationCorner:
+    """Look up a corner by key."""
+    try:
+        return _CORNERS[key]
+    except KeyError:
+        known = ", ".join(corner_names())
+        raise ConfigurationError(
+            f"unknown population corner {key!r}; expected one of: {known}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# the population spec and its die stream
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PopulationSpec:
+    """One reproducible device population.
+
+    ``size`` dies drawn around ``corner``'s nominals with ``tolerance``
+    multipliers; each die independently receives one fault from the
+    corner's macro-fault list with probability ``fault_rate`` (ground
+    truth recorded on the sample).  ``points``/``rel_tol``/
+    ``peak_tol_db`` parameterise the screen the population will face —
+    they live on the spec so a summary is self-describing.
+    """
+
+    corner: str = "table3"
+    size: int = 1024
+    seed: int = 0
+    tolerance: ToleranceSpec = field(default_factory=ToleranceSpec)
+    fault_rate: float = 0.0
+    points: int = 9
+    rel_tol: float = 0.25
+    peak_tol_db: float = 2.0
+
+    def __post_init__(self) -> None:
+        get_corner(self.corner)  # validates the key
+        if self.size < 1:
+            raise ConfigurationError(
+                f"population size must be >= 1, got {self.size!r}"
+            )
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise ConfigurationError(
+                f"fault_rate must be in [0, 1], got {self.fault_rate!r}"
+            )
+        if self.points < 4:
+            raise ConfigurationError(
+                f"points must be >= 4 to extract parameters, "
+                f"got {self.points!r}"
+            )
+        if not 0.0 < self.rel_tol < 1.0:
+            raise ConfigurationError(
+                f"rel_tol must be in (0, 1), got {self.rel_tol!r}"
+            )
+
+    def describe(self) -> dict:
+        """Deterministic JSON-friendly echo for summaries."""
+        return {
+            "corner": self.corner,
+            "size": self.size,
+            "seed": self.seed,
+            "distribution": self.tolerance.distribution,
+            "rel_sigma": self.tolerance.rel_sigma,
+            "clip_sigmas": self.tolerance.clip_sigmas,
+            "fault_rate": self.fault_rate,
+            "points": self.points,
+            "rel_tol": self.rel_tol,
+            "peak_tol_db": self.peak_tol_db,
+        }
+
+
+@dataclass(frozen=True)
+class SampledDie:
+    """One sampled device plus its sampling ground truth."""
+
+    index: int
+    pll: ChargePumpPLL
+    fault: Optional[str]  # injected fault label, None = clean die
+    multipliers: Tuple[float, ...]
+
+
+def sample_die(spec: PopulationSpec, index: int) -> SampledDie:
+    """Die ``index`` of the population — pure function of (spec, index).
+
+    The per-die generator is seeded from ``SeedSequence([seed, index])``
+    and draws in a fixed order (multipliers, fault coin, fault choice),
+    so the same spec always yields the same die regardless of chunking,
+    ordering or how many other dies were sampled.
+    """
+    if not 0 <= index < spec.size:
+        raise ConfigurationError(
+            f"die index {index!r} outside population of {spec.size}"
+        )
+    corner = get_corner(spec.corner)
+    rng = np.random.Generator(
+        np.random.PCG64(np.random.SeedSequence([spec.seed, index]))
+    )
+    multipliers = tuple(
+        float(v) for v in spec.tolerance.draw(rng, len(COMPONENT_NAMES))
+    )
+    pll = corner.build(f"{corner.key}-{index:06d}", multipliers)
+    fault_label: Optional[str] = None
+    if spec.fault_rate > 0.0 and rng.random() < spec.fault_rate:
+        faults = corner.faults()
+        fault = faults[int(rng.integers(len(faults)))]
+        pll = apply_fault(pll, fault)
+        fault_label = fault.label
+    return SampledDie(
+        index=index, pll=pll, fault=fault_label, multipliers=multipliers
+    )
+
+
+def sample_dies(
+    spec: PopulationSpec, start: int = 0, stop: Optional[int] = None
+) -> Iterator[SampledDie]:
+    """Stream dies ``start..stop`` of the population, one at a time."""
+    end = spec.size if stop is None else min(stop, spec.size)
+    for index in range(start, end):
+        yield sample_die(spec, index)

@@ -29,10 +29,11 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.analysis.sensitivity import DiagnosisCandidate
 from repro.core.architecture import BISTConfig
+from repro.core.executor import _relevant_warm_entries
 from repro.core.limits import LimitReport, TestLimits
 from repro.core.monitor import SweepPlan, SweepResult, TransferFunctionMonitor
 from repro.core.warm import LockStateCache, ToneMeasurementCache
@@ -41,7 +42,13 @@ from repro.errors import ConfigurationError, MeasurementError
 from repro.pll.config import ChargePumpPLL
 from repro.stimulus.modulation import ModulatedStimulus
 
-__all__ = ["device_report", "DeviceReportRequest", "batch_device_reports"]
+__all__ = [
+    "device_report",
+    "DeviceReportRequest",
+    "DeviceScreenOutcome",
+    "batch_device_reports",
+    "batch_device_screen",
+]
 
 
 def _section(title: str, body: str) -> str:
@@ -251,6 +258,84 @@ def _render_one(
         return _failure_stub(request.pll, f"{type(exc).__name__}: {exc}")
 
 
+@dataclass(frozen=True)
+class DeviceScreenOutcome:
+    """One device's numeric screen verdict (picklable, no markdown).
+
+    The population engine aggregates tens of thousands of these; parsing
+    the archived markdown back into numbers would be both slow and
+    brittle, so the measure pipeline exposes its numeric endpoint
+    directly.  ``error`` is ``None`` for a completed sweep (even a
+    failing one) and carries the failure-stub reason otherwise;
+    extracted parameters are ``None`` whenever the sweep could not
+    produce them.  ``passed`` is the limit verdict — a device that
+    errored, or that has no extractable parameters, never passes.
+    """
+
+    name: str
+    passed: bool
+    error: Optional[str] = None
+    fn_hz: Optional[float] = None
+    zeta: Optional[float] = None
+    f3db_hz: Optional[float] = None
+    peak_db: Optional[float] = None
+    failed_tones: int = 0
+    failed_checks: Tuple[str, ...] = ()
+
+
+def _screen_one(
+    request: DeviceReportRequest,
+    cache: Optional[LockStateCache] = None,
+    measurement_cache: Optional[ToneMeasurementCache] = None,
+) -> DeviceScreenOutcome:
+    """Worker: measure one device into a numeric outcome (module-level,
+    picklable).  Mirrors :func:`_render_one`'s failure semantics — any
+    per-device error becomes an outcome with ``error`` set, never an
+    exception that could abort the lot."""
+    try:
+        monitor = TransferFunctionMonitor(
+            request.pll, request.stimulus, request.config, cache=cache
+        )
+        run_kwargs = {}
+        if measurement_cache is not None:
+            run_kwargs["measurement_cache"] = measurement_cache
+        if request.limits is not None:
+            sweep, verdict = monitor.run_and_check(
+                request.plan, request.limits, **run_kwargs
+            )
+        else:
+            sweep, verdict = monitor.run(request.plan, **run_kwargs), None
+    except MeasurementError as exc:
+        return DeviceScreenOutcome(
+            name=request.pll.name, passed=False, error=str(exc)
+        )
+    except Exception as exc:  # noqa: BLE001 - any per-device error stubs
+        return DeviceScreenOutcome(
+            name=request.pll.name, passed=False,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    est = sweep.estimated
+    if verdict is not None:
+        passed = verdict.passed
+        failed_checks = tuple(
+            c.name for c in verdict.checks if not c.passed
+        )
+    else:
+        passed = est is not None
+        failed_checks = ()
+    return DeviceScreenOutcome(
+        name=request.pll.name,
+        passed=passed,
+        error=None,
+        fn_hz=None if est is None else est.fn_hz,
+        zeta=None if est is None else est.zeta,
+        f3db_hz=None if est is None else est.f3db_hz,
+        peak_db=None if est is None else est.peak_db,
+        failed_tones=len(sweep.failed_tones),
+        failed_checks=failed_checks,
+    )
+
+
 # (chunk of (lot_index, request), exported warm entries or None)
 _BatchChunkPayload = Tuple[
     Tuple[Tuple[int, DeviceReportRequest], ...],
@@ -258,19 +343,17 @@ _BatchChunkPayload = Tuple[
 ]
 
 
-def _render_chunk(
-    payload: _BatchChunkPayload,
-) -> Tuple[List[Tuple[int, str]], Tuple]:
-    """Worker: measure and render one chunk of the lot (module-level,
-    picklable).
+def _run_chunk(payload: _BatchChunkPayload, one: Callable):
+    """Measure one chunk of the lot through ``one`` (module-level
+    helper shared by the render and screen chunk workers).
 
     The chunk shares one local :class:`~repro.core.warm.LockStateCache`,
     seeded from the parent cache's exported entries when warm screening
     is on — so the worker's first device of each physics family settles
     cold (unless the parent already knew it) and every later one
-    restores.  Returns the rendered ``(lot_index, report)`` pairs plus
-    the settled states this worker *discovered* (entries not in the
-    shipped export), for the parent to merge back.
+    restores.  Returns the ``(lot_index, result)`` pairs plus the
+    settled states this worker *discovered* (entries not in the shipped
+    export), for the parent to merge back.
     """
     chunk, warm_entries = payload
     local_cache: Optional[LockStateCache] = None
@@ -281,8 +364,8 @@ def _render_chunk(
         )
         local_cache.merge(warm_entries)
         shipped_keys = frozenset(key for key, __ in warm_entries)
-    rendered = [
-        (index, _render_one(request, cache=local_cache))
+    results = [
+        (index, one(request, cache=local_cache))
         for index, request in chunk
     ]
     new_entries: Tuple = ()
@@ -292,7 +375,45 @@ def _render_chunk(
             for key, snap in local_cache.export()
             if key not in shipped_keys
         )
-    return rendered, new_entries
+    return results, new_entries
+
+
+def _render_chunk(
+    payload: _BatchChunkPayload,
+) -> Tuple[List[Tuple[int, str]], Tuple]:
+    """Worker: measure and render one chunk of the lot (picklable)."""
+    return _run_chunk(payload, _render_one)
+
+
+def _screen_chunk(
+    payload: _BatchChunkPayload,
+) -> Tuple[List[Tuple[int, DeviceScreenOutcome]], Tuple]:
+    """Worker: measure one chunk into numeric outcomes (picklable)."""
+    return _run_chunk(payload, _screen_one)
+
+
+def _chunk_warm_entries(
+    cache: Optional[LockStateCache],
+    chunk: Tuple[Tuple[int, DeviceReportRequest], ...],
+) -> Optional[Tuple]:
+    """The warm entries worth shipping to one chunk's worker.
+
+    Filters the parent cache's export down to the chunk's own physics
+    families (:func:`~repro.core.executor._relevant_warm_entries` with
+    the chunk's signature set) — a population chunk holding N distinct
+    families receives exactly those N families' settled states, not the
+    whole population's history.  A device whose signature cannot be
+    computed keeps the conservative ship-everything behaviour.
+    """
+    if cache is None:
+        return None
+    signatures = []
+    for __, request in chunk:
+        try:
+            signatures.append(request.pll.physics_signature())
+        except Exception:  # noqa: BLE001 - exotic device: ship everything
+            return cache.export()
+    return _relevant_warm_entries(cache, signatures)
 
 
 def batch_device_reports(
@@ -336,6 +457,46 @@ def batch_device_reports(
     when ``cache`` is ``None`` so the presettled states are actually
     served.
     """
+    return _batch_measure(
+        requests, n_workers, cache, engine, _render_one, _render_chunk,
+        what="report",
+    )
+
+
+def batch_device_screen(
+    requests: Sequence[DeviceReportRequest],
+    n_workers: int = 1,
+    cache: Optional[LockStateCache] = None,
+    engine: str = "scalar",
+) -> List[DeviceScreenOutcome]:
+    """Measure a lot of devices into numeric outcomes, one per request.
+
+    The structured sibling of :func:`batch_device_reports`: the same
+    measure pipeline (serial or pooled, warm cache, engine presettle,
+    per-device failure isolation) but returning
+    :class:`DeviceScreenOutcome` records instead of markdown — this is
+    the endpoint the streaming population engine aggregates, where
+    rendering (and then re-parsing) an archival document per die would
+    dominate the screen.  Outcomes come back in request order and are
+    identical whichever way they ran, by the same snapshot guarantee
+    that makes reports byte-identical.
+    """
+    return _batch_measure(
+        requests, n_workers, cache, engine, _screen_one, _screen_chunk,
+        what="outcome",
+    )
+
+
+def _batch_measure(
+    requests: Sequence[DeviceReportRequest],
+    n_workers: int,
+    cache: Optional[LockStateCache],
+    engine: str,
+    one: Callable,
+    chunk_worker: Callable,
+    what: str,
+) -> List:
+    """Shared measure-a-lot machinery behind reports and screens."""
     if n_workers < 1:
         raise ConfigurationError(f"n_workers must be >= 1, got {n_workers!r}")
     validate_engine(engine)
@@ -365,8 +526,7 @@ def batch_device_reports(
     workers = min(n_workers, len(jobs))
     if workers <= 1:
         return [
-            _render_one(job, cache=cache,
-                        measurement_cache=measurement_cache)
+            one(job, cache=cache, measurement_cache=measurement_cache)
             for job in jobs
         ]
     # Stride the lot so each worker's chunk samples the request order
@@ -375,21 +535,23 @@ def batch_device_reports(
         tuple((i, jobs[i]) for i in range(w, len(jobs), workers))
         for w in range(workers)
     ]
-    warm_entries = cache.export() if cache is not None else None
+    # Each chunk ships only its own physics families' warm entries —
+    # for a heterogeneous population lot the payload stays proportional
+    # to the chunk, not to everything the shared cache has ever seen.
     payloads: List[_BatchChunkPayload] = [
-        (chunk, warm_entries) for chunk in chunks
+        (chunk, _chunk_warm_entries(cache, chunk)) for chunk in chunks
     ]
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        chunk_results = list(pool.map(_render_chunk, payloads))
-    reports: List[Optional[str]] = [None] * len(jobs)
-    for rendered, new_entries in chunk_results:
+        chunk_results = list(pool.map(chunk_worker, payloads))
+    results: List[Optional[object]] = [None] * len(jobs)
+    for produced, new_entries in chunk_results:
         if cache is not None and new_entries:
             cache.merge(new_entries)
-        for index, text in rendered:
-            reports[index] = text
-    missing = [i for i, text in enumerate(reports) if text is None]
+        for index, value in produced:
+            results[index] = value
+    missing = [i for i, value in enumerate(results) if value is None]
     if missing:
         raise MeasurementError(
-            f"batch pool returned no report for lot indices {missing!r}"
+            f"batch pool returned no {what} for lot indices {missing!r}"
         )
-    return reports  # type: ignore[return-value]
+    return results
