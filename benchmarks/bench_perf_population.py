@@ -108,6 +108,10 @@ def test_perf_population(report):
     assert rss_flat, (
         f"streamed screen RSS grew past the plateau bound: {rss} kB"
     )
+    # The farm measurement phase actually carried cdr180 lanes through
+    # stages 1-4 (the throughput above includes the batched measure).
+    assert stats.measured > 0
+    assert stats.settle_s > 0.0
 
     # Determinism: same seed, different chunk size, fresh caches — the
     # aggregate summary must be byte-identical, run to run and chunk
@@ -141,6 +145,12 @@ def test_perf_population(report):
          else "n/a (no faults drawn)"],
         ["false reject", f"{false_reject:.3f}" if false_reject is not None
          else "n/a"],
+        ["farm stage split",
+         f"settle {stats.settle_s:.2f} s / monitor "
+         f"{stats.monitor_s:.2f} s / measure {stats.measure_s:.2f} s"],
+        ["measured in-farm",
+         f"{stats.measured} ({stats.measure_ejected} ejected, "
+         f"{stats.measure_failed} failed)"],
         ["RSS per chunk", " ".join(f"{v}kB" for v in rss)
          if all(v is not None for v in rss) else "n/a"],
         ["RSS flat", "yes" if rss_flat else "NO"],
@@ -175,6 +185,16 @@ def test_perf_population(report):
         "population_fault_coverage": coverage,
         "population_false_reject_rate": false_reject,
         "population_errors": summary["yield"]["errors"],
+        "population_farm_stage_split_s": {
+            "settle": round(stats.settle_s, 4),
+            "monitor": round(stats.monitor_s, 4),
+            "measure": round(stats.measure_s, 4),
+        },
+        "population_farm_measured_lanes": {
+            "measured": stats.measured,
+            "measure_ejected": stats.measure_ejected,
+            "measure_failed": stats.measure_failed,
+        },
         "population_rss_kb_per_chunk": rss,
         "population_rss_flat": rss_flat,
         "population_byte_identical": byte_identical,

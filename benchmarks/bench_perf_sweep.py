@@ -450,8 +450,143 @@ def test_perf_hct4046_lot(report):
     assert speedup >= 2.0
 
 
+VEC_MEASURE_SPEEDUP_FLOOR = 2.0
+
+
+def fault_library_lot():
+    """Healthy die plus every fault in the library: zero dedup anywhere.
+
+    All eight dies are physics-distinct, so neither the settle cache
+    nor the measurement cache can collapse lanes across dies — every
+    (die, tone) pair settles *and* measures.  This is the lot shape
+    the farm measurement phase exists for: the win has to come from
+    batching stages 1-4, not from skipping them.
+    """
+    from repro.pll.faults import FAULT_LIBRARY, apply_fault
+    from repro.presets import paper_pll
+
+    plan = paper_sweep(points=N_TONES)
+    stimulus = paper_stimulus("multitone")
+    config = paper_bist_config()
+    duts = [paper_pll()] + [
+        apply_fault(paper_pll(), FAULT_LIBRARY[label])
+        for label in sorted(FAULT_LIBRARY)
+    ]
+    return [
+        DeviceReportRequest(
+            pll=replace(d, name=f"die-{i:02d}"),
+            stimulus=stimulus,
+            plan=plan,
+            config=config,
+        )
+        for i, d in enumerate(duts)
+    ]
+
+
+def test_perf_vec_measure_fault_screen(report):
+    """Stages 1-4 in lockstep: the fault-library cold screen.
+
+    A heterogeneous 8-die lot (healthy + all seven library faults)
+    where dedup is impossible — the settle farm alone bought ~1.3x
+    here because the scalar stage 1-4 replay dominated.  With the
+    measurement phase batched the vectorized screen must clear 2x
+    against the scalar engine while every report stays byte-identical,
+    including the die whose sweep legitimately fails mid-plan.
+    """
+    requests = fault_library_lot()
+    lot_size = len(requests)
+    cores = _visible_cpu_count()
+
+    t0 = time.perf_counter()
+    cold_reports = batch_device_reports(requests, engine="scalar")
+    t_cold = time.perf_counter() - t0
+
+    vec_cache = LockStateCache()
+    t0 = time.perf_counter()
+    vec_reports = batch_device_reports(
+        requests, cache=vec_cache, engine="vectorized"
+    )
+    t_vec = time.perf_counter() - t0
+
+    byte_identical = vec_reports == cold_reports
+    assert byte_identical
+    stats = vec_cache.presettle_stats
+    assert stats is not None
+    # No dedup on this lot: every (die, tone) pair is its own lane.
+    assert stats.unique == lot_size * N_TONES
+    # The measurement phase actually carried the bulk of the lot
+    # through stages 1-4; ejected/failed lanes degrade to the scalar
+    # sweep losslessly (byte identity above covers them too).
+    assert stats.measured > lot_size * N_TONES // 2
+    assert stats.settle_s > 0.0 and stats.monitor_s > 0.0
+
+    speedup = t_cold / t_vec
+    table = format_table(
+        ["metric", "value"],
+        [
+            ["lot size", f"{lot_size} (healthy + 7 faults)"],
+            ["tones per device", N_TONES],
+            ["unique lanes", stats.unique],
+            ["cold scalar wall", f"{t_cold:.2f} s"],
+            ["vectorized wall", f"{t_vec:.2f} s"],
+            ["speedup", f"{speedup:.2f}x"],
+            ["farm stage split",
+             f"settle {stats.settle_s:.2f} s / monitor "
+             f"{stats.monitor_s:.2f} s / measure "
+             f"{stats.measure_s:.2f} s"],
+            ["measured in-farm",
+             f"{stats.measured} ({stats.measure_ejected} ejected, "
+             f"{stats.measure_failed} failed)"],
+            ["reports identical", "yes (byte-exact)"],
+        ],
+        title=f"Farm measurement phase ({lot_size}-die fault-library "
+              "cold screen, no dedup)",
+    )
+    report("perf_vec_measure", table)
+
+    # The ratio is engine-vs-engine inside one process, so the bench
+    # gates it everywhere; the tier-2 checker only re-enforces it on
+    # hosts with a second core to keep timer noise off the shared gate.
+    gated = cores >= 2
+    _merge_results_json({
+        "vec_measure_lot_size": lot_size,
+        "vec_measure_visible_cores": cores,
+        "vec_measure_gated": gated,
+        "vec_measure_cold_wall_s": round(t_cold, 4),
+        "vec_measure_vec_wall_s": round(t_vec, 4),
+        "vec_measure_speedup": round(speedup, 3),
+        "vec_measure_byte_identical": byte_identical,
+        "vec_measure_lanes": {
+            "unique": stats.unique,
+            "vector": stats.vector,
+            "drained": stats.drained,
+            "ejected": stats.ejected,
+            "scalar": stats.scalar,
+            "measured": stats.measured,
+            "measure_ejected": stats.measure_ejected,
+            "measure_failed": stats.measure_failed,
+        },
+        "vec_measure_stage_split_s": {
+            "settle": round(stats.settle_s, 4),
+            "monitor": round(stats.monitor_s, 4),
+            "measure": round(stats.measure_s, 4),
+        },
+    })
+
+    # The acceptance floor: with stages 1-4 batched, the heterogeneous
+    # cold screen must at least halve (measured ~2.5x; the settle farm
+    # alone managed ~1.3x on this lot).
+    assert speedup >= VEC_MEASURE_SPEEDUP_FLOOR
+
+
 CF_LOT_SIZE = 8
-CF_BATCH_SPEEDUP_FLOOR = 2.0
+# The analytic tier is judged against the lockstep farm, so this floor
+# is relative to a moving target: it was 2.0 (measured ~4-5x) until the
+# farm's per-lane feedback-edge solver was inlined and the
+# lockstep/kernel crossover landed, which made the *denominator* ~2.5x
+# faster and compressed the measured ratio to ~1.7x.  The tier still
+# has to win outright; 1.3x leaves noise headroom under that.
+CF_BATCH_SPEEDUP_FLOOR = 1.3
 
 
 def cdr_corner_pll(index=0, lot_size=CF_LOT_SIZE):
@@ -539,9 +674,11 @@ def test_perf_closed_form_screen(report):
     An 8-die corner-varied current-mode lot has 104 physics-distinct
     (die, tone) lanes — no dedup to hide behind, every lane settles.
     The closed-form tier advances each lane edge-to-edge analytically;
-    it must beat the vectorized farm's wall by ≥2x on this lot while
-    producing bit-identical settled states, and the four engines must
-    screen the lot to byte-identical artefacts.
+    it must beat the vectorized farm's wall outright on this lot
+    (floor 1.3x — the lockstep denominator got ~2.5x faster when the
+    feedback-edge solver was inlined, compressing the old ~4-5x ratio
+    to ~1.7x) while producing bit-identical settled states, and the
+    four engines must screen the lot to byte-identical artefacts.
     """
     requests, jobs = cdr_corner_lot()
 
@@ -621,9 +758,9 @@ def test_perf_closed_form_screen(report):
         },
     })
 
-    # The acceptance floor: the analytic tier must at least halve the
-    # farm's settle wall on the corner lot (measured ~5x; the margin
-    # absorbs single-core timing noise).
+    # The acceptance floor: the analytic tier must win outright against
+    # the (now much faster) lockstep farm on the corner lot (measured
+    # ~1.7x; the margin absorbs single-core timing noise).
     assert cf_batch_speedup >= CF_BATCH_SPEEDUP_FLOOR
 
 

@@ -24,11 +24,14 @@ from check_regression import (  # noqa: E402
     SERVICE_LOAD_SPEEDUP_FLOOR,
     SLOWDOWN_THRESHOLD,
     VEC_BATCH_SPEEDUP_FLOOR,
+    VEC_MEASURE_SPEEDUP_FLOOR,
     VEC_SINGLE_SPEEDUP_FLOOR,
     check_closed_form_floor,
+    check_namespaces,
     check_population,
     check_service_load,
     check_vec_floor,
+    check_vec_measure,
     check_vec_single_floor,
     compare,
     load_committed,
@@ -141,7 +144,7 @@ def test_vec_batch_speedup_within_floor(report, paper_dut):
 
 
 def test_closed_form_batch_speedup_within_floor(report):
-    """The closed-form tier must hold its >=2x farm-level floor.
+    """The closed-form tier must stay faster than the lockstep farm.
 
     Re-measures the bench's corner-varied current-mode lot (104
     physics-distinct lanes) through both presettle farms and applies
@@ -303,6 +306,103 @@ def test_vec_single_speedup_within_floor(report, paper_dut):
         f"verdict         : {verdict}",
     ]))
     assert not problems, problems
+
+
+def test_vec_measure_speedup_within_floor(report):
+    """The farm measurement phase must hold its >=2x fault-lot floor.
+
+    Re-screens the bench's heterogeneous fault-library lot (healthy +
+    all seven faults — no dedup anywhere, so the win has to come from
+    batching stages 1-4) cold and with ``engine="vectorized"`` and
+    applies :func:`~check_regression.check_vec_measure`: byte identity
+    unconditionally, the floor on gated hosts.  Skips against
+    baselines that predate the ``vec_measure_*`` keys.
+    """
+    from bench_perf_sweep import fault_library_lot
+    from repro.core.executor import _visible_cpu_count
+    from repro.core.warm import LockStateCache
+    from repro.reporting import batch_device_reports
+
+    baseline = load_committed()
+    if baseline is None:
+        pytest.skip("no committed BENCH_sweep.json baseline at HEAD")
+    if baseline.get("vec_measure_speedup") is None:
+        pytest.skip("baseline predates the farm measurement phase")
+
+    requests = fault_library_lot()
+    cores = _visible_cpu_count()
+
+    t0 = time.perf_counter()
+    cold_reports = batch_device_reports(requests, engine="scalar")
+    t_cold = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    vec_reports = batch_device_reports(
+        requests, cache=LockStateCache(), engine="vectorized"
+    )
+    t_vec = time.perf_counter() - t0
+
+    gated = cores >= 2
+    fresh = {
+        "vec_measure_speedup": round(t_cold / t_vec, 3),
+        "vec_measure_byte_identical": vec_reports == cold_reports,
+        "vec_measure_gated": gated,
+    }
+    problems = check_vec_measure(baseline, fresh)
+
+    verdict = "PASS" if not problems else "; ".join(problems)
+    report("perf_vec_measure_guard", "\n".join([
+        f"lot             : {len(requests)} fault-library dies "
+        "(no dedup)",
+        f"scalar cold wall: {t_cold:.4f} s",
+        f"vectorized wall : {t_vec:.4f} s",
+        f"speedup         : {fresh['vec_measure_speedup']:.2f}x "
+        + (f"(floor {VEC_MEASURE_SPEEDUP_FLOOR:.1f}x)" if gated
+           else "(recorded only; host below gate)"),
+        f"byte-identical  : {fresh['vec_measure_byte_identical']}",
+        f"verdict         : {verdict}",
+    ]))
+    assert not problems, problems
+
+
+def test_vec_measure_check_logic():
+    """The checker's gating/tolerant-missing contract, key by key."""
+    baseline = {"vec_measure_speedup": 2.5}
+    # Pre-measurement-phase baselines tolerate a fresh result without
+    # the keys...
+    assert check_vec_measure({}, {}) == []
+    # ...but once the baseline carries the key it can never vanish.
+    assert check_vec_measure(baseline, {}) != []
+    # Byte identity fails regardless of gating.
+    assert check_vec_measure(baseline, {
+        "vec_measure_speedup": 2.5,
+        "vec_measure_byte_identical": False,
+        "vec_measure_gated": False,
+    })
+    # The floor only binds on gated hosts.
+    below = {
+        "vec_measure_speedup": VEC_MEASURE_SPEEDUP_FLOOR - 0.5,
+        "vec_measure_byte_identical": True,
+    }
+    assert check_vec_measure(baseline, {**below,
+                                        "vec_measure_gated": False}) == []
+    assert check_vec_measure(baseline, {**below,
+                                        "vec_measure_gated": True})
+
+
+def test_vec_and_service_namespaces_are_closed():
+    """Renamed/misspelled ``vec_*``/``service_*`` keys must fail the
+    check, and the namespace tables themselves must partition."""
+    assert check_namespaces({}) == []
+    fresh = {
+        "vec_measure_speedup": 2.5,
+        "vec_mesure_speedup": 2.5,          # the typo under test
+        "service_load_speedup_2shard": 1.6,
+        "service_laod_wall_s": 1.0,         # and its service twin
+    }
+    problems = check_namespaces(fresh)
+    assert any("vec_mesure_speedup" in p for p in problems)
+    assert any("service_laod_wall_s" in p for p in problems)
+    assert not any("vec_measure_speedup" in p for p in problems)
 
 
 def test_population_within_floor(report):

@@ -374,6 +374,13 @@ def cmd_lot(args) -> int:
         presettle = getattr(cache, "presettle_stats", None)
         if presettle is not None:
             print(presettle.summary())
+            if presettle.settle_s or presettle.monitor_s \
+                    or presettle.measure_s:
+                print(
+                    f"farm wall: settle {presettle.settle_s:.2f}s / "
+                    f"monitor {presettle.monitor_s:.2f}s / "
+                    f"measure {presettle.measure_s:.2f}s"
+                )
     failed = sum(1 for __, v in rows if v != "PASS")
     return 1 if failed else 0
 
@@ -448,6 +455,17 @@ def cmd_population(args) -> int:
             f"{stats.memo_hits} hits / {stats.memo_misses} misses / "
             f"{stats.memo_evictions} evictions",
         )
+        if stats.settle_s or stats.monitor_s or stats.measure_s:
+            print(
+                f"farm wall: settle {stats.settle_s:.2f} s / "
+                f"monitor {stats.monitor_s:.2f} s / "
+                f"measure {stats.measure_s:.2f} s; "
+                f"{stats.measured} tones measured in-farm"
+                + (f", {stats.measure_ejected} ejected"
+                   if stats.measure_ejected else "")
+                + (f", {stats.measure_failed} failed"
+                   if stats.measure_failed else "")
+            )
         if args.jsonl:
             print(f"wrote per-die records to {args.jsonl}")
     print(_json.dumps(

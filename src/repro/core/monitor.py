@@ -30,7 +30,7 @@ from repro.core.executor import (
 )
 from repro.core.limits import LimitReport, TestLimits
 from repro.core.sequencer import ToneMeasurement, ToneTestSequencer
-from repro.core.warm import LockStateCache
+from repro.core.warm import LockStateCache, ToneMeasurementCache
 from repro.engines import FARM_ENGINES, validate_engine
 from repro.errors import ConfigurationError, MeasurementError
 from repro.pll.config import ChargePumpPLL
@@ -227,8 +227,11 @@ class TransferFunctionMonitor:
         ``"scalar"`` (default) runs each tone's settle inside its own
         event loop as before; ``"vectorized"`` first advances every
         cacheable tone of the plan in lockstep on the NumPy settle farm
-        (:func:`repro.pll.lot.presettle_lot`), warming
-        :attr:`lock_cache`, then runs the same sweep — warm;
+        (:func:`repro.pll.lot.premeasure_lot`), warming
+        :attr:`lock_cache` — and, on the serial in-process path, keeps
+        lanes in lockstep through stages 1–4 so the sweep's tones are
+        answered from finished measurements — then runs the same
+        sweep, warm;
         ``"closed_form"`` presettles through the analytic per-edge tier
         (:class:`~repro.sim.closed_form.ClosedFormLotSimulator`), which
         itself cascades ineligible lanes to the vectorized and scalar
@@ -278,12 +281,21 @@ class TransferFunctionMonitor:
         if engine in FARM_ENGINES and settle == "fixed":
             # Imported lazily: repro.pll.lot pulls in the NumPy settle
             # farm, which scalar-only callers never need.
-            from repro.pll.lot import presettle_lot
+            from repro.pll.lot import premeasure_lot
 
-            presettle_lot(
+            # The farm can also carry stages 1-4, but only the serial
+            # in-process executor consults a measurement cache — so the
+            # measurement phase is worth running exactly when its
+            # results have somewhere to land.  Callers without their
+            # own cache get a private one scoped to this sweep.
+            serial_dedup_ok = executor is None and n_workers == 1
+            if serial_dedup_ok and measurement_cache is None:
+                measurement_cache = ToneMeasurementCache()
+            premeasure_lot(
                 [(self.pll, self.stimulus, self.config,
                   plan.frequencies_hz)],
                 self.lock_cache,
+                measurement_cache if serial_dedup_ok else None,
                 engine=engine,
             )
         custom_executor = executor is not None

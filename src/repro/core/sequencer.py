@@ -35,7 +35,7 @@ from typing import Hashable, List, Optional, Tuple, Union
 
 from repro.core.architecture import BISTConfig
 from repro.core.counters import FrequencyCounter, PhaseCount, PhaseCounter
-from repro.core.hold import HeldFrequencyResult, LoopHoldControl
+from repro.core.hold import HeldFrequencyResult
 from repro.core.peak_detector import PeakEvent, PeakFrequencyDetector
 from repro.core.warm import LockStateCache
 from repro.errors import ConfigurationError, LockError, MeasurementError
@@ -44,12 +44,14 @@ from repro.pll.simulator import PLLTransientSimulator, RecordLevel
 from repro.stimulus.modulation import ModulatedStimulus
 
 __all__ = [
+    "MeasurementScript",
     "TestStage",
     "ToneMeasurement",
     "ToneTestSequencer",
     "ToneTiming",
     "NominalFrequencyMemoStats",
     "nominal_frequency_memo_stats",
+    "predicted_peak_delay",
     "set_nominal_frequency_memo_limit",
     "reset_nominal_frequency_memo",
 ]
@@ -196,6 +198,230 @@ class ToneMeasurement:
             f"dF={self.delta_f_hz:+.4g} Hz, "
             f"phase={-self.phase_delay_deg:.1f} deg)"
         )
+
+
+def predicted_peak_delay(pll: ChargePumpPLL, f_mod: float) -> Optional[float]:
+    """Predicted lag of the output-modulation peak behind the input peak.
+
+    The linearised closed-loop transfer function
+    ``H(s) = (2ζωₙs + ωₙ²) / (s² + 2ζωₙs + ωₙ²)`` delays the output
+    envelope by ``-∠H(jω)/ω`` seconds at the tone frequency, so the
+    MFREQ pulse is expected that long after the arm instant.  The
+    monitor stage uses the prediction to step straight to the polling
+    boundary just *before* the expected peak window instead of visiting
+    every quarter-period boundary from the arm onwards.
+
+    Returns ``None`` when the linearisation is unavailable (exotic
+    device models) or the delay falls outside ``(0, 1/f_mod)`` —
+    callers then poll from the first quarter boundary exactly as the
+    unpredicted path always has.
+    """
+    try:
+        wn = pll.natural_frequency()
+        zeta = pll.damping(exact=True)
+    except Exception:  # noqa: BLE001 - exotic device: no linearisation
+        return None
+    w = 2.0 * math.pi * f_mod
+    lead = math.atan2(2.0 * zeta * wn * w, wn * wn)
+    lag = math.atan2(2.0 * zeta * wn * w, wn * wn - w * w)
+    delay = (lag - lead) / w
+    if not math.isfinite(delay) or not (0.0 < delay < 1.0 / f_mod):
+        return None
+    return delay
+
+
+class MeasurementScript:
+    """Stages 1–4 of Table 2 as an explicit boundary-driven state machine.
+
+    The scalar sequencer's stages 1–4 are a sequence of *run-to-target*
+    steps: run to the arm instant, poll quarter-period boundaries until
+    the MFREQ capture, flush the charge pump, grow the feedback-edge
+    window until the reciprocal count fits, count.  This class is that
+    control flow with the simulator advance factored out: callers ask
+    :meth:`next_target` where to run, advance their engine (the scalar
+    event loop *or* one lane of the vectorized farm) to exactly that
+    time, and call :meth:`advance` to fire the stage logic at the
+    boundary.  Every floating-point expression — target arithmetic,
+    counter calls, error messages — is the scalar sequencer's own, so
+    any engine that reproduces the simulator's event stream reproduces
+    the scalar measurement bit-for-bit, stage log included.
+
+    States: ``ARM`` (run to the arm instant) → ``MONITOR`` (stages 2–3,
+    poll for the capture) → ``FLUSH`` (let the in-flight pump pulse
+    finish) → ``HOLD`` (stage 4, grow the count window) → ``DONE``.
+    The MFREQ capture itself arrives *between* boundaries, via
+    :meth:`capture_event` (scalar observer callback) or :meth:`capture`
+    (farm latch kernel).
+
+    ``probe`` arguments duck-type the simulator surface the stages
+    read: ``output_frequency``, ``fb_edges`` (with ``count_in_gate``
+    and the counter protocol) and ``close_loop()``.
+    """
+
+    ARM = "arm"
+    MONITOR = "monitor"
+    FLUSH = "flush"
+    HOLD = "hold"
+    DONE = "done"
+
+    def __init__(
+        self,
+        pll: ChargePumpPLL,
+        stimulus: ModulatedStimulus,
+        config: BISTConfig,
+        f_mod: float,
+        arm_index: int,
+        max_wait_cycles: float = 3.0,
+    ) -> None:
+        self.pll = pll
+        self.config = config
+        self.f_mod = f_mod
+        self.t_mod = 1.0 / f_mod
+        self.max_wait_cycles = max_wait_cycles
+        self.t_arm = stimulus.modulation_peak_time(
+            f_mod, start_time=0.0, index=arm_index
+        )
+        self.deadline = self.t_arm + max_wait_cycles * self.t_mod
+        # Boundaries skipped straight to the predicted peak window.  The
+        # visited boundaries are a suffix of the exact capped recurrence
+        # ``t = min(t + 0.25·t_mod, deadline)`` the full poll walks, so
+        # a capture noticed at boundary k is noticed at the bit-same
+        # instant whether or not earlier boundaries were visited.
+        delay = predicted_peak_delay(pll, f_mod)
+        self._k0 = 1
+        if delay is not None:
+            self._k0 = max(1, int(math.floor(delay / (0.25 * self.t_mod))))
+        self.stage_log: List[Tuple[TestStage, float]] = [
+            (TestStage.REF_SET, 0.0)
+        ]
+        self.phase_counter = PhaseCounter(config.test_clock_hz)
+        self.freq_counter = FrequencyCounter(config.test_clock_hz)
+        self.state = self.ARM
+        self.captured = False
+        self.event: Optional[PeakEvent] = None
+        self.phase_count: Optional[PhaseCount] = None
+        self.held: Optional[HeldFrequencyResult] = None
+        self.t_engage = 0.0
+        self._f_at_engage = 0.0
+        self._f_fb_estimate = 0.0
+        self._hold_checks = 0
+        self._finish_pending = False
+        self._target: Optional[float] = self.t_arm
+
+    @property
+    def monitoring(self) -> bool:
+        """True while in stages 1–3 (the monitor wall-time bucket)."""
+        return self.state in (self.ARM, self.MONITOR)
+
+    def next_target(self) -> Optional[float]:
+        """Simulation time to advance to next; ``None`` once DONE."""
+        return self._target
+
+    def capture_event(self, event: PeakEvent) -> bool:
+        """Scalar observer callback: the detector emitted ``event``.
+
+        Returns True when this event is *the* capture (first MFREQ
+        maximum after the arm) — the caller must then open the loop, as
+        the hold mux flips within the same PFD cycle.
+        """
+        if self.captured or not event.is_maximum or event.time <= self.t_arm:
+            return False
+        self.event = event
+        self.phase_count = self.phase_counter.stop(event.time)
+        self.captured = True
+        return True
+
+    def capture(self, t_event: float) -> None:
+        """Farm capture: the batched latch fired its maximum at ``t_event``.
+
+        The caller has already applied the scalar guard (first maximum
+        strictly after the arm instant) in array form.
+        """
+        self.event = PeakEvent(time=t_event, is_maximum=True)
+        self.phase_count = self.phase_counter.stop(t_event)
+        self.captured = True
+
+    def advance(self, now: float, probe) -> None:
+        """Fire the stage logic at boundary ``now`` (= the last target)."""
+        if self.state == self.ARM:
+            self.phase_counter.start(self.t_arm)
+            self.stage_log.append((TestStage.SET_PHASE_COUNTER, self.t_arm))
+            self.stage_log.append((TestStage.MONITOR_PEAK, self.t_arm))
+            self.state = self.MONITOR
+            t_next = self.t_arm
+            for _ in range(self._k0):
+                t_next = min(t_next + 0.25 * self.t_mod, self.deadline)
+            self._target = t_next
+            return
+        if self.state == self.MONITOR:
+            if self.captured:
+                assert self.event is not None
+                self.stage_log.append(
+                    (TestStage.PEAK_OCCURRED, self.event.time)
+                )
+                self.stage_log.append((TestStage.MEASURE, now))
+                self.t_engage = now
+                self.state = self.FLUSH
+                # Two reference periods guarantee the pump is back to
+                # tri-state before the control node is sampled.
+                self._target = now + 2.0 / self.pll.f_ref
+                return
+            if now >= self.deadline:
+                self.phase_counter.abort()
+                raise MeasurementError(
+                    f"peak detector produced no MFREQ within "
+                    f"{self.max_wait_cycles:g} modulation cycles at "
+                    f"f_mod={self.f_mod:g} Hz"
+                )
+            self._target = min(now + 0.25 * self.t_mod, self.deadline)
+            return
+        if self.state == self.FLUSH:
+            self._f_at_engage = probe.output_frequency
+            self._f_fb_estimate = max(
+                self._f_at_engage / self.pll.n,
+                self.pll.vco.f_min / self.pll.n,
+            )
+            self.state = self.HOLD
+            # Fall through: the first have-enough-edges check runs at
+            # this same instant, as the scalar hold loop's does.
+        if self.state == self.HOLD:
+            periods = self.config.frequency_count_periods
+            if self._finish_pending:
+                self._finish(now, probe)
+                return
+            self._hold_checks += 1
+            have = probe.fb_edges.count_in_gate(self.t_engage, now + 1e-12)
+            if have >= periods + 1:
+                self._finish(now, probe)
+                return
+            missing = periods + 1 - have
+            self._target = now + (missing + 2) / self._f_fb_estimate
+            if self._hold_checks >= 64:
+                # The scalar loop gives up re-estimating after 64 checks
+                # and counts whatever the final advance provides.
+                self._finish_pending = True
+            return
+        raise MeasurementError("measurement script already finished")
+
+    def _finish(self, now: float, probe) -> None:
+        """Stage 4 proper: reciprocal-count the held frequency."""
+        measurement = self.freq_counter.measure_reciprocal(
+            probe.fb_edges,
+            start=self.t_engage,
+            periods=self.config.frequency_count_periods,
+        ).scaled(self.pll.n)
+        f_at_release = probe.output_frequency
+        probe.close_loop()
+        self.held = HeldFrequencyResult(
+            vco_frequency_hz=measurement.frequency_hz,
+            measurement=measurement,
+            engage_time=self.t_engage,
+            frequency_at_engage=self._f_at_engage,
+            frequency_at_release=f_at_release,
+        )
+        self.stage_log.append((TestStage.DONE, now))
+        self.state = self.DONE
+        self._target = None
 
 
 class ToneTestSequencer:
@@ -442,62 +668,51 @@ class ToneTestSequencer:
             inverter_delay=cfg.detector_inverter_delay,
             and_gate_delay=cfg.detector_and_delay,
         )
-        phase_counter = PhaseCounter(cfg.test_clock_hz)
-        hold = LoopHoldControl(FrequencyCounter(cfg.test_clock_hz))
         sim.add_cycle_observer(detector.on_cycle)
 
-        # ---- stage 1: start the phase counter at the input peak -------
-        t_arm = self.stimulus.modulation_peak_time(
-            f_mod, start_time=0.0, index=arm_index
+        # ---- stages 1-4: the shared boundary-driven script -------------
+        # The same MeasurementScript drives the vectorized farm's
+        # batched measurement phase; here its targets feed the scalar
+        # event loop directly.
+        script = MeasurementScript(
+            self.pll,
+            self.stimulus,
+            cfg,
+            f_mod,
+            arm_index,
+            max_wait_cycles=max_wait_cycles,
         )
-        sim.run_until(t_arm)
-        phase_counter.start(t_arm)
-        stage_log.append((TestStage.SET_PHASE_COUNTER, t_arm))
-
-        # ---- stages 2-3: monitor for the peak; MFREQ triggers hold ----
-        stage_log.append((TestStage.MONITOR_PEAK, t_arm))
-        captured: List[PeakEvent] = []
-        phase_result: List[PhaseCount] = []
+        script.stage_log = stage_log  # REF_SET@0.0 already logged above
 
         def on_peak(event: PeakEvent) -> None:
-            if captured or not event.is_maximum or event.time <= t_arm:
-                return
-            captured.append(event)
-            phase_result.append(phase_counter.stop(event.time))
-            hold.engage(sim)  # the mux flips within the same PFD cycle
+            if script.capture_event(event):
+                sim.open_loop()  # the mux flips within the same PFD cycle
 
         detector.on_event = on_peak
-        deadline = t_arm + max_wait_cycles * t_mod
-        while not captured and sim.now < deadline:
-            sim.run_until(min(sim.now + 0.25 * t_mod, deadline))
-        if not captured:
-            phase_counter.abort()
-            raise MeasurementError(
-                f"peak detector produced no MFREQ within "
-                f"{max_wait_cycles:g} modulation cycles at f_mod={f_mod:g} Hz"
-            )
-        event = captured[0]
-        stage_log.append((TestStage.PEAK_OCCURRED, event.time))
-        wall_monitored = perf_counter()
-
-        # ---- stage 4: count the held output frequency ------------------
-        stage_log.append((TestStage.MEASURE, sim.now))
-        held = hold.measure_held_frequency(
-            sim, periods=cfg.frequency_count_periods, release_after=True
-        )
-        stage_log.append((TestStage.DONE, sim.now))
+        wall_monitored = wall_settled
+        while True:
+            target = script.next_target()
+            if target is None:
+                break
+            if target > sim.now:
+                sim.run_until(target)
+            monitoring = script.monitoring
+            script.advance(sim.now, sim)
+            if monitoring and not script.monitoring:
+                wall_monitored = perf_counter()
+        assert script.held is not None and script.phase_count is not None
         self.last_release_voltage = sim.control_voltage
         wall_end = perf_counter()
 
         return ToneMeasurement(
             f_mod=f_mod,
             modulation_period=t_mod,
-            held=held,
-            phase_count=phase_result[0],
+            held=script.held,
+            phase_count=script.phase_count,
             f_out_nominal=self.pll.f_out_nominal,
-            arm_time=t_arm,
-            peak_event=event,
-            stage_log=stage_log,
+            arm_time=script.t_arm,
+            peak_event=script.event,
+            stage_log=script.stage_log,
             timing=ToneTiming(
                 settle_s=wall_settled - wall_start,
                 monitor_s=wall_monitored - wall_settled,

@@ -151,6 +151,17 @@ class LockStateCache:
         self._hits += 1
         return snap
 
+    def peek(self, key: Hashable) -> Optional[SimulatorSnapshot]:
+        """Return the cached snapshot without touching recency or counters.
+
+        The lot planner uses this to *inspect* settled states while
+        deciding what to farm — the orchestrating sweep's own
+        :meth:`get` remains the only place hit/miss telemetry accrues,
+        so planning does not distort the cache statistics the benches
+        and digests report.
+        """
+        return self._store.get(key)
+
     def put(self, key: Hashable, snap: SimulatorSnapshot) -> None:
         """Store ``snap`` under ``key``, evicting the LRU entry if full."""
         self._store[key] = snap
@@ -426,6 +437,32 @@ class ToneMeasurementCache:
         while len(self._store) > self.max_entries:
             self._store.popitem(last=False)
             self._evictions += 1
+
+    def export(self) -> Tuple[Tuple[Hashable, object], ...]:
+        """Every ``(key, measurement)`` pair, LRU-first (picklable).
+
+        Mirrors :meth:`LockStateCache.export`: a value copy of the
+        contents, sized to cross a process boundary inside a chunk
+        payload.  Counters are not exported.
+        """
+        return tuple(self._store.items())
+
+    def merge(self, entries: Iterable[Tuple[Hashable, object]]) -> int:
+        """Adopt finished measurements discovered elsewhere.
+
+        Same semantics as :meth:`LockStateCache.merge`: existing
+        entries win (both sides of a collision hold the same
+        deterministic measurement), so merging is idempotent and
+        order-independent; adopted entries count toward capacity.
+        Returns the number added.
+        """
+        added = 0
+        for key, value in entries:
+            if key in self._store:
+                continue
+            self.put(key, value)
+            added += 1
+        return added
 
     def clear(self) -> None:
         """Drop every entry and reset all counters."""

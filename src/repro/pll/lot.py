@@ -22,20 +22,37 @@ stay on the scalar engine whose results the snapshot guarantee makes
 bit-identical to a cold run.  A lane whose settle *fails* is simply
 left cold — the sweep reproduces the identical error itself, so
 failure semantics do not change either.
+
+:func:`premeasure_lot` extends the same plan past the settle barrier:
+given a :class:`~repro.core.warm.ToneMeasurementCache` it attaches a
+:class:`~repro.sim.vectorized.MeasureSpec` to every lane whose
+finished measurement is dedupable, so the farm carries same-topology
+lanes through stages 1–4 (arm, peak watch, hold-and-count) in lockstep
+and parks the finished measurements in the cache the orchestrating
+sweep's executor already consults.  Lanes the measurement phase ejects
+or that raise :class:`~repro.errors.MeasurementError` are simply left
+out of the cache — the sweep measures (or reproduces the identical
+error) from the settled snapshot, so correctness never depends on the
+fast path here either.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence, Tuple, Union
+from typing import Iterable, Optional, Sequence, Tuple, Union
 
+from repro.core.executor import _measurement_cache_key
 from repro.core.sequencer import ToneTestSequencer
-from repro.core.warm import LockStateCache
+from repro.core.warm import LockStateCache, ToneMeasurementCache
 from repro.engines import FARM_ENGINES, validate_engine
 from repro.pll.simulator import RecordLevel
-from repro.sim.vectorized import SettleLane, VectorizedLotSimulator
+from repro.sim.vectorized import (
+    MeasureSpec,
+    SettleLane,
+    VectorizedLotSimulator,
+)
 
-__all__ = ["LotPresettleStats", "presettle_lot"]
+__all__ = ["LotPresettleStats", "premeasure_lot", "presettle_lot"]
 
 #: One lot job: (pll, stimulus, config, modulation frequencies).
 LotJob = Tuple[object, object, object, Sequence[float]]
@@ -57,9 +74,15 @@ class LotPresettleStats:
     failed: int = 0       # settle raised; lane left cold
     tones_vectorized: int = 0  # lanes that finished on any fast path
     hct4046_lanes: int = 0     # lanes with a recognised nonlinear VCO law
+    measured: int = 0          # stage 1-4 measurements finished in-farm
+    measure_ejected: int = 0   # measurement lanes handed back to scalar
+    measure_failed: int = 0    # MeasurementError raised inside the farm
+    settle_s: float = 0.0      # farm wall time in stage 0
+    monitor_s: float = 0.0     # farm wall time in stages 1-2 (arm/watch)
+    measure_s: float = 0.0     # farm wall time in stages 3-4 (hold/count)
 
     def summary(self) -> str:
-        return (
+        text = (
             f"presettle: {self.tones} tones -> {self.unique} unique lanes "
             f"({self.cached} already warm, {self.skipped} uncacheable); "
             f"{self.closed_form_lanes} closed-form / {self.vector} vector "
@@ -69,17 +92,27 @@ class LotPresettleStats:
             f"{self.hct4046_lanes} nonlinear lanes"
             + (f"; {self.failed} failed" if self.failed else "")
         )
+        if self.measured or self.measure_ejected or self.measure_failed:
+            text += (
+                f" | premeasure: {self.measured} measured in-farm, "
+                f"{self.measure_ejected} ejected"
+                + (f", {self.measure_failed} failed"
+                   if self.measure_failed else "")
+            )
+        return text
 
 
-def presettle_lot(
+def premeasure_lot(
     jobs: Iterable[LotJob],
     cache: LockStateCache,
+    measurement_cache: Optional[ToneMeasurementCache] = None,
     *,
     record: Union[RecordLevel, str] = RecordLevel.COUNTERS,
     drain_width: int = 8,
+    measure_width: Optional[int] = None,
     engine: str = "vectorized",
 ) -> LotPresettleStats:
-    """Warm ``cache`` with every unique settled state a lot will need.
+    """Warm ``cache`` (and optionally ``measurement_cache``) for a lot.
 
     ``record`` must match the record level the orchestrating sweep's
     sequencers use (the cache key includes it); the monitor default is
@@ -88,6 +121,23 @@ def presettle_lot(
     one PFD compare cycle between settle end and arm
     (``8·f_mod ≤ f_ref``) — mirroring the sequencer's own cacheability
     rule, so everything else simply runs cold as it does today.
+
+    With ``measurement_cache`` given, every lane whose finished
+    measurement is dedupable (the executor's measurement-cache rule)
+    also carries a :class:`~repro.sim.vectorized.MeasureSpec`, so the
+    farm continues through stages 1–4 in lockstep and parks finished
+    :class:`~repro.core.sequencer.ToneMeasurement` objects in the
+    cache; already-settled lanes re-enter the farm from their cached
+    snapshot (mode ``"warm"``) for the measurement phase alone.  Lanes
+    the measurement phase cannot finish — ejected stragglers and
+    in-farm :class:`~repro.errors.MeasurementError` — are left out of
+    the measurement cache, so the orchestrating sweep measures (or
+    reproduces the identical error) from the settled snapshot.  Without
+    ``measurement_cache`` this is exactly :func:`presettle_lot`.
+    ``measure_width`` gates the phase on farm width — the batched
+    stages need enough concurrent lanes to beat the scalar sequencer;
+    ``None`` takes the farm's default (three drain widths), ``0``
+    always measures.
 
     ``engine`` picks the farm the unique lanes run through:
     ``"vectorized"`` (default) is the lockstep farm as before;
@@ -102,6 +152,7 @@ def presettle_lot(
     stats = LotPresettleStats()
     lanes = []
     keys = []
+    mkeys = []
     seen = set()
     for pll, stimulus, config, freqs in jobs:
         freqs = [float(f) for f in freqs]
@@ -125,7 +176,18 @@ def presettle_lot(
             if key in seen:
                 continue
             seen.add(key)
-            if key in cache:
+            spec = None
+            mkey = None
+            if measurement_cache is not None:
+                mkey = _measurement_cache_key(pll, stimulus, config,
+                                              f_mod)
+                if mkey is not None and mkey in measurement_cache:
+                    mkey = None
+                if mkey is not None:
+                    spec = MeasureSpec(config=config,
+                                       arm_index=config.settle_cycles)
+            snap = cache.peek(key)
+            if snap is not None and spec is None:
                 stats.cached += 1
                 continue
             lanes.append(SettleLane(
@@ -134,40 +196,80 @@ def presettle_lot(
                 f_mod=f_mod,
                 settle_end=config.settle_cycles / f_mod,
                 record=record,
+                measure=spec,
+                presettled=snap,
             ))
             keys.append(key)
+            mkeys.append(mkey)
     stats.unique = len(lanes)
     if not lanes:
         cache.presettle_stats = stats
         return stats
     if engine == "vectorized":
-        farm = VectorizedLotSimulator(lanes, drain_width=drain_width)
+        farm = VectorizedLotSimulator(lanes, drain_width=drain_width,
+                                      measure_width=measure_width)
     else:
         # Imported lazily for symmetry with the monitor: scalar-only
         # and vectorized-only callers never pay for the extra tier.
         from repro.sim.closed_form import ClosedFormLotSimulator
 
-        farm = ClosedFormLotSimulator(lanes, drain_width=drain_width)
-    for key, result in zip(keys, farm.run()):
-        if result.snapshot is not None:
-            cache.put(key, result.snapshot)
+        farm = ClosedFormLotSimulator(lanes, drain_width=drain_width,
+                                      measure_width=measure_width)
+    for key, mkey, result in zip(keys, mkeys, farm.run()):
+        if result.mode == "warm":
+            # Re-entered from the settle cache for measurement only;
+            # the snapshot it carries is the one already stored.
+            stats.cached += 1
         else:
-            stats.failed += 1
-        if result.mode == "closed_form":
-            stats.closed_form_lanes += 1
-            stats.tones_vectorized += 1
-        elif result.mode == "vector":
-            stats.vector += 1
-            stats.tones_vectorized += 1
-        elif result.mode == "drained":
-            stats.drained += 1
-        elif result.mode == "ejected":
-            stats.ejected += 1
-        else:
-            stats.scalar += 1
+            if result.snapshot is not None:
+                cache.put(key, result.snapshot)
+            else:
+                stats.failed += 1
+            if result.mode == "closed_form":
+                stats.closed_form_lanes += 1
+                stats.tones_vectorized += 1
+            elif result.mode == "vector":
+                stats.vector += 1
+                stats.tones_vectorized += 1
+            elif result.mode == "drained":
+                stats.drained += 1
+            elif result.mode == "ejected":
+                stats.ejected += 1
+            else:
+                stats.scalar += 1
         if result.nonlinear:
             stats.hct4046_lanes += 1
+        if (mkey is not None and measurement_cache is not None
+                and result.measurement is not None):
+            measurement_cache.put(mkey, result.measurement)
+    farm_stats = getattr(farm, "stats", {})
+    stats.measured = int(farm_stats.get("measured", 0))
+    stats.measure_ejected = int(farm_stats.get("measure_ejected", 0))
+    stats.measure_failed = int(farm_stats.get("measure_failed", 0))
+    stats.settle_s = float(getattr(farm, "wall_settle_s", 0.0))
+    stats.monitor_s = float(getattr(farm, "wall_monitor_s", 0.0))
+    stats.measure_s = float(getattr(farm, "wall_measure_s", 0.0))
     # Leave the digest on the cache so callers that only see the cache
     # (the CLI lot command, the benches) can surface what the farm did.
     cache.presettle_stats = stats
     return stats
+
+
+def presettle_lot(
+    jobs: Iterable[LotJob],
+    cache: LockStateCache,
+    *,
+    record: Union[RecordLevel, str] = RecordLevel.COUNTERS,
+    drain_width: int = 8,
+    engine: str = "vectorized",
+) -> LotPresettleStats:
+    """Warm ``cache`` with every unique settled state a lot will need.
+
+    Settle-only entry point kept for callers that measure scalar (or
+    dedup measurements elsewhere): exactly :func:`premeasure_lot`
+    without a measurement cache.
+    """
+    return premeasure_lot(
+        jobs, cache, None,
+        record=record, drain_width=drain_width, engine=engine,
+    )

@@ -95,6 +95,15 @@ class PopulationScreenStats:
     memo_hits: int
     memo_misses: int
     memo_evictions: int
+    # Aggregate farm wall split (stage 0 / stages 1-2 / stages 3-4)
+    # summed over every chunk's premeasure pass; all zero on the
+    # scalar engine, where no farm runs.
+    settle_s: float = 0.0
+    monitor_s: float = 0.0
+    measure_s: float = 0.0
+    measured: int = 0
+    measure_ejected: int = 0
+    measure_failed: int = 0
 
 
 def resolve_chunk_size(
@@ -201,6 +210,8 @@ def screen_population(
     sink: Optional[IO[str]] = open(jsonl, "w") if own_handle else jsonl
 
     n_chunks = (spec.size + size - 1) // size
+    farm_settle_s = farm_monitor_s = farm_measure_s = 0.0
+    farm_measured = farm_measure_ejected = farm_measure_failed = 0
     t0 = time.perf_counter()
     try:
         for chunk_index in range(n_chunks):
@@ -222,6 +233,17 @@ def screen_population(
             grouped = batch_device_screen(
                 requests, n_workers=n_workers, cache=cache, engine=engine
             )
+            chunk_presettle = getattr(cache, "presettle_stats", None)
+            if chunk_presettle is not None:
+                farm_settle_s += chunk_presettle.settle_s
+                farm_monitor_s += chunk_presettle.monitor_s
+                farm_measure_s += chunk_presettle.measure_s
+                farm_measured += chunk_presettle.measured
+                farm_measure_ejected += chunk_presettle.measure_ejected
+                farm_measure_failed += chunk_presettle.measure_failed
+                # One digest per chunk: don't double-count on the next
+                # chunk if the farm has nothing left to run there.
+                cache.presettle_stats = None
             outcomes = [None] * len(dies)
             for position, j in enumerate(order):
                 outcomes[j] = grouped[position]
@@ -268,5 +290,11 @@ def screen_population(
         memo_hits=memo_after.hits - memo_before.hits,
         memo_misses=memo_after.misses - memo_before.misses,
         memo_evictions=memo_after.evictions - memo_before.evictions,
+        settle_s=farm_settle_s,
+        monitor_s=farm_monitor_s,
+        measure_s=farm_measure_s,
+        measured=farm_measured,
+        measure_ejected=farm_measure_ejected,
+        measure_failed=farm_measure_failed,
     )
     return aggregate, stats

@@ -336,9 +336,11 @@ def _screen_one(
     )
 
 
-# (chunk of (lot_index, request), exported warm entries or None)
+# (chunk of (lot_index, request), exported warm entries or None,
+#  exported finished-measurement entries or None)
 _BatchChunkPayload = Tuple[
     Tuple[Tuple[int, DeviceReportRequest], ...],
+    Optional[Tuple],
     Optional[Tuple],
 ]
 
@@ -354,8 +356,16 @@ def _run_chunk(payload: _BatchChunkPayload, one: Callable):
     restores.  Returns the ``(lot_index, result)`` pairs plus the
     settled states this worker *discovered* (entries not in the shipped
     export), for the parent to merge back.
+
+    Finished stage 1-4 measurements ship the same way into a local
+    :class:`~repro.core.warm.ToneMeasurementCache` — the farm's
+    premeasure pass filled the parent's cache before the pool split the
+    lot, so a chunk's dies answer dedupable tones without replaying the
+    counters.  Worker-discovered measurements are *not* merged back:
+    the parent's measurement cache dies with the batch call, so there
+    is nothing for them to warm.
     """
-    chunk, warm_entries = payload
+    chunk, warm_entries, measurement_entries = payload
     local_cache: Optional[LockStateCache] = None
     shipped_keys = frozenset()
     if warm_entries is not None:
@@ -364,8 +374,17 @@ def _run_chunk(payload: _BatchChunkPayload, one: Callable):
         )
         local_cache.merge(warm_entries)
         shipped_keys = frozenset(key for key, __ in warm_entries)
+    local_measurements: Optional[ToneMeasurementCache] = None
+    if measurement_entries is not None:
+        local_measurements = ToneMeasurementCache(
+            max_entries=max(
+                1024, len(measurement_entries) + 16 * len(chunk)
+            )
+        )
+        local_measurements.merge(measurement_entries)
     results = [
-        (index, one(request, cache=local_cache))
+        (index, one(request, cache=local_cache,
+                    measurement_cache=local_measurements))
         for index, request in chunk
     ]
     new_entries: Tuple = ()
@@ -416,6 +435,31 @@ def _chunk_warm_entries(
     return _relevant_warm_entries(cache, signatures)
 
 
+def _chunk_measurement_entries(
+    measurement_cache: Optional[ToneMeasurementCache],
+    chunk: Tuple[Tuple[int, DeviceReportRequest], ...],
+) -> Optional[Tuple]:
+    """The finished measurements worth shipping to one chunk's worker.
+
+    A measurement key leads with the device physics signature, so the
+    same family filter as :func:`_chunk_warm_entries` applies — each
+    worker receives exactly its chunk's families' finished tones.
+    """
+    if measurement_cache is None:
+        return None
+    signatures = set()
+    for __, request in chunk:
+        try:
+            signatures.add(request.pll.physics_signature())
+        except Exception:  # noqa: BLE001 - exotic device: ship everything
+            return measurement_cache.export()
+    return tuple(
+        (key, measurement)
+        for key, measurement in measurement_cache.export()
+        if key and key[0] in signatures
+    )
+
+
 def batch_device_reports(
     requests: Sequence[DeviceReportRequest],
     n_workers: int = 1,
@@ -442,11 +486,12 @@ def batch_device_reports(
     as a serial screen would have.  ``None`` (default) screens every
     device cold, preserving the historical behaviour.
 
-    ``engine`` selects the stage-0 settle engine.  ``"vectorized"``
-    first advances every unique (physics, stimulus, tone) settle of the
-    whole lot in lockstep on the NumPy settle farm
-    (:func:`repro.pll.lot.presettle_lot`) — one pass over the lot's
-    deduplicated settle work — and then screens warm exactly as above.
+    ``engine`` selects the lot's farm engine.  ``"vectorized"``
+    first advances every unique (physics, stimulus, tone) lane of the
+    whole lot in lockstep on the NumPy farm
+    (:func:`repro.pll.lot.premeasure_lot`) — one pass over the lot's
+    deduplicated settle *and* stage 1-4 measurement work — and then
+    screens warm exactly as above.
     ``"closed_form"`` and ``"auto"`` presettle through the tiered
     analytic farm instead
     (:class:`~repro.sim.closed_form.ClosedFormLotSimulator`): eligible
@@ -507,21 +552,25 @@ def _batch_measure(
             cache = LockStateCache(max_entries=max(256, 16 * len(jobs)))
         # Lazy import: the farm (and NumPy array machinery) only loads
         # for lots that opt into it.
-        from repro.pll.lot import presettle_lot
+        from repro.pll.lot import premeasure_lot
 
-        presettle_lot(
+        # The lot also shares *finished* measurements: behaviourally
+        # identical dies measure each tone once.  The farm fills this
+        # cache up front — same-topology lanes ride lockstep through
+        # stages 1-4, not just the settle — and every die's sweep then
+        # answers its tones from the cache.  Reports stay byte-equal:
+        # a hit differs only in the comparison-excluded timing, and a
+        # lane the farm could not finish is simply absent, so the
+        # sweep measures (or reproduces the identical error) itself.
+        measurement_cache = ToneMeasurementCache(
+            max_entries=max(1024, 16 * len(jobs))
+        )
+        premeasure_lot(
             [(job.pll, job.stimulus, job.config, job.plan.frequencies_hz)
              for job in jobs],
             cache,
+            measurement_cache,
             engine=engine,
-        )
-        # On the serial path the lot additionally shares *finished*
-        # measurements: behaviourally identical dies measure each tone
-        # once (the warm-settle pass above only removed stage 0; this
-        # removes the stage 1–4 replay too).  Reports stay byte-equal —
-        # a hit differs only in the comparison-excluded timing.
-        measurement_cache = ToneMeasurementCache(
-            max_entries=max(1024, 16 * len(jobs))
         )
     workers = min(n_workers, len(jobs))
     if workers <= 1:
@@ -539,7 +588,9 @@ def _batch_measure(
     # for a heterogeneous population lot the payload stays proportional
     # to the chunk, not to everything the shared cache has ever seen.
     payloads: List[_BatchChunkPayload] = [
-        (chunk, _chunk_warm_entries(cache, chunk)) for chunk in chunks
+        (chunk, _chunk_warm_entries(cache, chunk),
+         _chunk_measurement_entries(measurement_cache, chunk))
+        for chunk in chunks
     ]
     with ProcessPoolExecutor(max_workers=workers) as pool:
         chunk_results = list(pool.map(chunk_worker, payloads))

@@ -233,9 +233,10 @@ class ClosedFormLotSimulator(VectorizedLotSimulator):
     """
 
     def __init__(self, lanes, drain_width: int = 8,
-                 lockstep_width: int = 64):
+                 lockstep_width: int = 64, measure_width=None):
         super().__init__(lanes, drain_width=drain_width,
-                         lockstep_width=lockstep_width)
+                         lockstep_width=lockstep_width,
+                         measure_width=measure_width)
         self.stats["closed_form"] = 0
         self._cf_ok = [
             (not t.nonlinear) and all(r.kind != _EXP for r in t.laws)

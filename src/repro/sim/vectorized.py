@@ -42,11 +42,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ReproError
+from repro.core.sequencer import (
+    MeasurementScript,
+    ToneMeasurement,
+    ToneTiming,
+)
+from repro.errors import MeasurementError, ReproError
 from repro.pll.charge_pump import Drive, DriveKind
 from repro.pll.hct4046 import HCT4046Config
 from repro.pll.loop_filter import PassiveLagLeadFilter, SeriesRCFilter
@@ -57,6 +63,7 @@ from repro.pll.simulator import (
     SimulatorSnapshot,
 )
 from repro.pll.vco import VCO
+from repro.sim.signals import PulseTrain
 from repro.sim.segments import (
     ClampedCubicLaw,
     ConstantSegment,
@@ -68,7 +75,8 @@ from repro.stimulus.waveforms import (
     PiecewiseConstantFrequencySource,
 )
 
-__all__ = ["SettleLane", "LaneResult", "VectorizedLotSimulator"]
+__all__ = ["MeasureSpec", "SettleLane", "LaneResult",
+           "VectorizedLotSimulator"]
 
 
 class _Unsupported(Exception):
@@ -251,15 +259,125 @@ def _pcw_edge_train(source, t_end: float) -> Optional[List[float]]:
             return edges
 
 
+def _solve_fb_crossing(kind, out_v, o_asym, tau, slope, half,
+                       base_hz, gain, f_center, v_center,
+                       f_min, f_max, v_lo, v_hi, need, dt_h):
+    """Feedback-edge crossing time for one linear-VCO ramp/exp lane.
+
+    A bit-exact transcription of ``VCO.time_to_phase``'s reachability
+    guard plus ``solve_increasing``'s safeguarded Newton iteration for
+    the unclamped single-piece case — the same inlined solver the
+    per-lane settle kernel carries, shared by the lockstep steppers so
+    their per-lane solving loops skip the generic path's segment
+    objects and closure allocations.  Every floating-point expression
+    replicates the scalar operand order exactly.
+
+    Returns ``(dt_fb, eject)``: ``dt_fb`` is ``None`` when the target
+    phase is not reached inside ``[0, dt_h]``; ``eject`` is ``True``
+    when the window leaves the VCO clamp band mid-solve (the scalar
+    engine subdivides there; the farm hands the lane off instead) or
+    the iteration budget is exhausted (the scalar engine raises).
+    """
+    exp_ = math.exp
+    expm1_ = math.expm1
+    gap0 = out_v - o_asym
+    gk = gap0 * tau
+    # pa(dt_h): time_to_phase's bracketing guard.
+    if kind == _EXP:
+        x = -dt_h / tau
+        v1 = o_asym + gap0 * exp_(x)
+        va, vb = (v1, out_v) if v1 < out_v else (out_v, v1)
+        if not (v_lo <= va and vb <= v_hi):
+            return None, True
+        pa_hi = base_hz * dt_h + gain * (o_asym * dt_h + gk * -expm1_(x))
+    else:  # _RAMP
+        v1 = out_v + slope * dt_h
+        va, vb = (v1, out_v) if v1 < out_v else (out_v, v1)
+        if not (v_lo <= va and vb <= v_hi):
+            return None, True
+        pa_hi = base_hz * dt_h + gain * (out_v * dt_h + (half * dt_h) * dt_h)
+    if pa_hi < need:
+        return None, False
+    # solve_increasing(pa, need, 0.0, dt_h): pa(0) == 0 so the lower
+    # bracket check never trips (f_lo = -need < 0).
+    if pa_hi == need:
+        return dt_h, False
+    lo = 0.0
+    hi = dt_h
+    x_s = 0.5 * (lo + hi)
+    for _ in range(200):
+        if hi - lo <= 1e-13:
+            return 0.5 * (lo + hi), False
+        if kind == _EXP:
+            x = -x_s / tau
+            v1 = o_asym + gap0 * exp_(x)
+            va, vb = (v1, out_v) if v1 < out_v else (out_v, v1)
+            if not (v_lo <= va and vb <= v_hi):
+                return None, True
+            pa_x = base_hz * x_s + gain * (o_asym * x_s + gk * -expm1_(x))
+        else:
+            v1 = out_v + slope * x_s
+            va, vb = (v1, out_v) if v1 < out_v else (out_v, v1)
+            if not (v_lo <= va and vb <= v_hi):
+                return None, True
+            pa_x = base_hz * x_s + gain * (out_v * x_s + (half * x_s) * x_s)
+        f_x = pa_x - need
+        if f_x == 0.0:
+            return x_s, False
+        if f_x < 0.0:
+            lo = x_s
+        else:
+            hi = x_s
+        # Newton candidate off the segment's instantaneous frequency.
+        if kind == _EXP:
+            v_d = o_asym + gap0 * exp_(-x_s / tau)
+        else:
+            v_d = out_v + slope * x_s
+        f_d = f_center + gain * (v_d - v_center)
+        f_d = min(max(f_d, f_min), f_max)
+        x_next = None
+        if f_d > 0.0:
+            candidate = x_s - f_x / f_d
+            if lo < candidate < hi:
+                x_next = candidate
+        if x_next is None:
+            x_next = 0.5 * (lo + hi)
+        x_s = x_next
+    return None, True  # budget exhausted: scalar raises ConvergenceError
+
+
+@dataclass(frozen=True)
+class MeasureSpec:
+    """Stage 1–4 measurement request riding on a :class:`SettleLane`.
+
+    ``config`` is the :class:`~repro.core.architecture.BISTConfig` whose
+    counters/detector the scalar sequencer would use; ``arm_index`` the
+    modulation-peak index at which the phase counter arms (the fixed
+    settle policy's ``settle_cycles``).
+    """
+
+    config: object
+    arm_index: int
+    max_wait_cycles: float = 3.0
+
+
 @dataclass(frozen=True)
 class SettleLane:
-    """One settle job: device × stimulus × tone, up to ``settle_end``."""
+    """One settle job: device × stimulus × tone, up to ``settle_end``.
+
+    ``measure`` asks the farm to carry the lane through Table 2 stages
+    1–4 after the settle; ``presettled`` skips stage 0 entirely and
+    enters the measurement phase from a previously-settled snapshot
+    (the warm-cache hit of a lane whose *measurement* is still cold).
+    """
 
     pll: object
     stimulus: object
     f_mod: float
     settle_end: float
     record: RecordLevel = RecordLevel.COUNTERS
+    measure: Optional[MeasureSpec] = None
+    presettled: Optional[SimulatorSnapshot] = None
 
 
 @dataclass
@@ -267,19 +385,25 @@ class LaneResult:
     """Outcome of one lane.
 
     ``mode`` is ``"vector"`` (completed in the farm), ``"drained"``
-    (lockstep start, scalar finish), ``"ejected"`` (left the supported
-    envelope mid-flight, scalar finish) or ``"scalar"`` (never entered
-    the farm; full scalar settle).  ``snapshot`` is ``None`` when the
+    (lockstep start, per-lane kernel finish), ``"ejected"`` (left the
+    supported envelope mid-flight, scalar finish), ``"scalar"`` (never entered
+    the farm; full scalar settle) or ``"warm"`` (stage 0 skipped — the
+    lane entered presettled).  ``snapshot`` is ``None`` when the
     scalar path raised — the caller should leave that lane cold so the
     orchestrating sweep reproduces the identical error itself.
     ``nonlinear`` marks lanes whose device carries a recognised
-    nonlinear (4046-style) VCO tuning curve.
+    nonlinear (4046-style) VCO tuning curve.  ``measurement`` is the
+    farm-completed stage 1–4 :class:`~repro.core.sequencer.
+    ToneMeasurement` when the lane carried a :class:`MeasureSpec` and
+    the measurement phase finished it in-array; ``None`` means the
+    orchestrating sweep measures scalar from ``snapshot``.
     """
 
     snapshot: Optional[SimulatorSnapshot]
     mode: str
     error: Optional[str] = None
     nonlinear: bool = False
+    measurement: Optional[ToneMeasurement] = None
 
 
 @dataclass
@@ -461,27 +585,55 @@ class VectorizedLotSimulator:
         share one generated reference-edge stream.
     drain_width:
         When at most this many lanes remain live in *lockstep*, they
-        are handed off to scalar simulators — below roughly ten live
-        lanes the fixed per-iteration NumPy overhead loses to the
-        scalar loop, and the stragglers (the lowest tone alone runs
-        thousands of events) would otherwise pay it the longest.
+        leave it for per-lane settle kernels; measurement lanes
+        thinning past it hand their tails to the scalar sequencer.
+    measure_width:
+        Minimum number of measuring lanes before the measurement
+        phase (batched stages 1–4) switches on.  Below it the farm
+        settles on the per-lane kernels and leaves measurement to the
+        scalar sequencer — the lockstep measurement loop's array
+        overhead needs width to amortise, and keeping narrow farms in
+        lockstep just to measure costs more than the batch saves
+        (a 13-tone single-device sweep is ~1.5x *slower* measured
+        in-farm).  ``None`` derives ``3 * drain_width``; ``0`` always
+        measures.
     lockstep_width:
-        Farms narrower than this run each lane through the per-lane
-        settle kernel (:meth:`_kernel_settle`) — a specialised scalar
+        The lockstep/kernel crossover, applied symmetrically.  Farms
+        narrower than this run each lane through the per-lane settle
+        kernel (:meth:`_kernel_settle`) — a specialised scalar
         transcription of the event loop that beats both the lockstep
         arrays (whose per-iteration overhead needs many lanes to
         amortise) and the general simulator (whose per-event object
         machinery it peels away).  Farms at least this wide use the
-        lockstep arrays.  ``0`` forces lockstep for any width.
+        lockstep arrays — and once retirements thin the live set back
+        below the crossover, the stragglers finish on the kernel too
+        (mode ``"drained"``).  ``0`` forces lockstep for any width.
     """
 
     def __init__(self, lanes: Sequence[SettleLane], drain_width: int = 8,
-                 lockstep_width: int = 64):
+                 lockstep_width: int = 64,
+                 measure_width: Optional[int] = None):
         self.lanes = list(lanes)
         self.drain_width = max(0, int(drain_width))
         self.lockstep_width = max(0, int(lockstep_width))
+        self.measure_width = (
+            3 * self.drain_width if measure_width is None
+            else max(0, int(measure_width))
+        )
         self.stats = {"vector": 0, "drained": 0, "ejected": 0, "scalar": 0,
-                      "failed": 0, "nonlinear": 0}
+                      "failed": 0, "nonlinear": 0, "warm": 0,
+                      "measured": 0, "measure_ejected": 0,
+                      "measure_failed": 0}
+        #: Wall-clock split of the farm run: stage 0 (settle) vs the
+        #: measurement phase's stages 1–3 (monitor) and 4 (measure).
+        self.wall_settle_s = 0.0
+        self.wall_monitor_s = 0.0
+        self.wall_measure_s = 0.0
+        # Stage 1–4 batching pays only when enough measuring lanes run
+        # concurrently; below the measure width the scalar sequencer
+        # wins (and the settle phase keeps its kernel crossover).
+        n_meas = sum(1 for lane in self.lanes if lane.measure is not None)
+        self._meas_enabled = n_meas > self.measure_width
         self._results: List[Optional[LaneResult]] = [None] * len(self.lanes)
         self._vec: List[int] = []          # lane positions in the farm
         self._fallback: List[int] = []     # lane positions settled scalar
@@ -511,7 +663,11 @@ class VectorizedLotSimulator:
                 self._fallback.append(pos)
                 continue
             candidates.append((pos, table, key))
-            group_end[key] = max(group_end.get(key, 0.0), lane.settle_end)
+            end = lane.settle_end
+            if (self._meas_enabled and lane.measure is not None
+                    and not table.nonlinear):
+                end = max(end, self._measure_horizon(lane))
+            group_end[key] = max(group_end.get(key, 0.0), end)
             group_lanes.setdefault(key, []).append(pos)
 
         supported: List[Tuple[int, _PhysicsTable, _EdgeGroup]] = []
@@ -529,6 +685,29 @@ class VectorizedLotSimulator:
                 continue
             supported.append((pos, table, group))
         self._build_arrays(supported)
+
+    def _measure_horizon(self, lane: SettleLane) -> float:
+        """Edge-train horizon covering stages 1–4 for one lane.
+
+        An estimate, not a bound: the peak-watch deadline, the two
+        reference-period flush, and a generous multiple of the
+        reciprocal-count window.  A lane that outruns it hits the
+        edge-exhaustion eject in :meth:`_step_measure` and finishes on
+        the scalar path — lossless, merely slower.
+        """
+        spec = lane.measure
+        try:
+            pll = lane.pll
+            t_mod = 1.0 / lane.f_mod
+            t_arm = lane.stimulus.modulation_peak_time(
+                lane.f_mod, start_time=0.0, index=spec.arm_index
+            )
+            deadline = t_arm + spec.max_wait_cycles * t_mod
+            periods = spec.config.frequency_count_periods
+            count = 4.0 * (periods + 8) * pll.n / pll.f_out_nominal
+            return deadline + 2.0 / pll.f_ref + count
+        except Exception:  # noqa: BLE001 - estimate only; eject covers
+            return lane.settle_end
 
     def _group_key(self, lane: SettleLane) -> Tuple:
         stim = lane.stimulus
@@ -660,10 +839,24 @@ class VectorizedLotSimulator:
     # ------------------------------------------------------------------
     def run(self) -> List[LaneResult]:
         """Settle every lane; returns one :class:`LaneResult` per lane."""
+        wall0 = perf_counter()
         for pos in self._fallback:
             self._results[pos] = self._scalar_settle(self.lanes[pos])
+        # Presettled lanes skip stage 0: their stored snapshot becomes
+        # the settle result directly, and the measurement phase below
+        # reloads it exactly as it reloads farm-settled lanes.
+        for i, pos in enumerate(self._vec):
+            snap = self.lanes[pos].presettled
+            if snap is not None:
+                self._active[i] = False
+                self._results[pos] = LaneResult(
+                    snapshot=snap, mode="warm",
+                    nonlinear=self._tables[i].nonlinear,
+                )
         if self._vec:
             self._run_farm()
+        self.wall_settle_s += perf_counter() - wall0
+        self._run_measure()
         out = []
         for pos, result in enumerate(self._results):
             assert result is not None, f"lane {pos} never resolved"
@@ -689,9 +882,9 @@ class VectorizedLotSimulator:
         if n == 0:
             return
         if n <= self.drain_width:
-            # Too narrow for any fast path: straight to scalar.
+            # Too narrow for the lockstep arrays: per-lane kernels.
             for i in idx.tolist():
-                self._hand_off(i, "drained")
+                self._kernel_settle(i, mode="drained")
             return
         if self.lockstep_width:
             # Nonlinear lanes always take the per-lane kernel: their
@@ -709,9 +902,17 @@ class VectorizedLotSimulator:
             idx = np.flatnonzero(self._active)
             if idx.size == 0:
                 break
-            if idx.size <= self.drain_width:
+            if idx.size <= self.drain_width or (
+                    self.lockstep_width
+                    and idx.size < self.lockstep_width):
+                # The crossover is symmetric: lockstep pays only while
+                # at least lockstep_width lanes step together, so once
+                # retirements thin the farm below it the stragglers
+                # leave lockstep and finish on the per-lane kernel —
+                # bit-identical, without the per-iteration array
+                # overhead or the scalar engine's per-event machinery.
                 for i in idx.tolist():
-                    self._hand_off(i, "drained")
+                    self._kernel_settle(i, mode="drained")
                 break
             self._step(idx)
 
@@ -773,18 +974,35 @@ class VectorizedLotSimulator:
             kind[hit] = _FB
         for i in np.flatnonzero(solving & ((kindlaw != _CONST) | nl)).tolist():
             row = rows[i]
-            if kindlaw[i] == _RAMP:
-                seg = RampSegment(float(out_v[i]),
-                                  float(self._law_slope[row]))
-            elif kindlaw[i] == _EXP:
-                seg = ExponentialSegment(float(out_v[i]),
-                                         float(self._law_oasym[row]),
-                                         float(self._law_tau[row]))
-            else:
-                seg = ConstantSegment(float(out_v[i]))
             table = self._tables[idx[i]]
-            dt_fb = table.vco.time_to_phase(seg, float(need[i]),
-                                            float(dt_h[i]))
+            if nl[i]:
+                # Nonlinear VCO: the generic Simpson-backed solver.
+                if kindlaw[i] == _RAMP:
+                    seg = RampSegment(float(out_v[i]),
+                                      float(self._law_slope[row]))
+                elif kindlaw[i] == _EXP:
+                    seg = ExponentialSegment(float(out_v[i]),
+                                             float(self._law_oasym[row]),
+                                             float(self._law_tau[row]))
+                else:
+                    seg = ConstantSegment(float(out_v[i]))
+                dt_fb = table.vco.time_to_phase(seg, float(need[i]),
+                                                float(dt_h[i]))
+            else:
+                dt_fb, ej = _solve_fb_crossing(
+                    int(kindlaw[i]), float(out_v[i]),
+                    float(self._law_oasym[row]),
+                    float(self._law_tau[row]),
+                    float(self._law_slope[row]),
+                    float(self._law_half[row]),
+                    table.base_hz, table.gain, table.f_center,
+                    table.v_center, table.f_min, table.f_max,
+                    table.v_lo, table.v_hi,
+                    float(need[i]), float(dt_h[i]),
+                )
+                if ej:
+                    eject[i] = True
+                    continue
             if dt_fb is not None and t[i] + dt_fb <= best_t[i]:
                 best_t[i] = t[i] + dt_fb
                 kind[i] = _FB
@@ -937,9 +1155,492 @@ class VectorizedLotSimulator:
             )
 
     # ------------------------------------------------------------------
+    # measurement phase: Table 2 stages 1-4 in lockstep
+    # ------------------------------------------------------------------
+    def _run_measure(self) -> None:
+        """Batch stages 1–4 across settled lanes carrying a MeasureSpec.
+
+        Every eligible lane (linear physics, usable settle snapshot, a
+        :class:`MeasureSpec` on its :class:`SettleLane`) is reloaded
+        from its settle result and driven through the arm / peak-watch /
+        hold-and-count stages by the same lockstep event engine that
+        settled it: the stage control flow is delegated to the shared
+        :class:`~repro.core.sequencer.MeasurementScript` at run-to-
+        target boundaries (the END events) and the Figure 7 latch is
+        evaluated as masked array ops at every PFD reset.  A lane whose
+        events the arrays cannot advance faithfully — or whose script
+        raises — keeps its settle-only result: the orchestrating sweep
+        measures (or reproduces the identical error) from the cached
+        settle snapshot, so correctness never depends on this phase.
+
+        The loop runs in two passes for the wall-clock split: first
+        only lanes still in stages 1–3 (monitor), then everything that
+        remains (the hold-and-count tails) — lockstep lanes are
+        independent, so pausing a held lane while siblings monitor
+        changes no measured value.
+        """
+        if not self._meas_enabled or not self._vec:
+            return
+        n = len(self._vec)
+        self._tend = np.zeros(n)
+        self._open = np.zeros(n, dtype=bool)
+        self._watch = np.zeros(n, dtype=bool)
+        self._monph = np.zeros(n, dtype=bool)
+        self._rec = np.zeros(n, dtype=bool)
+        self._lq = np.zeros(n, dtype=bool)
+        self._lvalid = np.zeros(n, dtype=bool)
+        self._inv_d = np.zeros(n)
+        self._and_d = np.zeros(n)
+        self._t_arm_arr = np.zeros(n)
+        self._n_edges_arr = np.array(
+            [len(e) for e in self._edges], dtype=np.int64
+        )
+        self._mscript: List[Optional[MeasurementScript]] = [None] * n
+        self._fb_rec: List[Optional[PulseTrain]] = [None] * n
+        self._active[:] = False
+
+        loaded = 0
+        for i in range(n):
+            lane = self.lanes[self._vec[i]]
+            if lane.measure is None or self._tables[i].nonlinear:
+                continue
+            result = self._results[self._vec[i]]
+            if result is None or result.snapshot is None:
+                continue
+            if self._load_measure_state(i, lane, result.snapshot):
+                loaded += 1
+        if loaded == 0:
+            return
+        if loaded <= self.drain_width:
+            for i in np.flatnonzero(self._active).tolist():
+                self._meas_eject(i)
+            return
+        t0 = perf_counter()
+        while True:
+            mon = np.flatnonzero(self._active & self._monph)
+            if mon.size <= self.drain_width:
+                # The few monitoring stragglers just join the second
+                # pass; only total farm width decides scalar hand-off.
+                break
+            self._step_measure(mon)
+        t1 = perf_counter()
+        while True:
+            idx = np.flatnonzero(self._active)
+            if idx.size == 0:
+                break
+            if idx.size <= self.drain_width:
+                for i in idx.tolist():
+                    self._meas_eject(i)
+                break
+            self._step_measure(idx)
+        self.wall_monitor_s += t1 - t0
+        self.wall_measure_s += perf_counter() - t1
+
+    def _load_measure_state(self, i: int, lane: SettleLane,
+                            snap: SimulatorSnapshot) -> bool:
+        """Restore one settled snapshot into the lane arrays; arm stage 1.
+
+        Mirrors :meth:`~repro.pll.simulator.PLLTransientSimulator.
+        restore` for the state the arrays carry; anything they cannot
+        represent (an unknown drive, a foreign edge cursor) leaves the
+        lane settle-only for the scalar sequencer.
+        """
+        table = self._tables[i]
+        spec = lane.measure
+        if (snap.loop_open or snap.pending_activation is not None
+                or snap.next_sample is not None):
+            return False
+        drive_idx = None
+        for k, d in enumerate(table.drives):
+            if d is snap.applied_drive:
+                drive_idx = k
+                break
+        if drive_idx is None:
+            for k, d in enumerate(table.drives):
+                if d == snap.applied_drive:
+                    drive_idx = k
+                    break
+        if drive_idx is None:
+            return False
+        state = snap.source_state
+        try:
+            j = int(state[0]) - 1
+            t_last = float(state[1])
+        except (TypeError, ValueError, IndexError):
+            return False
+        edges = self._edges[i]
+        if not (0 <= j < len(edges)):
+            return False
+        if float(edges[j]) != snap.t_ref_next or t_last != snap.t_ref_next:
+            return False
+        try:
+            script = MeasurementScript(
+                table.pll, lane.stimulus, spec.config, lane.f_mod,
+                spec.arm_index, max_wait_cycles=spec.max_wait_cycles,
+            )
+        except Exception:  # noqa: BLE001 - exotic stimulus: scalar path
+            return False
+        target = script.next_target()
+        if target is None or target < snap.time:
+            return False
+        nan = float("nan")
+        pfd = snap.pfd
+        self._t[i] = snap.time
+        self._vc[i] = snap.vc
+        self._phase[i] = snap.vco_phase
+        self._fbt[i] = snap.fb_target
+        self._j[i] = j
+        self._tref[i] = float(edges[j])
+        self._up[i] = pfd.up
+        self._dn[i] = pfd.dn
+        self._levt[i] = nan if pfd.last_event_time is None \
+            else pfd.last_event_time
+        self._pres[i] = nan if pfd.pending_reset is None \
+            else pfd.pending_reset
+        self._upr[i] = nan if pfd.last_up_rise is None else pfd.last_up_rise
+        self._dnr[i] = nan if pfd.last_dn_rise is None else pfd.last_dn_rise
+        self._drive[i] = drive_idx
+        self._events[i] = snap.events
+        cfg = spec.config
+        self._inv_d[i] = cfg.detector_inverter_delay
+        self._and_d[i] = cfg.detector_and_delay
+        self._t_arm_arr[i] = script.t_arm
+        self._tend[i] = target
+        self._watch[i] = True
+        self._monph[i] = True
+        self._mscript[i] = script
+        self._fb_rec[i] = PulseTrain(f"{table.pll.name}.fb")
+        self._active[i] = True
+        return True
+
+    def _meas_eject(self, lane: int) -> None:
+        """Leave this lane settle-only; the sweep measures it scalar."""
+        self._active[lane] = False
+        self._monph[lane] = False
+        self._mscript[lane] = None
+        self._fb_rec[lane] = None
+        self.stats["measure_ejected"] += 1
+
+    def _capture(self, lane: int, t_event: float) -> None:
+        """The batched latch fired its first post-arm maximum: stage 3.
+
+        Mirrors the scalar capture callback plus ``open_loop()``: stop
+        the phase counter at the MFREQ instant, clear the PFD and idle
+        the pump (the hold mux flips within the same PFD cycle), and
+        start recording feedback edges for the stage 4 count.
+        """
+        try:
+            self._mscript[lane].capture(t_event)
+        except Exception:  # noqa: BLE001 - scalar reproduces the error
+            self._meas_eject(lane)
+            return
+        self._watch[lane] = False
+        self._open[lane] = True
+        self._rec[lane] = True
+        self._up[lane] = False
+        self._dn[lane] = False
+        self._pres[lane] = np.nan
+        self._drive[lane] = self._tables[lane].idle_idx
+
+    def _meas_boundary(self, lane: int) -> None:
+        """Fire the stage script at a run-to-target boundary (END)."""
+        script = self._mscript[lane]
+        probe = _LaneProbe(self, lane)
+        try:
+            script.advance(float(self._t[lane]), probe)
+        except MeasurementError:
+            # A legitimate test outcome (no-MFREQ starvation, a count
+            # that never gated) — but the farm publishes no errors: the
+            # lane keeps its settle-only result and the orchestrating
+            # sweep reproduces the identical error from that snapshot.
+            self._active[lane] = False
+            self._monph[lane] = False
+            self._mscript[lane] = None
+            self._fb_rec[lane] = None
+            self.stats["measure_failed"] += 1
+            return
+        except Exception:  # noqa: BLE001 - scalar reproduces the error
+            self._meas_eject(lane)
+            return
+        target = script.next_target()
+        if target is None:
+            table = self._tables[lane]
+            self._results[self._vec[lane]].measurement = ToneMeasurement(
+                f_mod=script.f_mod,
+                modulation_period=script.t_mod,
+                held=script.held,
+                phase_count=script.phase_count,
+                f_out_nominal=table.pll.f_out_nominal,
+                arm_time=script.t_arm,
+                peak_event=script.event,
+                stage_log=script.stage_log,
+                timing=ToneTiming(0.0, 0.0, 0.0, warm=True),
+            )
+            self._active[lane] = False
+            self._monph[lane] = False
+            self._mscript[lane] = None
+            self._fb_rec[lane] = None
+            self.stats["measured"] += 1
+            return
+        self._tend[lane] = target
+        self._monph[lane] = script.monitoring
+
+    def _step_measure(self, idx: np.ndarray) -> None:
+        """One lockstep measurement event per live lane.
+
+        The settle engine's event selection/advance with the stage 1–4
+        hardware grafted onto the commits: reference edges feed *both*
+        PFD inputs on open (held) lanes, feedback edges are recorded
+        for the reciprocal counter once a lane's hold engages, the
+        Figure 7 latch is sampled as array ops at every PFD reset (after
+        the drive update, matching the scalar reset dispatch order), and
+        the END event is each lane's next run-to-target boundary rather
+        than the settle end.  All measurement lanes are linear —
+        nonlinear devices measure scalar — so the Simpson branches of
+        :meth:`_step` are gone.
+        """
+        t = self._t[idx]
+        vc = self._vc[idx]
+        rows = self._row_base[idx] + self._drive[idx]
+        kindlaw = self._law_kind[rows]
+        pres = self._pres[idx]
+        has_res = ~np.isnan(pres)
+
+        # --- event selection (mirrors _next_event) -------------------
+        best_t = self._tend[idx].copy()
+        kind = np.full(idx.size, _END, dtype=np.int64)
+
+        tref = self._tref[idx]
+        m = tref <= best_t
+        best_t[m] = tref[m]
+        kind[m] = _REF
+
+        horizon = best_t.copy()
+        m = has_res & (pres < horizon)
+        horizon[m] = pres[m]
+        dt_h = horizon - t
+
+        eject = dt_h < 0.0
+
+        need = self._fbt[idx] - self._phase[idx]
+        due = need <= 1e-9
+        eject |= due & (need < -1e-6)
+        m = due & (t <= best_t)
+        best_t[m] = t[m]
+        kind[m] = _FB
+
+        out_v = np.where(
+            kindlaw == _EXP,
+            self._law_oa[rows] * vc + self._law_ob[rows],
+            np.where(kindlaw == _RAMP, vc + self._law_ooff[rows], vc),
+        )
+        solving = ~due & (dt_h > 0.0)
+        m = solving & (kindlaw == _CONST)
+        if m.any():
+            f = self._f_center[idx] + self._gain[idx] * (
+                out_v - self._v_center[idx]
+            )
+            f = np.minimum(np.maximum(f, self._f_min[idx]),
+                           self._f_max[idx])
+            dt_fb = need / f
+            cand = t + dt_fb
+            hit = m & (dt_fb <= dt_h) & (cand <= best_t)
+            best_t[hit] = cand[hit]
+            kind[hit] = _FB
+        for i in np.flatnonzero(solving & (kindlaw != _CONST)).tolist():
+            row = rows[i]
+            table = self._tables[idx[i]]
+            dt_fb, ej = _solve_fb_crossing(
+                int(kindlaw[i]), float(out_v[i]),
+                float(self._law_oasym[row]), float(self._law_tau[row]),
+                float(self._law_slope[row]), float(self._law_half[row]),
+                table.base_hz, table.gain, table.f_center,
+                table.v_center, table.f_min, table.f_max,
+                table.v_lo, table.v_hi,
+                float(need[i]), float(dt_h[i]),
+            )
+            if ej:
+                eject[i] = True
+                continue
+            if dt_fb is not None and t[i] + dt_fb <= best_t[i]:
+                best_t[i] = t[i] + dt_fb
+                kind[i] = _FB
+
+        m = has_res & (pres <= best_t)
+        best_t[m] = pres[m]
+        kind[m] = _RESET
+
+        # --- advance (mirrors _advance_to + phase_advance) -----------
+        dt = best_t - t
+        adv = dt > 0.0
+        is_exp = kindlaw == _EXP
+        is_ramp = kindlaw == _RAMP
+        tau = self._law_tau[rows]
+        x = -dt / tau
+        decay = np.ones(idx.size)
+        neg_expm1 = np.zeros(idx.size)
+        for i in np.flatnonzero(adv & is_exp).tolist():
+            decay[i] = math.exp(x[i])
+            neg_expm1[i] = -math.expm1(x[i])
+        o_asym = self._law_oasym[rows]
+        gap = out_v - o_asym
+        slope = self._law_slope[rows]
+        val = np.where(
+            is_exp, o_asym + gap * decay,
+            np.where(is_ramp, out_v + slope * dt, out_v),
+        )
+        v_int = np.where(
+            is_exp, o_asym * dt + (gap * tau) * neg_expm1,
+            np.where(is_ramp,
+                     out_v * dt + (self._law_half[rows] * dt) * dt,
+                     out_v * dt),
+        )
+        v0 = np.minimum(out_v, val)
+        v1 = np.maximum(out_v, val)
+        eject |= adv & ~(
+            (self._v_lo[idx] <= v0) & (v1 <= self._v_hi[idx])
+        )
+        asym = self._law_asym[rows]
+        vc_new = np.where(
+            is_exp, asym + (vc - asym) * decay,
+            np.where(is_ramp, vc + slope * dt, vc),
+        )
+        phase_new = np.where(
+            adv,
+            self._phase[idx] + (self._base_hz[idx] * dt
+                                + self._gain[idx] * v_int),
+            self._phase[idx],
+        )
+        vc_new = np.where(adv, vc_new, vc)
+
+        # --- PFD edge checks (mirrors _check_monotonic / _on_edge) ----
+        is_event = kind != _END
+        levt = self._levt[idx]
+        eject |= is_event & ~np.isnan(levt) & (best_t < levt)
+        is_edge = (kind == _REF) | (kind == _FB)
+        eject |= is_edge & has_res & (best_t >= pres)
+        eject |= (kind == _RESET) & (np.isnan(self._upr[idx])
+                                     | np.isnan(self._dnr[idx]))
+        # The measurement horizon is an estimate: a lane that outruns
+        # its pregenerated edge train leaves the farm instead of
+        # reading past the end.
+        eject |= (kind == _REF) & (self._j[idx] + 1
+                                   >= self._n_edges_arr[idx])
+
+        # --- ejects: back to the settle-only result -------------------
+        if eject.any():
+            for i in np.flatnonzero(eject).tolist():
+                self._meas_eject(int(idx[i]))
+        ok = ~eject
+        li = idx[ok]
+        if li.size == 0:
+            return
+
+        # --- commit --------------------------------------------------
+        self._t[li] = best_t[ok]
+        self._vc[li] = vc_new[ok]
+        self._phase[li] = phase_new[ok]
+        kind_ok = kind[ok]
+        ev = kind_ok != _END
+        self._events[li[ev]] += 1
+        self._levt[li[ev]] = best_t[ok][ev]
+
+        ref = kind_ok == _REF
+        if ref.any():
+            lr = li[ref]
+            tr = best_t[ok][ref]
+            newly = ~self._up[lr]
+            self._up[lr] = True
+            set_lanes = lr[newly]
+            self._upr[set_lanes] = tr[newly]
+            both = newly & self._dn[lr]
+            self._pres[lr[both]] = tr[both] + self._rdelay[lr[both]]
+            # Open (held) lanes: the hold mux feeds the reference to
+            # both PFD inputs, so the same edge also clocks DN.
+            opn = self._open[lr]
+            newly_dn = opn & ~self._dn[lr]
+            self._dn[lr[newly_dn]] = True
+            self._dnr[lr[newly_dn]] = tr[newly_dn]
+            both2 = newly_dn & self._up[lr]
+            self._pres[lr[both2]] = tr[both2] + self._rdelay[lr[both2]]
+            for i, lane in enumerate(lr.tolist()):
+                j = int(self._j[lane]) + 1
+                self._j[lane] = j
+                self._tref[lane] = self._edges[lane][j]
+
+        fb = kind_ok == _FB
+        if fb.any():
+            lf = li[fb]
+            tf = best_t[ok][fb]
+            self._phase[lf] = self._fbt[lf]
+            self._fbt[lf] = self._fbt[lf] + self._nf[lf]
+            # An open lane's feedback edge is recorded but never
+            # reaches the PFD (the mux holds its input at the ref).
+            cl = ~self._open[lf]
+            lc = lf[cl]
+            tc = tf[cl]
+            newly = ~self._dn[lc]
+            self._dn[lc] = True
+            set_lanes = lc[newly]
+            self._dnr[set_lanes] = tc[newly]
+            both = newly & self._up[lc]
+            self._pres[lc[both]] = tc[both] + self._rdelay[lc[both]]
+            for i, lane in enumerate(lf.tolist()):
+                if self._rec[lane]:
+                    self._fb_rec[lane].record(float(tf[i]))
+
+        res = kind_ok == _RESET
+        if res.any():
+            lz = li[res]
+            ts = best_t[ok][res]
+            upr_z = self._upr[lz]
+            dnr_z = self._dnr[lz]
+            self._up[lz] = False
+            self._dn[lz] = False
+            self._pres[lz] = np.nan
+
+        # The scalar reset dispatch updates the drive *before* the
+        # cycle observers fire, so the drive loop runs ahead of the
+        # latch sampling below.  Open-lane feedback edges skip the
+        # update (their dispatch never calls _drive_update).
+        upd = ref | res | (fb & ~self._open[li])
+        if upd.any():
+            changed = li[upd]
+            s = (self._up[changed].astype(np.int64)
+                 + 2 * self._dn[changed].astype(np.int64))
+            for i, lane in enumerate(changed.tolist()):
+                self._drive[lane] = \
+                    self._tables[lane].s_to_drive[int(s[i])]
+
+        if res.any():
+            # Figure 7 latch, batched: D = NOT(DN still high one
+            # inverter delay before the AND-gated clock); an edge on Q
+            # is a peak event, a falling edge the maximum (MFREQ).
+            smp = ~self._open[lz]
+            ls = lz[smp]
+            if ls.size:
+                t_both = np.maximum(upr_z[smp], dnr_z[smp])
+                t_clk = t_both + self._and_d[ls]
+                t_look = t_clk - self._inv_d[ls]
+                dn_high = (dnr_z[smp] <= t_look) & (t_look < ts[smp])
+                d = ~dn_high
+                emit = self._lvalid[ls] & (self._lq[ls] != d)
+                is_max = emit & self._lq[ls] & ~d
+                cap = is_max & self._watch[ls] \
+                    & (t_clk > self._t_arm_arr[ls])
+                self._lq[ls] = d
+                self._lvalid[ls] = True
+                for k in np.flatnonzero(cap).tolist():
+                    self._capture(int(ls[k]), float(t_clk[k]))
+
+        done = kind_ok == _END
+        for lane in li[done].tolist():
+            self._meas_boundary(int(lane))
+
+    # ------------------------------------------------------------------
     # per-lane settle kernel
     # ------------------------------------------------------------------
-    def _kernel_settle(self, lane: int) -> None:
+    def _kernel_settle(self, lane: int, mode: str = "vector") -> None:
         """Settle one lane in a specialised scalar kernel.
 
         A straight-line transcription of the scalar event loop
@@ -1278,11 +1979,14 @@ class VectorizedLotSimulator:
         self._drive[lane] = drive_idx
         self._events[lane] = events
         if eject:
-            self._hand_off(lane, "ejected")
+            # A drained lane stays "drained" through its scalar finish —
+            # the mode records where it left lockstep, not which engine
+            # completed it.
+            self._hand_off(lane, mode if mode == "drained" else "ejected")
             return
         self._active[lane] = False
         self._results[self._vec[lane]] = LaneResult(
-            snapshot=self._materialize(lane), mode="vector",
+            snapshot=self._materialize(lane), mode=mode,
             nonlinear=nonlinear,
         )
 
@@ -1365,3 +2069,45 @@ class VectorizedLotSimulator:
             return LaneResult(snapshot=sim.snapshot(), mode="scalar")
         except Exception as exc:  # noqa: BLE001 - leave the lane cold
             return LaneResult(snapshot=None, mode="scalar", error=str(exc))
+
+
+class _LaneProbe:
+    """The simulator surface :class:`MeasurementScript` reads, over one
+    farm lane.
+
+    ``output_frequency`` goes through the *real* filter/VCO objects
+    (``output_segment(...).value(0.0)``, exactly as the scalar
+    property) so the boundary reads are bit-identical by construction,
+    not by transcription; ``close_loop`` mirrors the scalar
+    ``close_loop()`` (PFD cleared, pump idled, rise times retained).
+    """
+
+    __slots__ = ("farm", "lane")
+
+    def __init__(self, farm: VectorizedLotSimulator, lane: int) -> None:
+        self.farm = farm
+        self.lane = lane
+
+    @property
+    def output_frequency(self) -> float:
+        farm = self.farm
+        lane = self.lane
+        table = farm._tables[lane]
+        drive = table.drives[int(farm._drive[lane])]
+        v_out = table.pll.loop_filter.output_segment(
+            float(farm._vc[lane]), drive
+        ).value(0.0)
+        return table.vco.frequency_of_voltage(v_out)
+
+    @property
+    def fb_edges(self) -> PulseTrain:
+        return self.farm._fb_rec[self.lane]
+
+    def close_loop(self) -> None:
+        farm = self.farm
+        lane = self.lane
+        farm._open[lane] = False
+        farm._up[lane] = False
+        farm._dn[lane] = False
+        farm._pres[lane] = np.nan
+        farm._drive[lane] = farm._tables[lane].idle_idx
